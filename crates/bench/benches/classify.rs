@@ -1,0 +1,78 @@
+//! Classifier benchmarks (EXP-T1 / EXP-E1 / EXP-T2 / EXP-T4 code paths):
+//! catalog classification, cycle enumeration vs line-graph BFS scaling,
+//! witness generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msgorder_classifier::classify::classify;
+use msgorder_classifier::cycles::min_order_by_enumeration;
+use msgorder_classifier::min_order::min_cycle_order;
+use msgorder_classifier::witness::separation_witnesses;
+use msgorder_classifier::PredicateGraph;
+use msgorder_predicate::{catalog, ForbiddenPredicate, Var};
+
+/// A dense predicate with many cycles: complete-ish digraph on n vars.
+fn dense_predicate(n: usize) -> ForbiddenPredicate {
+    let mut b = ForbiddenPredicate::build(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let lhs = if (i + j) % 2 == 0 { Var(i).s() } else { Var(i).r() };
+                let rhs = if (i * j) % 2 == 0 { Var(j).s() } else { Var(j).r() };
+                b = b.conjunct(lhs, rhs);
+            }
+        }
+    }
+    b.finish()
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    c.bench_function("classify/full-catalog", |b| {
+        let entries = catalog::all();
+        b.iter(|| {
+            entries
+                .iter()
+                .map(|e| classify(&e.predicate).classification.protocol_class())
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_min_order_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("min-order");
+    for k in [3usize, 5, 7, 9] {
+        let crown = catalog::sync_crown(k);
+        let pg = PredicateGraph::of(&crown);
+        g.bench_with_input(BenchmarkId::new("bfs/crown", k), &pg, |b, pg| {
+            b.iter(|| min_cycle_order(pg).map(|c| c.order()))
+        });
+        g.bench_with_input(BenchmarkId::new("enum/crown", k), &pg, |b, pg| {
+            b.iter(|| min_order_by_enumeration(pg, 1_000_000).map(|c| c.order()))
+        });
+    }
+    for n in [3usize, 4, 5, 6] {
+        let dense = dense_predicate(n);
+        let pg = PredicateGraph::of(&dense);
+        g.bench_with_input(BenchmarkId::new("bfs/dense", n), &pg, |b, pg| {
+            b.iter(|| min_cycle_order(pg).map(|c| c.order()))
+        });
+        g.bench_with_input(BenchmarkId::new("enum/dense", n), &pg, |b, pg| {
+            b.iter(|| min_order_by_enumeration(pg, 1_000_000).map(|c| c.order()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_witnesses(c: &mut Criterion) {
+    c.bench_function("witnesses/catalog", |b| {
+        let entries = catalog::all();
+        b.iter(|| {
+            entries
+                .iter()
+                .map(|e| separation_witnesses(&e.predicate).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_catalog, bench_min_order_scaling, bench_witnesses);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Consistent-cut and order-ideal benchmarks (the §2-related substrate
+//! used by the snapshot example).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msgorder_poset::{ideals, Poset};
+use msgorder_runs::cuts;
+use msgorder_runs::generator::{random_system_run, GenParams};
+use msgorder_runs::{EventKind, MessageId, SystemEvent};
+
+fn bench_ideal_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ideals/count");
+    // grid posets: 2 x k chains, ideal count = C(2k, k)-ish growth
+    for k in [4usize, 6, 8] {
+        let mut pairs = Vec::new();
+        for i in 0..k - 1 {
+            pairs.push((i, i + 1));
+            pairs.push((k + i, k + i + 1));
+        }
+        for i in 0..k {
+            pairs.push((i, k + i));
+        }
+        let p = Poset::from_pairs(2 * k, pairs).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
+            b.iter(|| ideals::ideal_count(p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_width_height(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ideals/width-height");
+    for n in [10usize, 20, 40] {
+        // layered random-ish poset: i < j if i + n/4 <= j
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + n / 4)..n).map(move |j| (i, j)))
+            .collect();
+        let p = Poset::from_pairs(n, pairs).unwrap();
+        g.bench_with_input(BenchmarkId::new("width", n), &p, |b, p| {
+            b.iter(|| ideals::width(p))
+        });
+        g.bench_with_input(BenchmarkId::new("height", n), &p, |b, p| {
+            b.iter(|| ideals::height(p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cut_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cuts");
+    for msgs in [5usize, 10, 20] {
+        let run = random_system_run(GenParams::new(3, msgs, 3));
+        // a nontrivial consistent cut: everything up to message 0's send
+        let cut = cuts::earliest_consistent_including(
+            &run,
+            &[SystemEvent::new(MessageId(0), EventKind::Send)],
+        );
+        g.bench_with_input(BenchmarkId::new("is_consistent", msgs), &run, |b, run| {
+            b.iter(|| cuts::is_consistent(run, &cut))
+        });
+        g.bench_with_input(BenchmarkId::new("earliest", msgs), &run, |b, run| {
+            b.iter(|| {
+                cuts::earliest_consistent_including(
+                    run,
+                    &[SystemEvent::new(MessageId(0), EventKind::Deliver)],
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ideal_count, bench_width_height, bench_cut_checks);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Predicate-evaluation benchmarks: the ∃-instantiation search that
+//! backs spec checking (EXP-L3) and the synthesized protocol (EXP-P2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msgorder_predicate::{catalog, eval};
+use msgorder_runs::generator::{random_causal_run, random_user_run, GenParams};
+
+fn bench_causal_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval/causal");
+    for msgs in [10usize, 20, 40, 80] {
+        // violating runs (early exit) and clean runs (full search)
+        let dirty = random_user_run(GenParams::new(3, msgs, 7));
+        let clean = random_causal_run(GenParams::new(3, msgs, 7));
+        let pred = catalog::causal();
+        g.bench_with_input(BenchmarkId::new("violating", msgs), &dirty, |b, run| {
+            b.iter(|| eval::holds(&pred, run))
+        });
+        g.bench_with_input(BenchmarkId::new("clean", msgs), &clean, |b, run| {
+            b.iter(|| eval::holds(&pred, run))
+        });
+    }
+    g.finish();
+}
+
+fn bench_many_variable_predicates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval/k-weaker");
+    for k in [0usize, 1, 2, 3] {
+        let pred = catalog::k_weaker_causal(k);
+        let run = random_causal_run(GenParams::new(3, 20, 3));
+        g.bench_with_input(BenchmarkId::new("clean-run", k), &run, |b, run| {
+            b.iter(|| eval::holds(&pred, run))
+        });
+    }
+    g.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let run = random_user_run(GenParams::new(3, 25, 11));
+    let pred = catalog::causal();
+    c.bench_function("eval/count-all-instantiations", |b| {
+        b.iter(|| eval::count_instantiations(&pred, &run, usize::MAX))
+    });
+}
+
+criterion_group!(benches, bench_causal_eval, bench_many_variable_predicates, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! The top-level classification (the §4.3 decision table).
+
+use crate::cycles::{enumerate_cycles, Cycle};
+use crate::graph::PredicateGraph;
+use crate::min_order::min_cycle_order;
+use msgorder_predicate::catalog::PaperClass;
+use msgorder_predicate::{ForbiddenPredicate, Normalized, UnsatReason};
+use std::fmt;
+
+/// Cap on exhaustive cycle enumeration in reports (classification itself
+/// uses the polynomial line-graph computation and never needs this).
+pub const CYCLE_REPORT_CAP: usize = 64;
+
+/// The outcome of classifying a forbidden predicate.
+#[derive(Debug, Clone)]
+pub enum Classification {
+    /// The predicate graph has no cycle (Theorem 2): no protocol can
+    /// guarantee both safety and liveness.
+    NotImplementable,
+    /// Every cycle has ≥ 2 β vertices: control messages are necessary;
+    /// tagging + control messages are sufficient (Theorems 3.3/4.2).
+    RequiresControlMessages {
+        /// A minimum-order witness cycle.
+        witness: Cycle,
+    },
+    /// Some cycle has exactly one β vertex and none has zero: tagging
+    /// user messages is necessary and sufficient (Theorems 3.2/4.3).
+    TaggedSufficient {
+        /// An order-1 witness cycle.
+        witness: Cycle,
+    },
+    /// The trivial protocol suffices: either some cycle has zero β
+    /// vertices (Theorem 3.1), or the predicate is structurally
+    /// unsatisfiable so `X_B = X_async`.
+    TaglessSufficient {
+        /// An order-0 witness cycle, absent when the predicate was
+        /// unsatisfiable outright.
+        witness: Option<Cycle>,
+        /// Set when normalization proved `B` unsatisfiable.
+        unsatisfiable: Option<UnsatReason>,
+    },
+}
+
+impl Classification {
+    /// The paper's protocol class.
+    pub fn protocol_class(&self) -> PaperClass {
+        match self {
+            Classification::NotImplementable => PaperClass::Unimplementable,
+            Classification::RequiresControlMessages { .. } => PaperClass::General,
+            Classification::TaggedSufficient { .. } => PaperClass::Tagged,
+            Classification::TaglessSufficient { .. } => PaperClass::Tagless,
+        }
+    }
+
+    /// Whether any protocol exists for the specification.
+    pub fn is_implementable(&self) -> bool {
+        !matches!(self, Classification::NotImplementable)
+    }
+
+    /// Whether tagging alone suffices (i.e. no control messages needed).
+    pub fn is_tagged_sufficient(&self) -> bool {
+        matches!(
+            self,
+            Classification::TaggedSufficient { .. }
+                | Classification::TaglessSufficient { .. }
+        )
+    }
+
+    /// Whether the trivial protocol suffices.
+    pub fn is_tagless_sufficient(&self) -> bool {
+        matches!(self, Classification::TaglessSufficient { .. })
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.protocol_class())
+    }
+}
+
+/// Full classification report for one predicate.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The input predicate (as given, before normalization).
+    pub predicate: ForbiddenPredicate,
+    /// The decision.
+    pub classification: Classification,
+    /// The predicate graph of the normalized predicate (absent when
+    /// normalization proved unsatisfiability).
+    pub graph: Option<PredicateGraph>,
+    /// All elementary cycles (up to [`CYCLE_REPORT_CAP`]), for display.
+    pub cycles: Vec<Cycle>,
+    /// Minimum order over all cycles, if any cycle exists.
+    pub min_order: Option<usize>,
+}
+
+impl Report {
+    /// Renders a human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("predicate : {}\n", self.predicate));
+        if let Some(g) = &self.graph {
+            s.push_str(&format!(
+                "graph     : {} vertices, {} edges\n",
+                g.vertex_count(),
+                g.edge_count()
+            ));
+            if self.cycles.is_empty() {
+                s.push_str("cycles    : none\n");
+            }
+            for c in &self.cycles {
+                s.push_str(&format!("cycle     : {}\n", c.render(g)));
+            }
+        } else {
+            s.push_str("graph     : (predicate unsatisfiable, no graph needed)\n");
+        }
+        if let Some(o) = self.min_order {
+            s.push_str(&format!("min order : {o}\n"));
+        }
+        s.push_str(&format!("verdict   : {}\n", self.classification));
+        s
+    }
+}
+
+/// Classifies a forbidden predicate per the §4.3 decision table.
+pub fn classify(pred: &ForbiddenPredicate) -> Report {
+    match pred.normalize() {
+        Normalized::Unsatisfiable(reason) => Report {
+            predicate: pred.clone(),
+            classification: Classification::TaglessSufficient {
+                witness: None,
+                unsatisfiable: Some(reason),
+            },
+            graph: None,
+            cycles: Vec::new(),
+            min_order: None,
+        },
+        Normalized::Predicate(clean) => {
+            let graph = PredicateGraph::of(&clean);
+            let cycles = enumerate_cycles(&graph, CYCLE_REPORT_CAP);
+            let best = min_cycle_order(&graph);
+            let min_order = best.as_ref().map(Cycle::order);
+            let classification = match best {
+                None => Classification::NotImplementable,
+                Some(c) if c.order() == 0 => Classification::TaglessSufficient {
+                    witness: Some(c),
+                    unsatisfiable: None,
+                },
+                Some(c) if c.order() == 1 => Classification::TaggedSufficient { witness: c },
+                Some(c) => Classification::RequiresControlMessages { witness: c },
+            };
+            Report {
+                predicate: pred.clone(),
+                classification,
+                graph: Some(graph),
+                cycles,
+                min_order,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_predicate::catalog;
+
+    #[test]
+    fn catalog_classified_exactly_as_paper_claims() {
+        // This is the heart of EXP-T1: our classifier reproduces the
+        // paper's class for every specification it names.
+        for entry in catalog::all() {
+            let report = classify(&entry.predicate);
+            assert_eq!(
+                report.classification.protocol_class(),
+                entry.expected,
+                "{}: classifier says {}, paper says {}",
+                entry.name,
+                report.classification,
+                entry.expected
+            );
+        }
+    }
+
+    #[test]
+    fn causal_report_details() {
+        let r = classify(&catalog::causal());
+        assert_eq!(r.min_order, Some(1));
+        assert!(r.classification.is_tagged_sufficient());
+        assert!(!r.classification.is_tagless_sufficient());
+        assert!(r.classification.is_implementable());
+        assert_eq!(r.cycles.len(), 1);
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_is_tagless() {
+        let p = msgorder_predicate::ForbiddenPredicate::parse("forbid x: x.r < x.s").unwrap();
+        let r = classify(&p);
+        match &r.classification {
+            Classification::TaglessSufficient {
+                witness: None,
+                unsatisfiable: Some(_),
+            } => {}
+            other => panic!("expected unsatisfiable-tagless, got {other:?}"),
+        }
+        assert!(r.graph.is_none());
+    }
+
+    #[test]
+    fn vacuous_self_conjunct_dropped_then_classified() {
+        // forbid x, y: x.s < x.r & x.s < y.s & y.r < x.r
+        // After dropping the vacuous conjunct this is exactly causal.
+        let p = msgorder_predicate::ForbiddenPredicate::parse(
+            "forbid x, y: x.s < x.r & x.s < y.s & y.r < x.r",
+        )
+        .unwrap();
+        let r = classify(&p);
+        assert_eq!(r.min_order, Some(1));
+        assert!(r.classification.is_tagged_sufficient());
+    }
+
+    #[test]
+    fn deliver_nothing_spec_not_implementable() {
+        // forbid x, y: x.s < y.r — forbids any cross-message causality;
+        // acyclic graph, not implementable (a protocol would have to
+        // either foresee the future or stall deliveries forever).
+        let p = msgorder_predicate::ForbiddenPredicate::parse("forbid x, y: x.s < y.r").unwrap();
+        let r = classify(&p);
+        assert!(!r.classification.is_implementable());
+        assert_eq!(r.min_order, None);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let r = classify(&catalog::example_4_2());
+        let s = r.render();
+        assert!(s.contains("predicate"));
+        assert!(s.contains("cycle"));
+        assert!(s.contains("min order : 1"));
+        assert!(s.contains("tagging sufficient"));
+    }
+
+    #[test]
+    fn empty_conjunction_not_implementable() {
+        // After normalization `forbid x: x.s < x.r` has no conjuncts: B
+        // fires on every nonempty run, so X_B is essentially empty.
+        let p = msgorder_predicate::ForbiddenPredicate::parse("forbid x: x.s < x.r").unwrap();
+        let r = classify(&p);
+        assert!(!r.classification.is_implementable());
+    }
+
+    #[test]
+    fn classification_invariant_under_renaming() {
+        let p = catalog::causal();
+        let renamed = p
+            .clone()
+            .with_var_names(vec!["alpha".into(), "beta".into()]);
+        assert_eq!(
+            classify(&p).classification.protocol_class(),
+            classify(&renamed).classification.protocol_class()
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Elementary-cycle enumeration over predicate multigraphs.
+//!
+//! Cycles are the paper's central object: a specification is
+//! implementable iff its predicate graph has one (Theorem 2), and the
+//! number of β vertices of the best cycle picks the protocol class
+//! (Theorems 3/4). Predicate graphs are small (one vertex per quantified
+//! variable), so a canonical-start DFS enumerates all elementary cycles
+//! directly; a cap guards against pathological inputs.
+
+use crate::graph::PredicateGraph;
+use msgorder_predicate::Var;
+use serde::{Deserialize, Serialize};
+
+/// An elementary cycle, stored as the edge ids traversed in order.
+///
+/// `edges[i]` leads into the vertex that `edges[i + 1]` leaves;
+/// the last edge returns to the first edge's tail.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cycle {
+    /// Edge ids in traversal order.
+    pub edges: Vec<usize>,
+    /// The vertices visited, aligned so `vertices[i]` is the tail of
+    /// `edges[i]`.
+    pub vertices: Vec<Var>,
+    /// The β vertices of this cycle (Definition 4.3).
+    pub beta_vertices: Vec<Var>,
+}
+
+impl Cycle {
+    /// The cycle's *order*: its number of β vertices.
+    pub fn order(&self) -> usize {
+        self.beta_vertices.len()
+    }
+
+    /// Length in edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the cycle is empty (never true for produced cycles).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Renders the cycle through its conjuncts.
+    pub fn render(&self, g: &PredicateGraph) -> String {
+        let parts: Vec<String> = self.edges.iter().map(|&e| g.edge_label(e)).collect();
+        format!(
+            "[{}] (order {}, β = {{{}}})",
+            parts.join(", "),
+            self.order(),
+            self.beta_vertices
+                .iter()
+                .map(|v| g.var_name(*v).to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+fn beta_vertices_of(g: &PredicateGraph, edges: &[usize]) -> Vec<Var> {
+    let k = edges.len();
+    let mut betas = Vec::new();
+    for i in 0..k {
+        let e_in = edges[i];
+        let e_out = edges[(i + 1) % k];
+        if g.is_beta_transition(e_in, e_out) {
+            betas.push(g.head(e_in).0);
+        }
+    }
+    betas.sort_unstable();
+    betas
+}
+
+/// Enumerates the elementary cycles of the predicate graph, up to `cap`
+/// cycles (enumeration stops once the cap is reached).
+///
+/// Each cycle is reported once, rotated so its smallest vertex comes
+/// first; parallel edges yield distinct cycles.
+pub fn enumerate_cycles(g: &PredicateGraph, cap: usize) -> Vec<Cycle> {
+    let n = g.vertex_count();
+    let mut out: Vec<Cycle> = Vec::new();
+    // Canonical-start DFS: cycles whose minimal vertex is `start` are
+    // found by paths from `start` through vertices > start only.
+    for start in 0..n {
+        if out.len() >= cap {
+            break;
+        }
+        let mut on_path = vec![false; n];
+        let mut path_edges: Vec<usize> = Vec::new();
+        dfs(g, start, start, &mut on_path, &mut path_edges, &mut out, cap);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &PredicateGraph,
+    start: usize,
+    v: usize,
+    on_path: &mut Vec<bool>,
+    path_edges: &mut Vec<usize>,
+    out: &mut Vec<Cycle>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    on_path[v] = true;
+    for &e in g.graph().out_edges(v) {
+        if out.len() >= cap {
+            break;
+        }
+        let (_, w) = g.graph().endpoints(e);
+        if w == start {
+            path_edges.push(e);
+            let vertices: Vec<Var> = path_edges.iter().map(|&pe| g.tail(pe).0).collect();
+            out.push(Cycle {
+                beta_vertices: beta_vertices_of(g, path_edges),
+                edges: path_edges.clone(),
+                vertices,
+            });
+            path_edges.pop();
+        } else if w > start && !on_path[w] {
+            path_edges.push(e);
+            dfs(g, start, w, on_path, path_edges, out, cap);
+            path_edges.pop();
+        }
+    }
+    on_path[v] = false;
+}
+
+/// The minimum order over all elementary cycles, with one witness cycle
+/// achieving it. `None` if the graph is acyclic.
+///
+/// Exhaustive (subject to `cap`); use
+/// [`min_order`](crate::min_order::min_cycle_order) for the polynomial
+/// line-graph computation.
+pub fn min_order_by_enumeration(g: &PredicateGraph, cap: usize) -> Option<Cycle> {
+    enumerate_cycles(g, cap)
+        .into_iter()
+        .min_by_key(|c| (c.order(), c.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_predicate::{catalog, ForbiddenPredicate};
+
+    fn graph_of(src: &str) -> PredicateGraph {
+        PredicateGraph::of(&ForbiddenPredicate::parse(src).unwrap())
+    }
+
+    #[test]
+    fn causal_has_single_order1_cycle() {
+        let g = PredicateGraph::of(&catalog::causal());
+        let cycles = enumerate_cycles(&g, 100);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].order(), 1);
+        assert_eq!(cycles[0].beta_vertices, vec![Var(0)], "β vertex is x");
+    }
+
+    #[test]
+    fn fifo_same_cycle_structure() {
+        let g = PredicateGraph::of(&catalog::fifo());
+        let best = min_order_by_enumeration(&g, 100).unwrap();
+        assert_eq!(best.order(), 1);
+    }
+
+    #[test]
+    fn crown_cycles_all_beta() {
+        for k in 2..=5 {
+            let g = PredicateGraph::of(&catalog::sync_crown(k));
+            let cycles = enumerate_cycles(&g, 100);
+            assert_eq!(cycles.len(), 1, "crown {k} is a single cycle");
+            assert_eq!(cycles[0].order(), k, "every vertex is β");
+            assert_eq!(cycles[0].len(), k);
+        }
+    }
+
+    #[test]
+    fn mutual_send_cycle_order_zero() {
+        let g = PredicateGraph::of(&catalog::mutual_send());
+        let best = min_order_by_enumeration(&g, 100).unwrap();
+        assert_eq!(best.order(), 0);
+    }
+
+    #[test]
+    fn acyclic_predicate_has_no_cycles() {
+        let g = PredicateGraph::of(&catalog::receive_second_before_first());
+        assert!(enumerate_cycles(&g, 100).is_empty());
+        assert!(min_order_by_enumeration(&g, 100).is_none());
+    }
+
+    #[test]
+    fn example_4_2_cycles_match_paper() {
+        // Example 2/3: the 4-cycle x1 -> x2 -> x3 -> x4 -> x1 has order 1
+        // with β vertex x4; the 2-cycle x1 <-> x4 has order 2.
+        let g = PredicateGraph::of(&catalog::example_4_2());
+        let cycles = enumerate_cycles(&g, 100);
+        assert_eq!(cycles.len(), 2);
+        let four = cycles.iter().find(|c| c.len() == 4).expect("4-cycle");
+        assert_eq!(four.order(), 1);
+        assert_eq!(four.beta_vertices, vec![Var(3)], "β vertex is x4");
+        let two = cycles.iter().find(|c| c.len() == 2).expect("2-cycle");
+        assert_eq!(two.order(), 2);
+        let best = min_order_by_enumeration(&g, 100).unwrap();
+        assert_eq!(best.order(), 1);
+    }
+
+    #[test]
+    fn k_weaker_cycle_order_one() {
+        for k in 0..4 {
+            let g = PredicateGraph::of(&catalog::k_weaker_causal(k));
+            let best = min_order_by_enumeration(&g, 100).unwrap();
+            assert_eq!(best.order(), 1, "k = {k}");
+            assert_eq!(best.len(), k + 2);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_make_distinct_cycles() {
+        // x -> y twice, y -> x once: two distinct 2-cycles.
+        let g = graph_of("forbid x, y: x.s < y.s & x.s < y.r & y.r < x.r");
+        let cycles = enumerate_cycles(&g, 100);
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let g = graph_of("forbid x, y: x.s < y.s & x.s < y.r & y.r < x.r & y.s < x.r");
+        let all = enumerate_cycles(&g, 100);
+        assert_eq!(all.len(), 4);
+        let capped = enumerate_cycles(&g, 2);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn cycle_render_mentions_order() {
+        let g = PredicateGraph::of(&catalog::causal());
+        let c = &enumerate_cycles(&g, 10)[0];
+        let s = c.render(&g);
+        assert!(s.contains("order 1"), "{s}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Graphviz export of predicate graphs.
+//!
+//! Renders the multigraph of Definition 4.2 with conjunct labels; when a
+//! witness cycle is supplied its edges are bold and its β vertices are
+//! filled — the visual form of the paper's Examples 1–3.
+
+use crate::cycles::Cycle;
+use crate::graph::PredicateGraph;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders `g` in Graphviz dot syntax.
+///
+/// If `cycle` is given, its edges are drawn bold and its β vertices
+/// filled; pipe the output through `dot -Tsvg` to visualize.
+pub fn to_dot(g: &PredicateGraph, cycle: Option<&Cycle>) -> String {
+    let beta: BTreeSet<usize> = cycle
+        .map(|c| c.beta_vertices.iter().map(|v| v.0).collect())
+        .unwrap_or_default();
+    let cycle_edges: BTreeSet<usize> = cycle
+        .map(|c| c.edges.iter().copied().collect())
+        .unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph predicate {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontname=\"monospace\"];");
+    for v in 0..g.vertex_count() {
+        let style = if beta.contains(&v) {
+            " style=filled fillcolor=\"#ffd27f\" xlabel=\"β\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  v{v} [label=\"{}\"{style}];",
+            g.var_name(msgorder_predicate::Var(v))
+        );
+    }
+    for e in 0..g.edge_count() {
+        let (u, kp) = g.tail(e);
+        let (v, kq) = g.head(e);
+        let style = if cycle_edges.contains(&e) {
+            ", penwidth=2.2, color=\"#c0392b\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  v{} -> v{} [label=\"{}▷{}\"{style}];",
+            u.0,
+            v.0,
+            kp.symbol(),
+            kq.symbol()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use msgorder_predicate::catalog;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_beta() {
+        let pred = catalog::example_4_2();
+        let report = classify(&pred);
+        let g = report.graph.as_ref().unwrap();
+        let cycle = report.cycles.iter().find(|c| c.len() == 4).unwrap();
+        let dot = to_dot(g, Some(cycle));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("v0 ->"), "{dot}");
+        assert!(dot.contains("β"), "β vertex should be marked\n{dot}");
+        assert!(dot.contains("penwidth"), "cycle edges should be bold");
+        assert_eq!(dot.matches("->").count(), 6);
+    }
+
+    #[test]
+    fn dot_without_cycle_highlight() {
+        let pred = catalog::causal();
+        let g = crate::graph::PredicateGraph::of(&pred);
+        let dot = to_dot(&g, None);
+        assert!(!dot.contains("penwidth"));
+        assert!(dot.contains("s▷s"));
+    }
+}

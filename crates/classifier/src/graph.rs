@@ -1,0 +1,193 @@
+//! The predicate graph `G_B(V, E)` (Definition 4.2).
+//!
+//! Vertices are the predicate's variables; each conjunct
+//! `x_j.p ▷ x_k.q` contributes a directed edge `x_j → x_k` labelled with
+//! the pair `(p, q)`. Parallel edges are kept — the definition is
+//! explicitly a multigraph.
+
+use msgorder_poset::DiGraph;
+use msgorder_predicate::{Conjunct, ForbiddenPredicate, Var};
+use msgorder_runs::UserEventKind;
+use std::fmt;
+
+/// The predicate graph of a (normalized) forbidden predicate.
+#[derive(Debug, Clone)]
+pub struct PredicateGraph {
+    graph: DiGraph,
+    /// One conjunct per edge, in edge-id order.
+    conjuncts: Vec<Conjunct>,
+    var_names: Vec<String>,
+}
+
+impl PredicateGraph {
+    /// Builds the graph from a predicate's conjuncts.
+    ///
+    /// Self-relations (`x.p ▷ x.q`) become self-loops; callers that want
+    /// the paper's semantics should
+    /// [`normalize`](ForbiddenPredicate::normalize) first, which removes
+    /// them (vacuous or unsatisfiable).
+    pub fn of(pred: &ForbiddenPredicate) -> Self {
+        let n = pred.var_count();
+        let mut graph = DiGraph::new(n);
+        let mut conjuncts = Vec::new();
+        for c in pred.conjuncts() {
+            graph
+                .add_edge(c.lhs.var.0, c.rhs.var.0)
+                .expect("conjunct variables are in range");
+            conjuncts.push(*c);
+        }
+        PredicateGraph {
+            graph,
+            conjuncts,
+            var_names: (0..n).map(|i| pred.var_name(Var(i)).to_owned()).collect(),
+        }
+    }
+
+    /// The underlying multigraph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Number of vertices (= predicate variables).
+    pub fn vertex_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges (= conjuncts).
+    pub fn edge_count(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// The conjunct behind edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    pub fn conjunct(&self, e: usize) -> Conjunct {
+        self.conjuncts[e]
+    }
+
+    /// The source vertex and its event kind (`p` of `x_j.p ▷ x_k.q`).
+    pub fn tail(&self, e: usize) -> (Var, UserEventKind) {
+        let c = self.conjuncts[e];
+        (c.lhs.var, c.lhs.kind)
+    }
+
+    /// The target vertex and its event kind (`q`).
+    pub fn head(&self, e: usize) -> (Var, UserEventKind) {
+        let c = self.conjuncts[e];
+        (c.rhs.var, c.rhs.kind)
+    }
+
+    /// Whether following edge `e_in` into a vertex and leaving via
+    /// `e_out` makes that vertex a **β vertex** (Definition 4.3): the
+    /// incoming conjunct ends at `x.r` and the outgoing starts at `x.s`.
+    ///
+    /// # Panics
+    /// Panics if the edges are not consecutive (`head(e_in)` ≠
+    /// `tail(e_out)`).
+    pub fn is_beta_transition(&self, e_in: usize, e_out: usize) -> bool {
+        let (v_in, q) = self.head(e_in);
+        let (v_out, p) = self.tail(e_out);
+        assert_eq!(v_in, v_out, "edges must be consecutive at a vertex");
+        q == UserEventKind::Deliver && p == UserEventKind::Send
+    }
+
+    /// Display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.0]
+    }
+
+    /// Renders an edge as its conjunct, e.g. `x.s ▷ y.r`.
+    pub fn edge_label(&self, e: usize) -> String {
+        let c = self.conjuncts[e];
+        format!(
+            "{}.{} ▷ {}.{}",
+            self.var_name(c.lhs.var),
+            c.lhs.kind.symbol(),
+            self.var_name(c.rhs.var),
+            c.rhs.kind.symbol()
+        )
+    }
+}
+
+impl fmt::Display for PredicateGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "predicate graph: {} vertices, {} edges",
+            self.vertex_count(),
+            self.edge_count()
+        )?;
+        for e in 0..self.edge_count() {
+            writeln!(f, "  e{e}: {}", self.edge_label(e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_predicate::catalog;
+
+    #[test]
+    fn causal_graph_shape() {
+        let g = PredicateGraph::of(&catalog::causal());
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        // edge 0: x.s ▷ y.s ; edge 1: y.r ▷ x.r
+        assert_eq!(g.tail(0), (Var(0), UserEventKind::Send));
+        assert_eq!(g.head(0), (Var(1), UserEventKind::Send));
+        assert_eq!(g.tail(1), (Var(1), UserEventKind::Deliver));
+        assert_eq!(g.head(1), (Var(0), UserEventKind::Deliver));
+    }
+
+    #[test]
+    fn beta_transition_at_causal_x() {
+        let g = PredicateGraph::of(&catalog::causal());
+        // at x: in = y.r ▷ x.r (edge 1), out = x.s ▷ y.s (edge 0): β.
+        assert!(g.is_beta_transition(1, 0));
+        // at y: in = x.s ▷ y.s (edge 0), out = y.r ▷ x.r (edge 1): not β.
+        assert!(!g.is_beta_transition(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn beta_transition_checks_adjacency() {
+        let g = PredicateGraph::of(&catalog::causal());
+        let _ = g.is_beta_transition(0, 0);
+    }
+
+    #[test]
+    fn example_graph_matches_paper() {
+        // Example 1: V = {x1..x5}, E = {(x1,x2), (x2,x3), (x3,x4),
+        // (x4,x1), (x4,x5), (x1,x4)}.
+        let g = PredicateGraph::of(&catalog::example_4_2());
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+        let mut pairs: Vec<(usize, usize)> = (0..g.edge_count())
+            .map(|e| (g.tail(e).0 .0, g.head(e).0 .0))
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (0, 3), (1, 2), (2, 3), (3, 0), (3, 4)]);
+    }
+
+    #[test]
+    fn parallel_edges_preserved() {
+        let p = msgorder_predicate::ForbiddenPredicate::parse(
+            "forbid x, y: x.s < y.s & x.r < y.r",
+        )
+        .unwrap();
+        let g = PredicateGraph::of(&p);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.graph().successors(0).count(), 2);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let g = PredicateGraph::of(&catalog::causal());
+        let s = g.to_string();
+        assert!(s.contains("x.s ▷ y.s"));
+        assert!(s.contains("y.r ▷ x.r"));
+    }
+}

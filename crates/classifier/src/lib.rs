@@ -1,0 +1,58 @@
+//! The specification classifier of Murty & Garg §4: build the predicate
+//! graph, find cycles, count β vertices, decide the protocol class.
+//!
+//! The decision table (§4.3):
+//!
+//! | predicate graph | protocol |
+//! |---|---|
+//! | no cycle | specification **not implementable** |
+//! | some cycle with ≥ 0 β vertices | tagging + control messages sufficient |
+//! | some cycle with ≤ 1 β vertex | tagging alone sufficient |
+//! | some cycle with 0 β vertices | the trivial protocol sufficient |
+//!
+//! Two independent engines compute the minimum cycle order:
+//!
+//! - [`cycles`] — faithful enumeration of the elementary cycles
+//!   (Johnson-style, with a cap), exactly the objects the paper reasons
+//!   about; and
+//! - [`min_order`] — a 0-1 BFS over the *line graph*, where the
+//!   transition `(u.p ▷ v.q) → (v.p' ▷ w.q')` costs 1 iff it makes `v` a
+//!   β vertex (`q = r ∧ p' = s`). Lemma 4's contraction argument shows
+//!   the two minima coincide; the property tests check that.
+//!
+//! [`classify`](classify::classify) combines them and produces a
+//! [`classify::Report`] with the class, a witness cycle, the
+//! Lemma 4 [`reduction`](reduce) trace and the Theorem 2/4 separation
+//! [witnesses](witness).
+//!
+//! # Example
+//!
+//! ```
+//! use msgorder_classifier::classify::{classify, Classification};
+//! use msgorder_predicate::catalog;
+//!
+//! let report = classify(&catalog::causal());
+//! assert!(matches!(report.classification, Classification::TaggedSufficient { .. }));
+//!
+//! let report = classify(&catalog::handoff());
+//! assert!(matches!(report.classification, Classification::RequiresControlMessages { .. }));
+//!
+//! let report = classify(&catalog::receive_second_before_first());
+//! assert!(matches!(report.classification, Classification::NotImplementable));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cycles;
+pub mod dot;
+pub mod explain;
+pub mod graph;
+pub mod min_order;
+pub mod reduce;
+pub mod witness;
+
+pub use classify::{classify, Classification, Report};
+pub use cycles::Cycle;
+pub use graph::PredicateGraph;

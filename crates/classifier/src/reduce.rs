@@ -1,0 +1,228 @@
+//! The Lemma 4 contraction: weaken a cycle predicate until it is either
+//! a two-vertex cycle or all of its vertices are β.
+//!
+//! At a non-β vertex `v`, the incoming conjunct `x.p ▷ v.q` and outgoing
+//! conjunct `v.p' ▷ w.q'` compose transitively (directly when `q = p'`,
+//! via the always-true `v.s ▷ v.r` when `q = s, p' = r`; the β case
+//! `q = r, p' = s` is exactly the one that does *not* compose). The
+//! composed predicate `B''` is implied by `B'`, keeps the cycle's order,
+//! and has one fewer vertex — Example 3 of the paper walks one step.
+
+use crate::cycles::Cycle;
+use crate::graph::PredicateGraph;
+use msgorder_predicate::{Conjunct, ForbiddenPredicate, Var};
+use msgorder_runs::UserEventKind;
+use serde::Serialize;
+
+/// One contraction step.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReductionStep {
+    /// The non-β vertex removed (in the *original* predicate's numbering).
+    pub removed: Var,
+    /// Rendered incoming conjunct.
+    pub incoming: String,
+    /// Rendered outgoing conjunct.
+    pub outgoing: String,
+    /// Rendered composed conjunct.
+    pub composed: String,
+}
+
+/// The full trace of reducing one cycle per Lemma 4.
+#[derive(Debug, Clone)]
+pub struct ReductionTrace {
+    /// The steps taken, in order.
+    pub steps: Vec<ReductionStep>,
+    /// The conjuncts of the final (weaker) cycle predicate, as event-term
+    /// pairs over the surviving variables (original numbering).
+    pub final_conjuncts: Vec<Conjunct>,
+    /// The order of the final cycle (= the original cycle's order).
+    pub final_order: usize,
+    /// The surviving variables.
+    pub final_vars: Vec<Var>,
+}
+
+impl ReductionTrace {
+    /// Builds the final weaker predicate `B'` (with `B ⇒ B'`), with the
+    /// surviving variables renumbered densely and named after the
+    /// original predicate's variables.
+    pub fn final_predicate(&self, original: &ForbiddenPredicate) -> ForbiddenPredicate {
+        let mut map = vec![usize::MAX; original.var_count()];
+        for (new, v) in self.final_vars.iter().enumerate() {
+            map[v.0] = new;
+        }
+        let mut b = ForbiddenPredicate::build(self.final_vars.len());
+        for c in &self.final_conjuncts {
+            let l = msgorder_predicate::EventTerm {
+                var: Var(map[c.lhs.var.0]),
+                kind: c.lhs.kind,
+            };
+            let r = msgorder_predicate::EventTerm {
+                var: Var(map[c.rhs.var.0]),
+                kind: c.rhs.kind,
+            };
+            b = b.conjunct(l, r);
+        }
+        b.finish().with_var_names(
+            self.final_vars
+                .iter()
+                .map(|v| original.var_name(*v).to_owned())
+                .collect(),
+        )
+    }
+}
+
+/// Reduces `cycle` (of the graph `g`) per Lemma 4: repeatedly contracts
+/// a non-β vertex until the cycle has two vertices or every vertex is β.
+///
+/// # Panics
+/// Panics if `cycle` is not a cycle of `g` (edge ids out of range or not
+/// consecutive).
+pub fn reduce_cycle(g: &PredicateGraph, cycle: &Cycle) -> ReductionTrace {
+    // Work on a conjunct list forming the cycle, in order.
+    let mut conjuncts: Vec<Conjunct> = cycle.edges.iter().map(|&e| g.conjunct(e)).collect();
+    let mut steps = Vec::new();
+    let original_order = cycle.order();
+
+    let render = |c: &Conjunct| {
+        format!(
+            "{}.{} ▷ {}.{}",
+            g.var_name(c.lhs.var),
+            c.lhs.kind.symbol(),
+            g.var_name(c.rhs.var),
+            c.rhs.kind.symbol()
+        )
+    };
+
+    loop {
+        let k = conjuncts.len();
+        if k <= 2 {
+            break;
+        }
+        // find a non-β vertex: position i such that conjuncts[i] enters v
+        // and conjuncts[(i+1) % k] leaves it, without (r, s) labels.
+        let mut contracted = false;
+        for i in 0..k {
+            let e_in = conjuncts[i];
+            let e_out = conjuncts[(i + 1) % k];
+            debug_assert_eq!(e_in.rhs.var, e_out.lhs.var, "not a cycle");
+            let beta =
+                e_in.rhs.kind == UserEventKind::Deliver && e_out.lhs.kind == UserEventKind::Send;
+            if beta {
+                continue;
+            }
+            let v = e_in.rhs.var;
+            let composed = Conjunct::new(e_in.lhs, e_out.rhs);
+            steps.push(ReductionStep {
+                removed: v,
+                incoming: render(&e_in),
+                outgoing: render(&e_out),
+                composed: render(&composed),
+            });
+            // replace the two conjuncts by the composed one
+            let j = (i + 1) % k;
+            if j > i {
+                conjuncts[i] = composed;
+                conjuncts.remove(j);
+            } else {
+                // wrap-around: i is last, j == 0
+                conjuncts[i] = composed;
+                conjuncts.remove(0);
+            }
+            contracted = true;
+            break;
+        }
+        if !contracted {
+            break; // all vertices are β
+        }
+    }
+
+    let mut final_vars: Vec<Var> = conjuncts.iter().map(|c| c.lhs.var).collect();
+    final_vars.sort_unstable();
+    final_vars.dedup();
+    ReductionTrace {
+        steps,
+        final_conjuncts: conjuncts,
+        final_order: original_order,
+        final_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::enumerate_cycles;
+    use msgorder_predicate::catalog;
+
+    /// Example 3 of the paper: reduce the 4-cycle of Example 2; the β
+    /// vertex x4 survives, non-β vertices contract away.
+    #[test]
+    fn example_3_reduction() {
+        let g = PredicateGraph::of(&catalog::example_4_2());
+        let cycles = enumerate_cycles(&g, 100);
+        let four = cycles.iter().find(|c| c.len() == 4).unwrap();
+        let trace = reduce_cycle(&g, four);
+        assert_eq!(trace.final_order, 1);
+        assert_eq!(trace.final_conjuncts.len(), 2, "reduced to a 2-cycle");
+        assert_eq!(trace.steps.len(), 2, "two non-β vertices contracted");
+        // the β vertex x4 (Var(3)) survives
+        assert!(trace.final_vars.contains(&Var(3)));
+    }
+
+    #[test]
+    fn reduced_predicate_is_causal_shaped() {
+        // An order-1 2-cycle is one of the Lemma 3.2 forms; check it
+        // classifies as tagged.
+        let g = PredicateGraph::of(&catalog::example_4_2());
+        let cycles = enumerate_cycles(&g, 100);
+        let four = cycles.iter().find(|c| c.len() == 4).unwrap();
+        let trace = reduce_cycle(&g, four);
+        let weaker = trace.final_predicate(&catalog::example_4_2());
+        assert_eq!(weaker.var_count(), 2);
+        let report = crate::classify::classify(&weaker);
+        assert!(report.classification.is_tagged_sufficient());
+    }
+
+    #[test]
+    fn crown_reduces_to_itself() {
+        // All vertices β: no contraction possible.
+        let g = PredicateGraph::of(&catalog::sync_crown(4));
+        let cycles = enumerate_cycles(&g, 100);
+        let trace = reduce_cycle(&g, &cycles[0]);
+        assert!(trace.steps.is_empty());
+        assert_eq!(trace.final_conjuncts.len(), 4);
+    }
+
+    #[test]
+    fn k_weaker_reduces_to_two_vertices() {
+        let p = catalog::k_weaker_causal(3);
+        let g = PredicateGraph::of(&p);
+        let cycles = enumerate_cycles(&g, 100);
+        let trace = reduce_cycle(&g, &cycles[0]);
+        assert_eq!(trace.final_conjuncts.len(), 2);
+        assert_eq!(trace.steps.len(), 3);
+        let weaker = trace.final_predicate(&p);
+        // The weakened 2-cycle must still be order 1 (tagged).
+        let report = crate::classify::classify(&weaker);
+        assert_eq!(report.min_order, Some(1));
+    }
+
+    #[test]
+    fn two_cycle_untouched() {
+        let g = PredicateGraph::of(&catalog::causal());
+        let cycles = enumerate_cycles(&g, 100);
+        let trace = reduce_cycle(&g, &cycles[0]);
+        assert!(trace.steps.is_empty());
+        assert_eq!(trace.final_conjuncts.len(), 2);
+    }
+
+    #[test]
+    fn steps_render_composition() {
+        let g = PredicateGraph::of(&catalog::k_weaker_causal(1));
+        let cycles = enumerate_cycles(&g, 100);
+        let trace = reduce_cycle(&g, &cycles[0]);
+        assert!(!trace.steps.is_empty());
+        let step = &trace.steps[0];
+        assert!(step.incoming.contains('▷'));
+        assert!(step.composed.contains('▷'));
+    }
+}

@@ -1,0 +1,176 @@
+//! Separation witnesses (Theorems 2 and 4).
+//!
+//! The necessity half of the characterization is proven by exhibiting,
+//! for each class boundary, a run that every weaker protocol class must
+//! admit but that violates the specification:
+//!
+//! - **Theorem 2** (implementability): if `G_B` is acyclic, the canonical
+//!   run lies in `X_sync` yet satisfies `B` — no protocol can exclude it.
+//! - **Theorem 4.2**: if no cycle has order ≤ 1, the canonical run lies
+//!   in `X_co` yet satisfies `B` — no *tagged* protocol can exclude it
+//!   (control messages are necessary).
+//! - **Theorem 4.3**: if no cycle has order 0, the canonical run lies in
+//!   `X_async` yet satisfies `B` — the trivial protocol cannot exclude
+//!   it (tagging is necessary).
+
+use crate::classify::{classify, Classification};
+use msgorder_predicate::canonical::{canonical_run, CanonicalError};
+use msgorder_predicate::{eval, ForbiddenPredicate};
+use msgorder_runs::{limit_sets, UserRun};
+
+/// Which limit set a separation witness belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessKind {
+    /// In `X_sync` but not in `X_B`: the spec is not implementable.
+    SyncViolation,
+    /// In `X_co` but not in `X_B`: tagged protocols cannot implement it.
+    CausalViolation,
+    /// In `X_async` but not in `X_B`: the trivial protocol cannot.
+    AsyncViolation,
+}
+
+/// A separation witness: a run in the stated limit set violating `X_B`.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Which boundary this witness separates.
+    pub kind: WitnessKind,
+    /// The run itself.
+    pub run: UserRun,
+}
+
+/// Produces every separation witness the classification entitles us to:
+///
+/// - not implementable → a [`WitnessKind::SyncViolation`];
+/// - requires control messages → a [`WitnessKind::CausalViolation`];
+/// - tagged (but not tagless) → an [`WitnessKind::AsyncViolation`];
+/// - tagless → no witness exists (`X_async ⊆ X_B` already).
+///
+/// Every returned witness is checked: it satisfies `B` and belongs to
+/// the claimed limit set.
+pub fn separation_witnesses(pred: &ForbiddenPredicate) -> Vec<Witness> {
+    let report = classify(pred);
+    let run = match canonical_run(pred) {
+        Ok(c) => c.run,
+        Err(CanonicalError::CyclicConjuncts) => {
+            // Only possible when an order-0 cycle exists (Theorem 4.3
+            // analysis); then the spec is tagless and needs no witness.
+            return Vec::new();
+        }
+        Err(CanonicalError::UnsatisfiableConstraints) => return Vec::new(),
+    };
+    debug_assert!(
+        eval::holds(pred, &run),
+        "canonical run must satisfy its own predicate"
+    );
+    let mut out = Vec::new();
+    match report.classification {
+        Classification::NotImplementable => {
+            debug_assert!(limit_sets::in_x_sync(&run));
+            out.push(Witness {
+                kind: WitnessKind::SyncViolation,
+                run,
+            });
+        }
+        Classification::RequiresControlMessages { .. } => {
+            debug_assert!(limit_sets::in_x_co(&run));
+            out.push(Witness {
+                kind: WitnessKind::CausalViolation,
+                run,
+            });
+        }
+        Classification::TaggedSufficient { .. } => {
+            out.push(Witness {
+                kind: WitnessKind::AsyncViolation,
+                run,
+            });
+        }
+        Classification::TaglessSufficient { .. } => {}
+    }
+    out
+}
+
+/// Checks a witness against its claims; returns an error string naming
+/// the first failed obligation (used by the experiments to *prove* each
+/// table row rather than assert it silently).
+pub fn verify_witness(pred: &ForbiddenPredicate, w: &Witness) -> Result<(), String> {
+    if !eval::holds(pred, &w.run) {
+        return Err("witness does not satisfy B (should violate the spec)".into());
+    }
+    let in_set = match w.kind {
+        WitnessKind::SyncViolation => limit_sets::in_x_sync(&w.run),
+        WitnessKind::CausalViolation => limit_sets::in_x_co(&w.run),
+        WitnessKind::AsyncViolation => limit_sets::in_x_async(&w.run),
+    };
+    if !in_set {
+        return Err(format!("witness is not in the claimed limit set {:?}", w.kind));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_predicate::catalog;
+
+    #[test]
+    fn unimplementable_spec_gets_sync_witness() {
+        let p = catalog::receive_second_before_first();
+        let ws = separation_witnesses(&p);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].kind, WitnessKind::SyncViolation);
+        verify_witness(&p, &ws[0]).unwrap();
+    }
+
+    #[test]
+    fn control_message_specs_get_causal_witness() {
+        for p in [catalog::sync_crown(2), catalog::sync_crown(3), catalog::handoff()] {
+            let ws = separation_witnesses(&p);
+            assert_eq!(ws.len(), 1, "{p}");
+            assert_eq!(ws[0].kind, WitnessKind::CausalViolation);
+            verify_witness(&p, &ws[0]).unwrap();
+        }
+    }
+
+    #[test]
+    fn tagged_specs_get_async_witness() {
+        for p in [
+            catalog::causal(),
+            catalog::fifo(),
+            catalog::k_weaker_causal(2),
+            catalog::global_forward_flush(),
+        ] {
+            let ws = separation_witnesses(&p);
+            assert_eq!(ws.len(), 1, "{p}");
+            assert_eq!(ws[0].kind, WitnessKind::AsyncViolation);
+            verify_witness(&p, &ws[0]).unwrap();
+        }
+    }
+
+    #[test]
+    fn tagged_witness_is_not_causal() {
+        // The async witness for a tagged spec must itself violate causal
+        // ordering — otherwise a tagged protocol could not be necessary.
+        let ws = separation_witnesses(&catalog::causal());
+        assert!(!msgorder_runs::limit_sets::in_x_co(&ws[0].run));
+    }
+
+    #[test]
+    fn tagless_specs_need_no_witness() {
+        for p in [catalog::mutual_send(), catalog::mutual_deliver()] {
+            assert!(separation_witnesses(&p).is_empty(), "{p}");
+        }
+    }
+
+    #[test]
+    fn verify_catches_wrong_claims() {
+        // Hand-build a bogus witness: a causally-ordered run claimed to
+        // violate causal ordering.
+        let p = catalog::causal();
+        let good = separation_witnesses(&p).remove(0);
+        let bogus = Witness {
+            kind: WitnessKind::SyncViolation, // the run is NOT sync
+            run: good.run,
+        };
+        assert!(verify_witness(&p, &bogus).is_err());
+    }
+}

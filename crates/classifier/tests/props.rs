@@ -1,0 +1,109 @@
+//! Property tests for the classifier.
+
+use msgorder_classifier::classify::classify;
+use msgorder_classifier::cycles::{enumerate_cycles, min_order_by_enumeration};
+use msgorder_classifier::min_order::min_cycle_order;
+use msgorder_classifier::witness::{separation_witnesses, verify_witness};
+use msgorder_classifier::PredicateGraph;
+use msgorder_predicate::{ForbiddenPredicate, Var};
+use proptest::prelude::*;
+
+fn arb_predicate() -> impl Strategy<Value = ForbiddenPredicate> {
+    (2usize..6, 1usize..9)
+        .prop_flat_map(|(n, e)| {
+            let conj = (0..n, 0..n, any::<bool>(), any::<bool>());
+            (Just(n), proptest::collection::vec(conj, e))
+        })
+        .prop_map(|(n, conjs)| {
+            let mut b = ForbiddenPredicate::build(n);
+            for (u, v, us, vs) in conjs {
+                let v = if u == v { (v + 1) % n } else { v };
+                let lhs = if us { Var(u).s() } else { Var(u).r() };
+                let rhs = if vs { Var(v).s() } else { Var(v).r() };
+                b = b.conjunct(lhs, rhs);
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Enumeration and line-graph BFS agree on minimum order.
+    #[test]
+    fn min_order_engines_agree(pred in arb_predicate()) {
+        let g = PredicateGraph::of(&pred);
+        prop_assert_eq!(
+            min_order_by_enumeration(&g, 1_000_000).map(|c| c.order()),
+            min_cycle_order(&g).map(|c| c.order()),
+            "disagreement on {}", pred
+        );
+    }
+
+    /// Every enumerated cycle is consistent: consecutive edges meet and
+    /// the declared order equals the β transition count.
+    #[test]
+    fn cycles_are_wellformed(pred in arb_predicate()) {
+        let g = PredicateGraph::of(&pred);
+        for c in enumerate_cycles(&g, 256) {
+            let k = c.edges.len();
+            let mut betas = 0;
+            for i in 0..k {
+                let (_, head) = g.graph().endpoints(c.edges[i]);
+                let (tail, _) = g.graph().endpoints(c.edges[(i + 1) % k]);
+                prop_assert_eq!(head, tail);
+                if g.is_beta_transition(c.edges[i], c.edges[(i + 1) % k]) {
+                    betas += 1;
+                }
+            }
+            prop_assert_eq!(betas, c.order());
+            // vertex-elementary
+            let mut vs: Vec<_> = c.vertices.clone();
+            vs.sort_unstable();
+            vs.dedup();
+            prop_assert_eq!(vs.len(), k);
+        }
+    }
+
+    /// Classification is implementable iff a cycle exists (Theorem 2).
+    #[test]
+    fn implementable_iff_cycle(pred in arb_predicate()) {
+        let g = PredicateGraph::of(&pred);
+        let report = classify(&pred);
+        prop_assert_eq!(
+            report.classification.is_implementable(),
+            g.graph().has_cycle()
+        );
+    }
+
+    /// Witnesses always verify for arbitrary predicates.
+    #[test]
+    fn witnesses_always_verify(pred in arb_predicate()) {
+        for w in separation_witnesses(&pred) {
+            prop_assert!(verify_witness(&pred, &w).is_ok(), "{}", pred);
+        }
+    }
+
+    /// The report's min_order matches the certificate's order.
+    #[test]
+    fn report_consistent(pred in arb_predicate()) {
+        use msgorder_classifier::classify::Classification;
+        let report = classify(&pred);
+        match &report.classification {
+            Classification::TaglessSufficient { witness: Some(c), .. } => {
+                prop_assert_eq!(c.order(), 0);
+                prop_assert_eq!(report.min_order, Some(0));
+            }
+            Classification::TaggedSufficient { witness } => {
+                prop_assert_eq!(witness.order(), 1);
+                prop_assert_eq!(report.min_order, Some(1));
+            }
+            Classification::RequiresControlMessages { witness } => {
+                prop_assert!(witness.order() >= 2);
+                prop_assert_eq!(report.min_order, Some(witness.order()));
+            }
+            Classification::NotImplementable => prop_assert_eq!(report.min_order, None),
+            Classification::TaglessSufficient { witness: None, .. } => {}
+        }
+    }
+}

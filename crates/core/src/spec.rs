@@ -1,0 +1,92 @@
+//! Named specifications.
+
+use crate::report::AnalysisReport;
+use msgorder_classifier::classify::classify;
+use msgorder_classifier::witness::separation_witnesses;
+use msgorder_predicate::{ForbiddenPredicate, ParseError};
+use std::fmt;
+
+/// A named message-ordering specification given by a forbidden predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spec {
+    name: String,
+    predicate: ForbiddenPredicate,
+}
+
+impl Spec {
+    /// Parses a specification from the predicate DSL.
+    ///
+    /// # Errors
+    /// Returns the parser's [`ParseError`] on malformed input.
+    pub fn parse(src: &str) -> Result<Spec, ParseError> {
+        Ok(Spec {
+            name: "unnamed".to_owned(),
+            predicate: ForbiddenPredicate::parse(src)?,
+        })
+    }
+
+    /// Wraps an existing predicate.
+    pub fn from_predicate(predicate: ForbiddenPredicate) -> Spec {
+        Spec {
+            name: "unnamed".to_owned(),
+            predicate,
+        }
+    }
+
+    /// Sets a display name.
+    #[must_use]
+    pub fn named(mut self, name: &str) -> Spec {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying forbidden predicate.
+    pub fn predicate(&self) -> &ForbiddenPredicate {
+        &self.predicate
+    }
+
+    /// Runs the full pipeline: classify, extract witnesses, recommend a
+    /// protocol.
+    pub fn analyze(&self) -> AnalysisReport {
+        let classification = classify(&self.predicate);
+        let witnesses = separation_witnesses(&self.predicate);
+        AnalysisReport::new(self.clone(), classification, witnesses)
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.predicate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_predicate::catalog;
+
+    #[test]
+    fn parse_and_name() {
+        let s = Spec::parse("forbid x, y: x.s < y.s & y.r < x.r")
+            .unwrap()
+            .named("causal");
+        assert_eq!(s.name(), "causal");
+        assert!(s.to_string().starts_with("causal: forbid"));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(Spec::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn from_catalog_predicate() {
+        let s = Spec::from_predicate(catalog::fifo()).named("fifo");
+        assert_eq!(s.predicate(), &catalog::fifo());
+    }
+}

@@ -1,0 +1,276 @@
+//! Transitive closure and transitive reduction.
+
+use crate::bitset::BitSet;
+use crate::graph::{DiGraph, NodeId};
+
+/// The reachability matrix of a directed graph.
+///
+/// `reaches(u, v)` answers "is there a non-empty directed path from `u` to
+/// `v`?" — i.e. this is the closure of the *strict* relation: a node does
+/// not reach itself unless it lies on a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitiveClosure {
+    n: usize,
+    rows: Vec<BitSet>,
+}
+
+impl TransitiveClosure {
+    /// Computes the closure of `g`.
+    ///
+    /// Uses the SCC condensation so cyclic inputs are handled correctly
+    /// (every node in a non-trivial SCC reaches itself), then propagates
+    /// row unions in reverse topological order — `O(n * m / 64)` words.
+    pub fn of_graph(g: &DiGraph) -> Self {
+        let n = g.node_count();
+        let comps = g.sccs();
+        // Map node -> component index.
+        let mut comp_of = vec![0usize; n];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = ci;
+            }
+        }
+        let c = comps.len();
+        // Condensation edges + whether a component is cyclic.
+        let mut cyclic = vec![false; c];
+        for (ci, comp) in comps.iter().enumerate() {
+            if comp.len() > 1 {
+                cyclic[ci] = true;
+            }
+        }
+        let mut cedges: Vec<(usize, usize)> = Vec::new();
+        for &(u, v) in g.edges() {
+            let (cu, cv) = (comp_of[u], comp_of[v]);
+            if cu == cv {
+                cyclic[cu] = true; // covers self-loops
+            } else {
+                cedges.push((cu, cv));
+            }
+        }
+        // Tarjan emits components in reverse topological order, i.e.
+        // comps[0] has no successors outside itself. Process in that order
+        // so successors' rows are complete before predecessors use them.
+        let mut crows: Vec<BitSet> = (0..c).map(|_| BitSet::new(c)).collect();
+        let mut csucc: Vec<Vec<usize>> = vec![Vec::new(); c];
+        for &(cu, cv) in &cedges {
+            csucc[cu].push(cv);
+        }
+        for ci in 0..c {
+            if cyclic[ci] {
+                crows[ci].insert(ci);
+            }
+            let succs = csucc[ci].clone();
+            for cv in succs {
+                crows[ci].insert(cv);
+                let (head, tail) = crows.split_at_mut(ci.max(cv));
+                // Union the successor's row into ours without double borrow.
+                if cv < ci {
+                    tail[0].union_with(&head[cv]);
+                } else {
+                    head[ci].union_with(&tail[0]);
+                }
+            }
+        }
+        // Expand component rows back to node rows.
+        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for u in 0..n {
+            let cu = comp_of[u];
+            for cv in crows[cu].iter() {
+                for &v in &comps[cv] {
+                    rows[u].insert(v);
+                }
+            }
+        }
+        TransitiveClosure { n, rows }
+    }
+
+    /// Builds a closure directly from `n` nodes and an edge list.
+    pub fn from_pairs<I>(n: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = DiGraph::new(n);
+        for (u, v) in pairs {
+            g.add_edge(u, v).expect("edge endpoints must be < n");
+        }
+        Self::of_graph(&g)
+    }
+
+    /// Number of nodes in the universe.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether there is a non-empty path `u -> ... -> v`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        self.rows[u].contains(v)
+    }
+
+    /// Whether the underlying relation is a strict partial order, i.e.
+    /// irreflexive after closure (no node lies on a cycle).
+    pub fn is_strict_order(&self) -> bool {
+        (0..self.n).all(|v| !self.rows[v].contains(v))
+    }
+
+    /// The full descendant set of `u` (everything reachable from it).
+    pub fn descendants(&self, u: NodeId) -> &BitSet {
+        &self.rows[u]
+    }
+
+    /// The ancestor set of `v` (everything that reaches it). `O(n)` scan.
+    pub fn ancestors(&self, v: NodeId) -> BitSet {
+        let mut set = BitSet::new(self.n);
+        for u in 0..self.n {
+            if self.rows[u].contains(v) {
+                set.insert(u);
+            }
+        }
+        set
+    }
+
+    /// All ordered pairs `(u, v)` with `u` reaching `v`.
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for u in 0..self.n {
+            for v in self.rows[u].iter() {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// The transitive reduction (Hasse diagram) of an **acyclic** closure:
+    /// the unique minimal edge set with the same closure.
+    ///
+    /// `u -> v` is a cover iff `u` reaches `v` and no `w` has
+    /// `u -> w -> v`.
+    ///
+    /// # Panics
+    /// Panics if the relation is cyclic (a Hasse diagram is only defined
+    /// for partial orders).
+    pub fn reduction(&self) -> Vec<(NodeId, NodeId)> {
+        assert!(
+            self.is_strict_order(),
+            "transitive reduction requires an acyclic relation"
+        );
+        let mut covers = Vec::new();
+        for u in 0..self.n {
+            for v in self.rows[u].iter() {
+                let mediated = self.rows[u]
+                    .iter()
+                    .any(|w| w != v && self.rows[w].contains(v));
+                if !mediated {
+                    covers.push((u, v));
+                }
+            }
+        }
+        covers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_closure() {
+        let c = TransitiveClosure::from_pairs(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(c.reaches(0, 3));
+        assert!(c.reaches(1, 3));
+        assert!(!c.reaches(3, 0));
+        assert!(!c.reaches(0, 0));
+        assert!(c.is_strict_order());
+    }
+
+    #[test]
+    fn cycle_closure_is_reflexive_on_cycle() {
+        let c = TransitiveClosure::from_pairs(3, [(0, 1), (1, 0)]);
+        assert!(c.reaches(0, 0));
+        assert!(c.reaches(1, 1));
+        assert!(!c.reaches(2, 2));
+        assert!(!c.is_strict_order());
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let c = TransitiveClosure::from_pairs(2, [(0, 0)]);
+        assert!(c.reaches(0, 0));
+        assert!(!c.is_strict_order());
+    }
+
+    #[test]
+    fn cycle_reaching_out() {
+        // 0 <-> 1 -> 2
+        let c = TransitiveClosure::from_pairs(3, [(0, 1), (1, 0), (1, 2)]);
+        assert!(c.reaches(0, 2));
+        assert!(c.reaches(1, 2));
+        assert!(!c.reaches(2, 0));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let c = TransitiveClosure::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let d0: Vec<_> = c.descendants(0).iter().collect();
+        assert_eq!(d0, vec![1, 2, 3]);
+        let a3: Vec<_> = c.ancestors(3).iter().collect();
+        assert_eq!(a3, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reduction_of_diamond_with_shortcut() {
+        // diamond plus the redundant edge 0 -> 3
+        let c = TransitiveClosure::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]);
+        let mut red = c.reduction();
+        red.sort_unstable();
+        assert_eq!(red, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn reduction_closure_roundtrip() {
+        let pairs = [(0, 1), (1, 2), (0, 2), (2, 4), (1, 4), (3, 4)];
+        let c = TransitiveClosure::from_pairs(5, pairs);
+        let red = c.reduction();
+        let c2 = TransitiveClosure::from_pairs(5, red.iter().copied());
+        assert_eq!(c.pairs(), c2.pairs());
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn reduction_panics_on_cycle() {
+        let c = TransitiveClosure::from_pairs(2, [(0, 1), (1, 0)]);
+        let _ = c.reduction();
+    }
+
+    #[test]
+    fn empty_universe() {
+        let c = TransitiveClosure::from_pairs(0, []);
+        assert!(c.is_empty());
+        assert!(c.is_strict_order());
+        assert!(c.pairs().is_empty());
+    }
+
+    #[test]
+    fn pairs_enumerates_all() {
+        let c = TransitiveClosure::from_pairs(3, [(0, 1), (1, 2)]);
+        let mut p = c.pairs();
+        p.sort_unstable();
+        assert_eq!(p, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn large_chain_scales() {
+        let n = 500;
+        let c = TransitiveClosure::from_pairs(n, (0..n - 1).map(|i| (i, i + 1)));
+        assert!(c.reaches(0, n - 1));
+        assert!(c.is_strict_order());
+        assert_eq!(c.descendants(0).len(), n - 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for partial-order construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating partial orders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PosetError {
+    /// The supplied relation is cyclic and therefore not a strict partial
+    /// order. Carries one witness cycle as a sequence of node indices
+    /// (first node repeated at the end is *not* included).
+    Cyclic {
+        /// The nodes of one offending cycle, in order.
+        cycle: Vec<usize>,
+    },
+    /// An edge referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the universe.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PosetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosetError::Cyclic { cycle } => {
+                write!(f, "relation is cyclic (witness cycle: {cycle:?})")
+            }
+            PosetError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for universe of size {len}")
+            }
+        }
+    }
+}
+
+impl Error for PosetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cycle() {
+        let e = PosetError::Cyclic { cycle: vec![1, 2] };
+        assert!(e.to_string().contains("cyclic"));
+        assert!(e.to_string().contains('1'));
+    }
+
+    #[test]
+    fn display_mentions_range() {
+        let e = PosetError::NodeOutOfRange { node: 9, len: 4 };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

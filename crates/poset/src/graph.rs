@@ -1,0 +1,419 @@
+//! A small directed multigraph with the classic structural algorithms.
+//!
+//! Nodes are dense indices `0..n`; parallel edges and self-loops are
+//! allowed (predicate graphs in the paper are multigraphs — Definition
+//! 4.2 explicitly says "multi-graph").
+
+use crate::error::PosetError;
+
+/// Index of a node in a [`DiGraph`].
+pub type NodeId = usize;
+/// Index of an edge in a [`DiGraph`] (position in insertion order).
+pub type EdgeId = usize;
+
+/// A directed multigraph over nodes `0..n`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    /// Outgoing edge ids per node.
+    out: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node.
+    inc: Vec<Vec<EdgeId>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            n,
+            edges: Vec::new(),
+            out: vec![Vec::new(); n],
+            inc: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (parallel edges counted separately).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge `u -> v` and returns its id.
+    ///
+    /// # Errors
+    /// Returns [`PosetError::NodeOutOfRange`] if `u` or `v` is not a node.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, PosetError> {
+        for &x in &[u, v] {
+            if x >= self.n {
+                return Err(PosetError::NodeOutOfRange { node: x, len: self.n });
+            }
+        }
+        let id = self.edges.len();
+        self.edges.push((u, v));
+        self.out[u].push(id);
+        self.inc[v].push(id);
+        Ok(id)
+    }
+
+    /// The endpoints `(source, target)` of edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is not a valid edge id.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// All edges as `(source, target)` pairs, in insertion order.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Ids of edges leaving `u`.
+    pub fn out_edges(&self, u: NodeId) -> &[EdgeId] {
+        &self.out[u]
+    }
+
+    /// Ids of edges entering `v`.
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.inc[v]
+    }
+
+    /// Successor nodes of `u` (may contain duplicates for parallel edges).
+    pub fn successors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out[u].iter().map(move |&e| self.edges[e].1)
+    }
+
+    /// Predecessor nodes of `v` (may contain duplicates for parallel edges).
+    pub fn predecessors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.inc[v].iter().map(move |&e| self.edges[e].0)
+    }
+
+    /// A topological order of the nodes, or a witness cycle if none exists.
+    ///
+    /// Kahn's algorithm; ties are broken by node index so the result is
+    /// deterministic.
+    ///
+    /// # Errors
+    /// Returns [`PosetError::Cyclic`] with a witness cycle when the graph
+    /// has a directed cycle.
+    pub fn topo_sort(&self) -> Result<Vec<NodeId>, PosetError> {
+        let mut indeg: Vec<usize> = vec![0; self.n];
+        for &(_, v) in &self.edges {
+            indeg[v] += 1;
+        }
+        // Min-heap behaviour via sorted insertion into a BinaryHeap of Reverse.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<NodeId>> = (0..self.n)
+            .filter(|&v| indeg[v] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(Reverse(u)) = ready.pop() {
+            order.push(u);
+            for v in self.successors(u) {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.push(Reverse(v));
+                }
+            }
+        }
+        if order.len() == self.n {
+            Ok(order)
+        } else {
+            Err(PosetError::Cyclic {
+                cycle: self.find_cycle().expect("cycle must exist when topo sort fails"),
+            })
+        }
+    }
+
+    /// Whether the graph contains a directed cycle (self-loops count).
+    pub fn has_cycle(&self) -> bool {
+        self.find_cycle().is_some()
+    }
+
+    /// Finds one elementary directed cycle, as a node sequence
+    /// `[v0, v1, ..., vk]` with an implicit edge `vk -> v0`.
+    ///
+    /// Returns `None` for acyclic graphs. Iterative DFS with colors.
+    pub fn find_cycle(&self) -> Option<Vec<NodeId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.n];
+        for root in 0..self.n {
+            if color[root] != Color::White {
+                continue;
+            }
+            // stack of (node, next out-edge position)
+            let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+            color[root] = Color::Gray;
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                if *next < self.out[u].len() {
+                    let e = self.out[u][*next];
+                    *next += 1;
+                    let v = self.edges[e].1;
+                    match color[v] {
+                        Color::Gray => {
+                            // Found a cycle: walk back from u to v via parents.
+                            let mut cyc = vec![u];
+                            let mut cur = u;
+                            while cur != v {
+                                cur = parent[cur].expect("gray node must have parent on stack");
+                                cyc.push(cur);
+                            }
+                            cyc.reverse();
+                            return Some(cyc);
+                        }
+                        Color::White => {
+                            color[v] = Color::Gray;
+                            parent[v] = Some(u);
+                            stack.push((v, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Strongly connected components (Tarjan, iterative).
+    ///
+    /// Returns the components in reverse topological order of the
+    /// condensation (standard Tarjan output order); every node appears in
+    /// exactly one component.
+    pub fn sccs(&self) -> Vec<Vec<NodeId>> {
+        const UNSET: usize = usize::MAX;
+        let n = self.n;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comps: Vec<Vec<NodeId>> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNSET {
+                continue;
+            }
+            // Iterative Tarjan: call stack of (node, next successor pos).
+            let mut call: Vec<(NodeId, usize)> = vec![(root, 0)];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (u, ref mut pos)) = call.last_mut() {
+                if *pos < self.out[u].len() {
+                    let e = self.out[u][*pos];
+                    *pos += 1;
+                    let v = self.edges[e].1;
+                    if index[v] == UNSET {
+                        index[v] = next_index;
+                        low[v] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v] = true;
+                        call.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        low[p] = low[p].min(low[u]);
+                    }
+                    if low[u] == index[u] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+        comps
+    }
+
+    /// The subgraph induced by `keep`, with nodes renumbered densely.
+    ///
+    /// Returns the new graph and the mapping from old node id to new.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (DiGraph, Vec<Option<NodeId>>) {
+        let mut map: Vec<Option<NodeId>> = vec![None; self.n];
+        for (new, &old) in keep.iter().enumerate() {
+            map[old] = Some(new);
+        }
+        let mut g = DiGraph::new(keep.len());
+        for &(u, v) in &self.edges {
+            if let (Some(nu), Some(nv)) = (map[u], map[v]) {
+                g.add_edge(nu, nv).expect("renumbered nodes are in range");
+            }
+        }
+        (g, map)
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.n);
+        for &(u, v) in &self.edges {
+            g.add_edge(v, u).expect("same node universe");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn topo_sort_diamond() {
+        let order = diamond().topo_sort().unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let mut g = diamond();
+        g.add_edge(3, 0).unwrap();
+        match g.topo_sort() {
+            Err(PosetError::Cyclic { cycle }) => {
+                assert!(!cycle.is_empty());
+                // verify the witness really is a cycle
+                for w in cycle.windows(2) {
+                    assert!(g.successors(w[0]).any(|s| s == w[1]));
+                }
+                let (&first, &last) = (cycle.first().unwrap(), cycle.last().unwrap());
+                assert!(g.successors(last).any(|s| s == first));
+            }
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(1, 1).unwrap();
+        assert!(g.has_cycle());
+        assert_eq!(g.find_cycle().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn acyclic_has_no_cycle() {
+        assert!(!diamond().has_cycle());
+        assert!(diamond().find_cycle().is_none());
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = DiGraph::new(2);
+        let e1 = g.add_edge(0, 1).unwrap();
+        let e2 = g.add_edge(0, 1).unwrap();
+        assert_ne!(e1, e2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.successors(0).count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut g = DiGraph::new(2);
+        assert!(matches!(
+            g.add_edge(0, 2),
+            Err(PosetError::NodeOutOfRange { node: 2, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn sccs_of_two_cycles() {
+        // 0 <-> 1, 2 <-> 3, 1 -> 2
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 0).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g.add_edge(3, 2).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let mut comps: Vec<Vec<NodeId>> = g
+            .sccs()
+            .into_iter()
+            .map(|mut c| {
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn sccs_singletons_for_dag() {
+        let comps = diamond().sccs();
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = diamond();
+        let (sub, map) = g.induced_subgraph(&[1, 3]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1); // only 1 -> 3 survives
+        assert_eq!(map[1], Some(0));
+        assert_eq!(map[3], Some(1));
+        assert_eq!(map[0], None);
+        assert_eq!(sub.endpoints(0), (0, 1));
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = diamond().reversed();
+        assert!(g.successors(3).any(|v| v == 1));
+        assert!(g.successors(1).any(|v| v == 0));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn predecessors_and_in_edges() {
+        let g = diamond();
+        let preds: Vec<_> = g.predecessors(3).collect();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.contains(&1) && preds.contains(&2));
+        assert_eq!(g.in_edges(0).len(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        assert_eq!(g.topo_sort().unwrap(), Vec::<usize>::new());
+        assert!(!g.has_cycle());
+        assert!(g.sccs().is_empty());
+    }
+}

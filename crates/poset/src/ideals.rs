@@ -1,0 +1,262 @@
+//! Order ideals (down-sets), chains and antichains.
+//!
+//! The lattice of order ideals of a run's event poset is exactly the
+//! lattice of *consistent cuts* — the object the §2 related work
+//! (snapshots, checkpointing, deadlock detection) computes over. This
+//! module provides ideal enumeration plus the classic chain/antichain
+//! quantities (height via longest path, width via Dilworth's theorem
+//! through bipartite matching).
+
+use crate::bitset::BitSet;
+use crate::poset::Poset;
+
+/// Enumerates every order ideal of `p`, calling `visit` for each
+/// (including the empty and full ideals). Returns the number visited;
+/// stops early if `visit` returns `false`.
+///
+/// Exponential in the poset's width — use on small posets or cap via the
+/// visitor. Ideals are visited in increasing-size layers.
+pub fn for_each_ideal<F>(p: &Poset, mut visit: F) -> usize
+where
+    F: FnMut(&BitSet) -> bool,
+{
+    use std::collections::{BTreeSet, VecDeque};
+    let n = p.len();
+    let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let mut queue: VecDeque<BitSet> = VecDeque::new();
+    let empty = BitSet::new(n);
+    let key = |s: &BitSet| s.iter().map(|i| i as u64).collect::<Vec<u64>>();
+    seen.insert(key(&empty));
+    queue.push_back(empty);
+    let mut count = 0;
+    while let Some(ideal) = queue.pop_front() {
+        count += 1;
+        if !visit(&ideal) {
+            return count;
+        }
+        // extend by any minimal element of the complement whose
+        // predecessors are all inside
+        for v in 0..n {
+            if ideal.contains(v) {
+                continue;
+            }
+            let ready = p.down_set(v).is_subset(&ideal);
+            if ready {
+                let mut next = ideal.clone();
+                next.insert(v);
+                let k = key(&next);
+                if seen.insert(k) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    count
+}
+
+/// The number of order ideals of `p` (exponential; small posets only).
+pub fn ideal_count(p: &Poset) -> usize {
+    for_each_ideal(p, |_| true)
+}
+
+/// The height of the poset: the number of elements in a longest chain.
+pub fn height(p: &Poset) -> usize {
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    // longest-path DP over a topological order of the covers
+    let order = p.a_linear_extension();
+    let mut depth = vec![1usize; n];
+    for &v in &order {
+        for u in 0..n {
+            if p.lt(u, v) {
+                depth[v] = depth[v].max(depth[u] + 1);
+            }
+        }
+    }
+    depth.into_iter().max().unwrap_or(0)
+}
+
+/// The width of the poset: the size of a largest antichain.
+///
+/// By Dilworth's theorem this equals the minimum number of chains
+/// covering the poset, computed as `n - max_matching` in the bipartite
+/// comparability graph (simple augmenting-path matching — posets here
+/// are small).
+pub fn width(p: &Poset) -> usize {
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    // bipartite graph: left copy u -> right copy v iff u < v
+    let mut match_right: Vec<Option<usize>> = vec![None; n];
+
+    fn augment(
+        p: &Poset,
+        u: usize,
+        n: usize,
+        visited: &mut [bool],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for v in 0..n {
+            if p.lt(u, v) && !visited[v] {
+                visited[v] = true;
+                let free = match match_right[v] {
+                    None => true,
+                    Some(w) => augment(p, w, n, visited, match_right),
+                };
+                if free {
+                    match_right[v] = Some(u);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    let mut matching = 0;
+    for u in 0..n {
+        let mut visited = vec![false; n];
+        if augment(p, u, n, &mut visited, &mut match_right) {
+            matching += 1;
+        }
+    }
+    n - matching
+}
+
+/// One maximum antichain (of size [`width`]).
+///
+/// Derived from the minimum chain cover via the standard König-style
+/// construction is fiddly; since our posets are small we simply search
+/// greedily over the comparability structure and fall back to brute
+/// force on the (rare) miss.
+pub fn max_antichain(p: &Poset) -> BitSet {
+    let n = p.len();
+    let target = width(p);
+    // greedy: sort by number of comparabilities, add if still antichain
+    let mut order: Vec<usize> = (0..n).collect();
+    let comp_degree =
+        |v: usize| (0..n).filter(|&u| u != v && p.comparable(u, v)).count();
+    order.sort_by_key(|&v| comp_degree(v));
+    let mut set = BitSet::new(n);
+    for v in order {
+        let ok = set.iter().all(|u| !p.comparable(u, v));
+        if ok {
+            set.insert(v);
+        }
+    }
+    if set.len() == target {
+        return set;
+    }
+    // brute force over subsets (n is small when this path is taken)
+    assert!(n <= 20, "brute-force antichain search needs a small poset");
+    let mut best = BitSet::new(n);
+    for mask in 0u32..(1 << n) {
+        let cand: BitSet = (0..n).filter(|&i| mask & (1 << i) != 0).fold(
+            BitSet::new(n),
+            |mut s, i| {
+                s.insert(i);
+                s
+            },
+        );
+        if cand.len() > best.len() && p.is_antichain(&cand) {
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Poset {
+        Poset::from_pairs(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn diamond_ideals() {
+        // ideals: {}, {0}, {0,1}, {0,2}, {0,1,2}, {0,1,2,3} = 6
+        assert_eq!(ideal_count(&diamond()), 6);
+    }
+
+    #[test]
+    fn chain_ideals_linear() {
+        let p = Poset::from_pairs(5, (0..4).map(|i| (i, i + 1))).unwrap();
+        assert_eq!(ideal_count(&p), 6, "chain of n has n+1 ideals");
+    }
+
+    #[test]
+    fn antichain_ideals_exponential() {
+        let p = Poset::from_pairs(4, []).unwrap();
+        assert_eq!(ideal_count(&p), 16, "2^n for an antichain");
+    }
+
+    #[test]
+    fn every_visited_set_is_an_ideal() {
+        let p = diamond();
+        for_each_ideal(&p, |ideal| {
+            assert!(p.is_order_ideal(ideal));
+            true
+        });
+    }
+
+    #[test]
+    fn early_stop_respected() {
+        let p = Poset::from_pairs(6, []).unwrap();
+        let mut seen = 0;
+        for_each_ideal(&p, |_| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn height_and_width_diamond() {
+        let p = diamond();
+        assert_eq!(height(&p), 3); // 0 < 1 < 3
+        assert_eq!(width(&p), 2); // {1, 2}
+    }
+
+    #[test]
+    fn height_and_width_extremes() {
+        let chain = Poset::from_pairs(5, (0..4).map(|i| (i, i + 1))).unwrap();
+        assert_eq!(height(&chain), 5);
+        assert_eq!(width(&chain), 1);
+        let anti = Poset::from_pairs(5, []).unwrap();
+        assert_eq!(height(&anti), 1);
+        assert_eq!(width(&anti), 5);
+    }
+
+    #[test]
+    fn max_antichain_has_width_size() {
+        for p in [
+            diamond(),
+            Poset::from_pairs(6, [(0, 1), (2, 3), (4, 5), (1, 3)]).unwrap(),
+            Poset::from_pairs(5, []).unwrap(),
+            Poset::from_pairs(5, (0..4).map(|i| (i, i + 1))).unwrap(),
+        ] {
+            let ac = max_antichain(&p);
+            assert!(p.is_antichain(&ac));
+            assert_eq!(ac.len(), width(&p));
+        }
+    }
+
+    #[test]
+    fn mirsky_bound_height_times_width() {
+        // n <= height * width for any poset (Mirsky/Dilworth corollary)
+        let p = Poset::from_pairs(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert!(p.len() <= height(&p) * width(&p));
+    }
+
+    #[test]
+    fn empty_poset_quantities() {
+        let p = Poset::from_pairs(0, []).unwrap();
+        assert_eq!(ideal_count(&p), 1);
+        assert_eq!(height(&p), 0);
+        assert_eq!(width(&p), 0);
+        assert_eq!(max_antichain(&p).len(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the partial-order substrate.
+
+use msgorder_poset::{linear, BitSet, DiGraph, Poset, TransitiveClosure, VectorClock};
+use proptest::prelude::*;
+
+fn forward_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..20).prop_map(move |es| {
+            es.into_iter()
+                .filter(|(u, v)| u < v) // forward ⇒ acyclic
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn closure_is_idempotent((n, edges) in forward_edges()) {
+        let c1 = TransitiveClosure::from_pairs(n, edges);
+        let c2 = TransitiveClosure::from_pairs(n, c1.pairs());
+        prop_assert_eq!(c1.pairs(), c2.pairs());
+    }
+
+    #[test]
+    fn reduction_is_minimal((n, edges) in forward_edges()) {
+        let c = TransitiveClosure::from_pairs(n, edges);
+        let red = c.reduction();
+        // removing any cover changes the closure
+        for skip in 0..red.len() {
+            let mut fewer = red.clone();
+            fewer.remove(skip);
+            let c2 = TransitiveClosure::from_pairs(n, fewer);
+            prop_assert_ne!(c.pairs(), c2.pairs(), "cover {:?} was redundant", red[skip]);
+        }
+    }
+
+    #[test]
+    fn closure_transitive((n, edges) in forward_edges()) {
+        let c = TransitiveClosure::from_pairs(n, edges);
+        for a in 0..n {
+            for b in 0..n {
+                for d in 0..n {
+                    if c.reaches(a, b) && c.reaches(b, d) {
+                        prop_assert!(c.reaches(a, d));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poset_comparability_consistent((n, edges) in forward_edges()) {
+        let p = Poset::from_pairs(n, edges).unwrap();
+        for a in 0..n {
+            prop_assert!(!p.lt(a, a), "irreflexive");
+            for b in 0..n {
+                prop_assert!(!(p.lt(a, b) && p.lt(b, a)), "antisymmetric");
+                prop_assert_eq!(p.concurrent(a, b), a != b && !p.comparable(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn height_width_bound((n, edges) in forward_edges()) {
+        use msgorder_poset::ideals;
+        let p = Poset::from_pairs(n, edges).unwrap();
+        prop_assert!(ideals::height(&p) * ideals::width(&p) >= n, "Mirsky/Dilworth bound");
+        let ac = ideals::max_antichain(&p);
+        prop_assert!(p.is_antichain(&ac));
+        prop_assert_eq!(ac.len(), ideals::width(&p));
+    }
+
+    #[test]
+    fn linear_extension_count_positive((n, edges) in forward_edges()) {
+        let p = Poset::from_pairs(n, edges).unwrap();
+        if n <= 7 {
+            prop_assert!(linear::count_extensions(&p) >= 1);
+        } else {
+            // at least the deterministic one exists
+            prop_assert_eq!(p.a_linear_extension().len(), n);
+        }
+    }
+
+    #[test]
+    fn bitset_union_is_commutative(xs in proptest::collection::vec(0usize..64, 0..20),
+                                   ys in proptest::collection::vec(0usize..64, 0..20)) {
+        let mk = |items: &[usize]| {
+            let mut s = BitSet::new(64);
+            for &i in items { s.insert(i); }
+            s
+        };
+        let (a, b) = (mk(&xs), mk(&ys));
+        let mut ab = a.clone(); ab.union_with(&b);
+        let mut ba = b.clone(); ba.union_with(&a);
+        prop_assert_eq!(ab.iter().collect::<Vec<_>>(), ba.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vclock_merge_dominates(xs in proptest::collection::vec(0u64..50, 4),
+                              ys in proptest::collection::vec(0u64..50, 4)) {
+        let a = VectorClock::from_entries(xs);
+        let b = VectorClock::from_entries(ys);
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(!m.happened_before(&a));
+        prop_assert!(!m.happened_before(&b));
+        prop_assert!(a == m || a.happened_before(&m) || !b.happened_before(&a));
+    }
+
+    #[test]
+    fn topo_sort_respects_edges((n, edges) in forward_edges()) {
+        let mut g = DiGraph::new(n);
+        for (u, v) in &edges {
+            g.add_edge(*u, *v).unwrap();
+        }
+        let order = g.topo_sort().unwrap();
+        let mut pos = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        for (u, v) in edges {
+            prop_assert!(pos[u] < pos[v]);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The forbidden-predicate AST (Definition 4.1 + the §4.1 attributes).
+
+use msgorder_runs::UserEventKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A predicate variable (`x_j` in the paper), ranging over messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub usize);
+
+impl Var {
+    /// The send event term `x.s` of this variable.
+    pub fn s(self) -> EventTerm {
+        EventTerm {
+            var: self,
+            kind: UserEventKind::Send,
+        }
+    }
+
+    /// The delivery event term `x.r` of this variable.
+    pub fn r(self) -> EventTerm {
+        EventTerm {
+            var: self,
+            kind: UserEventKind::Deliver,
+        }
+    }
+}
+
+/// An event term `x.s` or `x.r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventTerm {
+    /// The variable.
+    pub var: Var,
+    /// Send or delivery.
+    pub kind: UserEventKind,
+}
+
+/// A conjunct `lhs ▷ rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Conjunct {
+    /// The earlier event term.
+    pub lhs: EventTerm,
+    /// The later event term.
+    pub rhs: EventTerm,
+}
+
+impl Conjunct {
+    /// `lhs ▷ rhs`.
+    pub fn new(lhs: EventTerm, rhs: EventTerm) -> Self {
+        Conjunct { lhs, rhs }
+    }
+
+    /// Whether both terms mention the same variable.
+    pub fn is_self_relation(&self) -> bool {
+        self.lhs.var == self.rhs.var
+    }
+}
+
+/// A range restriction on the quantified variables (§4.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `process(a) = process(b)` — the processes hosting the two event
+    /// terms coincide (`process(x.s)` is the sender, `process(x.r)` the
+    /// receiver).
+    SameProcess(EventTerm, EventTerm),
+    /// `process(a) ≠ process(b)`.
+    DiffProcess(EventTerm, EventTerm),
+    /// `color(x) = c`.
+    Color(Var, String),
+    /// `color(x) ≠ c`.
+    NotColor(Var, String),
+}
+
+/// A forbidden predicate `B` with optional attribute constraints.
+///
+/// # Semantics: distinct instantiation
+///
+/// The quantified variables range over **pairwise-distinct** messages.
+/// This is what the paper's theorems require: Lemma 3.1's crowns and the
+/// witness constructions of Theorems 2 and 4 all instantiate one distinct
+/// message per variable, and with repetition allowed the crown
+/// `x1.s ▷ x2.r ∧ x2.s ▷ x1.r` would fire on every nonempty run via
+/// `x1 = x2` (since `x.s ▷ x.r` always holds), collapsing `X_sync`'s
+/// defining family to the empty specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForbiddenPredicate {
+    var_names: Vec<String>,
+    conjuncts: Vec<Conjunct>,
+    constraints: Vec<Constraint>,
+}
+
+/// The result of [`ForbiddenPredicate::normalize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Normalized {
+    /// `B` can never hold in any valid run, so `X_B = X_async` and the
+    /// trivial protocol suffices.
+    Unsatisfiable(UnsatReason),
+    /// The cleaned predicate: vacuous self-conjuncts (`x.s ▷ x.r`)
+    /// removed. If no conjuncts remain, `B` holds in every run containing
+    /// a message matching the constraints, and `X_B` is essentially empty
+    /// (unimplementable with liveness).
+    Predicate(ForbiddenPredicate),
+}
+
+/// Why normalization proved the predicate unsatisfiable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsatReason {
+    /// A conjunct requires an event to precede itself or a delivery to
+    /// precede its own send (`x.r ▷ x.s`, `x.s ▷ x.s`, `x.r ▷ x.r`).
+    ImpossibleSelfConjunct(Conjunct),
+    /// A variable is constrained to two different colors.
+    ColorConflict(Var),
+    /// A color is both required and excluded for the same variable.
+    ContradictoryConstraints,
+}
+
+impl ForbiddenPredicate {
+    /// Starts building a predicate over `vars` variables named
+    /// `x0, x1, ...`.
+    pub fn build(vars: usize) -> PredicateBuilder {
+        PredicateBuilder {
+            pred: ForbiddenPredicate {
+                var_names: (0..vars).map(|i| format!("x{i}")).collect(),
+                conjuncts: Vec::new(),
+                constraints: Vec::new(),
+            },
+        }
+    }
+
+    /// Parses the text DSL (see [`crate::parse`]).
+    ///
+    /// # Errors
+    /// Returns a [`crate::ParseError`] describing the offending token.
+    pub fn parse(input: &str) -> Result<Self, crate::ParseError> {
+        crate::parse::parse(input)
+    }
+
+    /// Number of quantified variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The display name of a variable.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.0]
+    }
+
+    /// The conjuncts of `B`.
+    pub fn conjuncts(&self) -> &[Conjunct] {
+        &self.conjuncts
+    }
+
+    /// The attribute constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Renames the variables (used by tests checking classification is
+    /// invariant under renaming).
+    ///
+    /// # Panics
+    /// Panics if `names.len() != var_count()`.
+    pub fn with_var_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.var_names.len());
+        self.var_names = names;
+        self
+    }
+
+    /// Normalizes the predicate: drops the always-true self-conjuncts
+    /// `x.s ▷ x.r`, detects structurally unsatisfiable conjuncts and
+    /// contradictory constraints.
+    pub fn normalize(&self) -> Normalized {
+        // Contradictory constraints first.
+        let mut colors: BTreeMap<Var, &str> = BTreeMap::new();
+        for c in &self.constraints {
+            match c {
+                Constraint::Color(v, name) => {
+                    if let Some(prev) = colors.insert(*v, name) {
+                        if prev != name {
+                            return Normalized::Unsatisfiable(UnsatReason::ColorConflict(*v));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for c in &self.constraints {
+            if let Constraint::NotColor(v, name) = c {
+                if colors.get(v) == Some(&name.as_str()) {
+                    return Normalized::Unsatisfiable(UnsatReason::ContradictoryConstraints);
+                }
+            }
+        }
+        let mut kept = Vec::new();
+        for conj in &self.conjuncts {
+            if conj.is_self_relation() {
+                use UserEventKind::{Deliver, Send};
+                match (conj.lhs.kind, conj.rhs.kind) {
+                    // x.s ▷ x.r holds in every complete run: vacuous.
+                    (Send, Deliver) => continue,
+                    // x.r ▷ x.s contradicts x.s ▷ x.r; x.h ▷ x.h breaks
+                    // irreflexivity: unsatisfiable.
+                    _ => {
+                        return Normalized::Unsatisfiable(UnsatReason::ImpossibleSelfConjunct(
+                            *conj,
+                        ))
+                    }
+                }
+            }
+            kept.push(*conj);
+        }
+        Normalized::Predicate(ForbiddenPredicate {
+            var_names: self.var_names.clone(),
+            conjuncts: kept,
+            constraints: self.constraints.clone(),
+        })
+    }
+
+    fn fmt_term(&self, t: EventTerm, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var_name(t.var), t.kind.symbol())
+    }
+}
+
+impl fmt::Display for ForbiddenPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "forbid ")?;
+        for (i, n) in self.var_names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, ": ")?;
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            self.fmt_term(c.lhs, f)?;
+            write!(f, " < ")?;
+            self.fmt_term(c.rhs, f)?;
+        }
+        if !self.constraints.is_empty() {
+            write!(f, " where ")?;
+            for (i, c) in self.constraints.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match c {
+                    Constraint::SameProcess(a, b) => {
+                        write!(f, "proc(")?;
+                        self.fmt_term(*a, f)?;
+                        write!(f, ") = proc(")?;
+                        self.fmt_term(*b, f)?;
+                        write!(f, ")")?;
+                    }
+                    Constraint::DiffProcess(a, b) => {
+                        write!(f, "proc(")?;
+                        self.fmt_term(*a, f)?;
+                        write!(f, ") != proc(")?;
+                        self.fmt_term(*b, f)?;
+                        write!(f, ")")?;
+                    }
+                    Constraint::Color(v, name) => {
+                        write!(f, "color({}) = {name}", self.var_name(*v))?;
+                    }
+                    Constraint::NotColor(v, name) => {
+                        write!(f, "color({}) != {name}", self.var_name(*v))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of [`ForbiddenPredicate`]s.
+#[derive(Debug, Clone)]
+pub struct PredicateBuilder {
+    pred: ForbiddenPredicate,
+}
+
+impl PredicateBuilder {
+    /// Adds the conjunct `lhs ▷ rhs`.
+    ///
+    /// # Panics
+    /// Panics if either term's variable is out of range.
+    pub fn conjunct(mut self, lhs: EventTerm, rhs: EventTerm) -> Self {
+        let m = self.pred.var_names.len();
+        assert!(lhs.var.0 < m && rhs.var.0 < m, "variable out of range");
+        self.pred.conjuncts.push(Conjunct::new(lhs, rhs));
+        self
+    }
+
+    /// Requires `process(a) = process(b)`.
+    ///
+    /// # Panics
+    /// Panics if either term's variable is out of range.
+    pub fn same_process(mut self, a: EventTerm, b: EventTerm) -> Self {
+        let m = self.pred.var_names.len();
+        assert!(a.var.0 < m && b.var.0 < m, "variable out of range");
+        self.pred.constraints.push(Constraint::SameProcess(a, b));
+        self
+    }
+
+    /// Requires `process(a) ≠ process(b)`.
+    ///
+    /// # Panics
+    /// Panics if either term's variable is out of range.
+    pub fn diff_process(mut self, a: EventTerm, b: EventTerm) -> Self {
+        let m = self.pred.var_names.len();
+        assert!(a.var.0 < m && b.var.0 < m, "variable out of range");
+        self.pred.constraints.push(Constraint::DiffProcess(a, b));
+        self
+    }
+
+    /// Requires `color(v) = color`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn color(mut self, v: Var, color: &str) -> Self {
+        assert!(v.0 < self.pred.var_names.len(), "variable out of range");
+        self.pred
+            .constraints
+            .push(Constraint::Color(v, color.to_owned()));
+        self
+    }
+
+    /// Requires `color(v) ≠ color`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn not_color(mut self, v: Var, color: &str) -> Self {
+        assert!(v.0 < self.pred.var_names.len(), "variable out of range");
+        self.pred
+            .constraints
+            .push(Constraint::NotColor(v, color.to_owned()));
+        self
+    }
+
+    /// Finishes the predicate.
+    pub fn finish(self) -> ForbiddenPredicate {
+        self.pred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn causal() -> ForbiddenPredicate {
+        // (x.s ▷ y.s) ∧ (y.r ▷ x.r)
+        ForbiddenPredicate::build(2)
+            .conjunct(Var(0).s(), Var(1).s())
+            .conjunct(Var(1).r(), Var(0).r())
+            .finish()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let p = causal();
+        assert_eq!(p.var_count(), 2);
+        assert_eq!(p.conjuncts().len(), 2);
+        assert_eq!(p.var_name(Var(0)), "x0");
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let p = causal();
+        let s = p.to_string();
+        assert_eq!(s, "forbid x0, x1: x0.s < x1.s & x1.r < x0.r");
+        let q = ForbiddenPredicate::parse(&s).unwrap();
+        assert_eq!(p.conjuncts(), q.conjuncts());
+    }
+
+    #[test]
+    fn display_with_constraints() {
+        let p = ForbiddenPredicate::build(2)
+            .conjunct(Var(0).s(), Var(1).s())
+            .same_process(Var(0).s(), Var(1).s())
+            .color(Var(1), "red")
+            .finish();
+        let s = p.to_string();
+        assert!(s.contains("proc(x0.s) = proc(x1.s)"));
+        assert!(s.contains("color(x1) = red"));
+    }
+
+    #[test]
+    fn normalize_drops_vacuous_self_conjunct() {
+        let p = ForbiddenPredicate::build(2)
+            .conjunct(Var(0).s(), Var(0).r()) // vacuous
+            .conjunct(Var(0).s(), Var(1).s())
+            .finish();
+        match p.normalize() {
+            Normalized::Predicate(q) => assert_eq!(q.conjuncts().len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalize_detects_impossible_self_conjunct() {
+        for (l, r) in [
+            (Var(0).r(), Var(0).s()),
+            (Var(0).s(), Var(0).s()),
+            (Var(0).r(), Var(0).r()),
+        ] {
+            let p = ForbiddenPredicate::build(1).conjunct(l, r).finish();
+            assert!(matches!(
+                p.normalize(),
+                Normalized::Unsatisfiable(UnsatReason::ImpossibleSelfConjunct(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn normalize_detects_color_conflict() {
+        let p = ForbiddenPredicate::build(1)
+            .conjunct(Var(0).s(), Var(0).r())
+            .color(Var(0), "red")
+            .color(Var(0), "blue")
+            .finish();
+        assert!(matches!(
+            p.normalize(),
+            Normalized::Unsatisfiable(UnsatReason::ColorConflict(_))
+        ));
+    }
+
+    #[test]
+    fn normalize_detects_color_and_not_color() {
+        let p = ForbiddenPredicate::build(1)
+            .color(Var(0), "red")
+            .not_color(Var(0), "red")
+            .finish();
+        assert!(matches!(
+            p.normalize(),
+            Normalized::Unsatisfiable(UnsatReason::ContradictoryConstraints)
+        ));
+    }
+
+    #[test]
+    fn normalize_keeps_clean_predicates() {
+        let p = causal();
+        assert_eq!(p.normalize(), Normalized::Predicate(p.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "variable out of range")]
+    fn builder_checks_ranges() {
+        let _ = ForbiddenPredicate::build(1).conjunct(Var(0).s(), Var(1).s());
+    }
+}

@@ -1,0 +1,300 @@
+//! The canonical runs of the Theorem 2 / Theorem 4 proofs.
+//!
+//! Given `B(x1, ..., xm)`, the paper constructs a run with one message
+//! per variable:
+//!
+//! ```text
+//! (H, ▷) = ( { (xj.p, xk.q) : conjunct of B } ∪ { (xl.s, xl.r) } )⁺
+//! ```
+//!
+//! The construction succeeds exactly when the closure is irreflexive.
+//! When it does, `B` holds in the run by construction, so
+//! `(H, ▷) ∉ X_B` — and the proofs then show which limit set the run
+//! *does* belong to, separating `X_B` from that limit set.
+//!
+//! Processes and colors are assigned to satisfy the predicate's attribute
+//! constraints (union-find over same-process groups; distinct processes
+//! otherwise, so `DiffProcess` holds automatically).
+
+use crate::ast::{Constraint, EventTerm, ForbiddenPredicate};
+use msgorder_runs::{MessageId, MessageMeta, ProcessId, RunError, UserEvent, UserRun};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why the canonical run could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonicalError {
+    /// The conjuncts force `h ▷ h` for some event — per the Theorem 4.3
+    /// analysis this happens exactly when the predicate graph has an
+    /// order-0 cycle, in which case `B` is unsatisfiable in any run and
+    /// no separating witness exists (none is needed: the trivial protocol
+    /// already works).
+    CyclicConjuncts,
+    /// Contradictory attribute constraints (two colors for one variable,
+    /// `SameProcess` clashing with `DiffProcess`).
+    UnsatisfiableConstraints,
+}
+
+impl fmt::Display for CanonicalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanonicalError::CyclicConjuncts => {
+                write!(f, "conjuncts force an event to precede itself")
+            }
+            CanonicalError::UnsatisfiableConstraints => {
+                write!(f, "attribute constraints are contradictory")
+            }
+        }
+    }
+}
+
+impl Error for CanonicalError {}
+
+impl From<RunError> for CanonicalError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::CyclicOrder => CanonicalError::CyclicConjuncts,
+            _ => CanonicalError::UnsatisfiableConstraints,
+        }
+    }
+}
+
+/// A canonical run together with the variable-to-message binding (which
+/// is the identity: variable `xi` is message `mi`).
+#[derive(Debug, Clone)]
+pub struct CanonicalRun {
+    /// The constructed run.
+    pub run: UserRun,
+    /// `binding[i]` is the message bound to variable `i`.
+    pub binding: Vec<MessageId>,
+}
+
+/// Simple union-find for the same-process endpoint groups.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+fn endpoint_slot(m: usize, t: EventTerm) -> usize {
+    // slot 2i = sender endpoint of variable i, 2i+1 = receiver endpoint
+    let _ = m;
+    t.var.0 * 2 + t.kind.index()
+}
+
+/// Builds the canonical run of `pred` (Theorems 2 and 4).
+///
+/// # Errors
+/// [`CanonicalError::CyclicConjuncts`] when the conjunct closure is not
+/// irreflexive; [`CanonicalError::UnsatisfiableConstraints`] when the
+/// attribute constraints cannot be realized.
+pub fn canonical_run(pred: &ForbiddenPredicate) -> Result<CanonicalRun, CanonicalError> {
+    let m = pred.var_count();
+    // --- process assignment ---
+    let mut dsu = Dsu::new(2 * m);
+    for c in pred.constraints() {
+        if let Constraint::SameProcess(a, b) = c {
+            dsu.union(endpoint_slot(m, *a), endpoint_slot(m, *b));
+        }
+    }
+    for c in pred.constraints() {
+        if let Constraint::DiffProcess(a, b) = c {
+            if dsu.find(endpoint_slot(m, *a)) == dsu.find(endpoint_slot(m, *b)) {
+                return Err(CanonicalError::UnsatisfiableConstraints);
+            }
+        }
+    }
+    // Each union-find class gets its own process id.
+    let mut class_to_proc: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut proc_of_slot = vec![0usize; 2 * m];
+    for slot in 0..2 * m {
+        let root = dsu.find(slot);
+        let next = class_to_proc.len();
+        let p = *class_to_proc.entry(root).or_insert(next);
+        proc_of_slot[slot] = p;
+    }
+    // --- color assignment ---
+    let mut colors: Vec<Option<String>> = vec![None; m];
+    for c in pred.constraints() {
+        match c {
+            Constraint::Color(v, name) => {
+                if let Some(existing) = &colors[v.0] {
+                    if existing != name {
+                        return Err(CanonicalError::UnsatisfiableConstraints);
+                    }
+                }
+                colors[v.0] = Some(name.clone());
+            }
+            _ => {}
+        }
+    }
+    for c in pred.constraints() {
+        if let Constraint::NotColor(v, name) = c {
+            if colors[v.0].as_deref() == Some(name.as_str()) {
+                return Err(CanonicalError::UnsatisfiableConstraints);
+            }
+        }
+    }
+    // --- messages and order ---
+    let metas: Vec<MessageMeta> = (0..m)
+        .map(|i| MessageMeta {
+            id: MessageId(i),
+            src: ProcessId(proc_of_slot[2 * i]),
+            dst: ProcessId(proc_of_slot[2 * i + 1]),
+            color: colors[i].clone(),
+        })
+        .collect();
+    let pairs: Vec<(UserEvent, UserEvent)> = pred
+        .conjuncts()
+        .iter()
+        .map(|c| {
+            (
+                UserEvent {
+                    msg: MessageId(c.lhs.var.0),
+                    kind: c.lhs.kind,
+                },
+                UserEvent {
+                    msg: MessageId(c.rhs.var.0),
+                    kind: c.rhs.kind,
+                },
+            )
+        })
+        .collect();
+    let run = UserRun::new(metas, pairs)?;
+    Ok(CanonicalRun {
+        run,
+        binding: (0..m).map(MessageId).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::eval;
+    use msgorder_runs::limit_sets;
+
+    #[test]
+    fn canonical_run_violates_its_predicate() {
+        for entry in catalog::all() {
+            match canonical_run(&entry.predicate) {
+                Ok(c) => {
+                    assert!(
+                        eval::holds(&entry.predicate, &c.run),
+                        "canonical run of {} does not satisfy B",
+                        entry.name
+                    );
+                }
+                Err(CanonicalError::CyclicConjuncts) => {
+                    // Only the impossible (tagless) predicates may fail.
+                    assert_eq!(
+                        entry.expected,
+                        catalog::PaperClass::Tagless,
+                        "{} should have a canonical run",
+                        entry.name
+                    );
+                }
+                Err(e) => panic!("{}: {e}", entry.name),
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_run_of_acyclic_predicate_is_sync() {
+        // Theorem 2, only-if direction: acyclic graph ⇒ canonical run in
+        // X_sync (hence the spec is unimplementable).
+        let p = catalog::receive_second_before_first();
+        let c = canonical_run(&p).unwrap();
+        assert!(limit_sets::in_x_sync(&c.run));
+        assert!(eval::holds(&p, &c.run));
+    }
+
+    #[test]
+    fn canonical_run_of_causal_is_in_x_async_not_x_co() {
+        // Theorem 4.2 construction: for B_co the canonical run violates
+        // causal ordering but is a valid element of X_async.
+        let c = canonical_run(&catalog::causal()).unwrap();
+        assert!(!limit_sets::in_x_co(&c.run));
+        assert!(limit_sets::in_x_async(&c.run));
+    }
+
+    #[test]
+    fn canonical_run_of_sync_crown_is_causal() {
+        // Theorem 4 separation: the crown's canonical run is causally
+        // ordered but not synchronous — separating X_co from X_sync.
+        let c = canonical_run(&catalog::sync_crown(2)).unwrap();
+        assert!(limit_sets::in_x_co(&c.run));
+        assert!(!limit_sets::in_x_sync(&c.run));
+    }
+
+    #[test]
+    fn mutual_send_has_no_canonical_run() {
+        assert_eq!(
+            canonical_run(&catalog::mutual_send()).unwrap_err(),
+            CanonicalError::CyclicConjuncts
+        );
+    }
+
+    #[test]
+    fn same_process_constraints_realized() {
+        let c = canonical_run(&catalog::fifo()).unwrap();
+        let msgs = c.run.messages();
+        assert_eq!(msgs[0].src, msgs[1].src, "proc(x.s) = proc(y.s)");
+        assert_eq!(msgs[0].dst, msgs[1].dst, "proc(x.r) = proc(y.r)");
+    }
+
+    #[test]
+    fn colors_realized() {
+        let c = canonical_run(&catalog::global_forward_flush()).unwrap();
+        assert!(c.run.messages()[1].has_color("red"));
+        assert!(c.run.messages()[0].color.is_none());
+    }
+
+    #[test]
+    fn diff_process_conflict_detected() {
+        let p = ForbiddenPredicate::parse(
+            "forbid x, y: x.s < y.s where proc(x.s) = proc(y.s), proc(x.s) != proc(y.s)",
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_run(&p).unwrap_err(),
+            CanonicalError::UnsatisfiableConstraints
+        );
+    }
+
+    #[test]
+    fn color_conflict_detected() {
+        let p = ForbiddenPredicate::parse(
+            "forbid x: x.s < x.r where color(x) = red, color(x) = blue",
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_run(&p).unwrap_err(),
+            CanonicalError::UnsatisfiableConstraints
+        );
+    }
+
+    use crate::ast::ForbiddenPredicate;
+}

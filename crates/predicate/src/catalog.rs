@@ -1,0 +1,542 @@
+//! Every message-ordering specification named in the paper, as forbidden
+//! predicates, together with the protocol class the paper assigns it.
+//!
+//! This is the input to experiment **EXP-T1** (the §4.3 decision table)
+//! and **EXP-D1** (the §6 discussion examples).
+
+use crate::ast::{ForbiddenPredicate, Var};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The protocol class a specification requires, per the paper's table in
+/// §4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperClass {
+    /// No cycle in the predicate graph: no protocol can guarantee safety
+    /// and liveness.
+    Unimplementable,
+    /// A cycle exists but every cycle has ≥ 2 β vertices: control
+    /// messages are necessary (and, with tagging, sufficient).
+    General,
+    /// Some cycle has exactly one β vertex (and none has zero): tagging
+    /// user messages is necessary and sufficient.
+    Tagged,
+    /// Some cycle has zero β vertices: the trivial (do-nothing) protocol
+    /// suffices.
+    Tagless,
+}
+
+impl fmt::Display for PaperClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PaperClass::Unimplementable => "not implementable",
+            PaperClass::General => "control messages required",
+            PaperClass::Tagged => "tagging sufficient",
+            PaperClass::Tagless => "trivial protocol sufficient",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One catalog entry: a named specification with its paper provenance.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Short machine-friendly name.
+    pub name: &'static str,
+    /// What the specification guarantees, in words.
+    pub description: &'static str,
+    /// Where in the paper it appears.
+    pub paper_ref: &'static str,
+    /// The protocol class the paper assigns.
+    pub expected: PaperClass,
+    /// The forbidden predicate.
+    pub predicate: ForbiddenPredicate,
+}
+
+/// FIFO ordering (§6): between any pair of processes, messages are
+/// delivered in send order.
+pub fn fifo() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse(
+        "forbid x, y: x.s < y.s & y.r < x.r \
+         where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)",
+    )
+    .expect("static predicate parses")
+}
+
+/// Causal ordering, form `B2` of Lemma 3.2:
+/// `(x.s ▷ y.s) ∧ (y.r ▷ x.r)` — the defining form of `X_co`.
+pub fn causal() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.r").expect("static")
+}
+
+/// Causal ordering, form `B1` of Lemma 3.2:
+/// `(x.s ▷ y.r) ∧ (y.r ▷ x.r)`.
+pub fn causal_b1() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.s < y.r & y.r < x.r").expect("static")
+}
+
+/// Causal ordering, form `B3` of Lemma 3.2:
+/// `(x.s ▷ y.s) ∧ (y.s ▷ x.r)`.
+pub fn causal_b3() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.s < x.r").expect("static")
+}
+
+/// The size-`k` crown of Lemma 3.1:
+/// `(x1.s ▷ x2.r) ∧ (x2.s ▷ x3.r) ∧ ... ∧ (xk.s ▷ x1.r)`.
+///
+/// `X_sync` is the intersection of these specifications over all
+/// `k ≥ 2`; each individual crown already requires control messages.
+///
+/// # Panics
+/// Panics if `k < 2`.
+pub fn sync_crown(k: usize) -> ForbiddenPredicate {
+    assert!(k >= 2, "a crown needs at least two messages");
+    let mut b = ForbiddenPredicate::build(k);
+    for i in 0..k {
+        b = b.conjunct(Var(i).s(), Var((i + 1) % k).r());
+    }
+    b.finish()
+}
+
+/// k-weaker causal ordering (§6): messages may be overtaken by at most
+/// `k` causally-later messages. `k = 0` is exactly causal ordering.
+///
+/// `forbid x1..x_{k+2}: x1.s < x2.s < ... < x_{k+2}.s & x_{k+2}.r < x1.r`
+pub fn k_weaker_causal(k: usize) -> ForbiddenPredicate {
+    let n = k + 2;
+    let mut b = ForbiddenPredicate::build(n);
+    for i in 0..n - 1 {
+        b = b.conjunct(Var(i).s(), Var(i + 1).s());
+    }
+    b = b.conjunct(Var(n - 1).r(), Var(0).r());
+    b.finish()
+}
+
+/// Local forward-flush (§6): all messages sent before a red message are
+/// delivered before it, per channel.
+pub fn local_forward_flush() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse(
+        "forbid x, y: x.s < y.s & y.r < x.r \
+         where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r), color(y) = red",
+    )
+    .expect("static")
+}
+
+/// Global forward-flush (§6): all messages sent (anywhere) before a red
+/// message are delivered before it. Also the §4.1 "no message overtakes
+/// the red marker" example.
+pub fn global_forward_flush() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.r where color(y) = red")
+        .expect("static")
+}
+
+/// Backward-flush (F-channels, §2): a red message is delivered before
+/// every message sent after it.
+pub fn backward_flush() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse(
+        "forbid x, y: x.s < y.s & y.r < x.r \
+         where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r), color(x) = red",
+    )
+    .expect("static")
+}
+
+/// The mobile-computing handoff property (§6), in forbidden-predicate
+/// form: no message may appear *concurrent* to a handoff message, i.e.
+/// the crossing pattern `(x.s ▷ y.r) ∧ (y.s ▷ x.r)` is forbidden when `y`
+/// is a handoff. The paper concludes control messages are required.
+pub fn handoff() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.s < y.r & y.s < x.r where color(y) = handoff")
+        .expect("static")
+}
+
+/// The §6 cautionary example: "receive the second message before the
+/// first" — deliveries must *invert* send order on a channel. Forbidding
+/// in-order delivery yields an acyclic predicate graph, so the
+/// specification is not implementable by any protocol with liveness.
+pub fn receive_second_before_first() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse(
+        "forbid x, y: x.s < y.s & x.r < y.r \
+         where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)",
+    )
+    .expect("static")
+}
+
+/// Example 1 of §4.2, used by experiment EXP-E1: five variables, six
+/// conjuncts, containing the order-1 cycle of Example 2 whose β vertex
+/// is `x4`.
+pub fn example_4_2() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse(
+        "forbid x1, x2, x3, x4, x5: \
+         x1.r < x2.s & x2.s < x3.s & x3.r < x4.r & x4.s < x1.r & \
+         x4.s < x5.r & x1.s < x4.r",
+    )
+    .expect("static")
+}
+
+/// Derived spec: *red messages are mutually logically synchronous* —
+/// the crossing pattern is forbidden whenever both messages are red.
+/// Same 2-β-vertex cycle as the handoff property: control messages
+/// required, but only red traffic pays (a protocol could serialize just
+/// the red messages).
+pub fn red_sync() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse(
+        "forbid x, y: x.s < y.r & y.s < x.r where color(x) = red, color(y) = red",
+    )
+    .expect("static")
+}
+
+/// Derived spec: *per-session FIFO* — FIFO restricted to messages of one
+/// session color. Still an order-1 cycle: tagging suffices, and the
+/// synthesized protocol only ever delays session traffic.
+pub fn session_fifo() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse(
+        "forbid x, y: x.s < y.s & y.r < x.r \
+         where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r), \
+         color(x) = s1, color(y) = s1",
+    )
+    .expect("static")
+}
+
+/// Lemma 3.3(a): `(x.s ▷ y.s) ∧ (y.s ▷ x.s)` — impossible in any run,
+/// so the specification is all of `X_async` and the trivial protocol
+/// suffices.
+pub fn mutual_send() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.s < x.s").expect("static")
+}
+
+/// Lemma 3.3(b): `(x.s ▷ y.s) ∧ (y.r ▷ x.s)`.
+pub fn lemma33_b() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.s").expect("static")
+}
+
+/// Lemma 3.3(e): `(x.r ▷ y.r) ∧ (y.r ▷ x.r)`.
+pub fn mutual_deliver() -> ForbiddenPredicate {
+    ForbiddenPredicate::parse("forbid x, y: x.r < y.r & y.r < x.r").expect("static")
+}
+
+/// The full catalog, in presentation order for EXP-T1.
+pub fn all() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "fifo",
+            description: "per-channel delivery in send order",
+            paper_ref: "§6 (FIFO)",
+            expected: PaperClass::Tagged,
+            predicate: fifo(),
+        },
+        CatalogEntry {
+            name: "causal",
+            description: "causal ordering (Lemma 3.2 form B2)",
+            paper_ref: "§3.4, Lemma 3.2b",
+            expected: PaperClass::Tagged,
+            predicate: causal(),
+        },
+        CatalogEntry {
+            name: "causal-b1",
+            description: "causal ordering (Lemma 3.2 form B1)",
+            paper_ref: "Lemma 3.2a",
+            expected: PaperClass::Tagged,
+            predicate: causal_b1(),
+        },
+        CatalogEntry {
+            name: "causal-b3",
+            description: "causal ordering (Lemma 3.2 form B3)",
+            paper_ref: "Lemma 3.2c",
+            expected: PaperClass::Tagged,
+            predicate: causal_b3(),
+        },
+        CatalogEntry {
+            name: "sync-crown-2",
+            description: "no crossing message pair (logical synchrony, k = 2)",
+            paper_ref: "§3.4, Lemma 3.1",
+            expected: PaperClass::General,
+            predicate: sync_crown(2),
+        },
+        CatalogEntry {
+            name: "sync-crown-3",
+            description: "no 3-crown (logical synchrony, k = 3)",
+            paper_ref: "Lemma 3.1",
+            expected: PaperClass::General,
+            predicate: sync_crown(3),
+        },
+        CatalogEntry {
+            name: "sync-crown-4",
+            description: "no 4-crown (logical synchrony, k = 4)",
+            paper_ref: "Lemma 3.1",
+            expected: PaperClass::General,
+            predicate: sync_crown(4),
+        },
+        CatalogEntry {
+            name: "k-weaker-1",
+            description: "messages out of order by at most 1",
+            paper_ref: "§6 (k-weaker causal)",
+            expected: PaperClass::Tagged,
+            predicate: k_weaker_causal(1),
+        },
+        CatalogEntry {
+            name: "k-weaker-3",
+            description: "messages out of order by at most 3",
+            paper_ref: "§6 (k-weaker causal)",
+            expected: PaperClass::Tagged,
+            predicate: k_weaker_causal(3),
+        },
+        CatalogEntry {
+            name: "local-forward-flush",
+            description: "red message flushes its channel",
+            paper_ref: "§6 (local forward-flush)",
+            expected: PaperClass::Tagged,
+            predicate: local_forward_flush(),
+        },
+        CatalogEntry {
+            name: "global-forward-flush",
+            description: "red message flushes all channels",
+            paper_ref: "§6 (global forward-flush), §4.1 red marker",
+            expected: PaperClass::Tagged,
+            predicate: global_forward_flush(),
+        },
+        CatalogEntry {
+            name: "backward-flush",
+            description: "red message delivered before all later sends",
+            paper_ref: "§2 (F-channels)",
+            expected: PaperClass::Tagged,
+            predicate: backward_flush(),
+        },
+        CatalogEntry {
+            name: "handoff",
+            description: "handoff messages logically synchronous w.r.t. all traffic",
+            paper_ref: "§6 (mobile computing)",
+            expected: PaperClass::General,
+            predicate: handoff(),
+        },
+        CatalogEntry {
+            name: "receive-second-before-first",
+            description: "deliveries must invert send order",
+            paper_ref: "§6 (cautionary example)",
+            expected: PaperClass::Unimplementable,
+            predicate: receive_second_before_first(),
+        },
+        CatalogEntry {
+            name: "example-4.2",
+            description: "the worked example of §4.2 (β vertex x4)",
+            paper_ref: "§4.2 Examples 1-3",
+            expected: PaperClass::Tagged,
+            predicate: example_4_2(),
+        },
+        CatalogEntry {
+            name: "red-sync",
+            description: "red messages mutually logically synchronous",
+            paper_ref: "derived (crown + color restriction)",
+            expected: PaperClass::General,
+            predicate: red_sync(),
+        },
+        CatalogEntry {
+            name: "session-fifo",
+            description: "FIFO within one session color",
+            paper_ref: "derived (FIFO + color restriction)",
+            expected: PaperClass::Tagged,
+            predicate: session_fifo(),
+        },
+        CatalogEntry {
+            name: "mutual-send",
+            description: "two sends each before the other (impossible)",
+            paper_ref: "Lemma 3.3a",
+            expected: PaperClass::Tagless,
+            predicate: mutual_send(),
+        },
+        CatalogEntry {
+            name: "lemma33-b",
+            description: "(x.s ▷ y.s) ∧ (y.r ▷ x.s) (impossible)",
+            paper_ref: "Lemma 3.3b",
+            expected: PaperClass::Tagless,
+            predicate: lemma33_b(),
+        },
+        CatalogEntry {
+            name: "mutual-deliver",
+            description: "two deliveries each before the other (impossible)",
+            paper_ref: "Lemma 3.3e",
+            expected: PaperClass::Tagless,
+            predicate: mutual_deliver(),
+        },
+    ]
+}
+
+/// Looks an entry up by name.
+pub fn by_name(name: &str) -> Option<CatalogEntry> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use msgorder_runs::generator::{
+        random_causal_run, random_sync_run, random_user_run, GenParams,
+    };
+    use msgorder_runs::limit_sets;
+
+    #[test]
+    fn all_entries_have_distinct_names() {
+        let entries = all();
+        let mut names: Vec<_> = entries.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), entries.len());
+    }
+
+    #[test]
+    fn catalog_is_reasonably_sized() {
+        assert!(all().len() >= 15, "catalog should cover the paper");
+    }
+
+    #[test]
+    fn causal_forms_agree_on_generated_runs() {
+        // Lemma 3.2: B1, B2, B3 define the same specification set.
+        let (b1, b2, b3) = (causal_b1(), causal(), causal_b3());
+        for seed in 0..40 {
+            let run = random_user_run(GenParams::new(3, 6, seed));
+            let r1 = eval::holds(&b1, &run);
+            let r2 = eval::holds(&b2, &run);
+            let r3 = eval::holds(&b3, &run);
+            assert_eq!(r1, r2, "B1 vs B2 disagree on seed {seed}\n{run}");
+            assert_eq!(r2, r3, "B2 vs B3 disagree on seed {seed}\n{run}");
+        }
+    }
+
+    #[test]
+    fn causal_spec_matches_limit_set() {
+        let b2 = causal();
+        for seed in 0..40 {
+            let run = random_user_run(GenParams::new(3, 6, seed));
+            assert_eq!(
+                eval::satisfies_spec(&b2, &run),
+                limit_sets::in_x_co(&run),
+                "B2 disagrees with X_co membership on seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn causal_runs_satisfy_all_tagged_specs() {
+        // X_co ⊆ X_B for every tagged-class B (Theorem 3.2).
+        let tagged: Vec<_> = all()
+            .into_iter()
+            .filter(|e| e.expected == PaperClass::Tagged)
+            .collect();
+        for seed in 0..20 {
+            let run = random_causal_run(GenParams::new(3, 8, seed));
+            for e in &tagged {
+                assert!(
+                    eval::satisfies_spec(&e.predicate, &run),
+                    "causal run (seed {seed}) violates tagged spec {}",
+                    e.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sync_runs_satisfy_all_implementable_specs() {
+        // X_sync ⊆ X_B for every implementable B (Corollary 1).
+        let implementable: Vec<_> = all()
+            .into_iter()
+            .filter(|e| e.expected != PaperClass::Unimplementable)
+            .collect();
+        for seed in 0..20 {
+            let run = random_sync_run(GenParams::new(4, 8, seed));
+            for e in &implementable {
+                assert!(
+                    eval::satisfies_spec(&e.predicate, &run),
+                    "sync run (seed {seed}) violates implementable spec {}",
+                    e.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tagless_specs_hold_on_every_run() {
+        // X_async ⊆ X_B: the Lemma 3.3 predicates can never fire.
+        let tagless: Vec<_> = all()
+            .into_iter()
+            .filter(|e| e.expected == PaperClass::Tagless)
+            .collect();
+        assert!(!tagless.is_empty());
+        for seed in 0..30 {
+            let run = random_user_run(GenParams::new(3, 7, seed));
+            for e in &tagless {
+                assert!(
+                    eval::satisfies_spec(&e.predicate, &run),
+                    "spec {} fired on a run, but it is impossible",
+                    e.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_weaker_0_equals_causal() {
+        let k0 = k_weaker_causal(0);
+        let co = causal();
+        for seed in 0..30 {
+            let run = random_user_run(GenParams::new(3, 6, seed));
+            assert_eq!(eval::holds(&k0, &run), eval::holds(&co, &run));
+        }
+    }
+
+    #[test]
+    fn k_weaker_is_monotone_in_k() {
+        // A violation of k-weaker (k+1) implies a violation of k-weaker k.
+        for seed in 0..30 {
+            let run = random_user_run(GenParams::new(2, 8, seed));
+            for k in 0..3 {
+                if eval::holds(&k_weaker_causal(k + 1), &run) {
+                    assert!(
+                        eval::holds(&k_weaker_causal(k), &run),
+                        "monotonicity broken at k = {k}, seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sync_crown_2_agrees_with_x_sync_on_pairs() {
+        // For runs of ≤ 2 messages, X_sync membership is exactly the
+        // absence of the 2-crown.
+        for seed in 0..40 {
+            let run = random_user_run(GenParams::new(3, 2, seed));
+            assert_eq!(
+                eval::satisfies_spec(&sync_crown(2), &run),
+                limit_sets::in_x_sync(&run),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fifo_weaker_than_causal() {
+        // Causal ordering implies FIFO: any FIFO violation is a causal
+        // violation (restricted quantification).
+        for seed in 0..40 {
+            let run = random_user_run(GenParams::new(3, 6, seed));
+            if eval::holds(&fifo(), &run) {
+                assert!(eval::holds(&causal(), &run), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_finds_entries() {
+        assert!(by_name("fifo").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn paper_class_displays() {
+        assert_eq!(PaperClass::Tagged.to_string(), "tagging sufficient");
+        assert_eq!(
+            PaperClass::Unimplementable.to_string(),
+            "not implementable"
+        );
+    }
+}

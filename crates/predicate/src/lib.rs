@@ -1,0 +1,57 @@
+//! Forbidden predicates — the finite specification syntax of §4.
+//!
+//! A forbidden predicate
+//!
+//! ```text
+//! B ≡ ∃ x1, ..., xm ∈ M : ⋀ (xj.p ▷ xk.q)        p, q ∈ {s, r}
+//! ```
+//!
+//! (optionally range-restricted by *process* and *color* attributes, §4.1)
+//! denotes the specification `X_B = { (H, ▷) : ¬B }` — the runs in which
+//! **no** instantiation of the variables satisfies every conjunct.
+//!
+//! This crate provides:
+//!
+//! - [`ForbiddenPredicate`] — the AST, a fluent [`PredicateBuilder`], and
+//!   a [normalization](ForbiddenPredicate::normalize) pass that resolves
+//!   vacuous (`x.s ▷ x.r`) and unsatisfiable self-conjuncts;
+//! - [`parse`](mod@parse) — a text DSL:
+//!   `forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s)`;
+//! - [`eval`] — the ∃-instantiation search deciding whether a
+//!   [`UserRun`](msgorder_runs::UserRun) satisfies `B` (and hence
+//!   violates `X_B`);
+//! - [`catalog`] — every specification named in the paper (FIFO, the
+//!   three causal forms of Lemma 3, the SYNC family, k-weaker causal
+//!   ordering, flush variants, the mobile handoff property, ...);
+//! - [`canonical`] — the canonical runs of the Theorem 2 / Theorem 4
+//!   proofs: the transitive closure of the conjuncts plus `x.s ▷ x.r`.
+//!
+//! # Example
+//!
+//! ```
+//! use msgorder_predicate::ForbiddenPredicate;
+//! use msgorder_predicate::eval;
+//! use msgorder_runs::generator::{random_causal_run, GenParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let causal = ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.r")?;
+//! let run = random_causal_run(GenParams::new(3, 10, 7));
+//! assert!(!eval::holds(&causal, &run), "causal runs never satisfy B_co");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+pub mod canonical;
+pub mod catalog;
+pub mod eval;
+pub mod parse;
+
+pub use ast::{
+    Conjunct, Constraint, EventTerm, ForbiddenPredicate, Normalized, PredicateBuilder,
+    UnsatReason, Var,
+};
+pub use parse::ParseError;

@@ -1,0 +1,541 @@
+//! A small text DSL for forbidden predicates.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! predicate   := "forbid" varlist ":" conjuncts ("where" constraints)?
+//! varlist     := ident ("," ident)*
+//! conjuncts   := rel ("&" rel)*
+//! rel         := term "<" term
+//! term        := ident "." ("s" | "r")
+//! constraints := constraint ("," constraint)*
+//! constraint  := "proc" "(" term ")" ("=" | "!=") "proc" "(" term ")"
+//!              | "color" "(" ident ")" ("=" | "!=") ident
+//! ```
+//!
+//! The `<` relation is the paper's causality `▷`; variables always range
+//! over pairwise-distinct messages (see
+//! [`crate::ForbiddenPredicate`]). Examples:
+//!
+//! ```text
+//! forbid x, y: x.s < y.s & y.r < x.r
+//! forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)
+//! forbid x, y: x.s < y.s & y.r < x.r where color(y) = red
+//! ```
+
+use crate::ast::{Constraint, EventTerm, ForbiddenPredicate, Var};
+use msgorder_runs::UserEventKind;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, carrying the byte offset and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Comma,
+    Colon,
+    Dot,
+    Less,
+    Amp,
+    LParen,
+    RParen,
+    Eq,
+    Neq,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            ':' => {
+                toks.push((i, Tok::Colon));
+                i += 1;
+            }
+            '.' => {
+                toks.push((i, Tok::Dot));
+                i += 1;
+            }
+            '<' => {
+                toks.push((i, Tok::Less));
+                i += 1;
+            }
+            '&' => {
+                toks.push((i, Tok::Amp));
+                i += 1;
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            '=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Neq));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        pos: i,
+                        message: "expected `=` after `!`".into(),
+                    });
+                }
+            }
+            // Identifiers may start with a digit so that color names like
+            // `2f` (two-way flush) parse; the grammar has no numeric
+            // literals, so this is unambiguous.
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(input[start..i].to_owned())));
+            }
+            other => {
+                return Err(ParseError {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+    vars: HashMap<String, Var>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(ParseError {
+                pos: self.toks[self.pos - 1].0,
+                message: format!("expected {what}, found {t:?}"),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError {
+                pos: self.toks[self.pos - 1].0,
+                message: format!("expected {what}, found {t:?}"),
+            }),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let pos = self.here();
+        let id = self.ident(&format!("keyword `{kw}`"))?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(ParseError {
+                pos,
+                message: format!("expected keyword `{kw}`, found `{id}`"),
+            })
+        }
+    }
+
+    fn var(&mut self) -> Result<Var, ParseError> {
+        let pos = self.here();
+        let name = self.ident("a variable name")?;
+        self.vars.get(&name).copied().ok_or(ParseError {
+            pos,
+            message: format!("unknown variable `{name}` (declare it in the forbid list)"),
+        })
+    }
+
+    fn term(&mut self) -> Result<EventTerm, ParseError> {
+        let var = self.var()?;
+        self.expect(Tok::Dot, "`.`")?;
+        let pos = self.here();
+        let kind = self.ident("`s` or `r`")?;
+        let kind = match kind.as_str() {
+            "s" => UserEventKind::Send,
+            "r" => UserEventKind::Deliver,
+            other => {
+                return Err(ParseError {
+                    pos,
+                    message: format!("expected `s` or `r`, found `{other}`"),
+                })
+            }
+        };
+        Ok(EventTerm { var, kind })
+    }
+
+    fn proc_ref(&mut self) -> Result<EventTerm, ParseError> {
+        self.expect(Tok::LParen, "`(`")?;
+        let t = self.term()?;
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(t)
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, ParseError> {
+        let pos = self.here();
+        match self.peek() {
+            Some(Tok::Ident(id)) if id == "proc" => {
+                self.bump();
+                let a = self.proc_ref()?;
+                let negated = match self.bump() {
+                    Some(Tok::Eq) => false,
+                    Some(Tok::Neq) => true,
+                    _ => return Err(self.err("expected `=` or `!=` after proc(..)")),
+                };
+                self.keyword("proc")?;
+                let b = self.proc_ref()?;
+                Ok(if negated {
+                    Constraint::DiffProcess(a, b)
+                } else {
+                    Constraint::SameProcess(a, b)
+                })
+            }
+            Some(Tok::Ident(id)) if id == "color" => {
+                self.bump();
+                self.expect(Tok::LParen, "`(`")?;
+                let v = self.var()?;
+                self.expect(Tok::RParen, "`)`")?;
+                let negated = match self.bump() {
+                    Some(Tok::Eq) => false,
+                    Some(Tok::Neq) => true,
+                    _ => return Err(self.err("expected `=` or `!=` after color(..)")),
+                };
+                let color = self.ident("a color name")?;
+                Ok(if negated {
+                    Constraint::NotColor(v, color)
+                } else {
+                    Constraint::Color(v, color)
+                })
+            }
+            _ => Err(ParseError {
+                pos,
+                message: "expected a constraint (proc(..) or color(..))".into(),
+            }),
+        }
+    }
+}
+
+/// Parses a forbidden predicate from the DSL.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<ForbiddenPredicate, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        input_len: input.len(),
+        vars: HashMap::new(),
+    };
+    p.keyword("forbid")?;
+    // variable list
+    let mut names = Vec::new();
+    loop {
+        let pos = p.here();
+        let name = p.ident("a variable name")?;
+        if p.vars.contains_key(&name) {
+            return Err(ParseError {
+                pos,
+                message: format!("duplicate variable `{name}`"),
+            });
+        }
+        p.vars.insert(name.clone(), Var(names.len()));
+        names.push(name);
+        match p.peek() {
+            Some(Tok::Comma) => {
+                p.bump();
+            }
+            Some(Tok::Colon) => break,
+            _ => return Err(p.err("expected `,` or `:` after variable")),
+        }
+    }
+    p.expect(Tok::Colon, "`:`")?;
+    // conjuncts
+    let mut builder = ForbiddenPredicate::build(names.len());
+    loop {
+        let lhs = p.term()?;
+        p.expect(Tok::Less, "`<`")?;
+        let rhs = p.term()?;
+        builder = builder.conjunct(lhs, rhs);
+        match p.peek() {
+            Some(Tok::Amp) => {
+                p.bump();
+            }
+            _ => break,
+        }
+    }
+    // optional where clause
+    if let Some(Tok::Ident(id)) = p.peek() {
+        if id == "where" {
+            p.bump();
+            loop {
+                let c = p.constraint()?;
+                builder = match c {
+                    Constraint::SameProcess(a, b) => builder.same_process(a, b),
+                    Constraint::DiffProcess(a, b) => builder.diff_process(a, b),
+                    Constraint::Color(v, name) => builder.color(v, &name),
+                    Constraint::NotColor(v, name) => builder.not_color(v, &name),
+                };
+                match p.peek() {
+                    Some(Tok::Comma) => {
+                        p.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after predicate"));
+    }
+    Ok(builder.finish().with_var_names(names))
+}
+
+/// Parses a *spec file*: named predicates separated by blank lines.
+///
+/// ```text
+/// # comments start with '#'
+/// causal = forbid x, y: x.s < y.s & y.r < x.r
+///
+/// fifo = forbid x, y: x.s < y.s & y.r < x.r
+///        where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)
+/// ```
+///
+/// An entry may span several lines (they are joined with spaces); the
+/// part before the first `=` is the name.
+///
+/// # Errors
+/// Returns a [`ParseError`] naming the first malformed entry; positions
+/// refer to the entry's joined text.
+pub fn parse_file(input: &str) -> Result<Vec<(String, ForbiddenPredicate)>, ParseError> {
+    let mut out = Vec::new();
+    for block in input.split("\n\n") {
+        let joined: String = block
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join(" ");
+        if joined.is_empty() {
+            continue;
+        }
+        let Some(eq) = joined.find('=') else {
+            return Err(ParseError {
+                pos: 0,
+                message: format!("spec entry `{joined}` has no `name =` prefix"),
+            });
+        };
+        let name = joined[..eq].trim().to_owned();
+        if name.is_empty() {
+            return Err(ParseError {
+                pos: 0,
+                message: "empty spec name".into(),
+            });
+        }
+        let pred = parse(joined[eq + 1..].trim())?;
+        out.push((name, pred));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Var;
+
+    #[test]
+    fn parses_causal() {
+        let p = parse("forbid x, y: x.s < y.s & y.r < x.r").unwrap();
+        assert_eq!(p.var_count(), 2);
+        assert_eq!(p.conjuncts().len(), 2);
+        assert_eq!(p.var_name(Var(0)), "x");
+        assert_eq!(p.var_name(Var(1)), "y");
+        let c = p.conjuncts()[1];
+        assert_eq!(c.lhs.var, Var(1));
+        assert_eq!(c.lhs.kind, UserEventKind::Deliver);
+        assert_eq!(c.rhs.var, Var(0));
+    }
+
+    #[test]
+    fn parses_fifo_with_constraints() {
+        let p = parse(
+            "forbid x, y: x.s < y.s & y.r < x.r \
+             where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)",
+        )
+        .unwrap();
+        assert_eq!(p.constraints().len(), 2);
+        assert!(matches!(p.constraints()[0], Constraint::SameProcess(_, _)));
+    }
+
+    #[test]
+    fn parses_colors() {
+        let p = parse("forbid x, y: x.s < y.s where color(y) = red, color(x) != red").unwrap();
+        assert_eq!(p.constraints().len(), 2);
+        assert!(matches!(p.constraints()[0], Constraint::Color(_, _)));
+        assert!(matches!(p.constraints()[1], Constraint::NotColor(_, _)));
+    }
+
+    #[test]
+    fn parses_diff_process() {
+        let p = parse("forbid x, y: x.s < y.s where proc(x.s) != proc(y.s)").unwrap();
+        assert!(matches!(p.constraints()[0], Constraint::DiffProcess(_, _)));
+    }
+
+    #[test]
+    fn error_unknown_variable() {
+        let err = parse("forbid x: z.s < x.r").unwrap_err();
+        assert!(err.message.contains("unknown variable `z`"), "{err}");
+    }
+
+    #[test]
+    fn error_duplicate_variable() {
+        let err = parse("forbid x, x: x.s < x.r").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn error_bad_event_kind() {
+        let err = parse("forbid x: x.q < x.r").unwrap_err();
+        assert!(err.message.contains("expected `s` or `r`"), "{err}");
+    }
+
+    #[test]
+    fn error_trailing_garbage() {
+        let err = parse("forbid x: x.s < x.r banana").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn error_missing_forbid() {
+        let err = parse("x: x.s < x.r").unwrap_err();
+        assert!(err.message.contains("forbid"), "{err}");
+    }
+
+    #[test]
+    fn error_position_points_at_problem() {
+        let input = "forbid x: x.s < x.q";
+        let err = parse(input).unwrap_err();
+        assert_eq!(&input[err.pos..err.pos + 1], "q");
+    }
+
+    #[test]
+    fn error_bang_without_eq() {
+        let err = parse("forbid x: x.s ! x.r").unwrap_err();
+        assert!(err.message.contains('!'), "{err}");
+    }
+
+    #[test]
+    fn display_parse_roundtrip_with_constraints() {
+        let src = "forbid a, b: a.s < b.s & b.r < a.r where proc(a.s) = proc(b.s), color(b) = red";
+        let p = parse(src).unwrap();
+        let q = parse(&p.to_string()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn spec_file_parses_multiple_entries() {
+        let file = "\
+# ordering specs for the pipeline
+causal = forbid x, y: x.s < y.s & y.r < x.r
+
+fifo = forbid x, y: x.s < y.s & y.r < x.r
+       where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)
+
+# trailing comment block is ignored
+";
+        let specs = parse_file(file).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].0, "causal");
+        assert_eq!(specs[1].0, "fifo");
+        assert_eq!(specs[1].1.constraints().len(), 2);
+    }
+
+    #[test]
+    fn spec_file_rejects_nameless_entry() {
+        let err = parse_file("forbid x: x.s < x.r").unwrap_err();
+        assert!(err.message.contains("no `name =`"), "{err}");
+    }
+
+    #[test]
+    fn spec_file_propagates_predicate_errors() {
+        assert!(parse_file("bad = forbid x: x.s <").is_err());
+    }
+
+    #[test]
+    fn spec_file_empty_input() {
+        assert!(parse_file("\n\n# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse("forbid x,y:x.s<y.s&y.r<x.r").unwrap();
+        let b = parse("forbid x , y :  x.s  <  y.s  &  y.r < x.r").unwrap();
+        assert_eq!(a.conjuncts(), b.conjuncts());
+    }
+}

@@ -1,0 +1,71 @@
+//! The trivial (tagless, "do nothing") protocol.
+
+use msgorder_runs::{MessageId, ProcessId};
+use msgorder_simnet::{Ctx, Protocol};
+
+/// Sends immediately, delivers immediately: the protocol witnessing
+/// Theorem 1.3 — it implements exactly `X_async`, the weakest
+/// implementable specification, with zero overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncProtocol;
+
+impl AsyncProtocol {
+    /// A new instance (stateless).
+    pub fn new() -> Self {
+        AsyncProtocol
+    }
+}
+
+impl Protocol for AsyncProtocol {
+    fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+        ctx.send_user(msg, Vec::new());
+    }
+
+    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: MessageId, _tag: Vec<u8>) {
+        ctx.deliver(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_simnet::{LatencyModel, SimConfig, Simulation, Workload};
+
+    #[test]
+    fn zero_overhead_and_quiescent() {
+        let w = Workload::uniform_random(4, 40, 3);
+        let r = Simulation::run_uniform(
+            SimConfig {
+                processes: 4,
+                latency: LatencyModel::Uniform { lo: 1, hi: 500 },
+                seed: 5,
+            },
+            w,
+            |_| AsyncProtocol::new(),
+        );
+        assert!(r.completed && r.run.is_quiescent());
+        assert_eq!(r.stats.control_messages, 0);
+        assert_eq!(r.stats.tag_bytes, 0);
+        assert_eq!(r.stats.total_inhibition, 0, "never delays anything");
+    }
+
+    #[test]
+    fn violates_causal_ordering_under_reordering() {
+        // The do-nothing protocol cannot guarantee anything beyond
+        // X_async: across seeds it must produce a CO violation.
+        let violated = (0..30).any(|seed| {
+            let w = Workload::uniform_random(3, 10, seed);
+            let r = Simulation::run_uniform(
+                SimConfig {
+                    processes: 3,
+                    latency: LatencyModel::Uniform { lo: 1, hi: 1000 },
+                    seed,
+                },
+                w,
+                |_| AsyncProtocol::new(),
+            );
+            !msgorder_runs::limit_sets::in_x_co(&r.run.users_view())
+        });
+        assert!(violated);
+    }
+}

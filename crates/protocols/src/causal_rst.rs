@@ -1,0 +1,175 @@
+//! Causal ordering by the Raynal–Schiper–Toueg matrix algorithm.
+//!
+//! Each process `Pi` maintains `SENT[k][l]` — its knowledge of how many
+//! messages `Pk` has sent to `Pl`. A message to `Pj` is tagged with the
+//! sender's matrix (after counting the message itself); `Pj` delivers it
+//! once, for every `k`, it has delivered at least `M[k][j]` messages
+//! from `Pk` (one fewer for the sender, whose count includes the message
+//! in flight). This is the tagged protocol cited in Theorem 1.2: it
+//! implements exactly `X_co`.
+
+use msgorder_runs::{MessageId, ProcessId};
+use msgorder_simnet::{Ctx, Protocol};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tag {
+    sent: Vec<Vec<u64>>,
+}
+
+/// The RST causal-ordering protocol (one instance per process).
+#[derive(Debug, Clone)]
+pub struct CausalRst {
+    n: usize,
+    sent: Vec<Vec<u64>>,
+    /// Messages delivered here, per sender.
+    delivered_from: Vec<u64>,
+    /// Buffered arrivals: (sender, matrix, message).
+    pending: Vec<(usize, Vec<Vec<u64>>, MessageId)>,
+}
+
+impl CausalRst {
+    /// A new instance for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        CausalRst {
+            n,
+            sent: vec![vec![0; n]; n],
+            delivered_from: vec![0; n],
+            pending: Vec::new(),
+        }
+    }
+
+    fn deliverable(&self, me: usize, from: usize, m: &[Vec<u64>]) -> bool {
+        (0..self.n).all(|k| {
+            let need = if k == from {
+                m[k][me].saturating_sub(1)
+            } else {
+                m[k][me]
+            };
+            self.delivered_from[k] >= need
+        })
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.node().0;
+        loop {
+            let idx = self
+                .pending
+                .iter()
+                .position(|(from, m, _)| self.deliverable(me, *from, m));
+            let Some(idx) = idx else { break };
+            let (from, m, msg) = self.pending.remove(idx);
+            ctx.deliver(msg);
+            self.delivered_from[from] += 1;
+            for k in 0..self.n {
+                for l in 0..self.n {
+                    self.sent[k][l] = self.sent[k][l].max(m[k][l]);
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for CausalRst {
+    fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+        let me = ctx.node().0;
+        let dst = ctx.meta(msg).dst.0;
+        self.sent[me][dst] += 1;
+        let tag = serde_json::to_vec(&Tag {
+            sent: self.sent.clone(),
+        })
+        .expect("matrix serializes");
+        ctx.send_user(msg, tag);
+    }
+
+    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
+        let tag: Tag = serde_json::from_slice(&tag).expect("matrix deserializes");
+        self.pending.push((from.0, tag.sent, msg));
+        self.drain(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_predicate::{catalog, eval};
+    use msgorder_runs::limit_sets;
+    use msgorder_simnet::{LatencyModel, SimConfig, SimResult, Simulation, Workload};
+
+    fn sim(processes: usize, seed: u64, w: Workload) -> SimResult {
+        Simulation::run_uniform(
+            SimConfig {
+                processes,
+                latency: LatencyModel::Uniform { lo: 1, hi: 900 },
+                seed,
+            },
+            w,
+            |_| CausalRst::new(processes),
+        )
+    }
+
+    #[test]
+    fn enforces_causal_ordering_across_seeds() {
+        let spec = catalog::causal();
+        for seed in 0..25 {
+            let w = Workload::uniform_random(4, 20, seed);
+            let r = sim(4, seed, w);
+            assert!(r.completed && r.run.is_quiescent(), "liveness, seed {seed}");
+            let user = r.run.users_view();
+            assert!(limit_sets::in_x_co(&user), "X_co violated at seed {seed}");
+            assert!(eval::satisfies_spec(&spec, &user));
+        }
+    }
+
+    #[test]
+    fn handles_cross_channel_relay() {
+        // The classic triangle: P0 -> P2 slow, P0 -> P1 fast, P1 -> P2
+        // relayed — P2 must hold the relay until P0's direct message.
+        for seed in 0..25 {
+            let w = Workload::relay_chain(3, 4);
+            let r = sim(3, seed, w);
+            assert!(r.run.is_quiescent());
+            assert!(limit_sets::in_x_co(&r.run.users_view()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn no_control_messages() {
+        let r = sim(3, 7, Workload::uniform_random(3, 15, 7));
+        assert_eq!(r.stats.control_messages, 0);
+        assert!(r.stats.tag_bytes > 0, "matrix tags cost bytes");
+    }
+
+    #[test]
+    fn inhibits_more_than_fifo_on_bursty_traffic() {
+        // Sanity that the matrix condition actually delays deliveries.
+        let inhibited = (0..20).any(|seed| {
+            let w = Workload::client_server(4, 4, 4, seed);
+            sim(4, seed, w).stats.total_inhibition > 0
+        });
+        assert!(inhibited);
+    }
+
+    #[test]
+    fn straggler_latency_still_safe_and_live() {
+        for seed in 0..10 {
+            let w = Workload::uniform_random(4, 25, seed);
+            let r = Simulation::run_uniform(
+                SimConfig {
+                    processes: 4,
+                    latency: LatencyModel::Straggler {
+                        lo: 1,
+                        hi: 100,
+                        slow_every: 4,
+                        slow_factor: 40,
+                    },
+                    seed,
+                },
+                w,
+                |_| CausalRst::new(4),
+            );
+            assert!(r.completed && r.run.is_quiescent(), "seed {seed}");
+            assert!(limit_sets::in_x_co(&r.run.users_view()), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! FIFO channels by per-channel sequence numbers (tagged, 8 bytes).
+
+use msgorder_runs::{MessageId, ProcessId};
+use msgorder_simnet::{Ctx, Protocol};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-channel sequence numbering: the receiver delivers each channel's
+/// messages in send order, buffering any that arrive early. Implements
+/// the FIFO specification of §6 — a tagged protocol, as the classifier
+/// predicts (the FIFO predicate's cycle has one β vertex).
+#[derive(Debug, Default, Clone)]
+pub struct FifoProtocol {
+    /// Next sequence number to assign, per destination.
+    next_out: HashMap<usize, u64>,
+    /// Next sequence expected, per source.
+    next_in: HashMap<usize, u64>,
+    /// Early arrivals, per source, keyed by sequence number.
+    pending: HashMap<usize, BTreeMap<u64, MessageId>>,
+}
+
+impl FifoProtocol {
+    /// A new instance.
+    pub fn new() -> Self {
+        FifoProtocol::default()
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_>, src: usize) {
+        let expected = self.next_in.entry(src).or_insert(0);
+        let queue = self.pending.entry(src).or_default();
+        while let Some(msg) = queue.remove(expected) {
+            ctx.deliver(msg);
+            *expected += 1;
+        }
+    }
+}
+
+impl Protocol for FifoProtocol {
+    fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+        let dst = ctx.meta(msg).dst.0;
+        let seq = self.next_out.entry(dst).or_insert(0);
+        let tag = seq.to_le_bytes().to_vec();
+        *seq += 1;
+        ctx.send_user(msg, tag);
+    }
+
+    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
+        let seq = u64::from_le_bytes(tag.try_into().expect("fifo tag is 8 bytes"));
+        self.pending.entry(from.0).or_default().insert(seq, msg);
+        self.drain(ctx, from.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_predicate::{catalog, eval};
+    use msgorder_simnet::{LatencyModel, SimConfig, Simulation, Workload};
+
+    fn sim(seed: u64, msgs: usize) -> msgorder_simnet::SimResult {
+        let w = Workload::uniform_random(3, msgs, seed);
+        Simulation::run_uniform(
+            SimConfig {
+                processes: 3,
+                latency: LatencyModel::Uniform { lo: 1, hi: 800 },
+                seed,
+            },
+            w,
+            |_| FifoProtocol::new(),
+        )
+    }
+
+    #[test]
+    fn enforces_fifo_spec_across_seeds() {
+        let spec = catalog::fifo();
+        for seed in 0..25 {
+            let r = sim(seed, 20);
+            assert!(r.completed && r.run.is_quiescent(), "liveness, seed {seed}");
+            let user = r.run.users_view();
+            assert!(
+                eval::satisfies_spec(&spec, &user),
+                "FIFO violated at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn does_not_enforce_full_causal_ordering() {
+        // FIFO is weaker than causal: some seed must produce a
+        // cross-channel causal violation.
+        let co = catalog::causal();
+        let violated = (0..60).any(|seed| {
+            let r = sim(seed, 14);
+            !eval::satisfies_spec(&co, &r.run.users_view())
+        });
+        assert!(violated, "FIFO accidentally causal on all seeds?");
+    }
+
+    #[test]
+    fn tag_is_eight_bytes_per_message() {
+        let r = sim(1, 20);
+        assert_eq!(r.stats.tag_bytes, 20 * 8);
+        assert_eq!(r.stats.control_messages, 0);
+    }
+
+    #[test]
+    fn actually_inhibits_under_reordering() {
+        // On at least one seed a message must be buffered (inhibition > 0),
+        // matching Figure 2's delayed r2.
+        let inhibited = (0..25).any(|seed| sim(seed, 20).stats.total_inhibition > 0);
+        assert!(inhibited);
+    }
+}

@@ -1,0 +1,155 @@
+//! A uniform handle over every shipped protocol, for the experiment
+//! harness and benches.
+
+use crate::{
+    AsyncProtocol, CausalRst, CausalSes, FifoProtocol, FlushChannels, SyncProtocol,
+    SynthesizedTagged,
+};
+use msgorder_predicate::ForbiddenPredicate;
+use msgorder_simnet::Protocol;
+
+/// Which protocol to instantiate.
+#[derive(Debug, Clone)]
+pub enum ProtocolKind {
+    /// The tagless do-nothing protocol.
+    Async,
+    /// FIFO by sequence numbers.
+    Fifo,
+    /// Causal ordering, Raynal–Schiper–Toueg matrices.
+    CausalRst,
+    /// Causal ordering, Schiper–Eggli–Sandoz constraint sets.
+    CausalSes,
+    /// Flush channels (F-channels).
+    Flush,
+    /// Logically synchronous, lock-server rendezvous (per-message grants).
+    Sync,
+    /// Logically synchronous with batched lock windows (EXP-P3 ablation).
+    SyncBatched,
+    /// Synthesized tagged protocol for the given predicate.
+    Synthesized(ForbiddenPredicate),
+    /// Synthesized tagged protocol enforcing every predicate of a set
+    /// (the intersection specification).
+    SynthesizedSet(Vec<ForbiddenPredicate>),
+}
+
+impl ProtocolKind {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Async => "async",
+            ProtocolKind::Fifo => "fifo",
+            ProtocolKind::CausalRst => "causal-rst",
+            ProtocolKind::CausalSes => "causal-ses",
+            ProtocolKind::Flush => "flush",
+            ProtocolKind::Sync => "sync",
+            ProtocolKind::SyncBatched => "sync-batched",
+            ProtocolKind::Synthesized(_) => "synthesized",
+            ProtocolKind::SynthesizedSet(_) => "synthesized-set",
+        }
+    }
+
+    /// All fixed (non-parameterized) protocols.
+    pub fn fixed() -> Vec<ProtocolKind> {
+        vec![
+            ProtocolKind::Async,
+            ProtocolKind::Fifo,
+            ProtocolKind::CausalRst,
+            ProtocolKind::CausalSes,
+            ProtocolKind::Flush,
+            ProtocolKind::Sync,
+            ProtocolKind::SyncBatched,
+        ]
+    }
+
+    /// Instantiates the protocol for process `node` of an `n`-process
+    /// system.
+    pub fn instantiate(&self, n: usize, node: usize) -> Box<dyn Protocol> {
+        match self {
+            ProtocolKind::Async => Box::new(AsyncProtocol::new()),
+            ProtocolKind::Fifo => Box::new(FifoProtocol::new()),
+            ProtocolKind::CausalRst => Box::new(CausalRst::new(n)),
+            ProtocolKind::CausalSes => Box::new(CausalSes::new(n, node)),
+            ProtocolKind::Flush => Box::new(FlushChannels::new()),
+            ProtocolKind::Sync => Box::new(SyncProtocol::new()),
+            ProtocolKind::SyncBatched => Box::new(SyncProtocol::new_batched()),
+            ProtocolKind::Synthesized(pred) => Box::new(SynthesizedTagged::new(pred.clone())),
+            ProtocolKind::SynthesizedSet(preds) => {
+                Box::new(SynthesizedTagged::for_all(preds.clone()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msgorder_runs::limit_sets;
+    use msgorder_simnet::{LatencyModel, SimConfig, Simulation, Workload};
+
+    #[test]
+    fn every_fixed_protocol_is_live_on_a_common_workload() {
+        for kind in ProtocolKind::fixed() {
+            let n = 3;
+            let w = Workload::uniform_random(n, 12, 5);
+            let r = Simulation::run_uniform(
+                SimConfig {
+                    processes: n,
+                    latency: LatencyModel::Uniform { lo: 1, hi: 400 },
+                    seed: 5,
+                },
+                w,
+                |node| kind.instantiate(n, node),
+            );
+            assert!(
+                r.completed && r.run.is_quiescent(),
+                "{} not live",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_ordering_matches_taxonomy() {
+        // async: nothing; tagged: tags but no control; sync: control.
+        let n = 3;
+        let run = |kind: &ProtocolKind, seed| {
+            let w = Workload::uniform_random(n, 15, seed);
+            Simulation::run_uniform(
+                SimConfig {
+                    processes: n,
+                    latency: LatencyModel::Uniform { lo: 1, hi: 400 },
+                    seed,
+                },
+                w,
+                |node| kind.instantiate(n, node),
+            )
+            .stats
+        };
+        let a = run(&ProtocolKind::Async, 1);
+        assert_eq!((a.tag_bytes, a.control_messages), (0, 0));
+        let f = run(&ProtocolKind::Fifo, 1);
+        assert!(f.tag_bytes > 0);
+        assert_eq!(f.control_messages, 0);
+        let c = run(&ProtocolKind::CausalRst, 1);
+        assert!(c.tag_bytes > f.tag_bytes, "matrix beats a seq number");
+        assert_eq!(c.control_messages, 0);
+        let s = run(&ProtocolKind::Sync, 1);
+        assert!(s.control_messages > 0);
+    }
+
+    #[test]
+    fn sync_strictly_strongest_on_shared_workload() {
+        let n = 3;
+        let w = Workload::uniform_random(n, 15, 9);
+        let r = Simulation::run_uniform(
+            SimConfig {
+                processes: n,
+                latency: LatencyModel::Uniform { lo: 1, hi: 400 },
+                seed: 9,
+            },
+            w,
+            |node| ProtocolKind::Sync.instantiate(n, node),
+        );
+        assert!(limit_sets::in_x_sync(&r.run.users_view()));
+    }
+}

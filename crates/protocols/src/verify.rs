@@ -1,0 +1,128 @@
+//! Post-hoc protocol verification: simulate, extract the user's view,
+//! check safety (spec membership) and liveness (quiescence).
+//!
+//! This is the executable form of the paper's definition of
+//! "`P` implements `Y`": liveness (`P(H) ∩ (R ∪ C) ≠ ∅` whenever
+//! something is pending — here: the run drains to quiescence) and safety
+//! (`X_P ⊆ Y` — here: the captured complete run satisfies the forbidden
+//! predicate's specification).
+
+use msgorder_predicate::{eval, ForbiddenPredicate};
+use msgorder_runs::{MessageId, UserRun};
+use msgorder_simnet::{Protocol, SimConfig, Simulation, Stats, Workload};
+
+/// The verdict of one verified simulation.
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// Safety: the user's view belongs to `X_B`.
+    pub safe: bool,
+    /// Liveness: every requested message was sent and delivered, and the
+    /// simulation completed within its step budget.
+    pub live: bool,
+    /// If unsafe, one satisfying instantiation of the forbidden
+    /// predicate (the offending messages).
+    pub violation: Option<Vec<MessageId>>,
+    /// The captured user's view.
+    pub user_run: UserRun,
+    /// Overhead counters.
+    pub stats: Stats,
+}
+
+impl VerifyOutcome {
+    /// Safety and liveness both hold.
+    pub fn ok(&self) -> bool {
+        self.safe && self.live
+    }
+}
+
+/// Runs `factory`'s protocol on `workload` and verifies it against
+/// `spec`.
+pub fn run_and_verify<P: Protocol>(
+    config: SimConfig,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    spec: &ForbiddenPredicate,
+) -> VerifyOutcome {
+    let result = Simulation::run_uniform(config, workload, factory);
+    let user_run = result.run.users_view();
+    let violation = eval::find_instantiation(spec, &user_run);
+    VerifyOutcome {
+        safe: violation.is_none(),
+        live: result.completed && result.run.is_quiescent(),
+        violation,
+        user_run,
+        stats: result.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncProtocol, CausalRst, FifoProtocol};
+    use msgorder_predicate::catalog;
+    use msgorder_simnet::LatencyModel;
+
+    fn config(processes: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            processes,
+            latency: LatencyModel::Uniform { lo: 1, hi: 900 },
+            seed,
+        }
+    }
+
+    #[test]
+    fn fifo_protocol_verified_against_fifo_spec() {
+        let out = run_and_verify(
+            config(3, 1),
+            Workload::uniform_random(3, 20, 1),
+            |_| FifoProtocol::new(),
+            &catalog::fifo(),
+        );
+        assert!(out.ok());
+        assert!(out.violation.is_none());
+    }
+
+    #[test]
+    fn async_protocol_fails_causal_spec_somewhere() {
+        let spec = catalog::causal();
+        let mut failed = None;
+        for seed in 0..40 {
+            let out = run_and_verify(
+                config(3, seed),
+                Workload::uniform_random(3, 10, seed),
+                |_| AsyncProtocol::new(),
+                &spec,
+            );
+            assert!(out.live, "async is always live");
+            if !out.safe {
+                failed = Some(out);
+                break;
+            }
+        }
+        let out = failed.expect("async never violated causal ordering");
+        let inst = out.violation.unwrap();
+        assert_eq!(inst.len(), 2, "causal violations involve two messages");
+    }
+
+    #[test]
+    fn causal_protocol_verified_against_all_its_weaker_specs() {
+        // X_P = X_co ⊆ X_B for each tagged-class B: the RST protocol
+        // must pass FIFO, k-weaker and flush specs too.
+        for spec in [
+            catalog::causal(),
+            catalog::fifo(),
+            catalog::k_weaker_causal(2),
+            catalog::global_forward_flush(),
+        ] {
+            for seed in 0..8 {
+                let out = run_and_verify(
+                    config(4, seed),
+                    Workload::uniform_random(4, 15, seed),
+                    |_| CausalRst::new(4),
+                    &spec,
+                );
+                assert!(out.ok(), "RST failed {spec} at seed {seed}");
+            }
+        }
+    }
+}

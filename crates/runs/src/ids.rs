@@ -1,0 +1,252 @@
+//! Identifiers for processes, messages and events.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a process (`P_i` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Index of a message (`x ∈ M` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub usize);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The four system events of a message (§3.1).
+///
+/// A user-level send is split into *invoke* (`x.s*`, the request) and
+/// *send* (`x.s`, the execution); a user-level receive into *receive*
+/// (`x.r*`) and *delivery* (`x.r`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// `x.s*` — the user requests the send. Protocols cannot inhibit this.
+    Invoke,
+    /// `x.s` — the send executes. Protocols may delay this.
+    Send,
+    /// `x.r*` — the message arrives. Protocols cannot inhibit this.
+    Receive,
+    /// `x.r` — the message is delivered to the user. Protocols may delay
+    /// this.
+    Deliver,
+}
+
+impl EventKind {
+    /// All four kinds in canonical order `s*, s, r*, r`.
+    pub const ALL: [EventKind; 4] = [
+        EventKind::Invoke,
+        EventKind::Send,
+        EventKind::Receive,
+        EventKind::Deliver,
+    ];
+
+    /// The paper's notation for the event kind.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            EventKind::Invoke => "s*",
+            EventKind::Send => "s",
+            EventKind::Receive => "r*",
+            EventKind::Deliver => "r",
+        }
+    }
+
+    /// Whether a protocol may delay this event (send and delivery are the
+    /// "controllable" events `C` of §3.2; invoke and receive are not).
+    pub fn is_controllable(self) -> bool {
+        matches!(self, EventKind::Send | EventKind::Deliver)
+    }
+
+    /// Whether this event occurs at the sending process.
+    pub fn at_sender(self) -> bool {
+        matches!(self, EventKind::Invoke | EventKind::Send)
+    }
+
+    /// Dense index `0..4` in canonical order.
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::Invoke => 0,
+            EventKind::Send => 1,
+            EventKind::Receive => 2,
+            EventKind::Deliver => 3,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A system event: one of the four events of a particular message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SystemEvent {
+    /// The message this event belongs to.
+    pub msg: MessageId,
+    /// Which of the four events.
+    pub kind: EventKind,
+}
+
+impl SystemEvent {
+    /// Convenience constructor.
+    pub fn new(msg: MessageId, kind: EventKind) -> Self {
+        SystemEvent { msg, kind }
+    }
+}
+
+impl fmt::Display for SystemEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.msg, self.kind)
+    }
+}
+
+/// The two user-visible event kinds (§3.3): send and delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UserEventKind {
+    /// `x.s` in the user's view.
+    Send,
+    /// `x.r` in the user's view (the delivery).
+    Deliver,
+}
+
+impl UserEventKind {
+    /// The paper's notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UserEventKind::Send => "s",
+            UserEventKind::Deliver => "r",
+        }
+    }
+
+    /// Dense index `0..2`.
+    pub fn index(self) -> usize {
+        match self {
+            UserEventKind::Send => 0,
+            UserEventKind::Deliver => 1,
+        }
+    }
+}
+
+impl fmt::Display for UserEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A user-view event: the send or delivery of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserEvent {
+    /// The message.
+    pub msg: MessageId,
+    /// Send or delivery.
+    pub kind: UserEventKind,
+}
+
+impl UserEvent {
+    /// The send event of `msg`.
+    pub fn send(msg: MessageId) -> Self {
+        UserEvent {
+            msg,
+            kind: UserEventKind::Send,
+        }
+    }
+
+    /// The delivery event of `msg`.
+    pub fn deliver(msg: MessageId) -> Self {
+        UserEvent {
+            msg,
+            kind: UserEventKind::Deliver,
+        }
+    }
+
+    /// Dense node index in a 2-events-per-message poset.
+    pub fn node(self) -> usize {
+        self.msg.0 * 2 + self.kind.index()
+    }
+
+    /// Inverse of [`UserEvent::node`].
+    pub fn from_node(node: usize) -> Self {
+        UserEvent {
+            msg: MessageId(node / 2),
+            kind: if node % 2 == 0 {
+                UserEventKind::Send
+            } else {
+                UserEventKind::Deliver
+            },
+        }
+    }
+}
+
+impl fmt::Display for UserEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.msg, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kind_symbols() {
+        assert_eq!(EventKind::Invoke.symbol(), "s*");
+        assert_eq!(EventKind::Send.symbol(), "s");
+        assert_eq!(EventKind::Receive.symbol(), "r*");
+        assert_eq!(EventKind::Deliver.symbol(), "r");
+    }
+
+    #[test]
+    fn controllability_matches_paper() {
+        // §3.2: protocols control S and D, never I and R.
+        assert!(!EventKind::Invoke.is_controllable());
+        assert!(EventKind::Send.is_controllable());
+        assert!(!EventKind::Receive.is_controllable());
+        assert!(EventKind::Deliver.is_controllable());
+    }
+
+    #[test]
+    fn sender_side_events() {
+        assert!(EventKind::Invoke.at_sender());
+        assert!(EventKind::Send.at_sender());
+        assert!(!EventKind::Receive.at_sender());
+        assert!(!EventKind::Deliver.at_sender());
+    }
+
+    #[test]
+    fn user_event_node_roundtrip() {
+        for m in 0..5 {
+            for kind in [UserEventKind::Send, UserEventKind::Deliver] {
+                let e = UserEvent {
+                    msg: MessageId(m),
+                    kind,
+                };
+                assert_eq!(UserEvent::from_node(e.node()), e);
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = SystemEvent::new(MessageId(3), EventKind::Receive);
+        assert_eq!(e.to_string(), "m3.r*");
+        assert_eq!(UserEvent::send(MessageId(0)).to_string(), "m0.s");
+        assert_eq!(ProcessId(2).to_string(), "P2");
+    }
+
+    #[test]
+    fn kind_indices_dense() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

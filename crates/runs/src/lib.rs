@@ -1,0 +1,65 @@
+//! The run model of Murty & Garg's *"Characterization of Message Ordering
+//! Specifications and Protocols"* (§3).
+//!
+//! A **message** `x` consists of four system events: the *invoke* `x.s*`,
+//! the *send* `x.s`, the *receive* `x.r*` and the *delivery* `x.r`. A
+//! **system run** is a decomposed poset `(H_1, ..., H_n, →)` of such
+//! events; the **user's view** projects away the starred events, yielding
+//! a partial order `(H, ▷)` over sends and deliveries only (Figure 4 of
+//! the paper shows why the two views differ).
+//!
+//! The crate provides:
+//!
+//! - [`SystemRun`] / [`SystemRunBuilder`] — validated system runs
+//!   enforcing the paper's three run conditions, with the pending-event
+//!   sets `I/S/R/D` of §3.1 and causal pasts (Figure 1).
+//! - [`UserRun`] — the user's view: complete runs `(H, ▷)`, the
+//!   elements of the paper's specification universe `X`.
+//! - [`limit_sets`] — membership tests for `X_async ⊇ X_co ⊇ X_sync`
+//!   (user view, §3.4) and `X_tl ⊆ X_td ⊆ X_gn` (system view, §3.2.1).
+//! - [`construct`] — the Figure 5 construction turning a user-view run
+//!   back into a system run, plus the numbering schemes `N` / `T`.
+//! - [`generator`] — seeded random and exhaustive run generation used by
+//!   the experiments and property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use msgorder_runs::{SystemRunBuilder, limit_sets};
+//!
+//! # fn main() -> Result<(), msgorder_runs::RunError> {
+//! // Two processes; message a then b from P0 to P1, delivered in order.
+//! let mut b = SystemRunBuilder::new(2);
+//! let a = b.message(0, 1);
+//! let m = b.message(0, 1);
+//! b.invoke(a)?.send(a)?.invoke(m)?.send(m)?;
+//! b.receive(a)?.deliver(a)?.receive(m)?.deliver(m)?;
+//! let run = b.build()?;
+//! let user = run.users_view();
+//! assert!(limit_sets::in_x_co(&user));   // causally ordered
+//! assert!(limit_sets::in_x_sync(&user)); // even logically synchronous
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod construct;
+pub mod cuts;
+pub mod display;
+mod error;
+pub mod generator;
+mod ids;
+pub mod lemma2;
+pub mod limit_sets;
+mod message;
+pub mod realize;
+mod system;
+mod users_view;
+
+pub use error::RunError;
+pub use ids::{EventKind, MessageId, ProcessId, SystemEvent, UserEvent, UserEventKind};
+pub use message::MessageMeta;
+pub use system::{PendingSets, SystemRun, SystemRunBuilder};
+pub use users_view::UserRun;

@@ -1,0 +1,80 @@
+//! Message metadata: endpoints and attributes.
+
+use crate::ids::{MessageId, ProcessId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static metadata of a message: its endpoints and optional *color*.
+///
+/// §4.1 of the paper introduces three attributes usable in predicate
+/// range restrictions: the sending process, the receiving process, and a
+/// color (e.g. "red marker messages", flush messages, handoff messages).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MessageMeta {
+    /// The message's identity within its run.
+    pub id: MessageId,
+    /// The sending process (`x ∈ M_ij` has `src = i`).
+    pub src: ProcessId,
+    /// The receiving process (`x ∈ M_ij` has `dst = j`).
+    pub dst: ProcessId,
+    /// Optional color attribute used by predicates such as
+    /// "no message overtakes a red marker".
+    pub color: Option<String>,
+}
+
+impl MessageMeta {
+    /// An uncolored message.
+    pub fn new(id: MessageId, src: ProcessId, dst: ProcessId) -> Self {
+        MessageMeta {
+            id,
+            src,
+            dst,
+            color: None,
+        }
+    }
+
+    /// A colored message.
+    pub fn with_color(id: MessageId, src: ProcessId, dst: ProcessId, color: &str) -> Self {
+        MessageMeta {
+            id,
+            src,
+            dst,
+            color: Some(color.to_owned()),
+        }
+    }
+
+    /// Whether this message carries the given color.
+    pub fn has_color(&self, color: &str) -> bool {
+        self.color.as_deref() == Some(color)
+    }
+}
+
+impl fmt::Display for MessageMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.id, self.src, self.dst)?;
+        if let Some(c) = &self.color {
+            write!(f, " [{c}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_matching() {
+        let m = MessageMeta::with_color(MessageId(0), ProcessId(0), ProcessId(1), "red");
+        assert!(m.has_color("red"));
+        assert!(!m.has_color("blue"));
+        let plain = MessageMeta::new(MessageId(1), ProcessId(1), ProcessId(0));
+        assert!(!plain.has_color("red"));
+    }
+
+    #[test]
+    fn display() {
+        let m = MessageMeta::with_color(MessageId(2), ProcessId(0), ProcessId(1), "red");
+        assert_eq!(m.to_string(), "m2: P0 -> P1 [red]");
+    }
+}

@@ -1,0 +1,348 @@
+//! The user's view: complete runs `(H, ▷)` (§3.3).
+
+use crate::error::RunError;
+use crate::ids::{MessageId, UserEvent, UserEventKind};
+use crate::message::MessageMeta;
+use msgorder_poset::{DiGraph, TransitiveClosure};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A complete run in the user's view: a set of messages, each with a send
+/// and a delivery event, under a strict partial order `▷`.
+///
+/// This is an element of the paper's specification universe
+/// `X = { (H, ▷) : x.s ∈ H ⇔ x.r ∈ H, ▷ a partial order }`. Note `X`
+/// admits *any* partial order — elements need not be realizable by an
+/// actual execution; the limit sets and forbidden-predicate semantics are
+/// defined over this broader universe, and the witness constructions of
+/// Theorems 2 and 4 exploit that.
+///
+/// Beyond the paper's two written conditions we require `x.s ▷ x.r` for
+/// every message ([`UserRun::new`] adds those edges itself), which every
+/// construction in the paper also assumes.
+#[derive(Debug, Clone)]
+pub struct UserRun {
+    messages: Vec<MessageMeta>,
+    closure: TransitiveClosure,
+}
+
+impl UserRun {
+    /// Builds a user run from message metadata and explicit order pairs.
+    ///
+    /// The edges `x.s ▷ x.r` are added automatically; `order` may mention
+    /// any additional pairs. The relation is closed transitively.
+    ///
+    /// # Errors
+    /// [`RunError::CyclicOrder`] if the relation is cyclic;
+    /// [`RunError::UnknownMessage`] if a pair references a message id
+    /// `>= messages.len()`.
+    pub fn new<I>(messages: Vec<MessageMeta>, order: I) -> Result<Self, RunError>
+    where
+        I: IntoIterator<Item = (UserEvent, UserEvent)>,
+    {
+        let m = messages.len();
+        for (i, meta) in messages.iter().enumerate() {
+            debug_assert_eq!(meta.id.0, i, "message ids must be dense");
+        }
+        let mut g = DiGraph::new(2 * m);
+        for mi in 0..m {
+            g.add_edge(
+                UserEvent::send(MessageId(mi)).node(),
+                UserEvent::deliver(MessageId(mi)).node(),
+            )
+            .expect("nodes in range");
+        }
+        for (a, b) in order {
+            for e in [a, b] {
+                if e.msg.0 >= m {
+                    return Err(RunError::UnknownMessage(e.msg));
+                }
+            }
+            g.add_edge(a.node(), b.node()).expect("checked above");
+        }
+        if g.has_cycle() {
+            return Err(RunError::CyclicOrder);
+        }
+        Ok(UserRun {
+            messages,
+            closure: TransitiveClosure::of_graph(&g),
+        })
+    }
+
+    /// The messages of the run.
+    pub fn messages(&self) -> &[MessageMeta] {
+        &self.messages
+    }
+
+    /// Metadata of one message.
+    ///
+    /// # Panics
+    /// Panics if `m` is not a message of this run.
+    pub fn message(&self, m: MessageId) -> &MessageMeta {
+        &self.messages[m.0]
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the run has no messages.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The strict order `a ▷ b`.
+    pub fn before(&self, a: UserEvent, b: UserEvent) -> bool {
+        self.closure.reaches(a.node(), b.node())
+    }
+
+    /// Whether two events are concurrent (distinct and incomparable).
+    pub fn concurrent(&self, a: UserEvent, b: UserEvent) -> bool {
+        a != b && !self.before(a, b) && !self.before(b, a)
+    }
+
+    /// All ordered event pairs `(a, b)` with `a ▷ b`.
+    pub fn relation_pairs(&self) -> Vec<(UserEvent, UserEvent)> {
+        self.closure
+            .pairs()
+            .into_iter()
+            .map(|(u, v)| (UserEvent::from_node(u), UserEvent::from_node(v)))
+            .collect()
+    }
+
+    /// The message-precedence digraph used by the SYNC test: an edge
+    /// `x → y` (for `x ≠ y`) whenever some event of `x` precedes some
+    /// event of `y` under `▷`.
+    ///
+    /// The run is logically synchronous iff this graph is acyclic (§3.4:
+    /// acyclicity is exactly the existence of the numbering `T`).
+    pub fn message_graph(&self) -> DiGraph {
+        let m = self.messages.len();
+        let mut g = DiGraph::new(m);
+        for x in 0..m {
+            for y in 0..m {
+                if x == y {
+                    continue;
+                }
+                let related = [UserEventKind::Send, UserEventKind::Deliver]
+                    .into_iter()
+                    .any(|h| {
+                        [UserEventKind::Send, UserEventKind::Deliver]
+                            .into_iter()
+                            .any(|f| {
+                                self.before(
+                                    UserEvent {
+                                        msg: MessageId(x),
+                                        kind: h,
+                                    },
+                                    UserEvent {
+                                        msg: MessageId(y),
+                                        kind: f,
+                                    },
+                                )
+                            })
+                    });
+                if related {
+                    g.add_edge(x, y).expect("message nodes in range");
+                }
+            }
+        }
+        g
+    }
+
+    /// A compact multi-line rendering, one message per line plus the
+    /// covering relation of `▷`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.messages {
+            out.push_str(&format!("{m}\n"));
+        }
+        out.push_str("order (covers):\n");
+        for (u, v) in self.closure.reduction() {
+            out.push_str(&format!(
+                "  {} ▷ {}\n",
+                UserEvent::from_node(u),
+                UserEvent::from_node(v)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for UserRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Serializable snapshot of a [`UserRun`] (messages + covering pairs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserRunSnapshot {
+    /// Message metadata.
+    pub messages: Vec<MessageMeta>,
+    /// Covering pairs of `▷` as `(event-node, event-node)` indices.
+    pub covers: Vec<(usize, usize)>,
+}
+
+impl From<&UserRun> for UserRunSnapshot {
+    fn from(run: &UserRun) -> Self {
+        UserRunSnapshot {
+            messages: run.messages.clone(),
+            covers: run.closure.reduction(),
+        }
+    }
+}
+
+impl TryFrom<UserRunSnapshot> for UserRun {
+    type Error = RunError;
+
+    fn try_from(snap: UserRunSnapshot) -> Result<UserRun, RunError> {
+        let pairs: Vec<(UserEvent, UserEvent)> = snap
+            .covers
+            .into_iter()
+            .map(|(u, v)| (UserEvent::from_node(u), UserEvent::from_node(v)))
+            .collect();
+        UserRun::new(snap.messages, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+
+    fn meta(n: usize) -> Vec<MessageMeta> {
+        (0..n)
+            .map(|i| MessageMeta::new(MessageId(i), ProcessId(0), ProcessId(1)))
+            .collect()
+    }
+
+    #[test]
+    fn send_deliver_edge_automatic() {
+        let run = UserRun::new(meta(1), []).unwrap();
+        assert!(run.before(
+            UserEvent::send(MessageId(0)),
+            UserEvent::deliver(MessageId(0))
+        ));
+        assert!(!run.before(
+            UserEvent::deliver(MessageId(0)),
+            UserEvent::send(MessageId(0))
+        ));
+    }
+
+    #[test]
+    fn cyclic_order_rejected() {
+        // r0 ▷ s0 closes a cycle with the automatic s0 ▷ r0.
+        let err = UserRun::new(
+            meta(1),
+            [(
+                UserEvent::deliver(MessageId(0)),
+                UserEvent::send(MessageId(0)),
+            )],
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::CyclicOrder);
+    }
+
+    #[test]
+    fn unknown_message_rejected() {
+        let err = UserRun::new(
+            meta(1),
+            [(UserEvent::send(MessageId(5)), UserEvent::send(MessageId(0)))],
+        )
+        .unwrap_err();
+        assert_eq!(err, RunError::UnknownMessage(MessageId(5)));
+    }
+
+    #[test]
+    fn transitivity_through_messages() {
+        // s0 ▷ s1 and r1 ▷ r0? No — build s0 ▷ s1, s1 ▷ r1 auto; check s0 ▷ r1.
+        let run = UserRun::new(
+            meta(2),
+            [(UserEvent::send(MessageId(0)), UserEvent::send(MessageId(1)))],
+        )
+        .unwrap();
+        assert!(run.before(
+            UserEvent::send(MessageId(0)),
+            UserEvent::deliver(MessageId(1))
+        ));
+    }
+
+    #[test]
+    fn concurrency() {
+        let run = UserRun::new(meta(2), []).unwrap();
+        assert!(run.concurrent(UserEvent::send(MessageId(0)), UserEvent::send(MessageId(1))));
+        assert!(!run.concurrent(
+            UserEvent::send(MessageId(0)),
+            UserEvent::send(MessageId(0))
+        ));
+    }
+
+    #[test]
+    fn message_graph_chain() {
+        // s0 ▷ s1 makes an edge m0 -> m1 (and r0 related? r0 vs m1: no).
+        let run = UserRun::new(
+            meta(2),
+            [(UserEvent::send(MessageId(0)), UserEvent::send(MessageId(1)))],
+        )
+        .unwrap();
+        let g = run.message_graph();
+        assert!(g.successors(0).any(|v| v == 1));
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn message_graph_cycle_for_crossing_pair() {
+        // s0 ▷ r1 and s1 ▷ r0: the classic crown, not logically synchronous.
+        let run = UserRun::new(
+            meta(2),
+            [
+                (
+                    UserEvent::send(MessageId(0)),
+                    UserEvent::deliver(MessageId(1)),
+                ),
+                (
+                    UserEvent::send(MessageId(1)),
+                    UserEvent::deliver(MessageId(0)),
+                ),
+            ],
+        )
+        .unwrap();
+        assert!(run.message_graph().has_cycle());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let run = UserRun::new(
+            meta(3),
+            [
+                (UserEvent::send(MessageId(0)), UserEvent::send(MessageId(1))),
+                (
+                    UserEvent::deliver(MessageId(1)),
+                    UserEvent::deliver(MessageId(2)),
+                ),
+            ],
+        )
+        .unwrap();
+        let snap = UserRunSnapshot::from(&run);
+        let back = UserRun::try_from(snap).unwrap();
+        assert_eq!(run.relation_pairs(), back.relation_pairs());
+    }
+
+    #[test]
+    fn render_mentions_messages_and_covers() {
+        let run = UserRun::new(meta(1), []).unwrap();
+        let s = run.render();
+        assert!(s.contains("m0"));
+        assert!(s.contains("▷"));
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = UserRun::new(vec![], []).unwrap();
+        assert!(run.is_empty());
+        assert!(run.relation_pairs().is_empty());
+        assert!(!run.message_graph().has_cycle());
+    }
+}

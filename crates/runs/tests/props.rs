@@ -1,0 +1,105 @@
+//! Property tests for the run model.
+
+use msgorder_runs::generator::{
+    random_abstract_user_run, random_causal_run, random_sync_run, random_system_run, GenParams,
+};
+use msgorder_runs::{construct, limit_sets, realize, EventKind, ProcessId, SystemEvent};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generated executions always satisfy the three run conditions
+    /// (construction validates) and are complete + quiescent.
+    #[test]
+    fn generated_runs_valid(procs in 2usize..5, msgs in 0usize..10, seed in 0u64..10_000) {
+        let run = random_system_run(GenParams::new(procs, msgs, seed));
+        prop_assert!(run.is_quiescent());
+        prop_assert!(run.is_complete());
+        prop_assert_eq!(run.event_count(), 4 * msgs);
+    }
+
+    /// Causal pasts are prefixes, and taking them is idempotent.
+    #[test]
+    fn causal_past_is_idempotent_prefix(procs in 2usize..4, msgs in 1usize..7, seed in 0u64..10_000) {
+        let run = random_system_run(GenParams::new(procs, msgs, seed));
+        for p in 0..procs {
+            let past = run.causal_past(ProcessId(p));
+            prop_assert!(run.is_prefix(&past));
+            let again = past.causal_past(ProcessId(p));
+            prop_assert_eq!(past.event_count(), again.event_count());
+        }
+    }
+
+    /// The dedicated generators land in their advertised limit sets.
+    #[test]
+    fn generators_hit_their_sets(procs in 2usize..5, msgs in 1usize..8, seed in 0u64..10_000) {
+        prop_assert!(limit_sets::in_x_co(&random_causal_run(GenParams::new(procs, msgs, seed))));
+        prop_assert!(limit_sets::in_x_sync(&random_sync_run(GenParams::new(procs, msgs, seed))));
+    }
+
+    /// Abstract runs keep the mandatory s ▷ r edges and stay acyclic.
+    #[test]
+    fn abstract_runs_valid(procs in 1usize..4, msgs in 0usize..7, seed in 0u64..10_000, d in 0.0f64..0.9) {
+        let run = random_abstract_user_run(GenParams::new(procs, msgs, seed), d);
+        prop_assert_eq!(run.len(), msgs);
+        for i in 0..msgs {
+            use msgorder_runs::{MessageId, UserEvent};
+            prop_assert!(run.before(UserEvent::send(MessageId(i)), UserEvent::deliver(MessageId(i))));
+        }
+    }
+
+    /// Figure 5 construction round-trips execution-derived views exactly.
+    #[test]
+    fn figure5_roundtrip(procs in 2usize..4, msgs in 1usize..7, seed in 0u64..10_000) {
+        let user = random_system_run(GenParams::new(procs, msgs, seed)).users_view();
+        prop_assert!(construct::roundtrips_exactly(&user));
+    }
+
+    /// Realization preserves relations and produces quiescent executions.
+    #[test]
+    fn realize_random_abstract_runs(procs in 2usize..4, msgs in 1usize..5, seed in 0u64..10_000) {
+        let user = random_abstract_user_run(GenParams::new(procs, msgs, seed), 0.4);
+        let r = realize::realize(&user).unwrap();
+        prop_assert!(r.run.is_quiescent());
+        let view = r.original_view();
+        for (a, b) in user.relation_pairs() {
+            prop_assert!(view.before(a, b));
+        }
+    }
+
+    /// Send happens-before receive for every message, every run.
+    #[test]
+    fn send_precedes_receive(procs in 2usize..5, msgs in 1usize..8, seed in 0u64..10_000) {
+        let run = random_system_run(GenParams::new(procs, msgs, seed));
+        for m in run.messages() {
+            prop_assert!(run.happens_before(
+                SystemEvent::new(m.id, EventKind::Send),
+                SystemEvent::new(m.id, EventKind::Receive),
+            ));
+            prop_assert!(run.happens_before(
+                SystemEvent::new(m.id, EventKind::Invoke),
+                SystemEvent::new(m.id, EventKind::Deliver),
+            ));
+        }
+    }
+
+    /// Users-view projection never invents order: user-view precedence
+    /// implies system-view precedence on send/deliver events.
+    #[test]
+    fn projection_sound(procs in 2usize..4, msgs in 1usize..7, seed in 0u64..10_000) {
+        use msgorder_runs::UserEventKind;
+        let run = random_system_run(GenParams::new(procs, msgs, seed));
+        let user = run.users_view();
+        for (a, b) in user.relation_pairs() {
+            let kind = |k: UserEventKind| match k {
+                UserEventKind::Send => EventKind::Send,
+                UserEventKind::Deliver => EventKind::Deliver,
+            };
+            prop_assert!(run.happens_before(
+                SystemEvent::new(a.msg, kind(a.kind)),
+                SystemEvent::new(b.msg, kind(b.kind)),
+            ), "user view invented {a} ▷ {b}");
+        }
+    }
+}

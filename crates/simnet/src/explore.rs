@@ -1,0 +1,255 @@
+//! Exhaustive schedule exploration: model-check a protocol over *every*
+//! network ordering of a small workload instead of sampling seeds.
+//!
+//! The timed kernel resolves nondeterminism with sampled latencies; the
+//! explorer instead branches on **which pending event fires next** —
+//! any in-flight frame or timer, or each process's next unissued
+//! request — and DFS-enumerates all interleavings, cloning the whole
+//! world at each branch. Every complete schedule's captured run is
+//! handed to the visitor, which typically checks a specification.
+//!
+//! Schedules explode combinatorially; keep workloads to a handful of
+//! messages and use `cap` (the count of *completed schedules*; the
+//! search stops once reached).
+
+use crate::kernel::{EventKind, Protocol, Scheduled, SimConfig, Simulation};
+use crate::workload::Workload;
+use msgorder_runs::SystemRun;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+
+/// The outcome of an exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// Complete schedules visited.
+    pub schedules: usize,
+    /// Whether the cap stopped the search early.
+    pub truncated: bool,
+}
+
+/// Exhaustively explores every schedule of `workload` under the
+/// protocol, invoking `visit` with each complete run. `visit` may
+/// return `false` to stop early (e.g. after finding a violation).
+///
+/// Per-process request order is preserved (a user issues its sends in
+/// workload order); everything else — frame arrival order across and
+/// within channels, timer firing order — is fully interleaved.
+///
+/// # Panics
+/// Panics if a protocol livelocks within a schedule (more dispatches
+/// than `10_000`), which would make exploration meaningless.
+pub fn explore<P, V>(
+    processes: usize,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    cap: usize,
+    mut visit: V,
+) -> Exploration
+where
+    P: Protocol + Clone,
+    V: FnMut(&SystemRun) -> bool,
+{
+    // Build the initial world via the normal constructor (declares all
+    // messages), then pull the request events out into per-process
+    // queues so their relative order per process is preserved.
+    let config = SimConfig {
+        processes,
+        latency: crate::latency::LatencyModel::Fixed(1),
+        seed: 0,
+    };
+    let sim = Simulation::new(config, workload, factory);
+    let (mut world, mut protocols) = sim.into_parts();
+    let mut requests: Vec<VecDeque<Scheduled>> = vec![VecDeque::new(); processes];
+    let mut initial: Vec<Scheduled> = Vec::new();
+    while let Some(Reverse(ev)) = world.queue.pop() {
+        match ev.kind {
+            EventKind::Request { .. } => requests[ev.node].push_back(ev),
+            _ => initial.push(ev),
+        }
+    }
+    for node in 0..processes {
+        let mut ctx = world.ctx(node);
+        protocols[node].on_init(&mut ctx);
+    }
+    while let Some(Reverse(ev)) = world.queue.pop() {
+        initial.push(ev);
+    }
+    let mut state = State {
+        world,
+        protocols,
+        pool: initial,
+        requests,
+    };
+    let mut exp = Exploration {
+        schedules: 0,
+        truncated: false,
+    };
+    dfs(&mut state, cap, &mut exp, &mut visit);
+    exp
+}
+
+struct State<P> {
+    world: crate::kernel::World,
+    protocols: Vec<P>,
+    /// In-flight frames and timers, any of which may fire next.
+    pool: Vec<Scheduled>,
+    /// Unissued user requests per process (ordered).
+    requests: Vec<VecDeque<Scheduled>>,
+}
+
+impl<P: Protocol + Clone> State<P> {
+    fn clone_state(&self) -> State<P> {
+        State {
+            world: self.world.clone(),
+            protocols: self.protocols.clone(),
+            pool: self.pool.clone(),
+            requests: self.requests.clone(),
+        }
+    }
+
+    fn step(&mut self, ev: Scheduled) {
+        // Time is advisory under exploration: keep it monotone so stats
+        // make sense, but ordering is the explorer's choice.
+        self.world.now = self.world.now.max(ev.time);
+        self.world.dispatch(&mut self.protocols, ev.node, ev.kind);
+        // newly scheduled events join the unordered pool
+        while let Some(Reverse(nev)) = self.world.queue.pop() {
+            self.pool.push(nev);
+        }
+        assert!(
+            self.pool.len() < 10_000,
+            "protocol generates unbounded traffic under exploration"
+        );
+    }
+}
+
+fn dfs<P, V>(state: &mut State<P>, cap: usize, exp: &mut Exploration, visit: &mut V) -> bool
+where
+    P: Protocol + Clone,
+    V: FnMut(&SystemRun) -> bool,
+{
+    if exp.schedules >= cap {
+        exp.truncated = true;
+        return false;
+    }
+    let pool_len = state.pool.len();
+    let request_nodes: Vec<usize> = (0..state.requests.len())
+        .filter(|&p| !state.requests[p].is_empty())
+        .collect();
+    if pool_len == 0 && request_nodes.is_empty() {
+        exp.schedules += 1;
+        let run = state
+            .world
+            .builder
+            .build()
+            .expect("explored runs are valid");
+        return visit(&run);
+    }
+    // branch on every pool event
+    for i in 0..pool_len {
+        let mut next = state.clone_state();
+        let ev = next.pool.swap_remove(i);
+        next.step(ev);
+        if !dfs(&mut next, cap, exp, visit) {
+            return false;
+        }
+    }
+    // branch on each process's next request
+    for p in request_nodes {
+        let mut next = state.clone_state();
+        let ev = next.requests[p].pop_front().expect("nonempty");
+        next.step(ev);
+        if !dfs(&mut next, cap, exp, visit) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SendSpec;
+    use msgorder_runs::{MessageId, ProcessId};
+
+    #[derive(Clone)]
+    struct Immediate;
+    impl Protocol for Immediate {
+        fn on_send_request(&mut self, ctx: &mut crate::Ctx<'_>, msg: MessageId) {
+            ctx.send_user(msg, Vec::new());
+        }
+        fn on_user_frame(
+            &mut self,
+            ctx: &mut crate::Ctx<'_>,
+            _from: ProcessId,
+            msg: MessageId,
+            _tag: Vec<u8>,
+        ) {
+            ctx.deliver(msg);
+        }
+    }
+
+    fn two_same_channel() -> Workload {
+        Workload {
+            sends: vec![
+                SendSpec { at: 0, src: 0, dst: 1, color: None },
+                SendSpec { at: 1, src: 0, dst: 1, color: None },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_all_interleavings_of_two_messages() {
+        // Events for the immediate protocol: req0 (triggers send),
+        // arrival0, req1, arrival1 — requests of the same process are
+        // ordered, arrivals are free: schedules = interleavings of
+        // [a0] and [a1] relative to req order... enumerate and check a
+        // known property instead of an exact count: both delivery
+        // orders must occur.
+        let mut saw_in_order = false;
+        let mut saw_inverted = false;
+        let exp = explore(2, two_same_channel(), |_| Immediate, 10_000, |run| {
+            let user = run.users_view();
+            use msgorder_runs::UserEvent;
+            if user.before(
+                UserEvent::deliver(MessageId(0)),
+                UserEvent::deliver(MessageId(1)),
+            ) {
+                saw_in_order = true;
+            } else {
+                saw_inverted = true;
+            }
+            true
+        });
+        assert!(!exp.truncated);
+        assert!(exp.schedules >= 2);
+        assert!(saw_in_order && saw_inverted, "explorer must reorder frames");
+    }
+
+    #[test]
+    fn every_explored_run_is_quiescent_for_live_protocol() {
+        let exp = explore(2, two_same_channel(), |_| Immediate, 10_000, |run| {
+            assert!(run.is_quiescent());
+            true
+        });
+        assert!(exp.schedules > 0);
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let exp = explore(2, two_same_channel(), |_| Immediate, 10_000, |_| false);
+        assert_eq!(exp.schedules, 1);
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let w = Workload {
+            sends: (0..4)
+                .map(|i| SendSpec { at: i, src: 0, dst: 1, color: None })
+                .collect(),
+        };
+        let exp = explore(2, w, |_| Immediate, 3, |_| true);
+        assert!(exp.truncated);
+        assert_eq!(exp.schedules, 3);
+    }
+}

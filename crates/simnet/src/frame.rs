@@ -1,0 +1,60 @@
+//! Network frames: user messages with protocol tags, or control traffic.
+
+use msgorder_runs::MessageId;
+
+/// What travels on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A user message (declared in the workload) carrying a protocol tag.
+    ///
+    /// The tag is an opaque byte string — protocols serialize whatever
+    /// they piggyback (sequence numbers, vector clocks, matrices,
+    /// causal-history graphs), and the byte length feeds the overhead
+    /// accounting, so tag costs in the experiments are real.
+    User {
+        /// The message's identity.
+        msg: MessageId,
+        /// Serialized piggybacked data.
+        tag: Vec<u8>,
+    },
+    /// A protocol-internal control message. Invisible to the user's
+    /// view; counted by the statistics.
+    Control {
+        /// Serialized control payload.
+        bytes: Vec<u8>,
+    },
+}
+
+impl Frame {
+    /// Number of payload/tag bytes this frame adds beyond the bare
+    /// user payload.
+    pub fn overhead_bytes(&self) -> usize {
+        match self {
+            Frame::User { tag, .. } => tag.len(),
+            Frame::Control { bytes } => bytes.len(),
+        }
+    }
+
+    /// Whether this is a control frame.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Frame::Control { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_counts_tag_or_control_bytes() {
+        let u = Frame::User {
+            msg: MessageId(0),
+            tag: vec![0; 16],
+        };
+        assert_eq!(u.overhead_bytes(), 16);
+        assert!(!u.is_control());
+        let c = Frame::Control { bytes: vec![0; 5] };
+        assert_eq!(c.overhead_bytes(), 5);
+        assert!(c.is_control());
+    }
+}

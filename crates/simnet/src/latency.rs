@@ -1,0 +1,115 @@
+//! Channel latency models.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How long a frame spends in transit. All models are sampled from the
+/// simulation's seeded RNG, so runs are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every frame takes exactly this long — channels behave FIFO.
+    Fixed(u64),
+    /// Uniform in `[lo, hi]` — frames reorder freely (the adversarial
+    /// default for protocol testing).
+    Uniform {
+        /// Minimum latency (inclusive).
+        lo: u64,
+        /// Maximum latency (inclusive).
+        hi: u64,
+    },
+    /// Uniform in `[lo, hi]` but occasionally (probability `1/slow_every`)
+    /// multiplied by `slow_factor` — models stragglers that force deep
+    /// reordering.
+    Straggler {
+        /// Minimum base latency.
+        lo: u64,
+        /// Maximum base latency.
+        hi: u64,
+        /// One in `slow_every` frames straggles.
+        slow_every: u32,
+        /// Multiplier applied to stragglers.
+        slow_factor: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples a latency (at least 1 tick so causality is never
+    /// instantaneous).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let raw = match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            LatencyModel::Straggler {
+                lo,
+                hi,
+                slow_every,
+                slow_factor,
+            } => {
+                let base = rng.gen_range(lo..=hi);
+                if rng.gen_ratio(1, slow_every.max(1)) {
+                    base.saturating_mul(slow_factor)
+                } else {
+                    base
+                }
+            }
+        };
+        raw.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(LatencyModel::Fixed(7).sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let d = LatencyModel::Uniform { lo: 5, hi: 9 }.sample(&mut rng);
+            assert!((5..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn zero_latency_clamped_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(LatencyModel::Fixed(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn straggler_sometimes_slow() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = LatencyModel::Straggler {
+            lo: 10,
+            hi: 10,
+            slow_every: 3,
+            slow_factor: 50,
+        };
+        let samples: Vec<u64> = (0..100).map(|_| m.sample(&mut rng)).collect();
+        assert!(samples.iter().any(|&d| d == 10));
+        assert!(samples.iter().any(|&d| d == 500));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = LatencyModel::Uniform { lo: 1, hi: 1000 };
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

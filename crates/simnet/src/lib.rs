@@ -1,0 +1,57 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! The paper's protocols are *inhibitory*: they decide when the
+//! controllable events (send `x.s`, delivery `x.r`) may execute. The
+//! simulator gives them an adversarial but reproducible environment:
+//!
+//! - **non-FIFO channels** — per-message latency drawn from a pluggable
+//!   [`LatencyModel`], so messages reorder freely in transit;
+//! - **user vs control traffic** — protocol [`Frame`]s are either user
+//!   messages (whose four events are recorded) or control messages
+//!   (counted and costed, invisible in the user's view);
+//! - **full run capture** — the kernel logs `x.s*`, `x.s`, `x.r*`,
+//!   `x.r` into a [`SystemRun`](msgorder_runs::SystemRun) as the
+//!   simulation executes, so safety is checked *exactly* afterwards;
+//! - **determinism** — all randomness flows from one seed; event ties
+//!   break on a monotone sequence number.
+//!
+//! # Example
+//!
+//! ```
+//! use msgorder_simnet::{Simulation, SimConfig, LatencyModel, Workload, Protocol, Ctx, Frame};
+//! use msgorder_runs::{MessageId, ProcessId};
+//!
+//! /// The do-nothing (tagless, asynchronous) protocol.
+//! struct Async;
+//! impl Protocol for Async {
+//!     fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+//!         ctx.send_user(msg, Vec::new());
+//!     }
+//!     fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: MessageId, _tag: Vec<u8>) {
+//!         ctx.deliver(msg);
+//!     }
+//! }
+//!
+//! let workload = Workload::uniform_random(3, 20, 0xfeed);
+//! let config = SimConfig { processes: 3, latency: LatencyModel::Uniform { lo: 1, hi: 100 }, seed: 1 };
+//! let result = Simulation::run_uniform(config, workload, |_| Async);
+//! assert!(result.run.is_quiescent());
+//! assert_eq!(result.stats.control_messages, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+mod frame;
+mod kernel;
+mod latency;
+mod stats;
+mod workload;
+
+pub use explore::{explore, Exploration};
+pub use frame::Frame;
+pub use kernel::{Ctx, Protocol, SimConfig, SimResult, Simulation};
+pub use latency::LatencyModel;
+pub use stats::Stats;
+pub use workload::{SendSpec, Workload};

@@ -1,0 +1,96 @@
+//! Protocol overhead accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost counters collected during a simulation — the raw material of the
+/// EXP-P1 protocol-comparison table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// User messages put on the wire.
+    pub user_messages: usize,
+    /// Control messages put on the wire.
+    pub control_messages: usize,
+    /// Total bytes of control payloads.
+    pub control_bytes: usize,
+    /// Total bytes piggybacked on user messages.
+    pub tag_bytes: usize,
+    /// Sum over user messages of `deliver_time - receive_time` (how long
+    /// the protocol inhibited deliveries).
+    pub total_inhibition: u64,
+    /// Sum over user messages of `deliver_time - invoke_time`.
+    pub total_latency: u64,
+    /// Number of user messages delivered.
+    pub delivered: usize,
+    /// Final simulated time.
+    pub end_time: u64,
+}
+
+impl Stats {
+    /// Control messages per user message (the paper's headline cost of
+    /// logically synchronous ordering).
+    pub fn control_per_user(&self) -> f64 {
+        if self.user_messages == 0 {
+            0.0
+        } else {
+            self.control_messages as f64 / self.user_messages as f64
+        }
+    }
+
+    /// Mean tag bytes per user message.
+    pub fn tag_bytes_per_user(&self) -> f64 {
+        if self.user_messages == 0 {
+            0.0
+        } else {
+            self.tag_bytes as f64 / self.user_messages as f64
+        }
+    }
+
+    /// Mean delivery inhibition per delivered message.
+    pub fn mean_inhibition(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_inhibition as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean end-to-end latency per delivered message.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_division_by_zero() {
+        let s = Stats::default();
+        assert_eq!(s.control_per_user(), 0.0);
+        assert_eq!(s.tag_bytes_per_user(), 0.0);
+        assert_eq!(s.mean_inhibition(), 0.0);
+        assert_eq!(s.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = Stats {
+            user_messages: 10,
+            control_messages: 40,
+            tag_bytes: 160,
+            delivered: 10,
+            total_inhibition: 50,
+            total_latency: 500,
+            ..Stats::default()
+        };
+        assert_eq!(s.control_per_user(), 4.0);
+        assert_eq!(s.tag_bytes_per_user(), 16.0);
+        assert_eq!(s.mean_inhibition(), 5.0);
+        assert_eq!(s.mean_latency(), 50.0);
+    }
+}

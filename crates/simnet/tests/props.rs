@@ -1,0 +1,88 @@
+//! Property tests for the simulator kernel.
+
+use msgorder_simnet::{
+    explore, Ctx, LatencyModel, Protocol, SimConfig, Simulation, Workload,
+};
+use msgorder_runs::{MessageId, ProcessId};
+use proptest::prelude::*;
+
+#[derive(Clone)]
+struct Immediate;
+impl Protocol for Immediate {
+    fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+        ctx.send_user(msg, Vec::new());
+    }
+    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _f: ProcessId, msg: MessageId, _t: Vec<u8>) {
+        ctx.deliver(msg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Simulations are deterministic functions of (workload, seed).
+    #[test]
+    fn determinism(procs in 2usize..5, msgs in 1usize..15, seed in 0u64..10_000) {
+        let cfg = SimConfig {
+            processes: procs,
+            latency: LatencyModel::Uniform { lo: 1, hi: 500 },
+            seed,
+        };
+        let w = Workload::uniform_random(procs, msgs, seed);
+        let a = Simulation::run_uniform(cfg, w.clone(), |_| Immediate);
+        let b = Simulation::run_uniform(cfg, w, |_| Immediate);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(
+            a.run.users_view().relation_pairs(),
+            b.run.users_view().relation_pairs()
+        );
+    }
+
+    /// The immediate protocol always drains every workload.
+    #[test]
+    fn immediate_always_live(procs in 2usize..5, msgs in 0usize..20, seed in 0u64..10_000,
+                             lo in 1u64..50, spread in 0u64..500) {
+        let cfg = SimConfig {
+            processes: procs,
+            latency: LatencyModel::Uniform { lo, hi: lo + spread },
+            seed,
+        };
+        let w = if msgs == 0 { Workload::default() } else { Workload::uniform_random(procs, msgs, seed) };
+        let r = Simulation::run_uniform(cfg, w, |_| Immediate);
+        prop_assert!(r.completed);
+        prop_assert!(r.run.is_quiescent());
+        prop_assert_eq!(r.stats.delivered, msgs);
+    }
+
+    /// Workload generators stay in range and deterministic.
+    #[test]
+    fn workload_generators_wellformed(procs in 2usize..6, n in 1usize..25, seed in 0u64..10_000) {
+        for w in [
+            Workload::uniform_random(procs, n, seed),
+            Workload::client_server(procs, 2, n.min(6), seed),
+            Workload::with_markers(procs, n, 3, "red", seed),
+        ] {
+            for s in &w.sends {
+                prop_assert!(s.src < procs && s.dst < procs && s.src != s.dst);
+            }
+        }
+        let bc = Workload::broadcast_rounds(procs, n.min(6), seed);
+        prop_assert_eq!(bc.len(), n.min(6) * (procs - 1));
+    }
+
+    /// The explorer's schedules all reach quiescence for a live protocol
+    /// and the count is at least one.
+    #[test]
+    fn explorer_covers_small_workloads(msgs in 1usize..4, seed in 0u64..1000) {
+        let w = Workload::uniform_random(2, msgs, seed);
+        let mut count = 0usize;
+        let e = explore(2, w, |_| Immediate, 50_000, |run| {
+            assert!(run.is_quiescent());
+            count += 1;
+            true
+        });
+        prop_assert!(!e.truncated);
+        prop_assert_eq!(e.schedules, count);
+        prop_assert!(count >= 1);
+    }
+}

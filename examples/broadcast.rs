@@ -1,0 +1,76 @@
+//! Causal broadcast — the multicast direction the paper's closing remark
+//! points at.
+//!
+//! A broadcast is realized as an `n-1`-way fan-out of unicasts sharing
+//! one origin and instant. The Birman–Schiper–Stephenson protocol
+//! orders broadcasts causally with an `O(n)` vector clock, where the
+//! unicast-general Raynal–Schiper–Toueg protocol pays `O(n²)` matrices
+//! for the same guarantee on this traffic.
+//!
+//! ```sh
+//! cargo run --example broadcast
+//! ```
+
+use msgorder::predicate::catalog;
+use msgorder::predicate::eval;
+use msgorder::protocols::{CausalBss, ProtocolKind};
+use msgorder::runs::limit_sets;
+use msgorder::simnet::{LatencyModel, SimConfig, Simulation, Workload};
+
+fn main() {
+    let causal = catalog::causal();
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>8} {:>8}",
+        "protocol", "n", "tag B/msg", "latency", "CO ok", "live"
+    );
+    println!("{}", "-".repeat(62));
+    for n in [4usize, 8, 12] {
+        for name in ["bss", "rst", "async"] {
+            let seeds = 10u64;
+            let mut tagb = 0.0;
+            let mut lat = 0.0;
+            let mut co = 0u32;
+            let mut live = 0u32;
+            for seed in 0..seeds {
+                let w = Workload::broadcast_rounds(n, 8, seed);
+                let cfg = SimConfig {
+                    processes: n,
+                    latency: LatencyModel::Uniform { lo: 1, hi: 600 },
+                    seed,
+                };
+                let r = match name {
+                    "bss" => Simulation::run_uniform(cfg, w, |me| {
+                        Box::new(CausalBss::new(n, me)) as Box<dyn msgorder::simnet::Protocol>
+                    }),
+                    "rst" => Simulation::run_uniform(cfg, w, |node| {
+                        ProtocolKind::CausalRst.instantiate(n, node)
+                    }),
+                    _ => Simulation::run_uniform(cfg, w, |node| {
+                        ProtocolKind::Async.instantiate(n, node)
+                    }),
+                };
+                live += u32::from(r.completed && r.run.is_quiescent());
+                tagb += r.stats.tag_bytes_per_user();
+                lat += r.stats.mean_latency();
+                let user = r.run.users_view();
+                co += u32::from(
+                    limit_sets::in_x_co(&user) && eval::satisfies_spec(&causal, &user),
+                );
+            }
+            let s = seeds as f64;
+            println!(
+                "{:<12} {:>6} {:>10.1} {:>12.1} {:>5}/{seeds} {:>5}/{seeds}",
+                name,
+                n,
+                tagb / s,
+                lat / s,
+                co,
+                live
+            );
+        }
+    }
+    println!("{}", "-".repeat(62));
+    println!("BSS matches RST's guarantee on broadcast traffic at a fraction of the");
+    println!("tag cost, and the gap widens with n; async broadcasts violate causal");
+    println!("order on most seeds.");
+}

@@ -1,0 +1,89 @@
+//! The classic causal-ordering anomaly, as a three-party chat.
+//!
+//! Alice posts a question to Bob and Carol; Bob answers to Carol. Under
+//! raw asynchronous delivery Carol can see Bob's *answer* before
+//! Alice's *question* — the cross-channel anomaly FIFO cannot fix. The
+//! causal protocols fix it by tagging only.
+//!
+//! ```sh
+//! cargo run --example causal_chat
+//! ```
+
+use msgorder::predicate::catalog;
+use msgorder::predicate::eval;
+use msgorder::protocols::ProtocolKind;
+use msgorder::simnet::{LatencyModel, SendSpec, SimConfig, Simulation, Workload};
+
+const ALICE: usize = 0;
+const BOB: usize = 1;
+const CAROL: usize = 2;
+
+/// Alice's question takes the slow path to Carol; Bob replies fast.
+fn chat_round(round: u64) -> Vec<SendSpec> {
+    let t0 = round * 2_000;
+    vec![
+        // Alice -> Bob and Alice -> Carol ("where shall we meet?")
+        SendSpec { at: t0, src: ALICE, dst: BOB, color: None },
+        SendSpec { at: t0 + 1, src: ALICE, dst: CAROL, color: None },
+        // Bob -> Carol ("the usual place!") — sent after Bob reads Alice.
+        SendSpec { at: t0 + 600, src: BOB, dst: CAROL, color: None },
+    ]
+}
+
+fn main() {
+    let workload = Workload {
+        sends: (0..6).flat_map(chat_round).collect(),
+    };
+    let causal = catalog::causal();
+    let n = 3;
+
+    println!("three-party chat, 6 rounds, straggler network\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>14}",
+        "protocol", "anomalies", "tag B/msg", "mean latency"
+    );
+    println!("{}", "-".repeat(52));
+    for kind in [
+        ProtocolKind::Async,
+        ProtocolKind::Fifo,
+        ProtocolKind::CausalRst,
+        ProtocolKind::CausalSes,
+    ] {
+        let mut anomalies = 0;
+        let mut tag_bytes = 0.0;
+        let mut latency = 0.0;
+        let seeds = 30;
+        for seed in 0..seeds {
+            let r = Simulation::run_uniform(
+                SimConfig {
+                    processes: n,
+                    latency: LatencyModel::Straggler {
+                        lo: 1,
+                        hi: 300,
+                        slow_every: 3,
+                        slow_factor: 10,
+                    },
+                    seed,
+                },
+                workload.clone(),
+                |node| kind.instantiate(n, node),
+            );
+            assert!(r.completed && r.run.is_quiescent());
+            if !eval::satisfies_spec(&causal, &r.run.users_view()) {
+                anomalies += 1;
+            }
+            tag_bytes += r.stats.tag_bytes_per_user();
+            latency += r.stats.mean_latency();
+        }
+        println!(
+            "{:<12} {:>6}/{seeds} {:>12.1} {:>14.1}",
+            kind.name(),
+            anomalies,
+            tag_bytes / seeds as f64,
+            latency / seeds as f64,
+        );
+    }
+    println!("{}", "-".repeat(52));
+    println!("async and FIFO let Carol read the answer before the question;");
+    println!("both causal protocols eliminate the anomaly with tags alone.");
+}

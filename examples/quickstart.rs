@@ -1,0 +1,33 @@
+//! Quickstart: specify a message ordering, learn what it takes to
+//! implement it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use msgorder::core::Spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Causal ordering, written as a forbidden predicate: no two messages
+    // x, y may have x sent-before y while y is delivered-before x.
+    let causal = Spec::parse("forbid x, y: x.s < y.s & y.r < x.r")?.named("causal ordering");
+    let report = causal.analyze();
+    println!("{}", report.render());
+
+    // A specification that needs control messages: no message pair may
+    // cross (logical synchrony for pairs).
+    let crossing = Spec::parse("forbid x, y: x.s < y.r & y.s < x.r")?.named("no crossing pair");
+    println!("{}", crossing.analyze().render());
+
+    // And one nobody can implement: deliveries must invert send order.
+    let inverted = Spec::parse(
+        "forbid x, y: x.s < y.s & x.r < y.r \
+         where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)",
+    )?
+    .named("receive second before first");
+    let report = inverted.analyze();
+    assert!(!report.classification().is_implementable());
+    println!("{}", report.render());
+
+    Ok(())
+}

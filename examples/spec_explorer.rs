@@ -1,0 +1,58 @@
+//! Classify the full paper catalog — or your own predicate.
+//!
+//! ```sh
+//! cargo run --example spec_explorer
+//! cargo run --example spec_explorer -- "forbid x, y: x.s < y.s & y.r < x.r where color(y) = red"
+//! ```
+//!
+//! With no argument, prints the §4.3 decision table over every
+//! specification the paper names, with the paper's claimed class next to
+//! the classifier's verdict.
+
+use msgorder::core::Spec;
+use msgorder::predicate::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(src) = args.first() {
+        let spec = Spec::parse(src)?.named("your spec");
+        println!("{}", spec.analyze().render());
+        return Ok(());
+    }
+
+    println!(
+        "{:<28} {:>5} {:>5} {:>7} {:>9}  {:<28} {:<28}",
+        "specification", "|V|", "|E|", "cycles", "min-order", "classifier verdict", "paper claim"
+    );
+    println!("{}", "-".repeat(118));
+    let mut disagreements = 0;
+    for entry in catalog::all() {
+        let report = Spec::from_predicate(entry.predicate.clone())
+            .named(entry.name)
+            .analyze();
+        let s = report.summary();
+        let verdict = report.classification().protocol_class();
+        let agree = verdict == entry.expected;
+        if !agree {
+            disagreements += 1;
+        }
+        println!(
+            "{:<28} {:>5} {:>5} {:>7} {:>9}  {:<28} {:<28}{}",
+            entry.name,
+            s.vertices,
+            s.edges,
+            s.cycles,
+            s.min_order.map_or("-".to_owned(), |o| o.to_string()),
+            verdict.to_string(),
+            entry.expected.to_string(),
+            if agree { "" } else { "  <-- MISMATCH" }
+        );
+    }
+    println!("{}", "-".repeat(118));
+    println!(
+        "{} specifications, {} disagreements with the paper",
+        catalog::all().len(),
+        disagreements
+    );
+    Ok(())
+}

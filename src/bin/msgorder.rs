@@ -1,0 +1,251 @@
+//! The `msgorder` command-line tool.
+//!
+//! ```text
+//! msgorder classify "forbid x, y: x.s < y.s & y.r < x.r"
+//! msgorder catalog
+//! msgorder witness "forbid x, y: x.s < y.r & y.s < x.r"
+//! msgorder dot "forbid x, y: x.s < y.s & y.r < x.r" | dot -Tsvg > graph.svg
+//! msgorder simulate --protocol causal-rst --processes 4 --messages 30 --seed 7
+//! msgorder simulate --protocol synthesized --spec "forbid x, y: x.s < y.s & y.r < x.r"
+//! ```
+
+use msgorder::classifier::classify::classify;
+use msgorder::classifier::dot::to_dot;
+use msgorder::core::Spec;
+use msgorder::predicate::{catalog, eval, ForbiddenPredicate};
+use msgorder::protocols::ProtocolKind;
+use msgorder::runs::limit_sets;
+use msgorder::simnet::{LatencyModel, SimConfig, Simulation, Workload};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("file") => cmd_file(&args[1..]),
+        Some("catalog") => cmd_catalog(),
+        Some("witness") => cmd_witness(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `msgorder help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "msgorder — message ordering specifications and protocols (Murty & Garg, ICDCS 1997)
+
+USAGE:
+  msgorder classify \"<predicate>\"        classify a forbidden predicate
+  msgorder explain  \"<predicate>\"        classification + the full argument
+  msgorder file <path>                     classify every spec in a spec file
+  msgorder catalog                         the paper's decision table
+  msgorder witness \"<predicate>\"         print verified separation witnesses
+  msgorder dot \"<predicate>\"             Graphviz of the predicate graph
+  msgorder simulate [options]              run a protocol on a random workload
+      --protocol  async|fifo|causal-rst|causal-ses|flush|sync|sync-batched|synthesized
+      --spec      \"<predicate>\"  (required for synthesized; otherwise used to verify)
+      --processes N   (default 4)
+      --messages  N   (default 30)
+      --seed      N   (default 1)
+      --timeline      print the run as an ASCII time diagram
+
+PREDICATE DSL:
+  forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), color(y) = red"
+    );
+}
+
+fn predicate_arg(args: &[String]) -> Result<ForbiddenPredicate, String> {
+    let src = args
+        .first()
+        .ok_or_else(|| "expected a predicate argument".to_owned())?;
+    // Convenience: accept catalog names too.
+    if let Some(entry) = catalog::by_name(src) {
+        return Ok(entry.predicate);
+    }
+    ForbiddenPredicate::parse(src).map_err(|e| e.to_string())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let pred = predicate_arg(args)?;
+    let report = Spec::from_predicate(pred).named("cli").analyze();
+    print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let pred = predicate_arg(args)?;
+    let e = msgorder::classifier::explain::explain(&pred);
+    print!("{}", e.render());
+    if !e.witnesses_verified() {
+        return Err("a witness failed verification".into());
+    }
+    Ok(())
+}
+
+fn cmd_file(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("expected a spec-file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let specs = msgorder::predicate::parse::parse_file(&text).map_err(|e| e.to_string())?;
+    if specs.is_empty() {
+        return Err("no specs in file".into());
+    }
+    println!("{:<24} {:>9}  {:<28}", "spec", "min-order", "verdict");
+    println!("{}", "-".repeat(64));
+    for (name, pred) in specs {
+        let report = classify(&pred);
+        println!(
+            "{:<24} {:>9}  {:<28}",
+            name,
+            report.min_order.map_or("-".to_owned(), |o| o.to_string()),
+            report.classification.to_string()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_catalog() -> Result<(), String> {
+    println!(
+        "{:<28} {:>9}  {:<28} {:<20}",
+        "specification", "min-order", "verdict", "paper reference"
+    );
+    println!("{}", "-".repeat(92));
+    for entry in catalog::all() {
+        let report = classify(&entry.predicate);
+        println!(
+            "{:<28} {:>9}  {:<28} {:<20}",
+            entry.name,
+            report.min_order.map_or("-".to_owned(), |o| o.to_string()),
+            report.classification.to_string(),
+            entry.paper_ref
+        );
+    }
+    Ok(())
+}
+
+fn cmd_witness(args: &[String]) -> Result<(), String> {
+    let pred = predicate_arg(args)?;
+    let report = Spec::from_predicate(pred).named("cli").analyze();
+    report.verify_witnesses()?;
+    if report.witnesses().is_empty() {
+        println!("no separation witness needed: the trivial protocol already suffices.");
+        return Ok(());
+    }
+    for w in report.witnesses() {
+        println!("witness kind: {:?}", w.kind);
+        println!("{}", w.run.render());
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let pred = predicate_arg(args)?;
+    let report = classify(&pred);
+    let Some(graph) = &report.graph else {
+        return Err("predicate is unsatisfiable after normalization; no graph".into());
+    };
+    let best = report
+        .cycles
+        .iter()
+        .min_by_key(|c| (c.order(), c.len()));
+    print!("{}", to_dot(graph, best));
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let mut protocol = "causal-rst".to_owned();
+    let mut spec: Option<String> = None;
+    let mut processes = 4usize;
+    let mut messages = 30usize;
+    let mut seed = 1u64;
+    let mut timeline = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--protocol" => protocol = val()?,
+            "--spec" => spec = Some(val()?),
+            "--processes" => {
+                processes = val()?.parse().map_err(|e| format!("--processes: {e}"))?
+            }
+            "--messages" => messages = val()?.parse().map_err(|e| format!("--messages: {e}"))?,
+            "--seed" => seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--timeline" => timeline = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let spec_pred = match &spec {
+        Some(s) => Some(
+            catalog::by_name(s)
+                .map(|e| e.predicate)
+                .map_or_else(|| ForbiddenPredicate::parse(s).map_err(|e| e.to_string()), Ok)?,
+        ),
+        None => None,
+    };
+    let kind = match protocol.as_str() {
+        "async" => ProtocolKind::Async,
+        "fifo" => ProtocolKind::Fifo,
+        "causal-rst" => ProtocolKind::CausalRst,
+        "causal-ses" => ProtocolKind::CausalSes,
+        "flush" => ProtocolKind::Flush,
+        "sync" => ProtocolKind::Sync,
+        "sync-batched" => ProtocolKind::SyncBatched,
+        "synthesized" => ProtocolKind::Synthesized(
+            spec_pred
+                .clone()
+                .ok_or_else(|| "--protocol synthesized requires --spec".to_owned())?,
+        ),
+        other => return Err(format!("unknown protocol `{other}`")),
+    };
+    if processes < 2 {
+        return Err("--processes must be at least 2".into());
+    }
+    let w = Workload::uniform_random(processes, messages, seed);
+    let r = Simulation::run_uniform(
+        SimConfig {
+            processes,
+            latency: LatencyModel::Uniform { lo: 1, hi: 800 },
+            seed,
+        },
+        w,
+        |node| kind.instantiate(processes, node),
+    );
+    let user = r.run.users_view();
+    println!("protocol      : {}", kind.name());
+    println!("live          : {}", r.completed && r.run.is_quiescent());
+    println!("user messages : {}", r.stats.user_messages);
+    println!("control msgs  : {} ({:.2}/msg)", r.stats.control_messages, r.stats.control_per_user());
+    println!("tag bytes     : {} ({:.1}/msg)", r.stats.tag_bytes, r.stats.tag_bytes_per_user());
+    println!("mean latency  : {:.1}", r.stats.mean_latency());
+    println!("mean inhibit  : {:.1}", r.stats.mean_inhibition());
+    println!("in X_co       : {}", limit_sets::in_x_co(&user));
+    println!("in X_sync     : {}", limit_sets::in_x_sync(&user));
+    if let Some(p) = &spec_pred {
+        match eval::find_instantiation(p, &user) {
+            None => println!("spec          : satisfied"),
+            Some(inst) => println!("spec          : VIOLATED by {inst:?}"),
+        }
+    }
+    if timeline {
+        println!("
+time diagram:");
+        print!("{}", msgorder::runs::display::render_timeline(&r.run));
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! # msgorder
+//!
+//! An executable reproduction of *"Characterization of Message Ordering
+//! Specifications and Protocols"* (V. V. Murty and V. K. Garg, ICDCS 1997).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! - [`poset`] — partial-order substrate (graphs, closures, vector clocks).
+//! - [`runs`] — the paper's run model, user's view, and limit sets
+//!   `X_sync ⊆ X_co ⊆ X_async`.
+//! - [`predicate`] — forbidden predicates, their DSL, evaluation and the
+//!   catalog of every specification named in the paper.
+//! - [`classifier`] — the predicate-graph / β-vertex algorithm deciding
+//!   which protocol class a specification needs.
+//! - [`simnet`] — deterministic discrete-event network simulator.
+//! - [`protocols`] — runnable ordering protocols (async, FIFO, causal,
+//!   k-weaker, flush channels, logically synchronous, synthesized).
+//! - [`core`] — the high-level `Spec` / `analyze` facade.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use msgorder::core::Spec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Causal ordering: forbid  (x.s ▷ y.s) ∧ (y.r ▷ x.r)
+//! let spec = Spec::parse("forbid x, y: x.s < y.s & y.r < x.r")?;
+//! let report = spec.analyze();
+//! assert!(report.classification().is_tagged_sufficient());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use msgorder_classifier as classifier;
+pub use msgorder_core as core;
+pub use msgorder_poset as poset;
+pub use msgorder_predicate as predicate;
+pub use msgorder_protocols as protocols;
+pub use msgorder_runs as runs;
+pub use msgorder_simnet as simnet;

@@ -1,0 +1,171 @@
+//! End-to-end tests of the `msgorder` CLI binary.
+
+use std::process::Command;
+
+fn msgorder(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_msgorder");
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = msgorder(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("classify"));
+}
+
+#[test]
+fn classify_dsl_predicate() {
+    let (ok, stdout, _) = msgorder(&["classify", "forbid x, y: x.s < y.s & y.r < x.r"]);
+    assert!(ok);
+    assert!(stdout.contains("tagging sufficient"));
+    assert!(stdout.contains("min order : 1"));
+}
+
+#[test]
+fn classify_catalog_name() {
+    let (ok, stdout, _) = msgorder(&["classify", "handoff"]);
+    assert!(ok);
+    assert!(stdout.contains("control messages required"));
+}
+
+#[test]
+fn classify_rejects_bad_dsl() {
+    let (ok, _, stderr) = msgorder(&["classify", "forbid x: x.s <"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn catalog_lists_everything() {
+    let (ok, stdout, _) = msgorder(&["catalog"]);
+    assert!(ok);
+    for name in ["fifo", "causal", "handoff", "receive-second-before-first"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn witness_for_tagless_spec_says_none_needed() {
+    let (ok, stdout, _) = msgorder(&["witness", "mutual-send"]);
+    assert!(ok);
+    assert!(stdout.contains("no separation witness needed"));
+}
+
+#[test]
+fn witness_for_causal_prints_run() {
+    let (ok, stdout, _) = msgorder(&["witness", "causal"]);
+    assert!(ok);
+    assert!(stdout.contains("AsyncViolation"));
+    assert!(stdout.contains("▷"));
+}
+
+#[test]
+fn dot_outputs_graphviz() {
+    let (ok, stdout, _) = msgorder(&["dot", "causal"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("β"));
+}
+
+#[test]
+fn simulate_with_verification() {
+    let (ok, stdout, _) = msgorder(&[
+        "simulate",
+        "--protocol",
+        "causal-rst",
+        "--processes",
+        "3",
+        "--messages",
+        "10",
+        "--seed",
+        "2",
+        "--spec",
+        "causal",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("live          : true"));
+    assert!(stdout.contains("spec          : satisfied"));
+    assert!(stdout.contains("in X_co       : true"));
+}
+
+#[test]
+fn simulate_timeline_renders() {
+    let (ok, stdout, _) = msgorder(&[
+        "simulate",
+        "--protocol",
+        "fifo",
+        "--processes",
+        "2",
+        "--messages",
+        "2",
+        "--timeline",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("time diagram:"));
+    assert!(stdout.contains("P0 |"));
+    assert!(stdout.contains("m0.s*"));
+}
+
+#[test]
+fn simulate_synthesized_requires_spec() {
+    let (ok, _, stderr) = msgorder(&["simulate", "--protocol", "synthesized"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires --spec"));
+}
+
+#[test]
+fn explain_renders_argument() {
+    let (ok, stdout, _) = msgorder(&["explain", "causal"]);
+    assert!(ok);
+    assert!(stdout.contains("because"));
+    assert!(stdout.contains("Theorems 3.2/4.3"));
+    assert!(stdout.contains("[verified]"));
+}
+
+#[test]
+fn file_command_classifies_spec_file() {
+    let dir = std::env::temp_dir().join("msgorder-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("specs.mo");
+    std::fs::write(
+        &path,
+        "a = forbid x, y: x.s < y.s & y.r < x.r\n\n\
+         b = forbid x, y: x.s < y.r & y.s < x.r\n",
+    )
+    .unwrap();
+    let (ok, stdout, _) = msgorder(&["file", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("tagging sufficient"));
+    assert!(stdout.contains("control messages required"));
+}
+
+#[test]
+fn file_command_missing_path_fails() {
+    let (ok, _, stderr) = msgorder(&["file", "/nonexistent/specs.mo"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = msgorder(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn unknown_protocol_fails() {
+    let (ok, _, stderr) = msgorder(&["simulate", "--protocol", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown protocol"));
+}

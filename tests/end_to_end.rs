@@ -1,0 +1,170 @@
+//! End-to-end pipeline: specification → classification → recommended
+//! protocol → adversarial simulation → verified safety and liveness.
+
+use msgorder::core::{PaperClass, Spec};
+use msgorder::predicate::catalog::{self, CatalogEntry};
+use msgorder::protocols::{run_and_verify, ProtocolKind};
+use msgorder::simnet::{LatencyModel, SimConfig, Workload};
+
+fn config(processes: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        processes,
+        latency: LatencyModel::Uniform { lo: 1, hi: 600 },
+        seed,
+    }
+}
+
+/// A workload that exercises the colors/variables the entry mentions.
+fn workload_for(entry: &CatalogEntry, processes: usize, seed: u64) -> Workload {
+    match entry.name {
+        "local-forward-flush" | "global-forward-flush" => {
+            Workload::with_markers(processes, 14, 4, "red", seed)
+        }
+        "backward-flush" => Workload::with_markers(processes, 14, 4, "red", seed),
+        "red-sync" => Workload::with_markers(processes, 14, 3, "red", seed),
+        "session-fifo" => Workload::with_markers(processes, 14, 3, "s1", seed),
+        "handoff" => Workload::with_markers(processes, 14, 5, "handoff", seed),
+        _ => Workload::uniform_random(processes, 12, seed),
+    }
+}
+
+/// For every implementable catalog entry, the recommended protocol must
+/// be safe and live on adversarial workloads.
+#[test]
+fn recommended_protocols_implement_their_specs() {
+    let n = 3;
+    for entry in catalog::all() {
+        if entry.expected == PaperClass::Unimplementable {
+            continue;
+        }
+        let report = Spec::from_predicate(entry.predicate.clone())
+            .named(entry.name)
+            .analyze();
+        let kind = report.recommendation();
+        // Large-variable predicates make the synthesized checker
+        // expensive; keep those sweeps shorter.
+        let seeds = if entry.predicate.var_count() > 3 { 3 } else { 6 };
+        for seed in 0..seeds {
+            let out = run_and_verify(
+                config(n, seed),
+                workload_for(&entry, n, seed),
+                |node| kind.instantiate(n, node),
+                &entry.predicate,
+            );
+            assert!(
+                out.live,
+                "{}: recommended protocol {} not live at seed {seed}",
+                entry.name,
+                kind.name()
+            );
+            assert!(
+                out.safe,
+                "{}: recommended protocol {} violated the spec at seed {seed}: {:?}",
+                entry.name,
+                kind.name(),
+                out.violation
+            );
+        }
+    }
+}
+
+/// The class hierarchy is strict in practice: for each tagged-class
+/// spec, the weaker (async) protocol fails it on some seed; for each
+/// general-class spec, the tagged causal protocol fails it on some seed.
+#[test]
+fn weaker_protocols_provably_insufficient() {
+    let n = 3;
+    // Tagged specs vs the do-nothing protocol.
+    for name in ["causal", "fifo", "global-forward-flush"] {
+        let entry = catalog::by_name(name).unwrap();
+        let failed = (0..60).any(|seed| {
+            let out = run_and_verify(
+                config(n, seed),
+                workload_for(&entry, n, seed),
+                |_| ProtocolKind::Async.instantiate(n, 0),
+                &entry.predicate,
+            );
+            !out.safe
+        });
+        assert!(failed, "{name}: async never violated — spec too weak?");
+    }
+    // General specs vs the tagged causal protocol.
+    for name in ["handoff", "sync-crown-2"] {
+        let entry = catalog::by_name(name).unwrap();
+        let failed = (0..60).any(|seed| {
+            let out = run_and_verify(
+                config(n, seed),
+                workload_for(&entry, n, seed),
+                |node| ProtocolKind::CausalRst.instantiate(n, node),
+                &entry.predicate,
+            );
+            !out.safe
+        });
+        assert!(
+            failed,
+            "{name}: causal RST never violated — control messages would not be needed"
+        );
+    }
+}
+
+/// The sync protocol (control messages) satisfies *every* implementable
+/// catalog spec — the executable face of `X_sync ⊆ X_B`.
+#[test]
+fn sync_protocol_satisfies_every_implementable_spec() {
+    let n = 3;
+    for entry in catalog::all() {
+        if entry.expected == PaperClass::Unimplementable {
+            continue;
+        }
+        for seed in 0..3 {
+            let out = run_and_verify(
+                config(n, seed),
+                workload_for(&entry, n, seed),
+                |node| ProtocolKind::Sync.instantiate(n, node),
+                &entry.predicate,
+            );
+            assert!(out.ok(), "{}: sync failed at seed {seed}", entry.name);
+        }
+    }
+}
+
+/// Analysis reports are verified and serializable for the whole catalog.
+#[test]
+fn reports_verify_and_serialize() {
+    for entry in catalog::all() {
+        let report = Spec::from_predicate(entry.predicate.clone())
+            .named(entry.name)
+            .analyze();
+        report
+            .verify_witnesses()
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let json = report.to_json();
+        assert_eq!(json["name"], entry.name);
+        assert!(!report.render().is_empty());
+        assert_eq!(
+            report.classification().protocol_class(),
+            entry.expected,
+            "{}",
+            entry.name
+        );
+    }
+}
+
+/// The DSL, Display and the analysis pipeline agree: re-parsing a
+/// rendered predicate yields the same classification.
+#[test]
+fn display_parse_analyze_roundtrip() {
+    for entry in catalog::all() {
+        let rendered = entry.predicate.to_string();
+        let reparsed = Spec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name))
+            .analyze();
+        let original = Spec::from_predicate(entry.predicate.clone()).analyze();
+        assert_eq!(
+            reparsed.classification().protocol_class(),
+            original.classification().protocol_class(),
+            "{}",
+            entry.name
+        );
+    }
+}

