@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the measurement surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`criterion_group!`], [`criterion_main!`], and [`black_box`] — with a
+//! calibrated doubling loop instead of full statistical sampling. Each
+//! benchmark reports mean ns/iter on stdout in a stable `name ... time:`
+//! format. Set `CRITERION_MEASURE_MS` to change the per-benchmark
+//! measurement budget (default 100 ms).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier so the optimizer cannot delete benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Benchmark driver; one per `criterion_group!` invocation.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: measure_budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; benchmarks in it are reported as `name/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.budget, &mut f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the doubling loop sizes itself
+    /// from the time budget rather than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for source compatibility; ignored.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.budget = time;
+        self
+    }
+
+    /// Benchmarks `f` against `input`, labelled `group-name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.criterion.budget, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Reporting is immediate, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` with a doubling calibration loop: the iteration count
+    /// doubles until one batch exceeds the budget, then the final batch
+    /// supplies the mean. Deterministic given a deterministic workload.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call outside measurement (page-in, caches).
+        black_box(f());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1 << 40 {
+                self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                self.iters = iters;
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{label:<50} time: {:>12} ns/iter  ({} iters)",
+        format_ns(b.ns_per_iter),
+        b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_reports() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(2),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut hits = 0u32;
+        g.bench_with_input(BenchmarkId::new("inner", 7), &3u32, |b, &x| {
+            b.iter(|| {
+                hits += 1;
+                black_box(x * 2)
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(9), &4u32, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("width", 12).id, "width/12");
+        assert_eq!(BenchmarkId::from_parameter("crown").id, "crown");
+    }
+}

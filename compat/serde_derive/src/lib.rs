@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote` —
+//! crates.io is unreachable in this build environment) and emits impls
+//! of the workspace's value-tree `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! named-field structs, tuple structs (newtypes serialize transparently,
+//! wider tuples as arrays), unit structs, and enums with unit, tuple, or
+//! struct variants (externally tagged, matching upstream serde_json).
+//! Generic types are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.shape {
+        Shape::NamedStruct { fields } => {
+            let mut s = String::from("let mut m = serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("serde::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            "serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ty = &p.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{ty}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("ref __f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_json_value(__f{i})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({binds}) => {{\n\
+                             let mut m = serde::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), {inner});\n\
+                             serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("ref {f}")).collect();
+                        let mut inner = String::from("let mut fm = serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut m = serde::Map::new();\n\
+                             m.insert(\"{vn}\".to_string(), serde::Value::Object(fm));\n\
+                             serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match *self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n",
+        name = p.name
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct { fields } => {
+            let mut s = format!("Ok({name} {{\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: serde::Deserialize::from_json_value(\
+                     v.get_object_key(\"{f}\").unwrap_or(&serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(serde::Deserialize::from_json_value(v)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let mut s = format!(
+                "let a = v.as_array_checked({arity}, \"{name}\")?;\nOk({name}(\n"
+            );
+            for i in 0..*arity {
+                s.push_str(&format!("serde::Deserialize::from_json_value(&a[{i}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum { variants } => {
+            // Unit variants arrive as a bare string; data variants as a
+            // single-key object, externally tagged.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => return Ok({name}::{vn}(\
+                                 serde::Deserialize::from_json_value(inner)?)),\n"
+                            ));
+                        } else {
+                            let mut fields = String::new();
+                            for i in 0..*n {
+                                fields.push_str(&format!(
+                                    "serde::Deserialize::from_json_value(&a[{i}])?,\n"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                 let a = inner.as_array_checked({n}, \"{name}::{vn}\")?;\n\
+                                 return Ok({name}::{vn}({fields}));\n}}\n"
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fs) => {
+                        let mut fields = String::new();
+                        for f in fs {
+                            fields.push_str(&format!(
+                                "{f}: serde::Deserialize::from_json_value(\
+                                 inner.get_object_key(\"{f}\").unwrap_or(&serde::Value::Null))?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {fields} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let serde::Value::Str(s) = v {{\n\
+                 match s.as_str() {{\n{unit_arms}\
+                 other => return Err(serde::Error::new(\
+                 format!(\"unknown variant {{other}} of {name}\"))),\n}}\n}}\n\
+                 if let Some((tag, inner)) = v.as_single_key_object() {{\n\
+                 match tag {{\n{data_arms}\
+                 other => return Err(serde::Error::new(\
+                 format!(\"unknown variant {{other}} of {name}\"))),\n}}\n}}\n\
+                 Err(serde::Error::new(format!(\"expected {name} variant, got {{v:?}}\")))"
+            )
+        }
+    };
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}\n",
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// hand-rolled derive-input parsing
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut toks = input.into_iter().peekable();
+    // skip attributes and visibility
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum keyword, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in does not support generic types ({name})");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for {other} items"),
+    };
+    Parsed { name, shape }
+}
+
+/// Splits a brace-group stream into field names, skipping attributes,
+/// visibility, and type tokens (types may contain `<...>` with commas).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // skip attrs + vis
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            panic!("expected field name, got {tok:?}");
+        };
+        fields.push(field.to_string());
+        // expect ':' then consume the type up to a top-level comma
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {field}, got {other:?}"),
+        }
+        let mut angle_depth = 0usize;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts tuple-struct fields (top-level commas + 1, angle-aware).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // skip attrs
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            panic!("expected variant name, got {tok:?}");
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            kind,
+        });
+        // consume trailing comma if present
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+    }
+    variants
+}

@@ -3,6 +3,7 @@
 //! witness generation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msgorder_bench::Engine;
 use msgorder_classifier::classify::classify;
 use msgorder_classifier::cycles::min_order_by_enumeration;
 use msgorder_classifier::min_order::min_cycle_order;
@@ -26,15 +27,19 @@ fn dense_predicate(n: usize) -> ForbiddenPredicate {
 }
 
 fn bench_catalog(c: &mut Criterion) {
-    c.bench_function("classify/full-catalog", |b| {
-        let entries = catalog::all();
-        b.iter(|| {
-            entries
-                .iter()
-                .map(|e| classify(&e.predicate).classification.protocol_class())
-                .collect::<Vec<_>>()
-        })
-    });
+    let mut g = c.benchmark_group("classify/full-catalog");
+    let entries = catalog::all();
+    // Per-entry classification is independent: batch it through the
+    // engine at several widths (threads=1 is the sequential baseline).
+    for threads in [1usize, 2, 4] {
+        let engine = Engine::new(threads);
+        g.bench_with_input(BenchmarkId::new("threads", threads), &engine, |b, engine| {
+            b.iter(|| {
+                engine.par_map_ref(&entries, |e| classify(&e.predicate).classification.protocol_class())
+            })
+        });
+    }
+    g.finish();
 }
 
 fn bench_min_order_scaling(c: &mut Criterion) {

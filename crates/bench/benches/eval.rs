@@ -2,6 +2,7 @@
 //! backs spec checking (EXP-L3) and the synthesized protocol (EXP-P2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msgorder_bench::Engine;
 use msgorder_predicate::{catalog, eval};
 use msgorder_runs::generator::{random_causal_run, random_user_run, GenParams};
 
@@ -42,5 +43,33 @@ fn bench_counting(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_causal_eval, bench_many_variable_predicates, bench_counting);
+/// One predicate against a corpus of runs, batched through the engine:
+/// the predicate is prepared once, the corpus is fanned across workers.
+fn bench_batch_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval/batch");
+    let pred = catalog::causal();
+    let corpus: Vec<_> = (0..64)
+        .map(|seed| random_causal_run(GenParams::new(3, 30, seed)))
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let engine = Engine::new(threads);
+        g.bench_with_input(
+            BenchmarkId::new("corpus-64x30/threads", threads),
+            &engine,
+            |b, engine| {
+                let prep = eval::Prepared::new(&pred);
+                b.iter(|| engine.par_map_ref(&corpus, |run| prep.holds(run)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_causal_eval,
+    bench_many_variable_predicates,
+    bench_counting,
+    bench_batch_eval
+);
 criterion_main!(benches);

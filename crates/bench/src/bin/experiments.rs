@@ -8,7 +8,7 @@
 //!
 //! A JSON digest of all results is written to `target/experiments.json`.
 
-use msgorder_bench::{f1, f2, Table};
+use msgorder_bench::{f1, f2, Engine, Table};
 use msgorder_classifier::classify::classify;
 use msgorder_classifier::cycles::enumerate_cycles;
 use msgorder_classifier::reduce::reduce_cycle;
@@ -50,14 +50,32 @@ fn main() {
         ("EXP-S1", exp_s1),
         ("EXP-M1", exp_m1),
     ];
+    let engine = engine();
+    println!(
+        "[batch engine: {} thread(s); set MSGORDER_THREADS to override]",
+        engine.threads()
+    );
+    let mut timings = serde_json::Map::new();
     for (id, run) in experiments {
         if !want(&id.to_lowercase()) {
             continue;
         }
         println!("\n================ {id} ================");
+        let started = std::time::Instant::now();
         let value = run();
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        println!("[{id} took {wall_ms:.1} ms]");
         digest.insert(id.to_owned(), value);
+        timings.insert(id.to_owned(), json!(wall_ms));
     }
+    digest.insert("_timings_ms".to_owned(), Value::Object(timings));
+    digest.insert(
+        "_engine".to_owned(),
+        json!({
+            "threads": engine.threads(),
+            "cores": std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }),
+    );
     let path = std::path::Path::new("target");
     if path.is_dir() {
         let out = path.join("experiments.json");
@@ -65,6 +83,12 @@ fn main() {
             println!("\n[digest written to {}]", out.display());
         }
     }
+}
+
+/// The batch engine shared by the parallelized experiments
+/// ([`Engine`] is `Copy`; reading the env twice is harmless).
+fn engine() -> Engine {
+    Engine::from_env()
 }
 
 /// EXP-T1 — the §4.3 decision table over the full catalog.
@@ -82,12 +106,17 @@ fn exp_t1() -> Value {
     ]);
     let mut agree_all = true;
     let mut rows = Vec::new();
-    for entry in catalog::all() {
+    // Each catalog entry's analysis (cycle enumeration, min-order BFS) is
+    // independent — a natural batch for the engine.
+    let analyzed = engine().par_map(catalog::all(), |entry| {
         let report = Spec::from_predicate(entry.predicate.clone())
             .named(entry.name)
             .analyze();
         let s = report.summary();
         let verdict = report.classification().protocol_class();
+        (entry, s, verdict)
+    });
+    for (entry, s, verdict) in analyzed {
         let agree = verdict == entry.expected;
         agree_all &= agree;
         t.row([
@@ -125,18 +154,29 @@ fn exp_l3() -> Value {
     views.extend(distinct_user_views(2, &[(0, 1), (0, 1), (1, 0)]));
     views.extend(distinct_user_views(3, &[(0, 1), (2, 1), (0, 2)]));
     let (b1, b2, b3) = (catalog::causal_b1(), catalog::causal(), catalog::causal_b3());
+    // One predicate against a corpus of views: prepare each predicate
+    // once (variable order, color filters) and batch the corpus.
+    let (p1, p2, p3) = (
+        eval::Prepared::new(&b1),
+        eval::Prepared::new(&b2),
+        eval::Prepared::new(&b3),
+    );
+    let verdicts = engine().par_map_ref(&views, |v| {
+        (p1.holds(v), p2.holds(v), p3.holds(v), limit_sets::in_x_co(v))
+    });
     let mut equal = true;
     let mut co_match = true;
-    for v in &views {
-        let (r1, r2, r3) = (eval::holds(&b1, v), eval::holds(&b2, v), eval::holds(&b3, v));
+    for (r1, r2, r3, in_co) in verdicts {
         equal &= r1 == r2 && r2 == r3;
-        co_match &= !r2 == limit_sets::in_x_co(v);
+        co_match &= !r2 == in_co;
     }
     let mut impossible_never_fire = true;
     for pred in [catalog::mutual_send(), catalog::lemma33_b(), catalog::mutual_deliver()] {
-        for v in &views {
-            impossible_never_fire &= !eval::holds(&pred, v);
-        }
+        let prep = eval::Prepared::new(&pred);
+        impossible_never_fire &= engine()
+            .par_map_ref(&views, |v| !prep.holds(v))
+            .into_iter()
+            .all(|ok| ok);
     }
     let mut t = Table::new(["claim", "runs checked", "holds"]);
     t.row(["B1 ⇔ B2 ⇔ B3 (Lemma 3.2)".to_owned(), views.len().to_string(), yn(equal)]);
@@ -200,38 +240,57 @@ fn exp_f2() -> Value {
             msgorder_simnet::SendSpec { at: 5, src: 0, dst: 1, color: None },
         ],
     };
-    for seed in 0..200u64 {
-        let r = Simulation::run_uniform(
-            SimConfig {
-                processes: 2,
-                latency: LatencyModel::Uniform { lo: 1, hi: 500 },
-                seed,
-            },
-            workload.clone(),
-            |_| ProtocolKind::Fifo.instantiate(2, 0),
-        );
-        let (x, y) = (MessageId(0), MessageId(1));
-        let arrived_inverted = r.run.happens_before(
-            SystemEvent::new(y, EventKind::Receive),
-            SystemEvent::new(x, EventKind::Receive),
-        );
-        if arrived_inverted {
-            let delivered_in_order = r.run.happens_before(
-                SystemEvent::new(x, EventKind::Deliver),
-                SystemEvent::new(y, EventKind::Deliver),
-            );
-            let user = r.run.users_view();
+    // Seeds are independent: scan them through the engine a chunk at a
+    // time, keeping the original first-hit semantics (the lowest seed
+    // with an inverted arrival wins, and later chunks never run).
+    let engine = engine();
+    let fifo_spec = catalog::fifo();
+    let chunk = (engine.threads() * 4).max(4);
+    let mut start = 0usize;
+    while start < 200 {
+        let end = (start + chunk).min(200);
+        let hit = engine
+            .par_map_range(start..end, |seed| {
+                let r = Simulation::run_uniform(
+                    SimConfig {
+                        processes: 2,
+                        latency: LatencyModel::Uniform { lo: 1, hi: 500 },
+                        seed: seed as u64,
+                    },
+                    workload.clone(),
+                    |_| ProtocolKind::Fifo.instantiate(2, 0),
+                );
+                let (x, y) = (MessageId(0), MessageId(1));
+                let arrived_inverted = r.run.happens_before(
+                    SystemEvent::new(y, EventKind::Receive),
+                    SystemEvent::new(x, EventKind::Receive),
+                );
+                if !arrived_inverted {
+                    return None;
+                }
+                let delivered_in_order = r.run.happens_before(
+                    SystemEvent::new(x, EventKind::Deliver),
+                    SystemEvent::new(y, EventKind::Deliver),
+                );
+                let fifo_clean = eval::satisfies_spec(&fifo_spec, &r.run.users_view());
+                Some((seed, r.stats.total_inhibition, delivered_in_order, fifo_clean))
+            })
+            .into_iter()
+            .flatten()
+            .next();
+        if let Some((seed, inhibition, delivered_in_order, fifo_clean)) = hit {
             println!("seed {seed}: m1 arrived before m0, protocol delayed m1's delivery");
-            println!("  inhibition total: {} ticks", r.stats.total_inhibition);
+            println!("  inhibition total: {inhibition} ticks");
             println!("  deliveries in send order: {delivered_in_order}");
-            println!("  user view FIFO-clean: {}", eval::satisfies_spec(&catalog::fifo(), &user));
+            println!("  user view FIFO-clean: {fifo_clean}");
             assert!(delivered_in_order);
             return json!({
                 "seed": seed,
-                "inhibition": r.stats.total_inhibition,
+                "inhibition": inhibition,
                 "delivered_in_order": delivered_in_order,
             });
         }
+        start = end;
     }
     panic!("no seed produced an inverted arrival — latency model too tame");
 }
@@ -303,26 +362,26 @@ fn exp_f4() -> Value {
 fn exp_f5() -> Value {
     println!("Figure 5: inserting s*/r* immediately before s/r reconstructs a system run;");
     println!("for sync runs the blocks yield the vertical-arrow numbering N (Theorem 1.1).\n");
-    let mut roundtrips = 0;
-    let mut total = 0;
-    for seed in 0..50 {
-        let user = random_user_run(GenParams::new(3, 6, seed));
-        total += 1;
-        if construct::roundtrips_exactly(&user) {
-            roundtrips += 1;
-        }
-    }
-    let mut gn_ok = 0;
-    let mut sync_total = 0;
-    for seed in 0..50 {
-        let user = msgorder_runs::generator::random_sync_run(GenParams::new(3, 6, seed));
-        sync_total += 1;
-        if let Some(sys) = construct::gn_system_from_sync_user(&user) {
-            if limit_sets::in_x_gn(&sys) {
-                gn_ok += 1;
-            }
-        }
-    }
+    let engine = engine();
+    let total = 50usize;
+    let roundtrips = engine
+        .par_map_range(0..total, |seed| {
+            let user = random_user_run(GenParams::new(3, 6, seed as u64));
+            construct::roundtrips_exactly(&user)
+        })
+        .into_iter()
+        .filter(|&ok| ok)
+        .count();
+    let sync_total = 50usize;
+    let gn_ok = engine
+        .par_map_range(0..sync_total, |seed| {
+            let user = msgorder_runs::generator::random_sync_run(GenParams::new(3, 6, seed as u64));
+            construct::gn_system_from_sync_user(&user)
+                .is_some_and(|sys| limit_sets::in_x_gn(&sys))
+        })
+        .into_iter()
+        .filter(|&ok| ok)
+        .count();
     println!("execution-derived user views that round-trip exactly : {roundtrips}/{total}");
     println!("sync runs realized inside X_gn (vertical arrows)     : {gn_ok}/{sync_total}");
     assert_eq!(roundtrips, total);
@@ -337,17 +396,17 @@ fn exp_f7() -> Value {
     println!("adds one event at a time while |R ∪ C| ≤ 1 — so a live protocol is forced");
     println!("to admit it (Lemma 2.1).\n");
     use msgorder_runs::lemma2;
-    let mut ok = 0;
-    let mut total = 0;
-    for seed in 0..40u64 {
-        let user = msgorder_runs::generator::random_sync_run(GenParams::new(3, 6, seed));
-        let sys = construct::gn_system_from_sync_user(&user).expect("sync run realizes in X_gn");
-        total += 1;
-        let series = lemma2::gn_prefix_series(&sys).expect("X_gn run has a series");
-        if series.pending_always_singleton() {
-            ok += 1;
-        }
-    }
+    let total = 40usize;
+    let ok = engine()
+        .par_map_range(0..total, |seed| {
+            let user = msgorder_runs::generator::random_sync_run(GenParams::new(3, 6, seed as u64));
+            let sys = construct::gn_system_from_sync_user(&user).expect("sync run realizes in X_gn");
+            let series = lemma2::gn_prefix_series(&sys).expect("X_gn run has a series");
+            series.pending_always_singleton()
+        })
+        .into_iter()
+        .filter(|&ok| ok)
+        .count();
     println!("X_gn runs with a singleton-pending prefix series : {ok}/{total}");
     // and one concrete series rendered:
     let mut b = msgorder_runs::SystemRunBuilder::new(2);
@@ -773,13 +832,16 @@ fn exp_s1() -> Value {
     println!("as the number of messages grows (X_async is always 100%).\n");
     let mut t = Table::new(["messages", "runs", "in X_co", "in X_sync"]);
     let mut rows = Vec::new();
+    let engine = engine();
     for msgs in [2usize, 4, 6, 8, 10, 14] {
         let total = 300;
         let (mut co, mut sync) = (0u32, 0u32);
-        for seed in 0..total {
+        for (in_co, in_sync) in engine.par_map_range(0..total, |seed| {
             let run = random_user_run(GenParams::new(3, msgs, seed as u64));
-            co += u32::from(limit_sets::in_x_co(&run));
-            sync += u32::from(limit_sets::in_x_sync(&run));
+            (limit_sets::in_x_co(&run), limit_sets::in_x_sync(&run))
+        }) {
+            co += u32::from(in_co);
+            sync += u32::from(in_sync);
         }
         t.row([
             msgs.to_string(),
@@ -800,8 +862,10 @@ fn exp_s1() -> Value {
 /// counterexample schedule exhibited.
 fn exp_m1() -> Value {
     use msgorder_protocols::{AsyncProtocol, CausalRst, FifoProtocol, SyncProtocol};
-    use msgorder_simnet::{explore, SendSpec};
+    use msgorder_simnet::{explore_parallel, SendSpec};
+    use std::sync::atomic::{AtomicBool, Ordering};
     println!("Exhaustive exploration (all frame orderings) of small configurations.\n");
+    let threads = engine().threads();
     let same3 = Workload {
         sends: (0..3)
             .map(|i| SendSpec { at: i, src: 0, dst: 1, color: None })
@@ -842,51 +906,68 @@ fn exp_m1() -> Value {
                           "property": property, "holds": ok }));
     };
 
+    // The explorer fans its top-level branches across worker threads;
+    // the visitors fold into atomics since they run concurrently.
     let mut all_ok = true;
-    let e = {
-        let mut ok = true;
-        let e = explore(2, same3.clone(), |_| FifoProtocol::new(), 1 << 20, |run| {
-            ok &= run.is_quiescent() && eval::satisfies_spec(&fifo_spec, &run.users_view());
+    {
+        let ok = AtomicBool::new(true);
+        let prep = eval::Prepared::new(&fifo_spec);
+        let e = explore_parallel(2, same3.clone(), |_| FifoProtocol::new(), threads, 1 << 20, |run| {
+            if !(run.is_quiescent() && prep.satisfies_spec(&run.users_view())) {
+                ok.store(false, Ordering::Relaxed);
+            }
             true
         });
+        let ok = ok.into_inner();
         check("3 msgs, one channel", "fifo", e.schedules, "FIFO + live", ok, &mut t, &mut rows);
         all_ok &= ok && !e.truncated;
-        e
-    };
-    let _ = e;
+    }
     {
-        let mut violated = false;
-        let e = explore(2, same3, |_| AsyncProtocol::new(), 1 << 20, |run| {
-            violated |= !eval::satisfies_spec(&fifo_spec, &run.users_view());
+        let violated = AtomicBool::new(false);
+        let prep = eval::Prepared::new(&fifo_spec);
+        let e = explore_parallel(2, same3, |_| AsyncProtocol::new(), threads, 1 << 20, |run| {
+            if !prep.satisfies_spec(&run.users_view()) {
+                violated.store(true, Ordering::Relaxed);
+            }
             true
         });
+        let violated = violated.into_inner();
         check("3 msgs, one channel", "async", e.schedules, "∃ FIFO break", violated, &mut t, &mut rows);
         all_ok &= violated;
     }
     {
-        let mut ok = true;
-        let e = explore(3, triangle.clone(), |_| CausalRst::new(3), 1 << 20, |run| {
-            ok &= run.is_quiescent() && limit_sets::in_x_co(&run.users_view());
+        let ok = AtomicBool::new(true);
+        let e = explore_parallel(3, triangle.clone(), |_| CausalRst::new(3), threads, 1 << 20, |run| {
+            if !(run.is_quiescent() && limit_sets::in_x_co(&run.users_view())) {
+                ok.store(false, Ordering::Relaxed);
+            }
             true
         });
+        let ok = ok.into_inner();
         check("causal triangle", "causal-rst", e.schedules, "CO + live", ok, &mut t, &mut rows);
         all_ok &= ok && !e.truncated;
     }
     {
-        let mut violated = false;
-        let e = explore(3, triangle, |_| AsyncProtocol::new(), 1 << 20, |run| {
-            violated |= !limit_sets::in_x_co(&run.users_view());
+        let violated = AtomicBool::new(false);
+        let e = explore_parallel(3, triangle, |_| AsyncProtocol::new(), threads, 1 << 20, |run| {
+            if !limit_sets::in_x_co(&run.users_view()) {
+                violated.store(true, Ordering::Relaxed);
+            }
             true
         });
+        let violated = violated.into_inner();
         check("causal triangle", "async", e.schedules, "∃ CO break", violated, &mut t, &mut rows);
         all_ok &= violated;
     }
     {
-        let mut ok = true;
-        let e = explore(2, crossing, |_| SyncProtocol::new(), 1 << 20, |run| {
-            ok &= run.is_quiescent() && limit_sets::in_x_sync(&run.users_view());
+        let ok = AtomicBool::new(true);
+        let e = explore_parallel(2, crossing, |_| SyncProtocol::new(), threads, 1 << 20, |run| {
+            if !(run.is_quiescent() && limit_sets::in_x_sync(&run.users_view())) {
+                ok.store(false, Ordering::Relaxed);
+            }
             true
         });
+        let ok = ok.into_inner();
         check("crossing pair", "sync", e.schedules, "SYNC + live", ok, &mut t, &mut rows);
         all_ok &= ok && !e.truncated;
     }

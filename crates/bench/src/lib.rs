@@ -3,6 +3,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod par;
+
+pub use par::Engine;
+
 use std::fmt::Write as _;
 
 /// A plain-text table builder for experiment output.

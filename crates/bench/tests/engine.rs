@@ -1,0 +1,54 @@
+//! The engine must be a pure re-scheduling of work: batch results are
+//! identical to the sequential loop at every thread count.
+
+use msgorder_bench::Engine;
+use msgorder_predicate::{catalog, eval};
+use msgorder_runs::generator::{random_causal_run, random_user_run, GenParams};
+
+#[test]
+fn batch_predicate_eval_identical_to_sequential() {
+    let pred = catalog::causal();
+    let prep = eval::Prepared::new(&pred);
+    let mut corpus: Vec<_> = (0..24)
+        .map(|seed| random_user_run(GenParams::new(3, 12, seed)))
+        .collect();
+    corpus.extend((0..24).map(|seed| random_causal_run(GenParams::new(3, 12, seed))));
+    let sequential: Vec<bool> = corpus.iter().map(|run| prep.holds(run)).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let batched = Engine::new(threads).par_map_ref(&corpus, |run| prep.holds(run));
+        assert_eq!(sequential, batched, "threads = {threads}");
+    }
+}
+
+#[test]
+fn batch_counting_identical_to_sequential() {
+    let pred = catalog::causal();
+    let prep = eval::Prepared::new(&pred);
+    let corpus: Vec<_> = (0..16)
+        .map(|seed| random_user_run(GenParams::new(3, 10, seed)))
+        .collect();
+    let sequential: Vec<usize> = corpus
+        .iter()
+        .map(|run| prep.count_instantiations(run, usize::MAX))
+        .collect();
+    let batched = Engine::new(4).par_map_ref(&corpus, |run| prep.count_instantiations(run, usize::MAX));
+    assert_eq!(sequential, batched);
+}
+
+#[test]
+fn prepared_agrees_with_free_functions() {
+    // The plan-hoisted evaluator is a pure refactoring of the free
+    // functions — same verdict on every run.
+    for entry in catalog::all() {
+        let prep = eval::Prepared::new(&entry.predicate);
+        for seed in 0..8 {
+            let run = random_user_run(GenParams::new(3, 10, seed));
+            assert_eq!(
+                prep.holds(&run),
+                eval::holds(&entry.predicate, &run),
+                "{} seed {seed}",
+                entry.name
+            );
+        }
+    }
+}

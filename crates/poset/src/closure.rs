@@ -12,6 +12,10 @@ use crate::graph::{DiGraph, NodeId};
 pub struct TransitiveClosure {
     n: usize,
     rows: Vec<BitSet>,
+    /// Transposed rows: `cols[v]` is the ancestor set of `v`. Kept
+    /// alongside `rows` so [`TransitiveClosure::ancestors`] is a lookup
+    /// instead of an `O(n)` column scan.
+    cols: Vec<BitSet>,
 }
 
 impl TransitiveClosure {
@@ -59,7 +63,9 @@ impl TransitiveClosure {
             if cyclic[ci] {
                 crows[ci].insert(ci);
             }
-            let succs = csucc[ci].clone();
+            // Take the successor list instead of cloning it; each entry
+            // is visited exactly once.
+            let succs = std::mem::take(&mut csucc[ci]);
             for cv in succs {
                 crows[ci].insert(cv);
                 let (head, tail) = crows.split_at_mut(ci.max(cv));
@@ -71,17 +77,20 @@ impl TransitiveClosure {
                 }
             }
         }
-        // Expand component rows back to node rows.
+        // Expand component rows back to node rows, filling the transposed
+        // matrix in the same pass.
         let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        let mut cols: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
         for u in 0..n {
             let cu = comp_of[u];
             for cv in crows[cu].iter() {
                 for &v in &comps[cv] {
                     rows[u].insert(v);
+                    cols[v].insert(u);
                 }
             }
         }
-        TransitiveClosure { n, rows }
+        TransitiveClosure { n, rows, cols }
     }
 
     /// Builds a closure directly from `n` nodes and an edge list.
@@ -125,15 +134,10 @@ impl TransitiveClosure {
         &self.rows[u]
     }
 
-    /// The ancestor set of `v` (everything that reaches it). `O(n)` scan.
-    pub fn ancestors(&self, v: NodeId) -> BitSet {
-        let mut set = BitSet::new(self.n);
-        for u in 0..self.n {
-            if self.rows[u].contains(v) {
-                set.insert(u);
-            }
-        }
-        set
+    /// The ancestor set of `v` (everything that reaches it). `O(1)` —
+    /// served from the transposed matrix built at construction.
+    pub fn ancestors(&self, v: NodeId) -> &BitSet {
+        &self.cols[v]
     }
 
     /// All ordered pairs `(u, v)` with `u` reaching `v`.
@@ -161,15 +165,22 @@ impl TransitiveClosure {
             self.is_strict_order(),
             "transitive reduction requires an acyclic relation"
         );
+        // Word-parallel cover extraction: v is mediated from u exactly
+        // when some w in rows[u] reaches v, so
+        //   covers_u = rows[u] & !(⋃_{w ∈ rows[u]} rows[w]).
+        // Acyclicity makes the usual `w != v` guard unnecessary: v never
+        // lies in its own row, so unioning rows[v] cannot mark v itself.
         let mut covers = Vec::new();
+        let mut mediated = BitSet::new(self.n);
         for u in 0..self.n {
-            for v in self.rows[u].iter() {
-                let mediated = self.rows[u]
-                    .iter()
-                    .any(|w| w != v && self.rows[w].contains(v));
-                if !mediated {
-                    covers.push((u, v));
-                }
+            mediated.clear();
+            for w in self.rows[u].iter() {
+                mediated.union_with(&self.rows[w]);
+            }
+            let mut row_covers = self.rows[u].clone();
+            row_covers.difference_with(&mediated);
+            for v in row_covers.iter() {
+                covers.push((u, v));
             }
         }
         covers

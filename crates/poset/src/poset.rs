@@ -105,7 +105,7 @@ impl Poset {
 
     /// The principal down-set of `v`: `{u : u < v}`.
     pub fn down_set(&self, v: NodeId) -> BitSet {
-        self.closure.ancestors(v)
+        self.closure.ancestors(v).clone()
     }
 
     /// The principal up-set of `u`: `{v : u < v}`.
@@ -118,7 +118,7 @@ impl Poset {
     pub fn is_order_ideal(&self, ideal: &BitSet) -> bool {
         ideal
             .iter()
-            .all(|v| self.down_set(v).is_subset(ideal))
+            .all(|v| self.closure.ancestors(v).is_subset(ideal))
     }
 
     /// One topological linear extension (deterministic, index tie-break).

@@ -125,4 +125,31 @@ proptest! {
             prop_assert!(pos[u] < pos[v]);
         }
     }
+
+    #[test]
+    fn reduction_matches_naive_definition((n, edges) in forward_edges()) {
+        // The word-parallel kernel must agree with the textbook cover
+        // definition: u ⋖ v iff u < v and no w has u < w < v.
+        let c = TransitiveClosure::from_pairs(n, edges);
+        let mut naive = Vec::new();
+        for (u, v) in c.pairs() {
+            let mediated = (0..n).any(|w| w != u && w != v && c.reaches(u, w) && c.reaches(w, v));
+            if !mediated {
+                naive.push((u, v));
+            }
+        }
+        prop_assert_eq!(c.reduction(), naive);
+    }
+
+    #[test]
+    fn ancestors_cache_matches_column_scan((n, edges) in forward_edges()) {
+        // The transposed-rows cache must agree with scanning the row
+        // matrix column-wise.
+        let c = TransitiveClosure::from_pairs(n, edges);
+        for v in 0..n {
+            let cached: Vec<usize> = c.ancestors(v).iter().collect();
+            let scanned: Vec<usize> = (0..n).filter(|&u| c.reaches(u, v)).collect();
+            prop_assert_eq!(cached, scanned, "ancestors of {}", v);
+        }
+    }
 }

@@ -86,15 +86,33 @@ fn consistent(
 /// Static search plan: assign the most-connected variables first (their
 /// conjuncts prune earliest) and pre-filter each variable's candidates
 /// by its color constraints.
-struct Plan {
+struct Plan<'a> {
     /// Variable assignment order (indices into the predicate's vars).
-    order: Vec<usize>,
+    order: &'a [usize],
     /// Per-variable candidate messages (indexed by variable, not order).
     candidates: Vec<Vec<MessageId>>,
 }
 
-impl Plan {
-    fn new(pred: &ForbiddenPredicate, run: &UserRun) -> Plan {
+/// A predicate compiled for evaluation against many runs.
+///
+/// [`Plan`] construction has a run-independent part (the variable
+/// assignment order and each variable's color filters, derived purely
+/// from the predicate) and a run-dependent part (the candidate message
+/// lists). `Prepared` hoists the former so that evaluating one
+/// predicate over a corpus of runs — the shape of every experiment and
+/// benchmark loop in this workspace — pays the predicate analysis once
+/// instead of once per run.
+pub struct Prepared<'p> {
+    pred: &'p ForbiddenPredicate,
+    /// Variable assignment order (most-connected first).
+    order: Vec<usize>,
+    /// Per-variable color filters: `(color, must_have)`.
+    color_filters: Vec<Vec<(&'p str, bool)>>,
+}
+
+impl<'p> Prepared<'p> {
+    /// Analyzes `pred` once; the result evaluates it against any run.
+    pub fn new(pred: &'p ForbiddenPredicate) -> Self {
         let m = pred.var_count();
         let mut degree = vec![0usize; m];
         for c in pred.conjuncts() {
@@ -103,32 +121,83 @@ impl Plan {
         }
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by_key(|&v| std::cmp::Reverse(degree[v]));
-        let candidates = (0..m)
-            .map(|v| {
+        let mut color_filters: Vec<Vec<(&str, bool)>> = vec![Vec::new(); m];
+        for c in pred.constraints() {
+            match c {
+                Constraint::Color(v, color) => color_filters[v.0].push((color, true)),
+                Constraint::NotColor(v, color) => color_filters[v.0].push((color, false)),
+                _ => {}
+            }
+        }
+        Prepared {
+            pred,
+            order,
+            color_filters,
+        }
+    }
+
+    /// The run-dependent half of plan construction: candidate lists
+    /// filtered through the precomputed color filters.
+    fn plan_for(&self, run: &UserRun) -> Plan<'_> {
+        let candidates = self
+            .color_filters
+            .iter()
+            .map(|filters| {
                 (0..run.len())
                     .map(MessageId)
                     .filter(|&msg| {
-                        pred.constraints().iter().all(|c| match c {
-                            Constraint::Color(cv, color) if cv.0 == v => {
-                                run.message(msg).has_color(color)
-                            }
-                            Constraint::NotColor(cv, color) if cv.0 == v => {
-                                !run.message(msg).has_color(color)
-                            }
-                            _ => true,
-                        })
+                        filters
+                            .iter()
+                            .all(|&(color, want)| run.message(msg).has_color(color) == want)
                     })
                     .collect()
             })
             .collect();
-        Plan { order, candidates }
+        Plan {
+            order: &self.order,
+            candidates,
+        }
+    }
+
+    /// See [`holds`].
+    pub fn holds(&self, run: &UserRun) -> bool {
+        self.find_instantiation(run).is_some()
+    }
+
+    /// See [`satisfies_spec`].
+    pub fn satisfies_spec(&self, run: &UserRun) -> bool {
+        !self.holds(run)
+    }
+
+    /// See [`find_instantiation`].
+    pub fn find_instantiation(&self, run: &UserRun) -> Option<Vec<MessageId>> {
+        let plan = self.plan_for(run);
+        let mut assignment = vec![None; self.pred.var_count()];
+        let mut result = None;
+        search(self.pred, run, &plan, &mut assignment, 0, &mut |a| {
+            result = Some(a.to_vec());
+            true
+        });
+        result
+    }
+
+    /// See [`count_instantiations`].
+    pub fn count_instantiations(&self, run: &UserRun, cap: usize) -> usize {
+        let plan = self.plan_for(run);
+        let mut assignment = vec![None; self.pred.var_count()];
+        let mut count = 0usize;
+        search(self.pred, run, &plan, &mut assignment, 0, &mut |_| {
+            count += 1;
+            count >= cap
+        });
+        count
     }
 }
 
 fn search(
     pred: &ForbiddenPredicate,
     run: &UserRun,
-    plan: &Plan,
+    plan: &Plan<'_>,
     assignment: &mut Vec<Option<MessageId>>,
     depth: usize,
     found: &mut dyn FnMut(&[MessageId]) -> bool,
@@ -169,27 +238,13 @@ pub fn satisfies_spec(pred: &ForbiddenPredicate, run: &UserRun) -> bool {
 
 /// One satisfying instantiation (message per variable), if any.
 pub fn find_instantiation(pred: &ForbiddenPredicate, run: &UserRun) -> Option<Vec<MessageId>> {
-    let plan = Plan::new(pred, run);
-    let mut assignment = vec![None; pred.var_count()];
-    let mut result = None;
-    search(pred, run, &plan, &mut assignment, 0, &mut |a| {
-        result = Some(a.to_vec());
-        true
-    });
-    result
+    Prepared::new(pred).find_instantiation(run)
 }
 
 /// Counts satisfying instantiations, stopping at `cap` (use
 /// `usize::MAX` for an exact count on small runs).
 pub fn count_instantiations(pred: &ForbiddenPredicate, run: &UserRun, cap: usize) -> usize {
-    let plan = Plan::new(pred, run);
-    let mut assignment = vec![None; pred.var_count()];
-    let mut count = 0usize;
-    search(pred, run, &plan, &mut assignment, 0, &mut |_| {
-        count += 1;
-        count >= cap
-    });
-    count
+    Prepared::new(pred).count_instantiations(run, cap)
 }
 
 /// Semantic implication over a family of runs: `stronger ⇒ weaker` holds
@@ -207,8 +262,10 @@ pub fn implies_on_runs<'a, I>(
 where
     I: IntoIterator<Item = &'a UserRun>,
 {
+    let stronger = Prepared::new(stronger);
+    let weaker = Prepared::new(weaker);
     for (i, run) in runs.into_iter().enumerate() {
-        if holds(stronger, run) && !holds(weaker, run) {
+        if stronger.holds(run) && !weaker.holds(run) {
             return Err(i);
         }
     }

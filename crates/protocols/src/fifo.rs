@@ -2,20 +2,23 @@
 
 use msgorder_runs::{MessageId, ProcessId};
 use msgorder_simnet::{Ctx, Protocol};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Per-channel sequence numbering: the receiver delivers each channel's
 /// messages in send order, buffering any that arrive early. Implements
 /// the FIFO specification of §6 — a tagged protocol, as the classifier
 /// predicts (the FIFO predicate's cycle has one β vertex).
-#[derive(Debug, Default, Clone)]
+///
+/// State lives in `BTreeMap`s so the protocol is `Hash` (required by the
+/// deduplicating explorer) with a canonical, order-independent digest.
+#[derive(Debug, Default, Clone, Hash)]
 pub struct FifoProtocol {
     /// Next sequence number to assign, per destination.
-    next_out: HashMap<usize, u64>,
+    next_out: BTreeMap<usize, u64>,
     /// Next sequence expected, per source.
-    next_in: HashMap<usize, u64>,
+    next_in: BTreeMap<usize, u64>,
     /// Early arrivals, per source, keyed by sequence number.
-    pending: HashMap<usize, BTreeMap<u64, MessageId>>,
+    pending: BTreeMap<usize, BTreeMap<u64, MessageId>>,
 }
 
 impl FifoProtocol {

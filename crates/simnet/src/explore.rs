@@ -16,7 +16,11 @@ use crate::kernel::{EventKind, Protocol, Scheduled, SimConfig, Simulation};
 use crate::workload::Workload;
 use msgorder_runs::SystemRun;
 use std::cmp::Reverse;
-use std::collections::VecDeque;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The outcome of an exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,9 +53,138 @@ where
     P: Protocol + Clone,
     V: FnMut(&SystemRun) -> bool,
 {
-    // Build the initial world via the normal constructor (declares all
-    // messages), then pull the request events out into per-process
-    // queues so their relative order per process is preserved.
+    let mut state = initial_state(processes, workload, factory);
+    let mut exp = Exploration {
+        schedules: 0,
+        truncated: false,
+    };
+    dfs(&mut state, cap, &mut exp, &mut visit);
+    exp
+}
+
+/// Like [`explore`], but merges converging interleavings: two schedule
+/// prefixes whose dispatches commute (events on different processes)
+/// reach the *same* configuration, and the sub-tree below it is
+/// explored only once. The set of distinct complete runs handed to
+/// `visit` is identical to [`explore`]'s; `schedules` counts distinct
+/// terminal configurations rather than schedules, so it is ≤ the
+/// undeduplicated count.
+///
+/// Requires `P: Hash` — a configuration is keyed by the captured run so
+/// far, the protocol states, the simulated clock, and the pending
+/// events (an unordered multiset for the pool, ordered queues for the
+/// per-process requests). Bookkeeping that cannot influence future
+/// branching or run capture (event sequence labels, stats) is excluded
+/// so that commuting prefixes actually collide.
+pub fn explore_dedup<P, V>(
+    processes: usize,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    cap: usize,
+    mut visit: V,
+) -> Exploration
+where
+    P: Protocol + Clone + Hash,
+    V: FnMut(&SystemRun) -> bool,
+{
+    let mut state = initial_state(processes, workload, factory);
+    let mut exp = Exploration {
+        schedules: 0,
+        truncated: false,
+    };
+    let mut visited = HashSet::new();
+    visited.insert(state.dedup_key());
+    dfs_dedup(&mut state, cap, &mut exp, &mut visited, &mut visit);
+    exp
+}
+
+/// Like [`explore`], but fans the top-level branches of the DFS out
+/// across `threads` scoped worker threads. With `threads <= 1` this
+/// *is* [`explore`] — same code path, same visit order. With more
+/// threads the complete-schedule count (uncapped) and the multiset of
+/// runs visited are identical, but visit order is nondeterministic and
+/// `visit` runs concurrently, so it must be `Sync` (accumulate through
+/// atomics or a mutex). When `cap` truncates the search, *which*
+/// schedules were counted before the cut depends on thread timing.
+///
+/// # Panics
+/// Propagates panics from worker threads (e.g. a livelocking protocol).
+pub fn explore_parallel<P, V>(
+    processes: usize,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    threads: usize,
+    cap: usize,
+    visit: V,
+) -> Exploration
+where
+    P: Protocol + Clone + Send,
+    V: Fn(&SystemRun) -> bool + Sync,
+{
+    if threads <= 1 {
+        return explore(processes, workload, factory, cap, |run| visit(run));
+    }
+    let state = initial_state(processes, workload, factory);
+    let branches = branch_states(&state);
+    if branches.is_empty() {
+        // Nothing is pending: the empty schedule is the only schedule.
+        if cap == 0 {
+            return Exploration {
+                schedules: 0,
+                truncated: true,
+            };
+        }
+        let run = state
+            .world
+            .builder
+            .build()
+            .expect("explored runs are valid");
+        visit(&run);
+        return Exploration {
+            schedules: 1,
+            truncated: false,
+        };
+    }
+    let schedules = AtomicUsize::new(0);
+    let truncated = AtomicBool::new(false);
+    let stopped = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<State<P>>>> =
+        branches.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(slots.len()) {
+            s.spawn(|| loop {
+                if stopped.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let mut branch = slots[i]
+                    .lock()
+                    .expect("no worker panicked holding the slot")
+                    .take()
+                    .expect("each slot is claimed once");
+                dfs_shared(&mut branch, cap, &schedules, &truncated, &stopped, &visit);
+            });
+        }
+    });
+    Exploration {
+        schedules: schedules.load(Ordering::Relaxed),
+        truncated: truncated.load(Ordering::Relaxed),
+    }
+}
+
+/// Builds the explorer's root state: the initial world via the normal
+/// constructor (declares all messages), with the request events pulled
+/// out into per-process queues so their relative order per process is
+/// preserved.
+fn initial_state<P: Protocol + Clone>(
+    processes: usize,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+) -> State<P> {
     let config = SimConfig {
         processes,
         latency: crate::latency::LatencyModel::Fixed(1),
@@ -74,18 +207,33 @@ where
     while let Some(Reverse(ev)) = world.queue.pop() {
         initial.push(ev);
     }
-    let mut state = State {
+    State {
         world,
         protocols,
         pool: initial,
         requests,
-    };
-    let mut exp = Exploration {
-        schedules: 0,
-        truncated: false,
-    };
-    dfs(&mut state, cap, &mut exp, &mut visit);
-    exp
+    }
+}
+
+/// One successor state per enabled branch: every pool event, then each
+/// process's next unissued request (the same branch order as [`dfs`]).
+fn branch_states<P: Protocol + Clone>(state: &State<P>) -> Vec<State<P>> {
+    let mut out = Vec::new();
+    for i in 0..state.pool.len() {
+        let mut next = state.clone_state();
+        let ev = next.pool.swap_remove(i);
+        next.step(ev);
+        out.push(next);
+    }
+    for p in 0..state.requests.len() {
+        if !state.requests[p].is_empty() {
+            let mut next = state.clone_state();
+            let ev = next.requests[p].pop_front().expect("nonempty");
+            next.step(ev);
+            out.push(next);
+        }
+    }
+    out
 }
 
 struct State<P> {
@@ -120,6 +268,45 @@ impl<P: Protocol + Clone> State<P> {
             self.pool.len() < 10_000,
             "protocol generates unbounded traffic under exploration"
         );
+    }
+}
+
+impl<P: Protocol + Clone + Hash> State<P> {
+    /// A 64-bit key identifying this configuration up to everything that
+    /// can influence future branching or run capture.
+    ///
+    /// Included: the captured run so far (the builder), the protocol
+    /// states, the simulated clock, and every pending event's
+    /// `(time, node, kind)`. The pool is combined commutatively — it is
+    /// an unordered set of enabled events, and commuting prefixes
+    /// produce it in different orders. Excluded: event sequence labels
+    /// (they only break heap ties, and the explorer branches over all
+    /// pool events regardless) and stats (not observable through the
+    /// explorer's visitor). The RNG is untouched under exploration
+    /// (fixed latency never samples), so it is excluded too.
+    fn dedup_key(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.world.builder.hash(&mut h);
+        self.world.now.hash(&mut h);
+        for p in &self.protocols {
+            p.hash(&mut h);
+        }
+        let mut pool_acc: u64 = 0;
+        for ev in &self.pool {
+            let mut eh = DefaultHasher::new();
+            (ev.time, ev.node).hash(&mut eh);
+            ev.kind.hash(&mut eh);
+            pool_acc = pool_acc.wrapping_add(eh.finish());
+        }
+        pool_acc.hash(&mut h);
+        for q in &self.requests {
+            q.len().hash(&mut h);
+            for ev in q {
+                (ev.time, ev.node).hash(&mut h);
+                ev.kind.hash(&mut h);
+            }
+        }
+        h.finish()
     }
 }
 
@@ -166,13 +353,132 @@ where
     true
 }
 
+/// [`dfs`] with configuration deduplication: a branch whose successor
+/// state was already visited is pruned.
+fn dfs_dedup<P, V>(
+    state: &mut State<P>,
+    cap: usize,
+    exp: &mut Exploration,
+    visited: &mut HashSet<u64>,
+    visit: &mut V,
+) -> bool
+where
+    P: Protocol + Clone + Hash,
+    V: FnMut(&SystemRun) -> bool,
+{
+    if exp.schedules >= cap {
+        exp.truncated = true;
+        return false;
+    }
+    let pool_len = state.pool.len();
+    let request_nodes: Vec<usize> = (0..state.requests.len())
+        .filter(|&p| !state.requests[p].is_empty())
+        .collect();
+    if pool_len == 0 && request_nodes.is_empty() {
+        exp.schedules += 1;
+        let run = state
+            .world
+            .builder
+            .build()
+            .expect("explored runs are valid");
+        return visit(&run);
+    }
+    for i in 0..pool_len {
+        let mut next = state.clone_state();
+        let ev = next.pool.swap_remove(i);
+        next.step(ev);
+        if visited.insert(next.dedup_key()) && !dfs_dedup(&mut next, cap, exp, visited, visit) {
+            return false;
+        }
+    }
+    for p in request_nodes {
+        let mut next = state.clone_state();
+        let ev = next.requests[p].pop_front().expect("nonempty");
+        next.step(ev);
+        if visited.insert(next.dedup_key()) && !dfs_dedup(&mut next, cap, exp, visited, visit) {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`dfs`] against shared atomic progress state, used by the workers of
+/// [`explore_parallel`]. The schedule count is claimed with a
+/// compare-exchange loop so it can never overshoot `cap`.
+fn dfs_shared<P, V>(
+    state: &mut State<P>,
+    cap: usize,
+    schedules: &AtomicUsize,
+    truncated: &AtomicBool,
+    stopped: &AtomicBool,
+    visit: &V,
+) -> bool
+where
+    P: Protocol + Clone,
+    V: Fn(&SystemRun) -> bool + Sync,
+{
+    if stopped.load(Ordering::Relaxed) {
+        return false;
+    }
+    let pool_len = state.pool.len();
+    let request_nodes: Vec<usize> = (0..state.requests.len())
+        .filter(|&p| !state.requests[p].is_empty())
+        .collect();
+    if pool_len == 0 && request_nodes.is_empty() {
+        let mut cur = schedules.load(Ordering::Relaxed);
+        loop {
+            if cur >= cap {
+                truncated.store(true, Ordering::Relaxed);
+                stopped.store(true, Ordering::Relaxed);
+                return false;
+            }
+            match schedules.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let run = state
+            .world
+            .builder
+            .build()
+            .expect("explored runs are valid");
+        if !visit(&run) {
+            stopped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        return true;
+    }
+    for i in 0..pool_len {
+        let mut next = state.clone_state();
+        let ev = next.pool.swap_remove(i);
+        next.step(ev);
+        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, visit) {
+            return false;
+        }
+    }
+    for p in request_nodes {
+        let mut next = state.clone_state();
+        let ev = next.requests[p].pop_front().expect("nonempty");
+        next.step(ev);
+        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, visit) {
+            return false;
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::SendSpec;
     use msgorder_runs::{MessageId, ProcessId};
 
-    #[derive(Clone)]
+    #[derive(Clone, Hash)]
     struct Immediate;
     impl Protocol for Immediate {
         fn on_send_request(&mut self, ctx: &mut crate::Ctx<'_>, msg: MessageId) {
@@ -249,6 +555,97 @@ mod tests {
                 .collect(),
         };
         let exp = explore(2, w, |_| Immediate, 3, |_| true);
+        assert!(exp.truncated);
+        assert_eq!(exp.schedules, 3);
+    }
+
+    /// A workload whose messages fan out to different destinations, so
+    /// interleavings genuinely commute and dedup has something to merge.
+    fn fan_out() -> Workload {
+        Workload {
+            sends: vec![
+                SendSpec { at: 0, src: 0, dst: 1, color: None },
+                SendSpec { at: 1, src: 0, dst: 2, color: None },
+                SendSpec { at: 2, src: 0, dst: 1, color: None },
+            ],
+        }
+    }
+
+    /// Canonical fingerprint of a run for set comparison across
+    /// exploration strategies.
+    fn fingerprint(run: &SystemRun) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = run
+            .users_view()
+            .relation_pairs()
+            .into_iter()
+            .map(|(a, b)| (format!("{a:?}"), format!("{b:?}")))
+            .collect();
+        pairs.sort();
+        pairs
+    }
+
+    #[test]
+    fn dedup_visits_same_distinct_runs_with_fewer_configurations() {
+        use std::collections::BTreeSet;
+        let mut plain_runs = BTreeSet::new();
+        let plain = explore(3, fan_out(), |_| Immediate, usize::MAX, |run| {
+            plain_runs.insert(fingerprint(run));
+            true
+        });
+        let mut dedup_runs = BTreeSet::new();
+        let dedup = explore_dedup(3, fan_out(), |_| Immediate, usize::MAX, |run| {
+            dedup_runs.insert(fingerprint(run));
+            true
+        });
+        assert_eq!(plain_runs, dedup_runs, "dedup must not lose runs");
+        assert!(
+            dedup.schedules < plain.schedules,
+            "commuting interleavings must merge: {} !< {}",
+            dedup.schedules,
+            plain.schedules
+        );
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let seq = explore(3, fan_out(), |_| Immediate, usize::MAX, |_| true);
+        for threads in [1, 2, 4] {
+            let par = explore_parallel(3, fan_out(), |_| Immediate, threads, usize::MAX, |_| {
+                true
+            });
+            assert_eq!(par.schedules, seq.schedules, "threads = {threads}");
+            assert!(!par.truncated);
+        }
+    }
+
+    #[test]
+    fn parallel_visits_same_run_multiset() {
+        use std::collections::BTreeMap;
+        let mut seq_runs: BTreeMap<Vec<(String, String)>, usize> = BTreeMap::new();
+        explore(3, fan_out(), |_| Immediate, usize::MAX, |run| {
+            *seq_runs.entry(fingerprint(run)).or_default() += 1;
+            true
+        });
+        let par_runs = Mutex::new(BTreeMap::<Vec<(String, String)>, usize>::new());
+        explore_parallel(3, fan_out(), |_| Immediate, 4, usize::MAX, |run| {
+            *par_runs
+                .lock()
+                .expect("no visitor panicked")
+                .entry(fingerprint(run))
+                .or_default() += 1;
+            true
+        });
+        assert_eq!(seq_runs, par_runs.into_inner().expect("final read"));
+    }
+
+    #[test]
+    fn parallel_cap_never_overshoots() {
+        let w = Workload {
+            sends: (0..4)
+                .map(|i| SendSpec { at: i, src: 0, dst: 1, color: None })
+                .collect(),
+        };
+        let exp = explore_parallel(2, w, |_| Immediate, 4, 3, |_| true);
         assert!(exp.truncated);
         assert_eq!(exp.schedules, 3);
     }

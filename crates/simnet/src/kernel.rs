@@ -175,7 +175,7 @@ impl<T: Protocol + ?Sized> Protocol for Box<T> {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub(crate) enum EventKind {
     Request { msg: MessageId },
     UserArrival { from: usize, msg: MessageId, tag: Vec<u8> },

@@ -49,7 +49,7 @@ mod latency;
 mod stats;
 mod workload;
 
-pub use explore::{explore, Exploration};
+pub use explore::{explore, explore_dedup, explore_parallel, Exploration};
 pub use frame::Frame;
 pub use kernel::{Ctx, Protocol, SimConfig, SimResult, Simulation};
 pub use latency::LatencyModel;
