@@ -126,9 +126,7 @@ impl Value {
     /// enum encoding), if this is one.
     pub fn as_single_key_object(&self) -> Option<(&str, &Value)> {
         match self {
-            Value::Object(m) if m.len() == 1 => {
-                m.iter().next().map(|(k, v)| (k.as_str(), v))
-            }
+            Value::Object(m) if m.len() == 1 => m.iter().next().map(|(k, v)| (k.as_str(), v)),
             _ => None,
         }
     }
@@ -502,12 +500,7 @@ macro_rules! impl_tuple {
     )+};
 }
 
-impl_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 impl Serialize for Value {
     fn to_json_value(&self) -> Value {

@@ -53,9 +53,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             s.push_str("serde::Value::Object(m)");
             s
         }
-        Shape::TupleStruct { arity: 1 } => {
-            "serde::Serialize::to_json_value(&self.0)".to_string()
-        }
+        Shape::TupleStruct { arity: 1 } => "serde::Serialize::to_json_value(&self.0)".to_string(),
         Shape::TupleStruct { arity } => {
             let items: Vec<String> = (0..*arity)
                 .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
@@ -141,9 +139,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             format!("Ok({name}(serde::Deserialize::from_json_value(v)?))")
         }
         Shape::TupleStruct { arity } => {
-            let mut s = format!(
-                "let a = v.as_array_checked({arity}, \"{name}\")?;\nOk({name}(\n"
-            );
+            let mut s = format!("let a = v.as_array_checked({arity}, \"{name}\")?;\nOk({name}(\n");
             for i in 0..*arity {
                 s.push_str(&format!("serde::Deserialize::from_json_value(&a[{i}])?,\n"));
             }
@@ -159,9 +155,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             for v in variants {
                 let vn = &v.name;
                 match &v.kind {
-                    VariantKind::Unit => unit_arms.push_str(&format!(
-                        "\"{vn}\" => return Ok({name}::{vn}),\n"
-                    )),
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
                     VariantKind::Tuple(n) => {
                         if *n == 1 {
                             data_arms.push_str(&format!(
@@ -256,11 +252,9 @@ fn parse(input: TokenStream) -> Parsed {
     }
     let shape = match kw.as_str() {
         "struct" => match toks.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::NamedStruct {
-                    fields: parse_named_fields(g.stream()),
-                }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 Shape::TupleStruct {
                     arity: count_top_level_fields(g.stream()),

@@ -304,9 +304,7 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error::new("dangling escape"))?;
+                    let esc = self.peek().ok_or_else(|| Error::new("dangling escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => s.push('"'),
@@ -337,10 +335,7 @@ impl Parser<'_> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "unknown escape \\{}",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("unknown escape \\{}", other as char)))
                         }
                     }
                 }

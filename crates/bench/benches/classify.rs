@@ -17,8 +17,16 @@ fn dense_predicate(n: usize) -> ForbiddenPredicate {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                let lhs = if (i + j) % 2 == 0 { Var(i).s() } else { Var(i).r() };
-                let rhs = if (i * j) % 2 == 0 { Var(j).s() } else { Var(j).r() };
+                let lhs = if (i + j) % 2 == 0 {
+                    Var(i).s()
+                } else {
+                    Var(i).r()
+                };
+                let rhs = if (i * j) % 2 == 0 {
+                    Var(j).s()
+                } else {
+                    Var(j).r()
+                };
                 b = b.conjunct(lhs, rhs);
             }
         }
@@ -33,11 +41,17 @@ fn bench_catalog(c: &mut Criterion) {
     // engine at several widths (threads=1 is the sequential baseline).
     for threads in [1usize, 2, 4] {
         let engine = Engine::new(threads);
-        g.bench_with_input(BenchmarkId::new("threads", threads), &engine, |b, engine| {
-            b.iter(|| {
-                engine.par_map_ref(&entries, |e| classify(&e.predicate).classification.protocol_class())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    engine.par_map_ref(&entries, |e| {
+                        classify(&e.predicate).classification.protocol_class()
+                    })
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -79,5 +93,10 @@ fn bench_witnesses(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_catalog, bench_min_order_scaling, bench_witnesses);
+criterion_group!(
+    benches,
+    bench_catalog,
+    bench_min_order_scaling,
+    bench_witnesses
+);
 criterion_main!(benches);

@@ -69,5 +69,10 @@ fn bench_cut_checks(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ideal_count, bench_width_height, bench_cut_checks);
+criterion_group!(
+    benches,
+    bench_ideal_count,
+    bench_width_height,
+    bench_cut_checks
+);
 criterion_main!(benches);

@@ -7,11 +7,7 @@ use msgorder_protocols::ProtocolKind;
 use msgorder_simnet::{LatencyModel, SimConfig, Simulation, Workload};
 
 fn config(n: usize, seed: u64) -> SimConfig {
-    SimConfig {
-        processes: n,
-        latency: LatencyModel::Uniform { lo: 1, hi: 500 },
-        seed,
-    }
+    SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 500 }, seed)
 }
 
 fn bench_protocol_comparison(c: &mut Criterion) {
@@ -28,7 +24,8 @@ fn bench_protocol_comparison(c: &mut Criterion) {
                 b.iter(|| {
                     let r = Simulation::run_uniform(config(n, 17), w.clone(), |node| {
                         kind.instantiate(n, node)
-                    });
+                    })
+                    .expect("no protocol bug");
                     assert!(r.run.is_quiescent());
                     r.stats
                 })
@@ -48,6 +45,7 @@ fn bench_causal_scaling(c: &mut Criterion) {
                 Simulation::run_uniform(config(n, 23), w.clone(), |_| {
                     ProtocolKind::CausalRst.instantiate(n, 0)
                 })
+                .expect("no protocol bug")
                 .stats
             })
         });
@@ -65,6 +63,7 @@ fn bench_sync_contention(c: &mut Criterion) {
                 Simulation::run_uniform(config(n, 31), w.clone(), |node| {
                     ProtocolKind::Sync.instantiate(n, node)
                 })
+                .expect("no protocol bug")
                 .stats
             })
         });
@@ -86,6 +85,7 @@ fn bench_synthesized_scaling(c: &mut Criterion) {
                 Simulation::run_uniform(config(n, 29), w.clone(), |_| {
                     ProtocolKind::Synthesized(catalog::causal()).instantiate(n, 0)
                 })
+                .expect("no protocol bug")
                 .stats
             })
         });

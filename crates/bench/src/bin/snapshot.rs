@@ -59,7 +59,9 @@ fn random_dag(n: usize, edge_prob: f64, seed: u64) -> DiGraph {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_owned());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_owned());
     let budget_ms = std::env::var("SNAPSHOT_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -79,7 +81,9 @@ fn main() {
     let mut eval_rps = Vec::new();
     for threads in [1usize, 2, 4] {
         let engine = Engine::new(threads);
-        let (iters, secs) = measure(budget_ms, || engine.par_map_ref(&corpus, |run| prep.holds(run)));
+        let (iters, secs) = measure(budget_ms, || {
+            engine.par_map_ref(&corpus, |run| prep.holds(run))
+        });
         let rps = (iters * corpus_runs) as f64 / secs;
         println!("eval/batch  threads={threads}: {rps:>12.0} runs/sec");
         eval_rows.insert(threads.to_string(), json!(rps));
@@ -102,21 +106,35 @@ fn main() {
     // -- 3. schedule exploration -----------------------------------------
     let workload = Workload {
         sends: (0..3)
-            .map(|i| SendSpec { at: i, src: 0, dst: 1, color: None })
+            .map(|i| SendSpec {
+                at: i,
+                src: 0,
+                dst: 1,
+                color: None,
+            })
             .collect(),
     };
     let cap = 1usize << 20;
     let (seq_iters, seq_secs) = measure(budget_ms, || {
         explore(2, workload.clone(), |_| FifoProtocol::new(), cap, |_| true).schedules
     });
-    let seq_schedules = explore(2, workload.clone(), |_| FifoProtocol::new(), cap, |_| true).schedules;
+    let seq_schedules =
+        explore(2, workload.clone(), |_| FifoProtocol::new(), cap, |_| true).schedules;
     let (dd_iters, dd_secs) = measure(budget_ms, || {
         explore_dedup(2, workload.clone(), |_| FifoProtocol::new(), cap, |_| true).schedules
     });
     let dedup_schedules =
         explore_dedup(2, workload.clone(), |_| FifoProtocol::new(), cap, |_| true).schedules;
     let (par_iters, par_secs) = measure(budget_ms, || {
-        explore_parallel(2, workload.clone(), |_| FifoProtocol::new(), 4, cap, |_| true).schedules
+        explore_parallel(
+            2,
+            workload.clone(),
+            |_| FifoProtocol::new(),
+            4,
+            cap,
+            |_| true,
+        )
+        .schedules
     });
     let seq_sps = (seq_iters * seq_schedules) as f64 / seq_secs;
     let dd_sps = (dd_iters * dedup_schedules) as f64 / dd_secs;
@@ -156,7 +174,10 @@ fn main() {
         "poset_kernels": poset_kernels,
         "explore": explore_report,
     });
-    std::fs::write(&out_path, serde_json::to_vec_pretty(&report).expect("serializes"))
-        .expect("snapshot file is writable");
+    std::fs::write(
+        &out_path,
+        serde_json::to_vec_pretty(&report).expect("serializes"),
+    )
+    .expect("snapshot file is writable");
     println!("[snapshot written to {out_path}]");
 }

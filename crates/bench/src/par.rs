@@ -42,14 +42,20 @@ impl Engine {
 
     /// Reads the thread count from `MSGORDER_THREADS`, falling back to
     /// the machine's available parallelism (and 1 if even that is
-    /// unknown).
+    /// unknown). `MSGORDER_THREADS=0` and unparsable values also fall
+    /// back — an engine never has zero workers.
     pub fn from_env() -> Self {
-        let threads = std::env::var("MSGORDER_THREADS")
-            .ok()
+        Engine::from_env_value(std::env::var("MSGORDER_THREADS").ok().as_deref())
+    }
+
+    /// [`Engine::from_env`] with the variable's value passed explicitly
+    /// (so the parsing and clamping logic is testable without touching
+    /// process-global environment state).
+    fn from_env_value(var: Option<&str>) -> Self {
+        let threads = var
             .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            });
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         Engine::new(threads)
     }
 
@@ -118,7 +124,7 @@ impl Engine {
         R: Send,
         F: Fn(&'a T) -> R + Sync,
     {
-        self.par_map(items.iter().collect(), |item| f(item))
+        self.par_map(items.iter().collect(), f)
     }
 
     /// Maps `f` over a range of indices (the per-seed loop shape),
@@ -195,5 +201,23 @@ mod tests {
     #[test]
     fn threads_clamped_to_one() {
         assert_eq!(Engine::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn env_zero_never_builds_a_zero_worker_engine() {
+        // Regression: MSGORDER_THREADS=0 used to flow straight into the
+        // thread count; it must fall back like an unset variable.
+        assert!(Engine::from_env_value(Some("0")).threads() >= 1);
+        assert_eq!(
+            Engine::from_env_value(Some("0")).threads(),
+            Engine::from_env_value(None).threads()
+        );
+    }
+
+    #[test]
+    fn env_parses_explicit_counts_and_ignores_garbage() {
+        assert_eq!(Engine::from_env_value(Some("3")).threads(), 3);
+        assert!(Engine::from_env_value(Some("not-a-number")).threads() >= 1);
+        assert!(Engine::from_env_value(Some("")).threads() >= 1);
     }
 }

@@ -31,7 +31,8 @@ fn batch_counting_identical_to_sequential() {
         .iter()
         .map(|run| prep.count_instantiations(run, usize::MAX))
         .collect();
-    let batched = Engine::new(4).par_map_ref(&corpus, |run| prep.count_instantiations(run, usize::MAX));
+    let batched =
+        Engine::new(4).par_map_ref(&corpus, |run| prep.count_instantiations(run, usize::MAX));
     assert_eq!(sequential, batched);
 }
 

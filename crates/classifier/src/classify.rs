@@ -61,8 +61,7 @@ impl Classification {
     pub fn is_tagged_sufficient(&self) -> bool {
         matches!(
             self,
-            Classification::TaggedSufficient { .. }
-                | Classification::TaglessSufficient { .. }
+            Classification::TaggedSufficient { .. } | Classification::TaglessSufficient { .. }
         )
     }
 

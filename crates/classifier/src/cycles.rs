@@ -88,7 +88,15 @@ pub fn enumerate_cycles(g: &PredicateGraph, cap: usize) -> Vec<Cycle> {
         }
         let mut on_path = vec![false; n];
         let mut path_edges: Vec<usize> = Vec::new();
-        dfs(g, start, start, &mut on_path, &mut path_edges, &mut out, cap);
+        dfs(
+            g,
+            start,
+            start,
+            &mut on_path,
+            &mut path_edges,
+            &mut out,
+            cap,
+        );
     }
     out
 }

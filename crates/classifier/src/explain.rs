@@ -77,8 +77,7 @@ impl Explanation {
                 s.push_str(&format!(
                     "reduce    : drop non-β {} via {} ∧ {} ⇒ {}\n",
                     // removed var rendered through the original names
-                    self.predicate
-                        .var_name(step.removed),
+                    self.predicate.var_name(step.removed),
                     step.incoming,
                     step.outgoing,
                     step.composed

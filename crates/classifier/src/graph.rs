@@ -174,10 +174,8 @@ mod tests {
 
     #[test]
     fn parallel_edges_preserved() {
-        let p = msgorder_predicate::ForbiddenPredicate::parse(
-            "forbid x, y: x.s < y.s & x.r < y.r",
-        )
-        .unwrap();
+        let p = msgorder_predicate::ForbiddenPredicate::parse("forbid x, y: x.s < y.s & x.r < y.r")
+            .unwrap();
         let g = PredicateGraph::of(&p);
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.graph().successors(0).count(), 2);

@@ -92,16 +92,16 @@ fn best_closed_walk_through(g: &PredicateGraph, start: usize) -> Option<(usize, 
     // Close the walk: last edge f must feed back into start's tail.
     let (start_tail, _) = g.graph().endpoints(start);
     let mut best: Option<(usize, usize)> = None; // (order, closing edge)
-    for f in 0..m {
-        if dist[f] == INF {
+    for (f, &d) in dist.iter().enumerate().take(m) {
+        if d == INF {
             continue;
         }
         let (_, f_head) = g.graph().endpoints(f);
         if f_head != start_tail {
             continue;
         }
-        let total = dist[f] + usize::from(g.is_beta_transition(f, start));
-        if best.map_or(true, |(bo, _)| total < bo) {
+        let total = d + usize::from(g.is_beta_transition(f, start));
+        if best.is_none_or(|(bo, _)| total < bo) {
             best = Some((total, f));
         }
     }

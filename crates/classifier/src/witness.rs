@@ -102,7 +102,10 @@ pub fn verify_witness(pred: &ForbiddenPredicate, w: &Witness) -> Result<(), Stri
         WitnessKind::AsyncViolation => limit_sets::in_x_async(&w.run),
     };
     if !in_set {
-        return Err(format!("witness is not in the claimed limit set {:?}", w.kind));
+        return Err(format!(
+            "witness is not in the claimed limit set {:?}",
+            w.kind
+        ));
     }
     Ok(())
 }
@@ -123,7 +126,11 @@ mod tests {
 
     #[test]
     fn control_message_specs_get_causal_witness() {
-        for p in [catalog::sync_crown(2), catalog::sync_crown(3), catalog::handoff()] {
+        for p in [
+            catalog::sync_crown(2),
+            catalog::sync_crown(3),
+            catalog::handoff(),
+        ] {
             let ws = separation_witnesses(&p);
             assert_eq!(ws.len(), 1, "{p}");
             assert_eq!(ws[0].kind, WitnessKind::CausalViolation);

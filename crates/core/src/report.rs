@@ -72,8 +72,7 @@ impl AnalysisReport {
     /// Returns the first failed obligation, naming the witness kind.
     pub fn verify_witnesses(&self) -> Result<(), String> {
         for w in &self.witnesses {
-            verify_witness(self.spec.predicate(), w)
-                .map_err(|e| format!("{:?}: {e}", w.kind))?;
+            verify_witness(self.spec.predicate(), w).map_err(|e| format!("{:?}: {e}", w.kind))?;
         }
         Ok(())
     }
@@ -106,11 +105,7 @@ impl AnalysisReport {
         SummaryRow {
             name: self.spec.name().to_owned(),
             predicate: self.spec.predicate().to_string(),
-            vertices: self
-                .classify
-                .graph
-                .as_ref()
-                .map_or(0, |g| g.vertex_count()),
+            vertices: self.classify.graph.as_ref().map_or(0, |g| g.vertex_count()),
             edges: self.classify.graph.as_ref().map_or(0, |g| g.edge_count()),
             cycles: self.classify.cycles.len(),
             min_order: self.classify.min_order,
@@ -136,10 +131,7 @@ impl AnalysisReport {
                 s.push_str(&format!("            {line}\n"));
             }
         }
-        s.push_str(&format!(
-            "protocol  : {}\n",
-            self.recommendation().name()
-        ));
+        s.push_str(&format!("protocol  : {}\n", self.recommendation().name()));
         s
     }
 

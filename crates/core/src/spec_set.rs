@@ -134,7 +134,11 @@ impl SpecSet {
 
     /// A multi-line rendering: member table + combined verdict.
     pub fn render(&self) -> String {
-        let mut s = format!("=== {} (intersection of {} members) ===\n", self.name, self.members.len());
+        let mut s = format!(
+            "=== {} (intersection of {} members) ===\n",
+            self.name,
+            self.members.len()
+        );
         for (i, pred) in self.members.iter().enumerate() {
             let class = classify(pred).classification.protocol_class();
             s.push_str(&format!("  [{i}] {pred}\n        -> {class}\n"));

@@ -134,7 +134,10 @@ impl BitSet {
     /// Panics if capacities differ.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.

@@ -50,7 +50,10 @@ impl DiGraph {
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, PosetError> {
         for &x in &[u, v] {
             if x >= self.n {
-                return Err(PosetError::NodeOutOfRange { node: x, len: self.n });
+                return Err(PosetError::NodeOutOfRange {
+                    node: x,
+                    len: self.n,
+                });
             }
         }
         let id = self.edges.len();
@@ -127,7 +130,9 @@ impl DiGraph {
             Ok(order)
         } else {
             Err(PosetError::Cyclic {
-                cycle: self.find_cycle().expect("cycle must exist when topo sort fails"),
+                cycle: self
+                    .find_cycle()
+                    .expect("cycle must exist when topo sort fails"),
             })
         }
     }

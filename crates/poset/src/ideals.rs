@@ -136,8 +136,7 @@ pub fn max_antichain(p: &Poset) -> BitSet {
     let target = width(p);
     // greedy: sort by number of comparabilities, add if still antichain
     let mut order: Vec<usize> = (0..n).collect();
-    let comp_degree =
-        |v: usize| (0..n).filter(|&u| u != v && p.comparable(u, v)).count();
+    let comp_degree = |v: usize| (0..n).filter(|&u| u != v && p.comparable(u, v)).count();
     order.sort_by_key(|&v| comp_degree(v));
     let mut set = BitSet::new(n);
     for v in order {
@@ -153,13 +152,13 @@ pub fn max_antichain(p: &Poset) -> BitSet {
     assert!(n <= 20, "brute-force antichain search needs a small poset");
     let mut best = BitSet::new(n);
     for mask in 0u32..(1 << n) {
-        let cand: BitSet = (0..n).filter(|&i| mask & (1 << i) != 0).fold(
-            BitSet::new(n),
-            |mut s, i| {
-                s.insert(i);
-                s
-            },
-        );
+        let cand: BitSet =
+            (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .fold(BitSet::new(n), |mut s, i| {
+                    s.insert(i);
+                    s
+                });
         if cand.len() > best.len() && p.is_antichain(&cand) {
             best = cand;
         }

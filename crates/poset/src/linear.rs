@@ -33,6 +33,9 @@ where
     let mut placed = vec![false; n];
     let mut count = 0usize;
     let mut stop = false;
+    // The recursion's shared mutable state, passed explicitly rather
+    // than bundled — each argument is touched on every frame.
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         n: usize,
         succ: &[Vec<usize>],
@@ -124,7 +127,10 @@ where
     let mut out = Vec::with_capacity(n);
     while !avail.is_empty() {
         let i = choose(avail.len());
-        assert!(i < avail.len(), "choice function returned out-of-range index");
+        assert!(
+            i < avail.len(),
+            "choice function returned out-of-range index"
+        );
         let v = avail.swap_remove(i);
         out.push(v);
         for &w in &succ[v] {
@@ -172,7 +178,7 @@ mod tests {
     fn every_extension_respects_order() {
         let p = Poset::from_pairs(5, [(0, 2), (1, 2), (2, 4), (3, 4)]).unwrap();
         for ext in all_extensions(&p) {
-            let mut pos = vec![0usize; 5];
+            let mut pos = [0usize; 5];
             for (i, &v) in ext.iter().enumerate() {
                 pos[v] = i;
             }
@@ -199,7 +205,7 @@ mod tests {
         // always choose the last available element
         let ext = random_extension_with(&p, |k| k - 1);
         assert_eq!(ext.len(), 4);
-        let mut pos = vec![0usize; 4];
+        let mut pos = [0usize; 4];
         for (i, &v) in ext.iter().enumerate() {
             pos[v] = i;
         }

@@ -177,15 +177,12 @@ impl ForbiddenPredicate {
         // Contradictory constraints first.
         let mut colors: BTreeMap<Var, &str> = BTreeMap::new();
         for c in &self.constraints {
-            match c {
-                Constraint::Color(v, name) => {
-                    if let Some(prev) = colors.insert(*v, name) {
-                        if prev != name {
-                            return Normalized::Unsatisfiable(UnsatReason::ColorConflict(*v));
-                        }
+            if let Constraint::Color(v, name) = c {
+                if let Some(prev) = colors.insert(*v, name) {
+                    if prev != name {
+                        return Normalized::Unsatisfiable(UnsatReason::ColorConflict(*v));
                     }
                 }
-                _ => {}
             }
         }
         for c in &self.constraints {

@@ -129,25 +129,21 @@ pub fn canonical_run(pred: &ForbiddenPredicate) -> Result<CanonicalRun, Canonica
     // Each union-find class gets its own process id.
     let mut class_to_proc: BTreeMap<usize, usize> = BTreeMap::new();
     let mut proc_of_slot = vec![0usize; 2 * m];
-    for slot in 0..2 * m {
+    for (slot, proc) in proc_of_slot.iter_mut().enumerate() {
         let root = dsu.find(slot);
         let next = class_to_proc.len();
-        let p = *class_to_proc.entry(root).or_insert(next);
-        proc_of_slot[slot] = p;
+        *proc = *class_to_proc.entry(root).or_insert(next);
     }
     // --- color assignment ---
     let mut colors: Vec<Option<String>> = vec![None; m];
     for c in pred.constraints() {
-        match c {
-            Constraint::Color(v, name) => {
-                if let Some(existing) = &colors[v.0] {
-                    if existing != name {
-                        return Err(CanonicalError::UnsatisfiableConstraints);
-                    }
+        if let Constraint::Color(v, name) = c {
+            if let Some(existing) = &colors[v.0] {
+                if existing != name {
+                    return Err(CanonicalError::UnsatisfiableConstraints);
                 }
-                colors[v.0] = Some(name.clone());
             }
-            _ => {}
+            colors[v.0] = Some(name.clone());
         }
     }
     for c in pred.constraints() {
@@ -286,10 +282,9 @@ mod tests {
 
     #[test]
     fn color_conflict_detected() {
-        let p = ForbiddenPredicate::parse(
-            "forbid x: x.s < x.r where color(x) = red, color(x) = blue",
-        )
-        .unwrap();
+        let p =
+            ForbiddenPredicate::parse("forbid x: x.s < x.r where color(x) = red, color(x) = blue")
+                .unwrap();
         assert_eq!(
             canonical_run(&p).unwrap_err(),
             CanonicalError::UnsatisfiableConstraints

@@ -534,9 +534,6 @@ mod tests {
     #[test]
     fn paper_class_displays() {
         assert_eq!(PaperClass::Tagged.to_string(), "tagging sufficient");
-        assert_eq!(
-            PaperClass::Unimplementable.to_string(),
-            "not implementable"
-        );
+        assert_eq!(PaperClass::Unimplementable.to_string(), "not implementable");
     }
 }

@@ -41,8 +41,7 @@ fn consistent(
         if c.lhs.var != just_set && c.rhs.var != just_set {
             continue;
         }
-        if let (Some(a), Some(b)) = (term_event(c.lhs, assignment), term_event(c.rhs, assignment))
-        {
+        if let (Some(a), Some(b)) = (term_event(c.lhs, assignment), term_event(c.rhs, assignment)) {
             if !run.before(a, b) {
                 return false;
             }
@@ -209,7 +208,7 @@ fn search(
     let var = plan.order[depth];
     for &msg in &plan.candidates[var] {
         // Injective instantiation: variables bind distinct messages.
-        if assignment.iter().any(|a| *a == Some(msg)) {
+        if assignment.contains(&Some(msg)) {
             continue;
         }
         assignment[var] = Some(msg);
@@ -444,9 +443,8 @@ mod tests {
 
     #[test]
     fn diff_process_constraint() {
-        let p =
-            ForbiddenPredicate::parse("forbid x, y: x.s < y.s where proc(x.s) != proc(y.s)")
-                .unwrap();
+        let p = ForbiddenPredicate::parse("forbid x, y: x.s < y.s where proc(x.s) != proc(y.s)")
+            .unwrap();
         // both from P0: constraint fails
         let run = UserRun::new(
             meta(&[(0, 1), (0, 1)]),
@@ -497,10 +495,9 @@ mod tests {
     #[test]
     fn three_variable_chain() {
         // k-weaker causal with k = 1: s1 < s2 < s3 & r3 < r1.
-        let p = ForbiddenPredicate::parse(
-            "forbid x1, x2, x3: x1.s < x2.s & x2.s < x3.s & x3.r < x1.r",
-        )
-        .unwrap();
+        let p =
+            ForbiddenPredicate::parse("forbid x1, x2, x3: x1.s < x2.s & x2.s < x3.s & x3.r < x1.r")
+                .unwrap();
         let run = UserRun::new(
             meta(&[(0, 1), (0, 1), (0, 1)]),
             [

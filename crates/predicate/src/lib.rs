@@ -51,7 +51,7 @@ pub mod eval;
 pub mod parse;
 
 pub use ast::{
-    Conjunct, Constraint, EventTerm, ForbiddenPredicate, Normalized, PredicateBuilder,
-    UnsatReason, Var,
+    Conjunct, Constraint, EventTerm, ForbiddenPredicate, Normalized, PredicateBuilder, UnsatReason,
+    Var,
 };
 pub use parse::ParseError;

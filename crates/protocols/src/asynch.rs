@@ -21,7 +21,13 @@ impl Protocol for AsyncProtocol {
         ctx.send_user(msg, Vec::new());
     }
 
-    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: MessageId, _tag: Vec<u8>) {
+    fn on_user_frame(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        _from: ProcessId,
+        msg: MessageId,
+        _tag: Vec<u8>,
+    ) {
         ctx.deliver(msg);
     }
 }
@@ -35,14 +41,11 @@ mod tests {
     fn zero_overhead_and_quiescent() {
         let w = Workload::uniform_random(4, 40, 3);
         let r = Simulation::run_uniform(
-            SimConfig {
-                processes: 4,
-                latency: LatencyModel::Uniform { lo: 1, hi: 500 },
-                seed: 5,
-            },
+            SimConfig::new(4, LatencyModel::Uniform { lo: 1, hi: 500 }, 5),
             w,
             |_| AsyncProtocol::new(),
-        );
+        )
+        .expect("no protocol bug");
         assert!(r.completed && r.run.is_quiescent());
         assert_eq!(r.stats.control_messages, 0);
         assert_eq!(r.stats.tag_bytes, 0);
@@ -56,14 +59,11 @@ mod tests {
         let violated = (0..30).any(|seed| {
             let w = Workload::uniform_random(3, 10, seed);
             let r = Simulation::run_uniform(
-                SimConfig {
-                    processes: 3,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 1000 },
-                    seed,
-                },
+                SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 1000 }, seed),
                 w,
                 |_| AsyncProtocol::new(),
-            );
+            )
+            .expect("no protocol bug");
             !msgorder_runs::limit_sets::in_x_co(&r.run.users_view())
         });
         assert!(violated);

@@ -64,9 +64,7 @@ impl CausalBss {
             }
         }
         self.sent += 1;
-        let mut stamp = VectorClock::from_entries(
-            self.delivered.iter().copied().collect::<Vec<u64>>(),
-        );
+        let mut stamp = VectorClock::from_entries(self.delivered.to_vec());
         debug_assert_eq!(stamp.len(), n);
         // my component counts my own broadcasts (delivered-to-self).
         let entries: Vec<u64> = (0..n)
@@ -138,14 +136,11 @@ mod tests {
     fn sim(n: usize, rounds: usize, seed: u64) -> SimResult {
         let w = Workload::broadcast_rounds(n, rounds, seed);
         Simulation::run_uniform(
-            SimConfig {
-                processes: n,
-                latency: LatencyModel::Uniform { lo: 1, hi: 900 },
-                seed,
-            },
+            SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 900 }, seed),
             w,
             |me| CausalBss::new(n, me),
         )
+        .expect("no protocol bug")
     }
 
     #[test]
@@ -178,13 +173,11 @@ mod tests {
         // The point of BSS over RST for broadcast traffic: O(n) vs O(n²).
         let n = 8;
         let w = Workload::broadcast_rounds(n, 6, 3);
-        let cfg = SimConfig {
-            processes: n,
-            latency: LatencyModel::Uniform { lo: 1, hi: 400 },
-            seed: 3,
-        };
-        let bss = Simulation::run_uniform(cfg, w.clone(), |me| CausalBss::new(n, me));
-        let rst = Simulation::run_uniform(cfg, w, |_| crate::CausalRst::new(n));
+        let cfg = SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 400 }, 3);
+        let bss = Simulation::run_uniform(cfg.clone(), w.clone(), |me| CausalBss::new(n, me))
+            .expect("no protocol bug");
+        let rst =
+            Simulation::run_uniform(cfg, w, |_| crate::CausalRst::new(n)).expect("no protocol bug");
         assert!(limit_sets::in_x_co(&bss.run.users_view()));
         assert!(
             bss.stats.tag_bytes < rst.stats.tag_bytes,

@@ -8,6 +8,7 @@
 //! in flight). This is the tagged protocol cited in Theorem 1.2: it
 //! implements exactly `X_co`.
 
+use crate::reliable::ReliableLink;
 use msgorder_runs::{MessageId, ProcessId};
 use msgorder_simnet::{Ctx, Protocol};
 use serde::{Deserialize, Serialize};
@@ -26,16 +27,29 @@ pub struct CausalRst {
     delivered_from: Vec<u64>,
     /// Buffered arrivals: (sender, matrix, message).
     pending: Vec<(usize, Vec<Vec<u64>>, MessageId)>,
+    /// Ack/retransmission layer for lossy networks, if enabled.
+    link: Option<ReliableLink>,
 }
 
 impl CausalRst {
-    /// A new instance for a system of `n` processes.
+    /// A new instance for a system of `n` processes (assumes a lossless
+    /// network).
     pub fn new(n: usize) -> Self {
         CausalRst {
             n,
             sent: vec![vec![0; n]; n],
             delivered_from: vec![0; n],
             pending: Vec::new(),
+            link: None,
+        }
+    }
+
+    /// An instance that retransmits lost frames until acknowledged —
+    /// survives `FaultModel` loss and duplication.
+    pub fn reliable(n: usize) -> Self {
+        CausalRst {
+            link: Some(ReliableLink::new()),
+            ..CausalRst::new(n)
         }
     }
 
@@ -61,9 +75,9 @@ impl CausalRst {
             let (from, m, msg) = self.pending.remove(idx);
             ctx.deliver(msg);
             self.delivered_from[from] += 1;
-            for k in 0..self.n {
-                for l in 0..self.n {
-                    self.sent[k][l] = self.sent[k][l].max(m[k][l]);
+            for (k, m_row) in m.iter().enumerate() {
+                for (l, &seen) in m_row.iter().enumerate() {
+                    self.sent[k][l] = self.sent[k][l].max(seen);
                 }
             }
         }
@@ -79,13 +93,33 @@ impl Protocol for CausalRst {
             sent: self.sent.clone(),
         })
         .expect("matrix serializes");
-        ctx.send_user(msg, tag);
+        match &mut self.link {
+            Some(link) => link.send_user(ctx, msg, tag),
+            None => ctx.send_user(msg, tag),
+        }
     }
 
     fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
+        if let Some(link) = &mut self.link {
+            link.ack_user(ctx, from, msg);
+        }
         let tag: Tag = serde_json::from_slice(&tag).expect("matrix deserializes");
         self.pending.push((from.0, tag.sent, msg));
         self.drain(ctx);
+    }
+
+    fn on_control_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, bytes: Vec<u8>) {
+        // RST sends no control traffic of its own: everything arriving
+        // here is link bookkeeping (user-frame acks).
+        if let Some(link) = &mut self.link {
+            link.on_control(ctx, from, bytes);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        if let Some(link) = &mut self.link {
+            link.on_timer(ctx, id);
+        }
     }
 }
 
@@ -98,14 +132,11 @@ mod tests {
 
     fn sim(processes: usize, seed: u64, w: Workload) -> SimResult {
         Simulation::run_uniform(
-            SimConfig {
-                processes,
-                latency: LatencyModel::Uniform { lo: 1, hi: 900 },
-                seed,
-            },
+            SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 900 }, seed),
             w,
             |_| CausalRst::new(processes),
         )
+        .expect("no protocol bug")
     }
 
     #[test]
@@ -155,19 +186,20 @@ mod tests {
         for seed in 0..10 {
             let w = Workload::uniform_random(4, 25, seed);
             let r = Simulation::run_uniform(
-                SimConfig {
-                    processes: 4,
-                    latency: LatencyModel::Straggler {
+                SimConfig::new(
+                    4,
+                    LatencyModel::Straggler {
                         lo: 1,
                         hi: 100,
                         slow_every: 4,
                         slow_factor: 40,
                     },
                     seed,
-                },
+                ),
                 w,
                 |_| CausalRst::new(4),
-            );
+            )
+            .expect("no protocol bug");
             assert!(r.completed && r.run.is_quiescent(), "seed {seed}");
             assert!(limit_sets::in_x_co(&r.run.users_view()), "seed {seed}");
         }

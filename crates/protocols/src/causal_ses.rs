@@ -46,10 +46,7 @@ impl CausalSes {
     }
 
     fn dominates(clock: &VectorClock, t: &VectorClock) -> bool {
-        t.entries()
-            .iter()
-            .zip(clock.entries())
-            .all(|(a, b)| a <= b)
+        t.entries().iter().zip(clock.entries()).all(|(a, b)| a <= b)
     }
 
     fn deliverable(&self, tag: &Tag) -> bool {
@@ -67,7 +64,10 @@ impl CausalSes {
 
     fn drain(&mut self, ctx: &mut Ctx<'_>) {
         loop {
-            let idx = self.pending.iter().position(|(tag, _)| self.deliverable(tag));
+            let idx = self
+                .pending
+                .iter()
+                .position(|(tag, _)| self.deliverable(tag));
             let Some(idx) = idx else { break };
             let (tag, msg) = self.pending.remove(idx);
             ctx.deliver(msg);
@@ -112,14 +112,11 @@ mod tests {
 
     fn sim(processes: usize, seed: u64, w: Workload) -> SimResult {
         Simulation::run_uniform(
-            SimConfig {
-                processes,
-                latency: LatencyModel::Uniform { lo: 1, hi: 900 },
-                seed,
-            },
+            SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 900 }, seed),
             w,
             |me| CausalSes::new(processes, me),
         )
+        .expect("no protocol bug")
     }
 
     #[test]
@@ -151,14 +148,11 @@ mod tests {
             let w = Workload::client_server(4, 3, 4, seed);
             let ses = sim(4, seed, w.clone());
             let rst = Simulation::run_uniform(
-                SimConfig {
-                    processes: 4,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 900 },
-                    seed,
-                },
+                SimConfig::new(4, LatencyModel::Uniform { lo: 1, hi: 900 }, seed),
                 w,
                 |_| CausalRst::new(4),
-            );
+            )
+            .expect("no protocol bug");
             assert!(limit_sets::in_x_co(&ses.run.users_view()));
             assert!(limit_sets::in_x_co(&rst.run.users_view()));
         }
@@ -172,23 +166,17 @@ mod tests {
         let n = 8;
         let w = Workload::uniform_random(n, 30, 5);
         let ses = Simulation::run_uniform(
-            SimConfig {
-                processes: n,
-                latency: LatencyModel::Uniform { lo: 1, hi: 300 },
-                seed: 5,
-            },
+            SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 300 }, 5),
             w.clone(),
             |me| CausalSes::new(n, me),
-        );
+        )
+        .expect("no protocol bug");
         let rst = Simulation::run_uniform(
-            SimConfig {
-                processes: n,
-                latency: LatencyModel::Uniform { lo: 1, hi: 300 },
-                seed: 5,
-            },
+            SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 300 }, 5),
             w,
             |_| CausalRst::new(n),
-        );
+        )
+        .expect("no protocol bug");
         assert!(
             ses.stats.tag_bytes < rst.stats.tag_bytes,
             "SES {} vs RST {}",

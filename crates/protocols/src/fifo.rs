@@ -1,5 +1,6 @@
 //! FIFO channels by per-channel sequence numbers (tagged, 8 bytes).
 
+use crate::reliable::ReliableLink;
 use msgorder_runs::{MessageId, ProcessId};
 use msgorder_simnet::{Ctx, Protocol};
 use std::collections::BTreeMap;
@@ -19,12 +20,23 @@ pub struct FifoProtocol {
     next_in: BTreeMap<usize, u64>,
     /// Early arrivals, per source, keyed by sequence number.
     pending: BTreeMap<usize, BTreeMap<u64, MessageId>>,
+    /// Ack/retransmission layer for lossy networks, if enabled.
+    link: Option<ReliableLink>,
 }
 
 impl FifoProtocol {
-    /// A new instance.
+    /// A new instance (assumes a lossless network).
     pub fn new() -> Self {
         FifoProtocol::default()
+    }
+
+    /// An instance that retransmits lost frames until acknowledged —
+    /// survives `FaultModel` loss and duplication.
+    pub fn reliable() -> Self {
+        FifoProtocol {
+            link: Some(ReliableLink::new()),
+            ..FifoProtocol::default()
+        }
     }
 
     fn drain(&mut self, ctx: &mut Ctx<'_>, src: usize) {
@@ -43,13 +55,33 @@ impl Protocol for FifoProtocol {
         let seq = self.next_out.entry(dst).or_insert(0);
         let tag = seq.to_le_bytes().to_vec();
         *seq += 1;
-        ctx.send_user(msg, tag);
+        match &mut self.link {
+            Some(link) => link.send_user(ctx, msg, tag),
+            None => ctx.send_user(msg, tag),
+        }
     }
 
     fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
+        if let Some(link) = &mut self.link {
+            link.ack_user(ctx, from, msg);
+        }
         let seq = u64::from_le_bytes(tag.try_into().expect("fifo tag is 8 bytes"));
         self.pending.entry(from.0).or_default().insert(seq, msg);
         self.drain(ctx, from.0);
+    }
+
+    fn on_control_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, bytes: Vec<u8>) {
+        // FIFO sends no control traffic of its own: everything arriving
+        // here is link bookkeeping (user-frame acks).
+        if let Some(link) = &mut self.link {
+            link.on_control(ctx, from, bytes);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        if let Some(link) = &mut self.link {
+            link.on_timer(ctx, id);
+        }
     }
 }
 
@@ -62,14 +94,11 @@ mod tests {
     fn sim(seed: u64, msgs: usize) -> msgorder_simnet::SimResult {
         let w = Workload::uniform_random(3, msgs, seed);
         Simulation::run_uniform(
-            SimConfig {
-                processes: 3,
-                latency: LatencyModel::Uniform { lo: 1, hi: 800 },
-                seed,
-            },
+            SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 800 }, seed),
             w,
             |_| FifoProtocol::new(),
         )
+        .expect("no protocol bug")
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl Protocol for FlushChannels {
 
     fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
         let tag: Tag = serde_json::from_slice(&tag).expect("tag deserializes");
-        self.incoming.entry(from.0).or_default().pending.push((tag, msg));
+        self.incoming
+            .entry(from.0)
+            .or_default()
+            .pending
+            .push((tag, msg));
         self.drain(ctx, from.0);
     }
 }
@@ -145,14 +149,11 @@ mod tests {
 
     fn sim(seed: u64, w: Workload) -> SimResult {
         Simulation::run_uniform(
-            SimConfig {
-                processes: 3,
-                latency: LatencyModel::Uniform { lo: 1, hi: 700 },
-                seed,
-            },
+            SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 700 }, seed),
             w,
             |_| FlushChannels::new(),
         )
+        .expect("no protocol bug")
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod causal_ses;
 pub mod fifo;
 pub mod flush;
 pub mod registry;
+pub mod reliable;
 pub mod sync;
 pub mod synthesis;
 pub mod verify;
@@ -38,6 +39,7 @@ pub use causal_ses::CausalSes;
 pub use fifo::FifoProtocol;
 pub use flush::FlushChannels;
 pub use registry::ProtocolKind;
+pub use reliable::{ControlEvent, ReliableLink, RetryConfig};
 pub use sync::SyncProtocol;
 pub use synthesis::SynthesizedTagged;
 pub use verify::{run_and_verify, VerifyOutcome};

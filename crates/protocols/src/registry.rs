@@ -62,21 +62,47 @@ impl ProtocolKind {
     }
 
     /// Instantiates the protocol for process `node` of an `n`-process
-    /// system.
+    /// system (no retransmission layer).
     pub fn instantiate(&self, n: usize, node: usize) -> Box<dyn Protocol> {
+        self.instantiate_with(n, node, false)
+    }
+
+    /// Like [`instantiate`](ProtocolKind::instantiate), optionally with
+    /// the ack/retransmission layer for lossy networks. Retransmission
+    /// is available for the FIFO, RST-causal, and sync protocols; the
+    /// other kinds ignore the flag (they have no reliable variant yet).
+    pub fn instantiate_with(&self, n: usize, node: usize, reliable: bool) -> Box<dyn Protocol> {
         match self {
             ProtocolKind::Async => Box::new(AsyncProtocol::new()),
+            ProtocolKind::Fifo if reliable => Box::new(FifoProtocol::reliable()),
             ProtocolKind::Fifo => Box::new(FifoProtocol::new()),
+            ProtocolKind::CausalRst if reliable => Box::new(CausalRst::reliable(n)),
             ProtocolKind::CausalRst => Box::new(CausalRst::new(n)),
             ProtocolKind::CausalSes => Box::new(CausalSes::new(n, node)),
             ProtocolKind::Flush => Box::new(FlushChannels::new()),
+            ProtocolKind::Sync if reliable => Box::new(SyncProtocol::new().with_retransmission()),
             ProtocolKind::Sync => Box::new(SyncProtocol::new()),
+            ProtocolKind::SyncBatched if reliable => {
+                Box::new(SyncProtocol::new_batched().with_retransmission())
+            }
             ProtocolKind::SyncBatched => Box::new(SyncProtocol::new_batched()),
             ProtocolKind::Synthesized(pred) => Box::new(SynthesizedTagged::new(pred.clone())),
             ProtocolKind::SynthesizedSet(preds) => {
                 Box::new(SynthesizedTagged::for_all(preds.clone()))
             }
         }
+    }
+
+    /// Whether [`instantiate_with`](ProtocolKind::instantiate_with)
+    /// honors `reliable = true` for this kind.
+    pub fn supports_retransmission(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Fifo
+                | ProtocolKind::CausalRst
+                | ProtocolKind::Sync
+                | ProtocolKind::SyncBatched
+        )
     }
 }
 
@@ -92,14 +118,11 @@ mod tests {
             let n = 3;
             let w = Workload::uniform_random(n, 12, 5);
             let r = Simulation::run_uniform(
-                SimConfig {
-                    processes: n,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 400 },
-                    seed: 5,
-                },
+                SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 400 }, 5),
                 w,
                 |node| kind.instantiate(n, node),
-            );
+            )
+            .expect("no protocol bug");
             assert!(
                 r.completed && r.run.is_quiescent(),
                 "{} not live",
@@ -115,14 +138,11 @@ mod tests {
         let run = |kind: &ProtocolKind, seed| {
             let w = Workload::uniform_random(n, 15, seed);
             Simulation::run_uniform(
-                SimConfig {
-                    processes: n,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 400 },
-                    seed,
-                },
+                SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 400 }, seed),
                 w,
                 |node| kind.instantiate(n, node),
             )
+            .expect("no protocol bug")
             .stats
         };
         let a = run(&ProtocolKind::Async, 1);
@@ -142,14 +162,11 @@ mod tests {
         let n = 3;
         let w = Workload::uniform_random(n, 15, 9);
         let r = Simulation::run_uniform(
-            SimConfig {
-                processes: n,
-                latency: LatencyModel::Uniform { lo: 1, hi: 400 },
-                seed: 9,
-            },
+            SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 400 }, 9),
             w,
             |node| ProtocolKind::Sync.instantiate(n, node),
-        );
+        )
+        .expect("no protocol bug");
         assert!(limit_sets::in_x_sync(&r.run.users_view()));
     }
 }

@@ -28,6 +28,7 @@
 //! same destination could reorder in transit and be delivered inverted,
 //! closing a crown.)
 
+use crate::reliable::{ControlEvent, ReliableLink};
 use msgorder_runs::{MessageId, ProcessId};
 use msgorder_simnet::{Ctx, Protocol};
 use serde::{Deserialize, Serialize};
@@ -64,6 +65,10 @@ pub struct SyncProtocol {
     // --- per-sender state ---
     state: SenderState,
     waiting: VecDeque<MessageId>,
+    /// Ack/retransmission layer for lossy networks, if enabled. The
+    /// lock-server handshake is stateful, so a single lost Grant or
+    /// Release deadlocks the system — the link retransmits them.
+    link: Option<ReliableLink>,
 }
 
 impl Default for SyncProtocol {
@@ -81,6 +86,7 @@ impl SyncProtocol {
             busy: false,
             state: SenderState::Idle,
             waiting: VecDeque::new(),
+            link: None,
         }
     }
 
@@ -92,11 +98,28 @@ impl SyncProtocol {
         }
     }
 
+    /// Adds an ack/retransmission layer so the handshake survives
+    /// `FaultModel` loss and duplication.
+    pub fn with_retransmission(mut self) -> Self {
+        self.link = Some(ReliableLink::new());
+        self
+    }
+
     const COORD: usize = 0;
 
-    fn send_ctl(ctx: &mut Ctx<'_>, to: usize, m: &Msg) {
+    fn send_ctl(&mut self, ctx: &mut Ctx<'_>, to: usize, m: &Msg) {
         let bytes = serde_json::to_vec(m).expect("control message serializes");
-        ctx.send_control(ProcessId(to), bytes);
+        match &mut self.link {
+            Some(link) => link.send_control(ctx, ProcessId(to), bytes),
+            None => ctx.send_control(ProcessId(to), bytes),
+        }
+    }
+
+    fn send_user_frame(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+        match &mut self.link {
+            Some(link) => link.send_user(ctx, msg, Vec::new()),
+            None => ctx.send_user(msg, Vec::new()),
+        }
     }
 
     fn coord_pump(&mut self, ctx: &mut Ctx<'_>) {
@@ -106,14 +129,14 @@ impl SyncProtocol {
         }
         if let Some(requester) = self.queue.pop_front() {
             self.busy = true;
-            Self::send_ctl(ctx, requester, &Msg::Grant);
+            self.send_ctl(ctx, requester, &Msg::Grant);
         }
     }
 
     fn request_if_needed(&mut self, ctx: &mut Ctx<'_>) {
         if self.state == SenderState::Idle && !self.waiting.is_empty() {
             self.state = SenderState::Waiting;
-            Self::send_ctl(ctx, Self::COORD, &Msg::Request);
+            self.send_ctl(ctx, Self::COORD, &Msg::Request);
         }
     }
 
@@ -124,11 +147,11 @@ impl SyncProtocol {
             // ack-by-ack (sequential blocks keep logical synchrony).
             let msg = self.waiting.pop_front().expect("waiting implies queued");
             self.state = SenderState::Holding;
-            ctx.send_user(msg, Vec::new());
+            self.send_user_frame(ctx, msg);
         } else {
             let msg = self.waiting.pop_front().expect("waiting implies queued");
             self.state = SenderState::Idle;
-            ctx.send_user(msg, Vec::new());
+            self.send_user_frame(ctx, msg);
             // The receiver will release to the coordinator; if more
             // messages queued up meanwhile, request again right away.
             self.request_if_needed(ctx);
@@ -139,10 +162,10 @@ impl SyncProtocol {
         debug_assert_eq!(self.state, SenderState::Holding);
         if let Some(next) = self.waiting.pop_front() {
             // Continue the window with the next queued message.
-            ctx.send_user(next, Vec::new());
+            self.send_user_frame(ctx, next);
         } else {
             self.state = SenderState::Idle;
-            Self::send_ctl(ctx, Self::COORD, &Msg::Release);
+            self.send_ctl(ctx, Self::COORD, &Msg::Release);
         }
     }
 }
@@ -154,16 +177,26 @@ impl Protocol for SyncProtocol {
     }
 
     fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, _tag: Vec<u8>) {
+        if let Some(link) = &mut self.link {
+            link.ack_user(ctx, from, msg);
+        }
         ctx.deliver(msg);
         if self.batched {
-            Self::send_ctl(ctx, from.0, &Msg::Ack);
+            self.send_ctl(ctx, from.0, &Msg::Ack);
         } else {
-            Self::send_ctl(ctx, Self::COORD, &Msg::Release);
+            self.send_ctl(ctx, Self::COORD, &Msg::Release);
         }
     }
 
     fn on_control_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, bytes: Vec<u8>) {
-        let m: Msg = serde_json::from_slice(&bytes).expect("control frame deserializes");
+        let payload = match &mut self.link {
+            Some(link) => match link.on_control(ctx, from, bytes) {
+                ControlEvent::Consumed => return,
+                ControlEvent::Deliver(p) | ControlEvent::Passthrough(p) => p,
+            },
+            None => bytes,
+        };
+        let m: Msg = serde_json::from_slice(&payload).expect("control frame deserializes");
         match m {
             Msg::Request => {
                 self.queue.push_back(from.0);
@@ -175,6 +208,12 @@ impl Protocol for SyncProtocol {
                 self.coord_pump(ctx);
             }
             Msg::Ack => self.on_ack(ctx),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        if let Some(link) = &mut self.link {
+            link.on_timer(ctx, id);
         }
     }
 }
@@ -192,14 +231,11 @@ mod tests {
         factory: impl Fn(usize) -> SyncProtocol,
     ) -> SimResult {
         Simulation::run_uniform(
-            SimConfig {
-                processes,
-                latency: LatencyModel::Uniform { lo: 1, hi: 600 },
-                seed,
-            },
+            SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 600 }, seed),
             w,
             factory,
         )
+        .expect("no protocol bug")
     }
 
     fn sim(processes: usize, seed: u64, w: Workload) -> SimResult {

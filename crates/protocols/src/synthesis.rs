@@ -31,9 +31,7 @@
 
 use msgorder_classifier::classify::{classify, Classification};
 use msgorder_predicate::{eval, ForbiddenPredicate};
-use msgorder_runs::{
-    MessageId, MessageMeta, ProcessId, UserEvent, UserEventKind, UserRun,
-};
+use msgorder_runs::{MessageId, MessageMeta, ProcessId, UserEvent, UserEventKind, UserRun};
 use msgorder_simnet::{Ctx, Protocol};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -112,8 +110,11 @@ impl Knowledge {
         all.metas.entry(msg).or_insert(msg_meta);
         // Renumber known messages densely.
         let ids: Vec<usize> = all.metas.keys().copied().collect();
-        let remap: BTreeMap<usize, usize> =
-            ids.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: BTreeMap<usize, usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         let metas: Vec<MessageMeta> = ids
             .iter()
             .enumerate()
@@ -221,22 +222,15 @@ impl SynthesizedTagged {
         let me = ctx.node().0;
         loop {
             let idx = self.pending.iter().position(|(msg, tag)| {
-                !self.knowledge.would_violate(
-                    &self.preds,
-                    tag,
-                    me,
-                    msg.0,
-                    Self::meta_of(ctx, *msg),
-                )
+                !self
+                    .knowledge
+                    .would_violate(&self.preds, tag, me, msg.0, Self::meta_of(ctx, *msg))
             });
             let Some(idx) = idx else { break };
             let (msg, tag) = self.pending.remove(idx);
             self.knowledge.merge(&tag);
-            self.knowledge.execute(
-                Self::meta_of(ctx, msg),
-                msg.0,
-                UserEvent::deliver(msg),
-            );
+            self.knowledge
+                .execute(Self::meta_of(ctx, msg), msg.0, UserEvent::deliver(msg));
             ctx.deliver(msg);
         }
     }
@@ -266,14 +260,11 @@ mod tests {
     fn sim(pred: &ForbiddenPredicate, processes: usize, seed: u64, w: Workload) -> SimResult {
         let p = pred.clone();
         Simulation::run_uniform(
-            SimConfig {
-                processes,
-                latency: LatencyModel::Uniform { lo: 1, hi: 800 },
-                seed,
-            },
+            SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 800 }, seed),
             w,
             move |_| SynthesizedTagged::new(p.clone()),
         )
+        .expect("no protocol bug")
     }
 
     #[test]
@@ -350,18 +341,18 @@ mod tests {
             let w = Workload::with_markers(3, 12, 4, "red", seed);
             let ps = preds.clone();
             let r = Simulation::run_uniform(
-                SimConfig {
-                    processes: 3,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 800 },
-                    seed,
-                },
+                SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 800 }, seed),
                 w,
                 move |_| SynthesizedTagged::for_all(ps.clone()),
-            );
+            )
+            .expect("no protocol bug");
             assert!(r.completed && r.run.is_quiescent(), "liveness, seed {seed}");
             let user = r.run.users_view();
             for p in &preds {
-                assert!(eval::satisfies_spec(p, &user), "member {p} violated, seed {seed}");
+                assert!(
+                    eval::satisfies_spec(p, &user),
+                    "member {p} violated, seed {seed}"
+                );
             }
         }
     }

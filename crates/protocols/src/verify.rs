@@ -8,8 +8,8 @@
 //! predicate's specification).
 
 use msgorder_predicate::{eval, ForbiddenPredicate};
-use msgorder_runs::{MessageId, UserRun};
-use msgorder_simnet::{Protocol, SimConfig, Simulation, Stats, Workload};
+use msgorder_runs::{MessageId, SystemRunBuilder, UserRun};
+use msgorder_simnet::{Protocol, SimConfig, SimError, Simulation, Stats, Workload};
 
 /// The verdict of one verified simulation.
 #[derive(Debug)]
@@ -26,32 +26,64 @@ pub struct VerifyOutcome {
     pub user_run: UserRun,
     /// Overhead counters.
     pub stats: Stats,
+    /// If the protocol itself misbehaved (double delivery, send from a
+    /// non-owner, …), the structured counterexample: the offending
+    /// event, message, simulated time, and the trace up to the bug.
+    pub counterexample: Option<SimError>,
 }
 
 impl VerifyOutcome {
-    /// Safety and liveness both hold.
+    /// Safety and liveness both hold and the protocol never tripped a
+    /// kernel invariant.
     pub fn ok(&self) -> bool {
-        self.safe && self.live
+        self.safe && self.live && self.counterexample.is_none()
     }
 }
 
 /// Runs `factory`'s protocol on `workload` and verifies it against
 /// `spec`.
+///
+/// A protocol bug (an invalid kernel action) no longer aborts the
+/// process: it is reported through
+/// [`counterexample`](VerifyOutcome::counterexample), with safety
+/// evaluated on the partial trace captured up to the bug.
 pub fn run_and_verify<P: Protocol>(
     config: SimConfig,
     workload: Workload,
     factory: impl Fn(usize) -> P,
     spec: &ForbiddenPredicate,
 ) -> VerifyOutcome {
-    let result = Simulation::run_uniform(config, workload, factory);
-    let user_run = result.run.users_view();
-    let violation = eval::find_instantiation(spec, &user_run);
-    VerifyOutcome {
-        safe: violation.is_none(),
-        live: result.completed && result.run.is_quiescent(),
-        violation,
-        user_run,
-        stats: result.stats,
+    let processes = config.processes;
+    match Simulation::run_uniform(config, workload, factory) {
+        Ok(result) => {
+            let user_run = result.run.users_view();
+            let violation = eval::find_instantiation(spec, &user_run);
+            VerifyOutcome {
+                safe: violation.is_none(),
+                live: result.completed && result.run.is_quiescent(),
+                violation,
+                user_run,
+                stats: result.stats,
+                counterexample: None,
+            }
+        }
+        Err(e) => {
+            let user_run = e.trace.as_ref().map(|t| t.users_view()).unwrap_or_else(|| {
+                SystemRunBuilder::new(processes)
+                    .build()
+                    .expect("empty run is valid")
+                    .users_view()
+            });
+            let violation = eval::find_instantiation(spec, &user_run);
+            VerifyOutcome {
+                safe: violation.is_none(),
+                live: false,
+                violation,
+                user_run,
+                stats: e.stats.clone(),
+                counterexample: Some(e),
+            }
+        }
     }
 }
 
@@ -63,11 +95,7 @@ mod tests {
     use msgorder_simnet::LatencyModel;
 
     fn config(processes: usize, seed: u64) -> SimConfig {
-        SimConfig {
-            processes,
-            latency: LatencyModel::Uniform { lo: 1, hi: 900 },
-            seed,
-        }
+        SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 900 }, seed)
     }
 
     #[test]

@@ -15,14 +15,11 @@ fn run(
     hi: u64,
 ) -> msgorder_simnet::SimResult {
     Simulation::run_uniform(
-        SimConfig {
-            processes: procs,
-            latency: LatencyModel::Uniform { lo: 1, hi },
-            seed,
-        },
+        SimConfig::new(procs, LatencyModel::Uniform { lo: 1, hi }, seed),
         w,
         |node| kind.instantiate(procs, node),
     )
+    .expect("no protocol bug")
 }
 
 proptest! {
@@ -81,14 +78,11 @@ proptest! {
     fn bss_broadcasts_causally(procs in 2usize..5, rounds in 1usize..7, seed in 0u64..10_000) {
         let w = Workload::broadcast_rounds(procs, rounds, seed);
         let r = Simulation::run_uniform(
-            SimConfig {
-                processes: procs,
-                latency: LatencyModel::Uniform { lo: 1, hi: 900 },
-                seed,
-            },
+            SimConfig::new(procs, LatencyModel::Uniform { lo: 1, hi: 900 }, seed),
             w,
             |me| msgorder_protocols::CausalBss::new(procs, me),
-        );
+        )
+        .expect("no protocol bug");
         prop_assert!(r.completed && r.run.is_quiescent());
         prop_assert!(limit_sets::in_x_co(&r.run.users_view()));
     }

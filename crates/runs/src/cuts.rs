@@ -24,10 +24,10 @@ pub fn is_consistent(run: &SystemRun, cut: &Cut) -> bool {
         }
     }
     let included = |e: SystemEvent| -> bool {
-        for p in 0..n {
+        for (p, &k) in cut.iter().enumerate() {
             let seq = run.sequence(ProcessId(p));
             if let Some(pos) = seq.iter().position(|ev| *ev == e) {
-                return pos < cut[p];
+                return pos < k;
             }
         }
         false
@@ -51,13 +51,15 @@ pub fn is_consistent(run: &SystemRun, cut: &Cut) -> bool {
 /// # Panics
 /// Panics if the cut is not consistent.
 pub fn channel_state(run: &SystemRun, cut: &Cut) -> Vec<MessageId> {
-    assert!(is_consistent(run, cut), "channel state needs a consistent cut");
-    let n = run.process_count();
+    assert!(
+        is_consistent(run, cut),
+        "channel state needs a consistent cut"
+    );
     let included = |e: SystemEvent| -> bool {
-        for p in 0..n {
+        for (p, &k) in cut.iter().enumerate() {
             let seq = run.sequence(ProcessId(p));
             if let Some(pos) = seq.iter().position(|ev| *ev == e) {
-                return pos < cut[p];
+                return pos < k;
             }
         }
         false
@@ -78,9 +80,7 @@ pub fn channel_state(run: &SystemRun, cut: &Cut) -> Vec<MessageId> {
 /// number of order ideals of the event poset.)
 pub fn count_consistent(run: &SystemRun) -> usize {
     let n = run.process_count();
-    let lens: Vec<usize> = (0..n)
-        .map(|p| run.sequence(ProcessId(p)).len())
-        .collect();
+    let lens: Vec<usize> = (0..n).map(|p| run.sequence(ProcessId(p)).len()).collect();
     let mut cut = vec![0usize; n];
     let mut count = 0usize;
     loop {
@@ -109,10 +109,10 @@ pub fn earliest_consistent_including(run: &SystemRun, targets: &[SystemEvent]) -
     let n = run.process_count();
     let mut cut = vec![0usize; n];
     for t in targets {
-        for p in 0..n {
+        for (p, slot) in cut.iter_mut().enumerate() {
             let seq = run.sequence(ProcessId(p));
             if let Some(pos) = seq.iter().position(|ev| ev == t) {
-                cut[p] = cut[p].max(pos + 1);
+                *slot = (*slot).max(pos + 1);
             }
         }
     }
@@ -124,10 +124,10 @@ pub fn earliest_consistent_including(run: &SystemRun, targets: &[SystemEvent]) -
             let rstar = SystemEvent::new(meta.id, EventKind::Receive);
             let s = SystemEvent::new(meta.id, EventKind::Send);
             let incl = |e: SystemEvent, cut: &Cut| -> bool {
-                for p in 0..n {
+                for (p, &k) in cut.iter().enumerate() {
                     let seq = run.sequence(ProcessId(p));
                     if let Some(pos) = seq.iter().position(|ev| *ev == e) {
-                        return pos < cut[p];
+                        return pos < k;
                     }
                 }
                 false
@@ -170,9 +170,7 @@ mod tests {
     fn empty_and_full_cuts_consistent() {
         let run = ping_pong();
         assert!(is_consistent(&run, &vec![0, 0]));
-        let full: Cut = (0..2)
-            .map(|p| run.sequence(ProcessId(p)).len())
-            .collect();
+        let full: Cut = (0..2).map(|p| run.sequence(ProcessId(p)).len()).collect();
         assert!(is_consistent(&run, &full));
     }
 

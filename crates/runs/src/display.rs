@@ -29,7 +29,8 @@ pub fn render_timeline(run: &SystemRun) -> String {
     for p in 0..n {
         let seq = run.sequence(ProcessId(p));
         for w in seq.windows(2) {
-            g.add_edge(index_of(w[0]), index_of(w[1])).expect("in range");
+            g.add_edge(index_of(w[0]), index_of(w[1]))
+                .expect("in range");
         }
     }
     for meta in run.messages() {
@@ -82,7 +83,9 @@ mod tests {
         let run = b.build().unwrap();
         let text = render_timeline(&run);
         assert_eq!(text.lines().count(), 2);
-        for ev in ["m0.s*", "m0.s", "m0.r*", "m0.r", "m1.s*", "m1.s", "m1.r*", "m1.r"] {
+        for ev in [
+            "m0.s*", "m0.s", "m0.r*", "m0.r", "m1.s*", "m1.s", "m1.r*", "m1.r",
+        ] {
             assert_eq!(
                 text.matches(ev).count(),
                 // "m0.s" also matches inside "m0.s*": account for that

@@ -168,10 +168,7 @@ pub fn random_causal_run(params: GenParams) -> UserRun {
     // Endpoint list as declared (recovered from the still-empty run).
     let metas: Vec<(usize, usize)> = {
         let run = b.build().expect("empty run valid");
-        run.messages()
-            .iter()
-            .map(|m| (m.src.0, m.dst.0))
-            .collect()
+        run.messages().iter().map(|m| (m.src.0, m.dst.0)).collect()
     };
     // knowledge[p] = set of message indices whose SEND is in causal past
     // of process p's next event.
@@ -185,13 +182,12 @@ pub fn random_causal_run(params: GenParams) -> UserRun {
         let mut actions: Vec<(usize, u8)> = Vec::new();
         for i in 0..msgs.len() {
             match stage[i] {
-                0 | 1 | 2 => actions.push((i, stage[i])),
+                0..=2 => actions.push((i, stage[i])),
                 3 => {
                     let tag = tags[i].as_ref().expect("sent");
                     let dst = metas[i].1;
-                    let ready = (0..msgs.len()).all(|j| {
-                        j == i || !tag[j] || metas[j].1 != dst || delivered[j]
-                    });
+                    let ready = (0..msgs.len())
+                        .all(|j| j == i || !tag[j] || metas[j].1 != dst || delivered[j]);
                     if ready {
                         actions.push((i, 3));
                     }

@@ -178,7 +178,7 @@ impl UserEvent {
     pub fn from_node(node: usize) -> Self {
         UserEvent {
             msg: MessageId(node / 2),
-            kind: if node % 2 == 0 {
+            kind: if node.is_multiple_of(2) {
                 UserEventKind::Send
             } else {
                 UserEventKind::Deliver

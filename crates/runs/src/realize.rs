@@ -214,12 +214,7 @@ mod tests {
     #[test]
     fn carriers_are_colored_aux() {
         let r = realize(&causal_witness()).unwrap();
-        let aux: Vec<_> = r
-            .run
-            .messages()
-            .iter()
-            .skip(r.original_count)
-            .collect();
+        let aux: Vec<_> = r.run.messages().iter().skip(r.original_count).collect();
         assert_eq!(aux.len(), r.aux_count);
         assert!(aux.iter().all(|m| m.has_color("aux")));
     }

@@ -273,10 +273,7 @@ mod tests {
     fn concurrency() {
         let run = UserRun::new(meta(2), []).unwrap();
         assert!(run.concurrent(UserEvent::send(MessageId(0)), UserEvent::send(MessageId(1))));
-        assert!(!run.concurrent(
-            UserEvent::send(MessageId(0)),
-            UserEvent::send(MessageId(0))
-        ));
+        assert!(!run.concurrent(UserEvent::send(MessageId(0)), UserEvent::send(MessageId(0))));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Structured simulation failures: counterexamples instead of aborts.
+//!
+//! A protocol implementation bug used to `panic!` inside the kernel and
+//! kill the whole process — one bad trace aborted an entire experiment
+//! sweep. Instead, the kernel now *poisons* the world on the first
+//! invalid action and surfaces a [`SimError`] carrying the offending
+//! message, the simulated time, the partial captured run (the
+//! counterexample trace), and the stats accumulated so far.
+
+use crate::stats::Stats;
+use msgorder_runs::{MessageId, ProcessId, RunError, SystemRun};
+
+/// The result of running a simulation: a completed [`SimResult`] or a
+/// structured counterexample.
+///
+/// [`SimResult`]: crate::SimResult
+pub type SimOutcome = Result<crate::SimResult, SimError>;
+
+/// What kind of protocol (or kernel-capture) bug was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimErrorKind {
+    /// `Ctx::send_user` called by a process that does not own the
+    /// message.
+    SendFromNonOwner {
+        /// The process that actually owns the message.
+        owner: ProcessId,
+    },
+    /// `Ctx::deliver` called at a process that is not the message's
+    /// destination.
+    DeliverAtNonDestination {
+        /// The message's true destination.
+        destination: ProcessId,
+    },
+    /// `Ctx::send_user` rejected by the run builder (double send, send
+    /// before request, …).
+    InvalidSend(RunError),
+    /// `Ctx::deliver` rejected by the run builder (double delivery,
+    /// delivery before receive, …).
+    InvalidDelivery(RunError),
+    /// A workload send request could not be recorded (kernel/workload
+    /// inconsistency).
+    InvalidRequest(RunError),
+    /// A frame arrival could not be recorded (kernel/network
+    /// inconsistency).
+    InvalidReceive(RunError),
+    /// `Ctx::resend_user` called for a message that was never sent (or
+    /// by a non-owner).
+    ResendBeforeSend,
+    /// The captured run failed final validation.
+    InvalidRun(RunError),
+}
+
+impl std::fmt::Display for SimErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimErrorKind::SendFromNonOwner { owner } => {
+                write!(f, "send_user from a non-owner process (owner is {owner:?})")
+            }
+            SimErrorKind::DeliverAtNonDestination { destination } => write!(
+                f,
+                "deliver at a non-destination process (destination is {destination:?})"
+            ),
+            SimErrorKind::InvalidSend(e) => write!(f, "invalid send: {e}"),
+            SimErrorKind::InvalidDelivery(e) => write!(f, "invalid delivery: {e}"),
+            SimErrorKind::InvalidRequest(e) => write!(f, "invalid send request: {e}"),
+            SimErrorKind::InvalidReceive(e) => write!(f, "invalid frame receive: {e}"),
+            SimErrorKind::ResendBeforeSend => {
+                write!(f, "resend of a message that was never sent")
+            }
+            SimErrorKind::InvalidRun(e) => write!(f, "captured run failed validation: {e}"),
+        }
+    }
+}
+
+/// A counterexample: where and when a simulation went wrong.
+#[derive(Debug, Clone)]
+pub struct SimError {
+    /// What went wrong.
+    pub kind: SimErrorKind,
+    /// The process whose protocol instance triggered the error.
+    pub node: ProcessId,
+    /// The offending message, when the error concerns one.
+    pub msg: Option<MessageId>,
+    /// Simulated time at which the error occurred.
+    pub time: u64,
+    /// The partial run captured up to (but excluding) the invalid
+    /// action — the counterexample trace. `None` only if even the
+    /// partial run failed to build.
+    pub trace: Option<SystemRun>,
+    /// Stats accumulated up to the error.
+    pub stats: Stats,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol bug at t={} on {:?}", self.time, self.node)?;
+        if let Some(m) = self.msg {
+            write!(f, " ({m})")?;
+        }
+        write!(f, ": {}", self.kind)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_time_node_and_message() {
+        let e = SimError {
+            kind: SimErrorKind::SendFromNonOwner {
+                owner: ProcessId(2),
+            },
+            node: ProcessId(0),
+            msg: Some(MessageId(7)),
+            time: 41,
+            trace: None,
+            stats: Stats::default(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("t=41"), "{s}");
+        assert!(s.contains("non-owner"), "{s}");
+    }
+}

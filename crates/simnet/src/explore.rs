@@ -12,6 +12,7 @@
 //! messages and use `cap` (the count of *completed schedules*; the
 //! search stops once reached).
 
+use crate::error::SimError;
 use crate::kernel::{EventKind, Protocol, Scheduled, SimConfig, Simulation};
 use crate::workload::Workload;
 use msgorder_runs::SystemRun;
@@ -23,12 +24,15 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The outcome of an exploration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Exploration {
     /// Complete schedules visited.
     pub schedules: usize,
     /// Whether the cap stopped the search early.
     pub truncated: bool,
+    /// A protocol bug found along some schedule, with its counterexample
+    /// trace; the search stops at the first one.
+    pub error: Option<Box<SimError>>,
 }
 
 /// Exhaustively explores every schedule of `workload` under the
@@ -57,6 +61,7 @@ where
     let mut exp = Exploration {
         schedules: 0,
         truncated: false,
+        error: None,
     };
     dfs(&mut state, cap, &mut exp, &mut visit);
     exp
@@ -91,6 +96,7 @@ where
     let mut exp = Exploration {
         schedules: 0,
         truncated: false,
+        error: None,
     };
     let mut visited = HashSet::new();
     visited.insert(state.dedup_key());
@@ -132,6 +138,7 @@ where
             return Exploration {
                 schedules: 0,
                 truncated: true,
+                error: None,
             };
         }
         let run = state
@@ -143,11 +150,13 @@ where
         return Exploration {
             schedules: 1,
             truncated: false,
+            error: None,
         };
     }
     let schedules = AtomicUsize::new(0);
     let truncated = AtomicBool::new(false);
     let stopped = AtomicBool::new(false);
+    let error: Mutex<Option<Box<SimError>>> = Mutex::new(None);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<State<P>>>> =
         branches.into_iter().map(|b| Mutex::new(Some(b))).collect();
@@ -166,13 +175,24 @@ where
                     .expect("no worker panicked holding the slot")
                     .take()
                     .expect("each slot is claimed once");
-                dfs_shared(&mut branch, cap, &schedules, &truncated, &stopped, &visit);
+                dfs_shared(
+                    &mut branch,
+                    cap,
+                    &schedules,
+                    &truncated,
+                    &stopped,
+                    &error,
+                    &visit,
+                );
             });
         }
     });
     Exploration {
         schedules: schedules.load(Ordering::Relaxed),
         truncated: truncated.load(Ordering::Relaxed),
+        error: error
+            .into_inner()
+            .expect("no worker panicked holding the error slot"),
     }
 }
 
@@ -185,11 +205,7 @@ fn initial_state<P: Protocol + Clone>(
     workload: Workload,
     factory: impl Fn(usize) -> P,
 ) -> State<P> {
-    let config = SimConfig {
-        processes,
-        latency: crate::latency::LatencyModel::Fixed(1),
-        seed: 0,
-    };
+    let config = SimConfig::new(processes, crate::latency::LatencyModel::Fixed(1), 0);
     let sim = Simulation::new(config, workload, factory);
     let (mut world, mut protocols) = sim.into_parts();
     let mut requests: Vec<VecDeque<Scheduled>> = vec![VecDeque::new(); processes];
@@ -200,9 +216,9 @@ fn initial_state<P: Protocol + Clone>(
             _ => initial.push(ev),
         }
     }
-    for node in 0..processes {
+    for (node, protocol) in protocols.iter_mut().enumerate() {
         let mut ctx = world.ctx(node);
-        protocols[node].on_init(&mut ctx);
+        protocol.on_init(&mut ctx);
     }
     while let Some(Reverse(ev)) = world.queue.pop() {
         initial.push(ev);
@@ -246,6 +262,15 @@ struct State<P> {
 }
 
 impl<P: Protocol + Clone> State<P> {
+    /// If the last dispatch poisoned the world, extracts the
+    /// counterexample (with the partial trace and stats attached).
+    fn take_error(&mut self) -> Option<Box<SimError>> {
+        let mut e = self.world.error.take()?;
+        e.trace = self.world.builder.build().ok();
+        e.stats = self.world.stats.clone();
+        Some(Box::new(e))
+    }
+
     fn clone_state(&self) -> State<P> {
         State {
             world: self.world.clone(),
@@ -337,6 +362,10 @@ where
         let mut next = state.clone_state();
         let ev = next.pool.swap_remove(i);
         next.step(ev);
+        if let Some(e) = next.take_error() {
+            exp.error = Some(e);
+            return false;
+        }
         if !dfs(&mut next, cap, exp, visit) {
             return false;
         }
@@ -346,6 +375,10 @@ where
         let mut next = state.clone_state();
         let ev = next.requests[p].pop_front().expect("nonempty");
         next.step(ev);
+        if let Some(e) = next.take_error() {
+            exp.error = Some(e);
+            return false;
+        }
         if !dfs(&mut next, cap, exp, visit) {
             return false;
         }
@@ -387,6 +420,10 @@ where
         let mut next = state.clone_state();
         let ev = next.pool.swap_remove(i);
         next.step(ev);
+        if let Some(e) = next.take_error() {
+            exp.error = Some(e);
+            return false;
+        }
         if visited.insert(next.dedup_key()) && !dfs_dedup(&mut next, cap, exp, visited, visit) {
             return false;
         }
@@ -395,6 +432,10 @@ where
         let mut next = state.clone_state();
         let ev = next.requests[p].pop_front().expect("nonempty");
         next.step(ev);
+        if let Some(e) = next.take_error() {
+            exp.error = Some(e);
+            return false;
+        }
         if visited.insert(next.dedup_key()) && !dfs_dedup(&mut next, cap, exp, visited, visit) {
             return false;
         }
@@ -405,12 +446,14 @@ where
 /// [`dfs`] against shared atomic progress state, used by the workers of
 /// [`explore_parallel`]. The schedule count is claimed with a
 /// compare-exchange loop so it can never overshoot `cap`.
+#[allow(clippy::too_many_arguments)]
 fn dfs_shared<P, V>(
     state: &mut State<P>,
     cap: usize,
     schedules: &AtomicUsize,
     truncated: &AtomicBool,
     stopped: &AtomicBool,
+    error: &Mutex<Option<Box<SimError>>>,
     visit: &V,
 ) -> bool
 where
@@ -457,7 +500,15 @@ where
         let mut next = state.clone_state();
         let ev = next.pool.swap_remove(i);
         next.step(ev);
-        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, visit) {
+        if let Some(e) = next.take_error() {
+            error
+                .lock()
+                .expect("no worker panicked holding the error slot")
+                .get_or_insert(e);
+            stopped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, error, visit) {
             return false;
         }
     }
@@ -465,7 +516,15 @@ where
         let mut next = state.clone_state();
         let ev = next.requests[p].pop_front().expect("nonempty");
         next.step(ev);
-        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, visit) {
+        if let Some(e) = next.take_error() {
+            error
+                .lock()
+                .expect("no worker panicked holding the error slot")
+                .get_or_insert(e);
+            stopped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, error, visit) {
             return false;
         }
     }
@@ -498,8 +557,18 @@ mod tests {
     fn two_same_channel() -> Workload {
         Workload {
             sends: vec![
-                SendSpec { at: 0, src: 0, dst: 1, color: None },
-                SendSpec { at: 1, src: 0, dst: 1, color: None },
+                SendSpec {
+                    at: 0,
+                    src: 0,
+                    dst: 1,
+                    color: None,
+                },
+                SendSpec {
+                    at: 1,
+                    src: 0,
+                    dst: 1,
+                    color: None,
+                },
             ],
         }
     }
@@ -514,19 +583,25 @@ mod tests {
         // orders must occur.
         let mut saw_in_order = false;
         let mut saw_inverted = false;
-        let exp = explore(2, two_same_channel(), |_| Immediate, 10_000, |run| {
-            let user = run.users_view();
-            use msgorder_runs::UserEvent;
-            if user.before(
-                UserEvent::deliver(MessageId(0)),
-                UserEvent::deliver(MessageId(1)),
-            ) {
-                saw_in_order = true;
-            } else {
-                saw_inverted = true;
-            }
-            true
-        });
+        let exp = explore(
+            2,
+            two_same_channel(),
+            |_| Immediate,
+            10_000,
+            |run| {
+                let user = run.users_view();
+                use msgorder_runs::UserEvent;
+                if user.before(
+                    UserEvent::deliver(MessageId(0)),
+                    UserEvent::deliver(MessageId(1)),
+                ) {
+                    saw_in_order = true;
+                } else {
+                    saw_inverted = true;
+                }
+                true
+            },
+        );
         assert!(!exp.truncated);
         assert!(exp.schedules >= 2);
         assert!(saw_in_order && saw_inverted, "explorer must reorder frames");
@@ -534,10 +609,16 @@ mod tests {
 
     #[test]
     fn every_explored_run_is_quiescent_for_live_protocol() {
-        let exp = explore(2, two_same_channel(), |_| Immediate, 10_000, |run| {
-            assert!(run.is_quiescent());
-            true
-        });
+        let exp = explore(
+            2,
+            two_same_channel(),
+            |_| Immediate,
+            10_000,
+            |run| {
+                assert!(run.is_quiescent());
+                true
+            },
+        );
         assert!(exp.schedules > 0);
     }
 
@@ -551,7 +632,12 @@ mod tests {
     fn cap_truncates() {
         let w = Workload {
             sends: (0..4)
-                .map(|i| SendSpec { at: i, src: 0, dst: 1, color: None })
+                .map(|i| SendSpec {
+                    at: i,
+                    src: 0,
+                    dst: 1,
+                    color: None,
+                })
                 .collect(),
         };
         let exp = explore(2, w, |_| Immediate, 3, |_| true);
@@ -564,9 +650,24 @@ mod tests {
     fn fan_out() -> Workload {
         Workload {
             sends: vec![
-                SendSpec { at: 0, src: 0, dst: 1, color: None },
-                SendSpec { at: 1, src: 0, dst: 2, color: None },
-                SendSpec { at: 2, src: 0, dst: 1, color: None },
+                SendSpec {
+                    at: 0,
+                    src: 0,
+                    dst: 1,
+                    color: None,
+                },
+                SendSpec {
+                    at: 1,
+                    src: 0,
+                    dst: 2,
+                    color: None,
+                },
+                SendSpec {
+                    at: 2,
+                    src: 0,
+                    dst: 1,
+                    color: None,
+                },
             ],
         }
     }
@@ -588,15 +689,27 @@ mod tests {
     fn dedup_visits_same_distinct_runs_with_fewer_configurations() {
         use std::collections::BTreeSet;
         let mut plain_runs = BTreeSet::new();
-        let plain = explore(3, fan_out(), |_| Immediate, usize::MAX, |run| {
-            plain_runs.insert(fingerprint(run));
-            true
-        });
+        let plain = explore(
+            3,
+            fan_out(),
+            |_| Immediate,
+            usize::MAX,
+            |run| {
+                plain_runs.insert(fingerprint(run));
+                true
+            },
+        );
         let mut dedup_runs = BTreeSet::new();
-        let dedup = explore_dedup(3, fan_out(), |_| Immediate, usize::MAX, |run| {
-            dedup_runs.insert(fingerprint(run));
-            true
-        });
+        let dedup = explore_dedup(
+            3,
+            fan_out(),
+            |_| Immediate,
+            usize::MAX,
+            |run| {
+                dedup_runs.insert(fingerprint(run));
+                true
+            },
+        );
         assert_eq!(plain_runs, dedup_runs, "dedup must not lose runs");
         assert!(
             dedup.schedules < plain.schedules,
@@ -610,9 +723,7 @@ mod tests {
     fn parallel_counts_match_sequential() {
         let seq = explore(3, fan_out(), |_| Immediate, usize::MAX, |_| true);
         for threads in [1, 2, 4] {
-            let par = explore_parallel(3, fan_out(), |_| Immediate, threads, usize::MAX, |_| {
-                true
-            });
+            let par = explore_parallel(3, fan_out(), |_| Immediate, threads, usize::MAX, |_| true);
             assert_eq!(par.schedules, seq.schedules, "threads = {threads}");
             assert!(!par.truncated);
         }
@@ -622,19 +733,32 @@ mod tests {
     fn parallel_visits_same_run_multiset() {
         use std::collections::BTreeMap;
         let mut seq_runs: BTreeMap<Vec<(String, String)>, usize> = BTreeMap::new();
-        explore(3, fan_out(), |_| Immediate, usize::MAX, |run| {
-            *seq_runs.entry(fingerprint(run)).or_default() += 1;
-            true
-        });
+        explore(
+            3,
+            fan_out(),
+            |_| Immediate,
+            usize::MAX,
+            |run| {
+                *seq_runs.entry(fingerprint(run)).or_default() += 1;
+                true
+            },
+        );
         let par_runs = Mutex::new(BTreeMap::<Vec<(String, String)>, usize>::new());
-        explore_parallel(3, fan_out(), |_| Immediate, 4, usize::MAX, |run| {
-            *par_runs
-                .lock()
-                .expect("no visitor panicked")
-                .entry(fingerprint(run))
-                .or_default() += 1;
-            true
-        });
+        explore_parallel(
+            3,
+            fan_out(),
+            |_| Immediate,
+            4,
+            usize::MAX,
+            |run| {
+                *par_runs
+                    .lock()
+                    .expect("no visitor panicked")
+                    .entry(fingerprint(run))
+                    .or_default() += 1;
+                true
+            },
+        );
         assert_eq!(seq_runs, par_runs.into_inner().expect("final read"));
     }
 
@@ -642,7 +766,12 @@ mod tests {
     fn parallel_cap_never_overshoots() {
         let w = Workload {
             sends: (0..4)
-                .map(|i| SendSpec { at: i, src: 0, dst: 1, color: None })
+                .map(|i| SendSpec {
+                    at: i,
+                    src: 0,
+                    dst: 1,
+                    color: None,
+                })
                 .collect(),
         };
         let exp = explore_parallel(2, w, |_| Immediate, 4, 3, |_| true);

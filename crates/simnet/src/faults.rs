@@ -1,0 +1,196 @@
+//! Network fault models: message loss, duplication, partitions, crashes.
+//!
+//! The paper's protocol classes (§3.2) are defined over asynchronous
+//! non-FIFO networks; a [`FaultModel`] makes the channel *adversarial*
+//! rather than merely reordering. All fault decisions are sampled from a
+//! dedicated RNG stream seeded from the simulation seed, so faulty runs
+//! are exactly reproducible — and so that a quiet fault model (all
+//! probabilities zero, no schedules) leaves the kernel's main RNG stream
+//! untouched and every simulation bit-identical to the fault-free
+//! kernel.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric link partition: frames between processes `a` and `b`
+/// (either direction) are dropped while `from <= now < until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// One endpoint.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// First tick at which the link is down (inclusive).
+    pub from: u64,
+    /// First tick at which the link is healed (exclusive).
+    pub until: u64,
+}
+
+/// A process crash window: the process is down from `at` until `restart`
+/// (or forever if `restart` is `None`). While down, arriving frames are
+/// lost and the process executes nothing; timers and send requests that
+/// come due are deferred to the restart tick (or dropped on a permanent
+/// crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSchedule {
+    /// The crashing process.
+    pub process: usize,
+    /// First tick at which the process is down (inclusive).
+    pub at: u64,
+    /// Tick at which it restarts (exclusive end of the down window), or
+    /// `None` for a permanent crash.
+    pub restart: Option<u64>,
+}
+
+/// What the network does to frames beyond delaying them.
+///
+/// The default model is *quiet*: no loss, no duplication, no partitions,
+/// no crashes — the kernel behaves exactly as it would without any fault
+/// layer.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Per-frame drop probability in `[0, 1]`, applied to every user and
+    /// control frame independently.
+    pub drop: f64,
+    /// Per-frame duplication probability in `[0, 1]`: with this
+    /// probability a second copy of the frame is scheduled with an
+    /// independent latency.
+    pub duplicate: f64,
+    /// Timed link partitions.
+    pub partitions: Vec<Partition>,
+    /// Process crash/restart schedules.
+    pub crashes: Vec<CrashSchedule>,
+}
+
+impl FaultModel {
+    /// The quiet model: a perfect wire.
+    pub fn none() -> Self {
+        FaultModel::default()
+    }
+
+    /// Sets the per-frame drop probability.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} not in [0, 1]"
+        );
+        self.drop = p;
+        self
+    }
+
+    /// Sets the per-frame duplication probability.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability {p} not in [0, 1]"
+        );
+        self.duplicate = p;
+        self
+    }
+
+    /// Adds a symmetric partition between `a` and `b` over `[from, until)`.
+    pub fn with_partition(mut self, a: usize, b: usize, from: u64, until: u64) -> Self {
+        self.partitions.push(Partition { a, b, from, until });
+        self
+    }
+
+    /// Adds a crash of `process` at tick `at`, restarting at `restart`
+    /// (or never, if `None`).
+    pub fn with_crash(mut self, process: usize, at: u64, restart: Option<u64>) -> Self {
+        self.crashes.push(CrashSchedule {
+            process,
+            at,
+            restart,
+        });
+        self
+    }
+
+    /// `true` if this model can never perturb a run: the kernel takes
+    /// the exact pre-fault code path.
+    pub fn is_quiet(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Is the `from -> to` link severed by a partition at time `t`?
+    pub fn link_blocked(&self, from: usize, to: usize, t: u64) -> bool {
+        self.partitions.iter().any(|p| {
+            ((p.a == from && p.b == to) || (p.a == to && p.b == from)) && t >= p.from && t < p.until
+        })
+    }
+
+    /// Is `process` down at time `t`? Returns `Some(restart)` with the
+    /// scheduled restart tick (`None` inside means a permanent crash),
+    /// or `None` if the process is up.
+    pub fn down_until(&self, process: usize, t: u64) -> Option<Option<u64>> {
+        self.crashes
+            .iter()
+            .filter(|c| c.process == process && t >= c.at)
+            .find(|c| match c.restart {
+                None => true,
+                Some(r) => t < r,
+            })
+            .map(|c| c.restart)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet() {
+        assert!(FaultModel::none().is_quiet());
+        assert!(FaultModel::default().is_quiet());
+    }
+
+    #[test]
+    fn builders_mark_model_noisy() {
+        assert!(!FaultModel::none().with_drop(0.1).is_quiet());
+        assert!(!FaultModel::none().with_duplication(0.1).is_quiet());
+        assert!(!FaultModel::none().with_partition(0, 1, 5, 10).is_quiet());
+        assert!(!FaultModel::none().with_crash(2, 100, None).is_quiet());
+        // Zero probabilities alone stay quiet.
+        assert!(FaultModel::none()
+            .with_drop(0.0)
+            .with_duplication(0.0)
+            .is_quiet());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn drop_probability_validated() {
+        let _ = FaultModel::none().with_drop(1.5);
+    }
+
+    #[test]
+    fn partitions_are_symmetric_and_windowed() {
+        let f = FaultModel::none().with_partition(0, 2, 10, 20);
+        assert!(f.link_blocked(0, 2, 10));
+        assert!(f.link_blocked(2, 0, 19));
+        assert!(!f.link_blocked(0, 2, 9), "before the window");
+        assert!(!f.link_blocked(0, 2, 20), "until is exclusive");
+        assert!(!f.link_blocked(0, 1, 15), "unrelated link");
+    }
+
+    #[test]
+    fn crash_windows() {
+        let f = FaultModel::none()
+            .with_crash(1, 10, Some(20))
+            .with_crash(2, 5, None);
+        assert_eq!(f.down_until(1, 9), None, "before crash");
+        assert_eq!(f.down_until(1, 10), Some(Some(20)));
+        assert_eq!(f.down_until(1, 19), Some(Some(20)));
+        assert_eq!(f.down_until(1, 20), None, "restarted");
+        assert_eq!(f.down_until(2, 5), Some(None), "permanent");
+        assert_eq!(f.down_until(2, 1_000_000), Some(None));
+        assert_eq!(f.down_until(0, 50), None, "other processes unaffected");
+    }
+}

@@ -1,16 +1,24 @@
 //! The simulation kernel: event queue, dispatch, and run capture.
 
+use crate::error::{SimError, SimErrorKind, SimOutcome};
+use crate::faults::FaultModel;
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
 use crate::workload::Workload;
 use msgorder_runs::{MessageId, ProcessId, SystemRun, SystemRunBuilder};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Salt applied to the simulation seed for the fault-decision RNG, so
+/// fault sampling never perturbs the latency stream: a run with a quiet
+/// [`FaultModel`] is bit-identical to the pre-fault kernel, and cranking
+/// a fault probability does not reshuffle every latency.
+const FAULT_RNG_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Number of processes.
     pub processes: usize,
@@ -18,6 +26,27 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// RNG seed; every random choice in the simulation derives from it.
     pub seed: u64,
+    /// Network fault model (loss, duplication, partitions, crashes).
+    pub faults: FaultModel,
+}
+
+impl SimConfig {
+    /// A fault-free configuration (the perfect wire of the original
+    /// kernel).
+    pub fn new(processes: usize, latency: LatencyModel, seed: u64) -> Self {
+        SimConfig {
+            processes,
+            latency,
+            seed,
+            faults: FaultModel::none(),
+        }
+    }
+
+    /// Replaces the fault model.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// What a protocol instance can do when the kernel dispatches to it.
@@ -25,6 +54,11 @@ pub struct SimConfig {
 /// All actions take effect *now* (at the current simulated time); the
 /// kernel records run events in the same order, so the captured
 /// [`SystemRun`] is exactly what happened.
+///
+/// Invalid actions (sending a message one does not own, delivering
+/// twice, …) do not panic: they *poison* the simulation with a
+/// [`SimError`] — the first error wins, subsequent actions become
+/// no-ops, and [`Simulation::run`] returns the counterexample.
 pub struct Ctx<'a> {
     world: &'a mut World,
     node: usize,
@@ -57,50 +91,84 @@ impl Ctx<'_> {
     /// Executes the send `x.s` of a previously requested message,
     /// piggybacking `tag`, and puts it in transit to its destination.
     ///
-    /// # Panics
-    /// Panics if this process is not the message's sender, the message
-    /// was not yet requested, or it was already sent — those are
-    /// protocol implementation bugs and the captured run would be
-    /// invalid.
+    /// Sending from a non-owner process, before the request, or twice is
+    /// a protocol implementation bug: it poisons the simulation with a
+    /// [`SimError`] counterexample instead of executing.
     pub fn send_user(&mut self, msg: MessageId, tag: Vec<u8>) {
-        assert_eq!(
-            self.world.metas[msg.0].src.0, self.node,
-            "send_user from a non-owner process"
-        );
-        self.world
-            .builder
-            .send(msg)
-            .unwrap_or_else(|e| panic!("protocol bug: invalid send of {msg}: {e}"));
+        if self.world.error.is_some() {
+            return;
+        }
+        let owner = self.world.metas[msg.0].src;
+        if owner.0 != self.node {
+            self.world.fail(
+                self.node,
+                Some(msg),
+                SimErrorKind::SendFromNonOwner { owner },
+            );
+            return;
+        }
+        if let Err(e) = self.world.builder.send(msg) {
+            self.world
+                .fail(self.node, Some(msg), SimErrorKind::InvalidSend(e));
+            return;
+        }
         self.world.stats.user_messages += 1;
         self.world.stats.tag_bytes += tag.len();
+        self.world.sent[msg.0] = true;
         let dst = self.world.metas[msg.0].dst.0;
-        let delay = self.world.latency.sample(&mut self.world.rng);
-        let at = self.world.now + delay;
-        self.world.schedule(
-            at,
-            dst,
-            EventKind::UserArrival {
-                from: self.node,
-                msg,
-                tag,
-            },
-        );
+        let from = self.node;
+        self.world
+            .transmit(from, dst, EventKind::UserArrival { from, msg, tag });
+    }
+
+    /// Retransmits a previously sent user frame (same message id, fresh
+    /// tag bytes). The logical run still contains a single send `x.s`;
+    /// only the wire sees another frame, and the kernel suppresses the
+    /// extra copy at the destination if the original already arrived.
+    ///
+    /// Resending a message that was never sent (or from a non-owner) is
+    /// a protocol bug and poisons the simulation.
+    pub fn resend_user(&mut self, msg: MessageId, tag: Vec<u8>) {
+        if self.world.error.is_some() {
+            return;
+        }
+        if self.world.metas[msg.0].src.0 != self.node || !self.world.sent[msg.0] {
+            self.world
+                .fail(self.node, Some(msg), SimErrorKind::ResendBeforeSend);
+            return;
+        }
+        self.world.stats.retransmitted_frames += 1;
+        self.world.stats.tag_bytes += tag.len();
+        let dst = self.world.metas[msg.0].dst.0;
+        let from = self.node;
+        self.world
+            .transmit(from, dst, EventKind::UserArrival { from, msg, tag });
     }
 
     /// Executes the delivery `x.r` of a previously received message.
     ///
-    /// # Panics
-    /// Panics if the message has not been received here or was already
-    /// delivered (protocol implementation bugs).
+    /// Delivering at a non-destination process, before the frame
+    /// arrived, or twice is a protocol implementation bug: it poisons
+    /// the simulation with a [`SimError`] counterexample instead of
+    /// executing.
     pub fn deliver(&mut self, msg: MessageId) {
-        assert_eq!(
-            self.world.metas[msg.0].dst.0, self.node,
-            "deliver at a non-destination process"
-        );
-        self.world
-            .builder
-            .deliver(msg)
-            .unwrap_or_else(|e| panic!("protocol bug: invalid delivery of {msg}: {e}"));
+        if self.world.error.is_some() {
+            return;
+        }
+        let destination = self.world.metas[msg.0].dst;
+        if destination.0 != self.node {
+            self.world.fail(
+                self.node,
+                Some(msg),
+                SimErrorKind::DeliverAtNonDestination { destination },
+            );
+            return;
+        }
+        if let Err(e) = self.world.builder.deliver(msg) {
+            self.world
+                .fail(self.node, Some(msg), SimErrorKind::InvalidDelivery(e));
+            return;
+        }
         let received = self.world.receive_time[msg.0].expect("received before delivery");
         let invoked = self.world.invoke_time[msg.0].expect("invoked before delivery");
         self.world.stats.delivered += 1;
@@ -110,18 +178,27 @@ impl Ctx<'_> {
 
     /// Sends a control message to another process.
     pub fn send_control(&mut self, to: ProcessId, bytes: Vec<u8>) {
+        if self.world.error.is_some() {
+            return;
+        }
         self.world.stats.control_messages += 1;
         self.world.stats.control_bytes += bytes.len();
-        let delay = self.world.latency.sample(&mut self.world.rng);
-        let at = self.world.now + delay;
-        self.world.schedule(
-            at,
-            to.0,
-            EventKind::ControlArrival {
-                from: self.node,
-                bytes,
-            },
-        );
+        let from = self.node;
+        self.world
+            .transmit(from, to.0, EventKind::ControlArrival { from, bytes });
+    }
+
+    /// Retransmits a control frame. Counted as a retransmission (and its
+    /// wire bytes), not as a fresh control message.
+    pub fn resend_control(&mut self, to: ProcessId, bytes: Vec<u8>) {
+        if self.world.error.is_some() {
+            return;
+        }
+        self.world.stats.retransmitted_frames += 1;
+        self.world.stats.control_bytes += bytes.len();
+        let from = self.node;
+        self.world
+            .transmit(from, to.0, EventKind::ControlArrival { from, bytes });
     }
 
     /// Schedules `on_timer(id)` for this process after `delay` ticks.
@@ -177,10 +254,21 @@ impl<T: Protocol + ?Sized> Protocol for Box<T> {
 
 #[derive(Debug, Clone, Hash)]
 pub(crate) enum EventKind {
-    Request { msg: MessageId },
-    UserArrival { from: usize, msg: MessageId, tag: Vec<u8> },
-    ControlArrival { from: usize, bytes: Vec<u8> },
-    Timer { id: u64 },
+    Request {
+        msg: MessageId,
+    },
+    UserArrival {
+        from: usize,
+        msg: MessageId,
+        tag: Vec<u8>,
+    },
+    ControlArrival {
+        from: usize,
+        bytes: Vec<u8>,
+    },
+    Timer {
+        id: u64,
+    },
 }
 
 impl World {
@@ -192,20 +280,35 @@ impl World {
     /// Dispatches one event to the protocol instance at `node`,
     /// recording the corresponding run events (shared between the timed
     /// kernel and the exhaustive explorer).
-    pub(crate) fn dispatch<P: Protocol>(&mut self, protocols: &mut [P], node: usize, kind: EventKind) {
+    pub(crate) fn dispatch<P: Protocol>(
+        &mut self,
+        protocols: &mut [P],
+        node: usize,
+        kind: EventKind,
+    ) {
         match kind {
             EventKind::Request { msg } => {
-                self.builder
-                    .invoke(msg)
-                    .expect("each message requested once");
+                if let Err(e) = self.builder.invoke(msg) {
+                    self.fail(node, Some(msg), SimErrorKind::InvalidRequest(e));
+                    return;
+                }
                 self.invoke_time[msg.0] = Some(self.now);
                 let mut ctx = Ctx { world: self, node };
                 protocols[node].on_send_request(&mut ctx, msg);
             }
             EventKind::UserArrival { from, msg, tag } => {
-                self.builder
-                    .receive(msg)
-                    .expect("network delivers each frame once");
+                if self.receive_time[msg.0].is_some() {
+                    // A duplicated or retransmitted frame whose original
+                    // already arrived: the network-level receive `x.r*`
+                    // happened once; the extra copy is absorbed by the
+                    // kernel so it cannot corrupt the run.
+                    self.stats.suppressed_duplicates += 1;
+                    return;
+                }
+                if let Err(e) = self.builder.receive(msg) {
+                    self.fail(node, Some(msg), SimErrorKind::InvalidReceive(e));
+                    return;
+                }
                 self.receive_time[msg.0] = Some(self.now);
                 let mut ctx = Ctx { world: self, node };
                 protocols[node].on_user_frame(&mut ctx, ProcessId(from), msg, tag);
@@ -251,15 +354,23 @@ impl Ord for Scheduled {
 pub(crate) struct World {
     pub(crate) processes: usize,
     pub(crate) latency: LatencyModel,
+    pub(crate) faults: FaultModel,
     pub(crate) metas: Vec<msgorder_runs::MessageMeta>,
     pub(crate) builder: SystemRunBuilder,
     pub(crate) queue: BinaryHeap<Reverse<Scheduled>>,
     pub(crate) rng: StdRng,
+    /// Independent stream for fault decisions (see [`FAULT_RNG_SALT`]).
+    pub(crate) fault_rng: StdRng,
     pub(crate) seq: u64,
     pub(crate) now: u64,
     pub(crate) stats: Stats,
     pub(crate) invoke_time: Vec<Option<u64>>,
     pub(crate) receive_time: Vec<Option<u64>>,
+    /// Which messages have executed their send `x.s` (gates resends).
+    pub(crate) sent: Vec<bool>,
+    /// The first protocol bug detected, if any; once set, the world is
+    /// poisoned and all further protocol actions are no-ops.
+    pub(crate) error: Option<SimError>,
 }
 
 impl World {
@@ -272,6 +383,51 @@ impl World {
             node,
             kind,
         }));
+    }
+
+    /// Records the first protocol bug (later ones are dropped: the world
+    /// is already poisoned and everything after the first invalid action
+    /// is suspect).
+    pub(crate) fn fail(&mut self, node: usize, msg: Option<MessageId>, kind: SimErrorKind) {
+        if self.error.is_none() {
+            self.error = Some(SimError {
+                kind,
+                node: ProcessId(node),
+                msg,
+                time: self.now,
+                trace: None,
+                stats: Stats::default(),
+            });
+        }
+    }
+
+    /// Puts one frame on the wire from `from` to `to`, applying the
+    /// fault model: the latency sample is always drawn from the main RNG
+    /// (so the stream stays aligned with the fault-free kernel), then
+    /// partitions and loss may eat the frame, and duplication may
+    /// schedule a second copy with an independently sampled latency from
+    /// the fault stream.
+    fn transmit(&mut self, from: usize, to: usize, kind: EventKind) {
+        let delay = self.latency.sample(&mut self.rng);
+        if self.faults.link_blocked(from, to, self.now) {
+            self.stats.dropped_frames += 1;
+            return;
+        }
+        if self.faults.drop > 0.0 && self.fault_rng.gen_bool(self.faults.drop) {
+            self.stats.dropped_frames += 1;
+            return;
+        }
+        let dup = if self.faults.duplicate > 0.0 && self.fault_rng.gen_bool(self.faults.duplicate) {
+            Some(kind.clone())
+        } else {
+            None
+        };
+        self.schedule(self.now + delay, to, kind);
+        if let Some(copy) = dup {
+            let dup_delay = self.latency.sample(&mut self.fault_rng);
+            self.stats.duplicated_frames += 1;
+            self.schedule(self.now + dup_delay, to, copy);
+        }
     }
 }
 
@@ -333,15 +489,19 @@ impl<P: Protocol> Simulation<P> {
         let world = World {
             processes: config.processes,
             latency: config.latency,
+            faults: config.faults,
             metas,
             builder,
             queue: world_queue,
             rng: StdRng::seed_from_u64(config.seed),
+            fault_rng: StdRng::seed_from_u64(config.seed ^ FAULT_RNG_SALT),
             seq,
             now: 0,
             stats: Stats::default(),
             invoke_time: vec![None; n_msgs],
             receive_time: vec![None; n_msgs],
+            sent: vec![false; n_msgs],
+            error: None,
         };
         let protocols = (0..config.processes).map(factory).collect();
         Simulation {
@@ -358,7 +518,16 @@ impl<P: Protocol> Simulation<P> {
     }
 
     /// Runs to completion (event queue drained) or to the step limit.
-    pub fn run(mut self) -> SimResult {
+    ///
+    /// Returns `Err(SimError)` — a counterexample with the offending
+    /// message, event, simulated time, and the partial captured run — if
+    /// a protocol action was invalid; the process is never aborted.
+    //
+    // The Err carries the whole counterexample (partial trace + stats)
+    // by design, and the Ok variant is just as large — boxing the error
+    // would not shrink the Result.
+    #[allow(clippy::result_large_err)]
+    pub fn run(mut self) -> SimOutcome {
         for node in 0..self.world.processes {
             let mut ctx = Ctx {
                 world: &mut self.world,
@@ -376,18 +545,47 @@ impl<P: Protocol> Simulation<P> {
             }
             debug_assert!(ev.time >= self.world.now, "time must not run backwards");
             self.world.now = ev.time;
+            if let Some(restart) = self.world.faults.down_until(ev.node, ev.time) {
+                match ev.kind {
+                    // Frames arriving at a crashed process are lost.
+                    EventKind::UserArrival { .. } | EventKind::ControlArrival { .. } => {
+                        self.world.stats.dropped_frames += 1;
+                    }
+                    // The process's own pending actions are deferred to
+                    // its restart — or lost with it on a permanent crash.
+                    kind @ (EventKind::Request { .. } | EventKind::Timer { .. }) => {
+                        if let Some(r) = restart {
+                            self.world.schedule(r, ev.node, kind);
+                        }
+                    }
+                }
+                continue;
+            }
             self.world.dispatch(&mut self.protocols, ev.node, ev.kind);
+            if self.world.error.is_some() {
+                break;
+            }
         }
         self.world.stats.end_time = self.world.now;
-        let run = self
-            .world
-            .builder
-            .build()
-            .expect("kernel-captured runs are valid");
-        SimResult {
-            run,
-            stats: self.world.stats,
-            completed,
+        if let Some(mut e) = self.world.error.take() {
+            e.trace = self.world.builder.build().ok();
+            e.stats = self.world.stats.clone();
+            return Err(e);
+        }
+        match self.world.builder.build() {
+            Ok(run) => Ok(SimResult {
+                run,
+                stats: self.world.stats,
+                completed,
+            }),
+            Err(re) => Err(SimError {
+                kind: SimErrorKind::InvalidRun(re),
+                node: ProcessId(0),
+                msg: None,
+                time: self.world.now,
+                trace: None,
+                stats: self.world.stats.clone(),
+            }),
         }
     }
 
@@ -398,11 +596,12 @@ impl<P: Protocol> Simulation<P> {
     }
 
     /// Convenience: build and run in one call.
+    #[allow(clippy::result_large_err)] // see `run`
     pub fn run_uniform(
         config: SimConfig,
         workload: Workload,
         factory: impl Fn(usize) -> P,
-    ) -> SimResult {
+    ) -> SimOutcome {
         Simulation::new(config, workload, factory).run()
     }
 }
@@ -430,17 +629,13 @@ mod tests {
     }
 
     fn config(seed: u64) -> SimConfig {
-        SimConfig {
-            processes: 3,
-            latency: LatencyModel::Uniform { lo: 1, hi: 200 },
-            seed,
-        }
+        SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 200 }, seed)
     }
 
     #[test]
     fn immediate_protocol_completes_quiescent() {
         let w = Workload::uniform_random(3, 25, 7);
-        let r = Simulation::run_uniform(config(1), w, |_| Immediate);
+        let r = Simulation::run_uniform(config(1), w, |_| Immediate).expect("no protocol bug");
         assert!(r.completed);
         assert!(r.run.is_quiescent());
         assert!(r.run.is_complete());
@@ -448,13 +643,15 @@ mod tests {
         assert_eq!(r.stats.delivered, 25);
         assert_eq!(r.stats.control_messages, 0);
         assert_eq!(r.stats.tag_bytes, 0);
+        assert_eq!(r.stats.dropped_frames, 0);
+        assert_eq!(r.stats.duplicated_frames, 0);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let w = Workload::uniform_random(3, 15, 3);
-        let a = Simulation::run_uniform(config(9), w.clone(), |_| Immediate);
-        let b = Simulation::run_uniform(config(9), w, |_| Immediate);
+        let a = Simulation::run_uniform(config(9), w.clone(), |_| Immediate).expect("ok");
+        let b = Simulation::run_uniform(config(9), w, |_| Immediate).expect("ok");
         assert_eq!(
             a.run.users_view().relation_pairs(),
             b.run.users_view().relation_pairs()
@@ -478,7 +675,7 @@ mod tests {
                     })
                     .collect(),
             };
-            let r = Simulation::run_uniform(config(seed), w, |_| Immediate);
+            let r = Simulation::run_uniform(config(seed), w, |_| Immediate).expect("ok");
             let user = r.run.users_view();
             if !msgorder_runs::limit_sets::in_x_co(&user) {
                 reordered = true;
@@ -507,7 +704,7 @@ mod tests {
     #[test]
     fn black_hole_is_non_quiescent() {
         let w = Workload::uniform_random(3, 5, 2);
-        let r = Simulation::run_uniform(config(4), w, |_| BlackHole);
+        let r = Simulation::run_uniform(config(4), w, |_| BlackHole).expect("ok");
         assert!(r.completed, "queue drains, messages stay undelivered");
         assert!(!r.run.is_quiescent(), "liveness violation is visible");
         assert!(!r.run.is_complete());
@@ -534,7 +731,7 @@ mod tests {
     #[test]
     fn stats_count_tags_and_control() {
         let w = Workload::uniform_random(3, 10, 11);
-        let r = Simulation::run_uniform(config(5), w, |_| Pinger);
+        let r = Simulation::run_uniform(config(5), w, |_| Pinger).expect("ok");
         assert_eq!(r.stats.user_messages, 10);
         assert_eq!(r.stats.tag_bytes, 40);
         assert_eq!(r.stats.control_messages, 10);
@@ -575,7 +772,8 @@ mod tests {
         let w = Workload::uniform_random(3, 8, 13);
         let r = Simulation::run_uniform(config(6), w, |_| TimerDelay {
             pending: Vec::new(),
-        });
+        })
+        .expect("ok");
         assert!(r.run.is_quiescent());
         assert!(r.stats.mean_inhibition() >= 50.0);
     }
@@ -609,14 +807,15 @@ mod tests {
         let w = Workload::uniform_random(2, 1, 0);
         let r = Simulation::new(config(7), w, |_| Livelock)
             .with_step_limit(500)
-            .run();
+            .run()
+            .expect("ok");
         assert!(!r.completed);
     }
 
     #[test]
     fn captured_run_respects_wall_clock_causality() {
         let w = Workload::uniform_random(3, 30, 17);
-        let r = Simulation::run_uniform(config(8), w, |_| Immediate);
+        let r = Simulation::run_uniform(config(8), w, |_| Immediate).expect("ok");
         // The captured run passed SystemRun validation (no cycles, no
         // spurious receives) — spot-check an invariant: every message
         // was received after it was sent.
@@ -627,5 +826,119 @@ mod tests {
                 SystemEvent::new(m.id, EventKind::Receive)
             ));
         }
+    }
+
+    /// Delivers every user frame twice — a protocol implementation bug
+    /// that used to abort the whole process.
+    struct DoubleDeliver;
+    impl Protocol for DoubleDeliver {
+        fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+            ctx.send_user(msg, Vec::new());
+        }
+        fn on_user_frame(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            _from: ProcessId,
+            msg: MessageId,
+            _tag: Vec<u8>,
+        ) {
+            ctx.deliver(msg);
+            ctx.deliver(msg);
+        }
+    }
+
+    #[test]
+    fn protocol_bug_becomes_counterexample_not_abort() {
+        let w = Workload::uniform_random(3, 5, 2);
+        let e = Simulation::run_uniform(config(3), w, |_| DoubleDeliver)
+            .expect_err("double delivery must be detected");
+        assert!(matches!(e.kind, SimErrorKind::InvalidDelivery(_)), "{e}");
+        assert!(e.msg.is_some(), "counterexample names the message");
+        let trace = e.trace.as_ref().expect("partial trace is buildable");
+        assert!(
+            !trace.messages().is_empty(),
+            "trace still lists the workload"
+        );
+        assert_eq!(e.stats.delivered, 1, "one valid delivery before the bug");
+    }
+
+    /// Sends a message it does not own.
+    struct Thief;
+    impl Protocol for Thief {
+        fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+            // Deliberately misroute: claim ownership on the wrong node.
+            if ctx.node().0 != ctx.meta(msg).src.0 {
+                unreachable!("requests arrive at the owner");
+            }
+            ctx.send_user(msg, Vec::new());
+            ctx.send_user(msg, Vec::new()); // double send
+        }
+        fn on_user_frame(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            _from: ProcessId,
+            msg: MessageId,
+            _tag: Vec<u8>,
+        ) {
+            ctx.deliver(msg);
+        }
+    }
+
+    #[test]
+    fn double_send_is_a_structured_error() {
+        let w = Workload::uniform_random(2, 3, 1);
+        let e = Simulation::run_uniform(SimConfig::new(2, LatencyModel::Fixed(5), 1), w, |_| Thief)
+            .expect_err("double send must be detected");
+        assert!(matches!(e.kind, SimErrorKind::InvalidSend(_)), "{e}");
+    }
+
+    #[test]
+    fn resend_before_send_is_reported() {
+        struct EagerResend;
+        impl Protocol for EagerResend {
+            fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+                ctx.resend_user(msg, Vec::new()); // never sent it
+            }
+            fn on_user_frame(
+                &mut self,
+                _ctx: &mut Ctx<'_>,
+                _from: ProcessId,
+                _msg: MessageId,
+                _tag: Vec<u8>,
+            ) {
+            }
+        }
+        let w = Workload::uniform_random(2, 1, 0);
+        let e = Simulation::run_uniform(SimConfig::new(2, LatencyModel::Fixed(1), 0), w, |_| {
+            EagerResend
+        })
+        .expect_err("resend before send");
+        assert_eq!(e.kind, SimErrorKind::ResendBeforeSend);
+    }
+
+    #[test]
+    fn same_tick_events_dispatch_in_schedule_order_across_runs() {
+        // All frames take exactly one tick: every arrival at t+1 ties on
+        // time and must fall back to the monotone sequence number, so two
+        // identical runs dispatch identically.
+        let w = Workload {
+            sends: (0..12)
+                .map(|i| SendSpec {
+                    at: 0,
+                    src: i % 3,
+                    dst: (i + 1) % 3,
+                    color: None,
+                })
+                .collect(),
+        };
+        let cfg = SimConfig::new(3, LatencyModel::Fixed(1), 5);
+        let a = Simulation::run_uniform(cfg.clone(), w.clone(), |_| Immediate).expect("ok");
+        let b = Simulation::run_uniform(cfg, w, |_| Immediate).expect("ok");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            a.run.users_view().relation_pairs(),
+            b.run.users_view().relation_pairs()
+        );
+        assert_eq!(a.stats.end_time, 1, "everything resolves on tick 1");
     }
 }

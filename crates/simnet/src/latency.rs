@@ -25,7 +25,8 @@ pub enum LatencyModel {
         lo: u64,
         /// Maximum base latency.
         hi: u64,
-        /// One in `slow_every` frames straggles.
+        /// One in `slow_every` frames straggles; `0` disables straggling
+        /// entirely.
         slow_every: u32,
         /// Multiplier applied to stragglers.
         slow_factor: u64,
@@ -46,7 +47,7 @@ impl LatencyModel {
                 slow_factor,
             } => {
                 let base = rng.gen_range(lo..=hi);
-                if rng.gen_ratio(1, slow_every.max(1)) {
+                if slow_every > 0 && rng.gen_ratio(1, slow_every) {
                     base.saturating_mul(slow_factor)
                 } else {
                     base
@@ -95,8 +96,40 @@ mod tests {
             slow_factor: 50,
         };
         let samples: Vec<u64> = (0..100).map(|_| m.sample(&mut rng)).collect();
-        assert!(samples.iter().any(|&d| d == 10));
-        assert!(samples.iter().any(|&d| d == 500));
+        assert!(samples.contains(&10));
+        assert!(samples.contains(&500));
+    }
+
+    #[test]
+    fn straggler_zero_means_never() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = LatencyModel::Straggler {
+            lo: 10,
+            hi: 10,
+            slow_every: 0,
+            slow_factor: 50,
+        };
+        for _ in 0..200 {
+            assert_eq!(m.sample(&mut rng), 10, "slow_every = 0 must never straggle");
+        }
+    }
+
+    #[test]
+    fn straggler_one_means_always() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = LatencyModel::Straggler {
+            lo: 10,
+            hi: 10,
+            slow_every: 1,
+            slow_factor: 50,
+        };
+        for _ in 0..50 {
+            assert_eq!(
+                m.sample(&mut rng),
+                500,
+                "slow_every = 1 straggles every frame"
+            );
+        }
     }
 
     #[test]

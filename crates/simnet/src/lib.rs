@@ -33,23 +33,31 @@
 //! }
 //!
 //! let workload = Workload::uniform_random(3, 20, 0xfeed);
-//! let config = SimConfig { processes: 3, latency: LatencyModel::Uniform { lo: 1, hi: 100 }, seed: 1 };
-//! let result = Simulation::run_uniform(config, workload, |_| Async);
+//! let config = SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 100 }, 1);
+//! let result = Simulation::run_uniform(config, workload, |_| Async).expect("no protocol bug");
 //! assert!(result.run.is_quiescent());
 //! assert_eq!(result.stats.control_messages, 0);
 //! ```
+//!
+//! Faulty networks (loss, duplication, partitions, crashes) are opt-in
+//! via [`FaultModel`]; protocol implementation bugs surface as
+//! [`SimError`] counterexamples instead of aborting the process.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 pub mod explore;
+mod faults;
 mod frame;
 mod kernel;
 mod latency;
 mod stats;
 mod workload;
 
+pub use error::{SimError, SimErrorKind, SimOutcome};
 pub use explore::{explore, explore_dedup, explore_parallel, Exploration};
+pub use faults::{CrashSchedule, FaultModel, Partition};
 pub use frame::Frame;
 pub use kernel::{Ctx, Protocol, SimConfig, SimResult, Simulation};
 pub use latency::LatencyModel;

@@ -23,6 +23,16 @@ pub struct Stats {
     pub delivered: usize,
     /// Final simulated time.
     pub end_time: u64,
+    /// Frames eaten by the fault model (loss, partitions, arrivals at
+    /// crashed processes).
+    pub dropped_frames: usize,
+    /// Extra frame copies created by network duplication.
+    pub duplicated_frames: usize,
+    /// Duplicate user-frame arrivals absorbed by the kernel before they
+    /// could corrupt the run.
+    pub suppressed_duplicates: usize,
+    /// Frames re-sent by protocols via `resend_user`/`resend_control`.
+    pub retransmitted_frames: usize,
 }
 
 impl Stats {

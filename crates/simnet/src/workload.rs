@@ -158,7 +158,10 @@ mod tests {
     fn uniform_random_shape() {
         let w = Workload::uniform_random(4, 50, 9);
         assert_eq!(w.len(), 50);
-        assert!(w.sends.iter().all(|s| s.src != s.dst && s.src < 4 && s.dst < 4));
+        assert!(w
+            .sends
+            .iter()
+            .all(|s| s.src != s.dst && s.src < 4 && s.dst < 4));
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Fault-injection integration tests: the quiet model is bit-identical
+//! to the pre-fault kernel, and each fault mechanism does exactly what
+//! it says.
+
+use msgorder_runs::{MessageId, ProcessId};
+use msgorder_simnet::{
+    Ctx, FaultModel, LatencyModel, Protocol, SendSpec, SimConfig, Simulation, Workload,
+};
+use proptest::prelude::*;
+
+#[derive(Clone)]
+struct Immediate;
+impl Protocol for Immediate {
+    fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+        ctx.send_user(msg, Vec::new());
+    }
+    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _f: ProcessId, msg: MessageId, _t: Vec<u8>) {
+        ctx.deliver(msg);
+    }
+}
+
+fn fnv(pairs: &[(msgorder_runs::UserEvent, msgorder_runs::UserEvent)]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (a, b) in pairs {
+        for byte in format!("{a:?}->{b:?};").bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// The golden regression: this exact fingerprint was captured from the
+/// kernel *before* the fault layer existed. A quiet fault model must
+/// reproduce it bit for bit — same schedule, same deliveries, same
+/// user-view relation.
+#[test]
+fn quiet_fault_model_reproduces_the_pre_fault_kernel_exactly() {
+    let w = Workload::uniform_random(3, 20, 42);
+    let cfg = SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 500 }, 42)
+        .with_faults(FaultModel::none());
+    let r = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
+    let pairs = r.run.users_view().relation_pairs();
+    assert_eq!(r.stats.end_time, 569);
+    assert_eq!(r.stats.delivered, 20);
+    assert_eq!(pairs.len(), 490);
+    assert_eq!(fnv(&pairs), 0xa27f6b53b6bd4ab9);
+}
+
+/// Accounting on a tiny scripted workload, checked against hand-computed
+/// values: one message, fixed latency 10, delivery inhibited 5 ticks by
+/// a timer, one control frame on delivery.
+#[test]
+fn stats_agree_with_hand_computation_on_scripted_workload() {
+    struct DelayFive;
+    impl Protocol for DelayFive {
+        fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+            ctx.send_user(msg, Vec::new());
+        }
+        fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _f: ProcessId, msg: MessageId, _t: Vec<u8>) {
+            ctx.set_timer(5, msg.0 as u64);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+            ctx.deliver(MessageId(id as usize));
+            ctx.send_control(ProcessId(0), b"done".to_vec());
+        }
+    }
+    let w = Workload {
+        sends: vec![SendSpec {
+            at: 0,
+            src: 0,
+            dst: 1,
+            color: None,
+        }],
+    };
+    let cfg = SimConfig::new(2, LatencyModel::Fixed(10), 1);
+    let r = Simulation::run_uniform(cfg, w, |_| DelayFive).expect("no bug");
+    // send at 0, receive at 10, timer fires at 15, deliver at 15.
+    assert_eq!(r.stats.user_messages, 1);
+    assert_eq!(r.stats.delivered, 1);
+    assert_eq!(r.stats.total_inhibition, 5);
+    assert_eq!(r.stats.total_latency, 15);
+    assert_eq!(r.stats.control_messages, 1);
+    assert_eq!(r.stats.control_bytes, 4);
+    assert_eq!(r.stats.mean_inhibition(), 5.0);
+    assert_eq!(r.stats.mean_latency(), 15.0);
+    assert_eq!(r.stats.control_per_user(), 1.0);
+    // the control frame lands at 15 + 10.
+    assert_eq!(r.stats.end_time, 25);
+}
+
+#[test]
+fn full_loss_delivers_nothing() {
+    let w = Workload::uniform_random(3, 10, 7);
+    let cfg = SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 100 }, 7)
+        .with_faults(FaultModel::none().with_drop(1.0));
+    let r = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
+    assert_eq!(r.stats.delivered, 0);
+    assert_eq!(r.stats.dropped_frames, 10);
+    assert!(!r.run.is_quiescent());
+}
+
+#[test]
+fn duplication_is_fully_absorbed_by_the_kernel() {
+    let w = Workload::uniform_random(3, 12, 9);
+    let cfg = SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 100 }, 9)
+        .with_faults(FaultModel::none().with_duplication(1.0));
+    let r = Simulation::run_uniform(cfg, w, |_| Immediate)
+        .expect("duplicates must not corrupt the run");
+    assert_eq!(r.stats.delivered, 12, "every message still delivered once");
+    assert_eq!(r.stats.duplicated_frames, 12, "every frame was duplicated");
+    assert_eq!(
+        r.stats.suppressed_duplicates, 12,
+        "every extra copy absorbed before the protocol saw it"
+    );
+    assert!(r.completed && r.run.is_quiescent());
+}
+
+#[test]
+fn partition_blocks_only_its_window() {
+    // Frames are checked against the partition at *send* time: the send
+    // at t=0 falls inside [0, 10) and is lost; the send at t=20 passes.
+    let w = Workload {
+        sends: vec![
+            SendSpec {
+                at: 0,
+                src: 0,
+                dst: 1,
+                color: None,
+            },
+            SendSpec {
+                at: 20,
+                src: 0,
+                dst: 1,
+                color: None,
+            },
+        ],
+    };
+    let cfg = SimConfig::new(2, LatencyModel::Fixed(5), 1)
+        .with_faults(FaultModel::none().with_partition(0, 1, 0, 10));
+    let r = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
+    assert_eq!(r.stats.delivered, 1);
+    assert_eq!(r.stats.dropped_frames, 1);
+}
+
+#[test]
+fn permanently_crashed_destination_loses_arrivals() {
+    let w = Workload {
+        sends: vec![
+            SendSpec {
+                at: 0,
+                src: 0,
+                dst: 1,
+                color: None,
+            },
+            SendSpec {
+                at: 0,
+                src: 0,
+                dst: 2,
+                color: None,
+            },
+        ],
+    };
+    let cfg = SimConfig::new(3, LatencyModel::Fixed(5), 1)
+        .with_faults(FaultModel::none().with_crash(1, 0, None));
+    let r = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
+    assert_eq!(
+        r.stats.delivered, 1,
+        "only the healthy destination delivers"
+    );
+    assert_eq!(
+        r.stats.dropped_frames, 1,
+        "the crashed process's frame is lost"
+    );
+}
+
+#[test]
+fn crashed_sender_defers_its_request_to_the_restart() {
+    let w = Workload {
+        sends: vec![SendSpec {
+            at: 0,
+            src: 0,
+            dst: 1,
+            color: None,
+        }],
+    };
+    let cfg = SimConfig::new(2, LatencyModel::Fixed(5), 1)
+        .with_faults(FaultModel::none().with_crash(0, 0, Some(50)));
+    let r = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
+    assert_eq!(r.stats.delivered, 1, "the deferred request still goes out");
+    assert_eq!(r.stats.end_time, 55, "sent at the restart tick, latency 5");
+}
+
+#[test]
+fn faulty_runs_are_deterministic_given_seed() {
+    let faults = FaultModel::none()
+        .with_drop(0.3)
+        .with_duplication(0.2)
+        .with_partition(0, 1, 50, 150)
+        .with_crash(2, 200, Some(400));
+    let mk = || {
+        SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 300 }, 17).with_faults(faults.clone())
+    };
+    let w = Workload::uniform_random(3, 25, 17);
+    let a = Simulation::run_uniform(mk(), w.clone(), |_| Immediate).expect("no bug");
+    let b = Simulation::run_uniform(mk(), w, |_| Immediate).expect("no bug");
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(
+        a.run.users_view().relation_pairs(),
+        b.run.users_view().relation_pairs()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// THE invariant the fault layer was built around: attaching a fault
+    /// model that can never fire leaves every simulation bit-identical
+    /// to one with no fault model at all — same stats (schedule, times,
+    /// counters) and same user-view relation.
+    #[test]
+    fn fault_free_fault_model_is_bit_identical(
+        procs in 2usize..5, msgs in 1usize..15, seed in 0u64..10_000,
+    ) {
+        let w = Workload::uniform_random(procs, msgs, seed);
+        let latency = LatencyModel::Uniform { lo: 1, hi: 500 };
+        let bare = Simulation::run_uniform(
+            SimConfig::new(procs, latency, seed),
+            w.clone(),
+            |_| Immediate,
+        ).expect("no bug");
+        let quiet = Simulation::run_uniform(
+            SimConfig::new(procs, latency, seed)
+                .with_faults(FaultModel::none().with_drop(0.0).with_duplication(0.0)),
+            w,
+            |_| Immediate,
+        ).expect("no bug");
+        prop_assert_eq!(&bare.stats, &quiet.stats);
+        prop_assert_eq!(bare.completed, quiet.completed);
+        prop_assert_eq!(
+            bare.run.users_view().relation_pairs(),
+            quiet.run.users_view().relation_pairs()
+        );
+    }
+}

@@ -1,9 +1,7 @@
 //! Property tests for the simulator kernel.
 
-use msgorder_simnet::{
-    explore, Ctx, LatencyModel, Protocol, SimConfig, Simulation, Workload,
-};
 use msgorder_runs::{MessageId, ProcessId};
+use msgorder_simnet::{explore, Ctx, LatencyModel, Protocol, SimConfig, Simulation, Workload};
 use proptest::prelude::*;
 
 #[derive(Clone)]
@@ -23,14 +21,10 @@ proptest! {
     /// Simulations are deterministic functions of (workload, seed).
     #[test]
     fn determinism(procs in 2usize..5, msgs in 1usize..15, seed in 0u64..10_000) {
-        let cfg = SimConfig {
-            processes: procs,
-            latency: LatencyModel::Uniform { lo: 1, hi: 500 },
-            seed,
-        };
+        let cfg = SimConfig::new(procs, LatencyModel::Uniform { lo: 1, hi: 500 }, seed);
         let w = Workload::uniform_random(procs, msgs, seed);
-        let a = Simulation::run_uniform(cfg, w.clone(), |_| Immediate);
-        let b = Simulation::run_uniform(cfg, w, |_| Immediate);
+        let a = Simulation::run_uniform(cfg.clone(), w.clone(), |_| Immediate).expect("no bug");
+        let b = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
         prop_assert_eq!(a.stats, b.stats);
         prop_assert_eq!(
             a.run.users_view().relation_pairs(),
@@ -42,13 +36,9 @@ proptest! {
     #[test]
     fn immediate_always_live(procs in 2usize..5, msgs in 0usize..20, seed in 0u64..10_000,
                              lo in 1u64..50, spread in 0u64..500) {
-        let cfg = SimConfig {
-            processes: procs,
-            latency: LatencyModel::Uniform { lo, hi: lo + spread },
-            seed,
-        };
+        let cfg = SimConfig::new(procs, LatencyModel::Uniform { lo, hi: lo + spread }, seed);
         let w = if msgs == 0 { Workload::default() } else { Workload::uniform_random(procs, msgs, seed) };
-        let r = Simulation::run_uniform(cfg, w, |_| Immediate);
+        let r = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
         prop_assert!(r.completed);
         prop_assert!(r.run.is_quiescent());
         prop_assert_eq!(r.stats.delivered, msgs);

@@ -33,29 +33,26 @@ fn main() {
             let mut live = 0u32;
             for seed in 0..seeds {
                 let w = Workload::broadcast_rounds(n, 8, seed);
-                let cfg = SimConfig {
-                    processes: n,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 600 },
-                    seed,
-                };
+                let cfg = SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 600 }, seed);
                 let r = match name {
                     "bss" => Simulation::run_uniform(cfg, w, |me| {
                         Box::new(CausalBss::new(n, me)) as Box<dyn msgorder::simnet::Protocol>
-                    }),
+                    })
+                    .expect("no protocol bug"),
                     "rst" => Simulation::run_uniform(cfg, w, |node| {
                         ProtocolKind::CausalRst.instantiate(n, node)
-                    }),
+                    })
+                    .expect("no protocol bug"),
                     _ => Simulation::run_uniform(cfg, w, |node| {
                         ProtocolKind::Async.instantiate(n, node)
-                    }),
+                    })
+                    .expect("no protocol bug"),
                 };
                 live += u32::from(r.completed && r.run.is_quiescent());
                 tagb += r.stats.tag_bytes_per_user();
                 lat += r.stats.mean_latency();
                 let user = r.run.users_view();
-                co += u32::from(
-                    limit_sets::in_x_co(&user) && eval::satisfies_spec(&causal, &user),
-                );
+                co += u32::from(limit_sets::in_x_co(&user) && eval::satisfies_spec(&causal, &user));
             }
             let s = seeds as f64;
             println!(

@@ -23,10 +23,25 @@ fn chat_round(round: u64) -> Vec<SendSpec> {
     let t0 = round * 2_000;
     vec![
         // Alice -> Bob and Alice -> Carol ("where shall we meet?")
-        SendSpec { at: t0, src: ALICE, dst: BOB, color: None },
-        SendSpec { at: t0 + 1, src: ALICE, dst: CAROL, color: None },
+        SendSpec {
+            at: t0,
+            src: ALICE,
+            dst: BOB,
+            color: None,
+        },
+        SendSpec {
+            at: t0 + 1,
+            src: ALICE,
+            dst: CAROL,
+            color: None,
+        },
         // Bob -> Carol ("the usual place!") — sent after Bob reads Alice.
-        SendSpec { at: t0 + 600, src: BOB, dst: CAROL, color: None },
+        SendSpec {
+            at: t0 + 600,
+            src: BOB,
+            dst: CAROL,
+            color: None,
+        },
     ]
 }
 
@@ -55,19 +70,20 @@ fn main() {
         let seeds = 30;
         for seed in 0..seeds {
             let r = Simulation::run_uniform(
-                SimConfig {
-                    processes: n,
-                    latency: LatencyModel::Straggler {
+                SimConfig::new(
+                    n,
+                    LatencyModel::Straggler {
                         lo: 1,
                         hi: 300,
                         slow_every: 3,
                         slow_factor: 10,
                     },
                     seed,
-                },
+                ),
                 workload.clone(),
                 |node| kind.instantiate(n, node),
-            );
+            )
+            .expect("no protocol bug");
             assert!(r.completed && r.run.is_quiescent());
             if !eval::satisfies_spec(&causal, &r.run.users_view()) {
                 anomalies += 1;

@@ -66,14 +66,11 @@ fn main() {
         let mut inhibit = 0.0;
         for seed in 0..seeds {
             let r = Simulation::run_uniform(
-                SimConfig {
-                    processes: 2,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 300 },
-                    seed,
-                },
+                SimConfig::new(2, LatencyModel::Uniform { lo: 1, hi: 300 }, seed),
                 pipeline_workload(35),
                 |node| kind.instantiate(2, node),
-            );
+            )
+            .expect("no protocol bug");
             assert!(r.completed && r.run.is_quiescent());
             let user = r.run.users_view();
             cp += u32::from(eval::satisfies_spec(&checkpoint_spec, &user));

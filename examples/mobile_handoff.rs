@@ -81,15 +81,16 @@ fn main() {
         let seeds = 40;
         for seed in 0..seeds {
             let r = Simulation::run_uniform(
-                SimConfig {
-                    processes: n,
-                    latency: LatencyModel::Uniform { lo: 1, hi: 400 },
-                    seed,
-                },
+                SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 400 }, seed),
                 handoff_workload(seed),
                 |node| kind.instantiate(n, node),
+            )
+            .expect("no protocol bug");
+            assert!(
+                r.completed && r.run.is_quiescent(),
+                "{} stalled",
+                kind.name()
             );
-            assert!(r.completed && r.run.is_quiescent(), "{} stalled", kind.name());
             control += r.stats.control_messages;
             if !eval::satisfies_spec(&pred, &r.run.users_view()) {
                 violations += 1;

@@ -15,11 +15,7 @@ fn main() {
     let n = 4;
     let seed = 2026;
     let workload = Workload::uniform_random(n, 40, seed);
-    let config = SimConfig {
-        processes: n,
-        latency: LatencyModel::Uniform { lo: 1, hi: 900 },
-        seed,
-    };
+    let config = SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 900 }, seed);
 
     println!(
         "{:<12} {:>6} {:>8} {:>10} {:>10} {:>8} {:>6} {:>6} {:>6}",
@@ -29,9 +25,10 @@ fn main() {
 
     let fifo = catalog::fifo();
     for kind in ProtocolKind::fixed() {
-        let r = Simulation::run_uniform(config, workload.clone(), |node| {
+        let r = Simulation::run_uniform(config.clone(), workload.clone(), |node| {
             kind.instantiate(n, node)
-        });
+        })
+        .expect("no protocol bug");
         let user = r.run.users_view();
         let live = r.completed && r.run.is_quiescent();
         println!(
@@ -48,7 +45,10 @@ fn main() {
         );
     }
     println!("{}", "-".repeat(84));
-    println!("workload: {} messages over {n} processes, uniform latency 1..900", workload.len());
+    println!(
+        "workload: {} messages over {n} processes, uniform latency 1..900",
+        workload.len()
+    );
     println!("(one seed shown; the bench harness sweeps seeds — a 'yes' here is");
     println!(" anecdotal for weaker protocols but verified in tests for each");
     println!(" protocol's own guarantee)");

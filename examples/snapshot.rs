@@ -72,7 +72,13 @@ impl Protocol for SnapshotNode {
         self.my_events += 1; // x.s
     }
 
-    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: MessageId, _tag: Vec<u8>) {
+    fn on_user_frame(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        _from: ProcessId,
+        msg: MessageId,
+        _tag: Vec<u8>,
+    ) {
         self.my_events += 1; // x.r*
         ctx.deliver(msg);
         self.my_events += 1; // x.r
@@ -92,20 +98,13 @@ impl Protocol for SnapshotNode {
 fn run_trial(latency: LatencyModel, seed: u64, n: usize) -> (bool, usize) {
     let recordings: Recordings = Rc::new(RefCell::new(vec![None; n]));
     let w = Workload::uniform_random(n, 30, seed);
-    let r = Simulation::run_uniform(
-        SimConfig {
-            processes: n,
-            latency,
-            seed,
-        },
-        w,
-        |_| SnapshotNode {
-            my_events: 0,
-            recorded: false,
-            recordings: Rc::clone(&recordings),
-            snapshot_at: Some(120),
-        },
-    );
+    let r = Simulation::run_uniform(SimConfig::new(n, latency, seed), w, |_| SnapshotNode {
+        my_events: 0,
+        recorded: false,
+        recordings: Rc::clone(&recordings),
+        snapshot_at: Some(120),
+    })
+    .expect("no protocol bug");
     assert!(r.completed && r.run.is_quiescent());
     let cut: Vec<usize> = recordings
         .borrow()

@@ -15,7 +15,9 @@ use msgorder::core::Spec;
 use msgorder::predicate::{catalog, eval, ForbiddenPredicate};
 use msgorder::protocols::ProtocolKind;
 use msgorder::runs::limit_sets;
-use msgorder::simnet::{LatencyModel, SimConfig, Simulation, Workload};
+use msgorder::simnet::{
+    CrashSchedule, FaultModel, LatencyModel, Partition, SimConfig, Simulation, Workload,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -61,6 +63,11 @@ USAGE:
       --messages  N   (default 30)
       --seed      N   (default 1)
       --timeline      print the run as an ASCII time diagram
+      --drop      P   drop each frame with probability P (0..=1)
+      --dup       P   duplicate each frame with probability P (0..=1)
+      --partition A:B:FROM:UNTIL   sever the A<->B link for FROM <= t < UNTIL (repeatable)
+      --crash     P:AT[:RESTART]   crash process P at tick AT, optionally restarting (repeatable)
+      --reliable      layer ack/retransmission under the protocol (fifo, causal-rst, sync)
 
 PREDICATE DSL:
   forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), color(y) = red"
@@ -156,12 +163,54 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
     let Some(graph) = &report.graph else {
         return Err("predicate is unsatisfiable after normalization; no graph".into());
     };
-    let best = report
-        .cycles
-        .iter()
-        .min_by_key(|c| (c.order(), c.len()));
+    let best = report.cycles.iter().min_by_key(|c| (c.order(), c.len()));
     print!("{}", to_dot(graph, best));
     Ok(())
+}
+
+fn parse_probability(flag: &str, s: &str) -> Result<f64, String> {
+    let p: f64 = s.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{flag}: probability {p} not in [0, 1]"));
+    }
+    Ok(p)
+}
+
+/// `A:B:FROM:UNTIL` — sever the A<->B link for `FROM <= t < UNTIL`.
+fn parse_partition(s: &str) -> Result<Partition, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [a, b, from, until] = parts.as_slice() else {
+        return Err(format!("--partition: expected A:B:FROM:UNTIL, got `{s}`"));
+    };
+    Ok(Partition {
+        a: a.parse()
+            .map_err(|e| format!("--partition endpoint: {e}"))?,
+        b: b.parse()
+            .map_err(|e| format!("--partition endpoint: {e}"))?,
+        from: from.parse().map_err(|e| format!("--partition from: {e}"))?,
+        until: until
+            .parse()
+            .map_err(|e| format!("--partition until: {e}"))?,
+    })
+}
+
+/// `P:AT[:RESTART]` — crash process P at tick AT, optionally restarting.
+fn parse_crash(s: &str) -> Result<CrashSchedule, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let (process, at, restart) = match parts.as_slice() {
+        [p, at] => (p, at, None),
+        [p, at, r] => (p, at, Some(r)),
+        _ => return Err(format!("--crash: expected P:AT[:RESTART], got `{s}`")),
+    };
+    Ok(CrashSchedule {
+        process: process
+            .parse()
+            .map_err(|e| format!("--crash process: {e}"))?,
+        at: at.parse().map_err(|e| format!("--crash at: {e}"))?,
+        restart: restart
+            .map(|r| r.parse().map_err(|e| format!("--crash restart: {e}")))
+            .transpose()?,
+    })
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
@@ -171,6 +220,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut messages = 30usize;
     let mut seed = 1u64;
     let mut timeline = false;
+    let mut drop = 0.0f64;
+    let mut dup = 0.0f64;
+    let mut partitions: Vec<Partition> = Vec::new();
+    let mut crashes: Vec<CrashSchedule> = Vec::new();
+    let mut reliable = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -181,21 +235,23 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--protocol" => protocol = val()?,
             "--spec" => spec = Some(val()?),
-            "--processes" => {
-                processes = val()?.parse().map_err(|e| format!("--processes: {e}"))?
-            }
+            "--processes" => processes = val()?.parse().map_err(|e| format!("--processes: {e}"))?,
             "--messages" => messages = val()?.parse().map_err(|e| format!("--messages: {e}"))?,
             "--seed" => seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--timeline" => timeline = true,
+            "--drop" => drop = parse_probability("--drop", &val()?)?,
+            "--dup" => dup = parse_probability("--dup", &val()?)?,
+            "--partition" => partitions.push(parse_partition(&val()?)?),
+            "--crash" => crashes.push(parse_crash(&val()?)?),
+            "--reliable" => reliable = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let spec_pred = match &spec {
-        Some(s) => Some(
-            catalog::by_name(s)
-                .map(|e| e.predicate)
-                .map_or_else(|| ForbiddenPredicate::parse(s).map_err(|e| e.to_string()), Ok)?,
-        ),
+        Some(s) => Some(catalog::by_name(s).map(|e| e.predicate).map_or_else(
+            || ForbiddenPredicate::parse(s).map_err(|e| e.to_string()),
+            Ok,
+        )?),
         None => None,
     };
     let kind = match protocol.as_str() {
@@ -216,24 +272,56 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     if processes < 2 {
         return Err("--processes must be at least 2".into());
     }
+    if reliable && !kind.supports_retransmission() {
+        return Err(format!(
+            "--reliable is not supported for `{}` (use fifo, causal-rst, sync or sync-batched)",
+            kind.name()
+        ));
+    }
+    let mut faults = FaultModel::none().with_drop(drop).with_duplication(dup);
+    faults.partitions = partitions;
+    faults.crashes = crashes;
+    let faulty = !faults.is_quiet();
     let w = Workload::uniform_random(processes, messages, seed);
-    let r = Simulation::run_uniform(
-        SimConfig {
-            processes,
-            latency: LatencyModel::Uniform { lo: 1, hi: 800 },
-            seed,
-        },
-        w,
-        |node| kind.instantiate(processes, node),
-    );
+    let config = SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 800 }, seed)
+        .with_faults(faults);
+    let r = match Simulation::run_uniform(config, w, |node| {
+        kind.instantiate_with(processes, node, reliable)
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("protocol      : {}", kind.name());
+            println!("PROTOCOL BUG  : {e}");
+            if let Some(trace) = &e.trace {
+                println!("\ncounterexample trace (up to the bug):");
+                print!("{}", msgorder::runs::display::render_timeline(trace));
+            }
+            return Err("simulation hit a protocol bug".into());
+        }
+    };
     let user = r.run.users_view();
     println!("protocol      : {}", kind.name());
     println!("live          : {}", r.completed && r.run.is_quiescent());
     println!("user messages : {}", r.stats.user_messages);
-    println!("control msgs  : {} ({:.2}/msg)", r.stats.control_messages, r.stats.control_per_user());
-    println!("tag bytes     : {} ({:.1}/msg)", r.stats.tag_bytes, r.stats.tag_bytes_per_user());
+    println!(
+        "control msgs  : {} ({:.2}/msg)",
+        r.stats.control_messages,
+        r.stats.control_per_user()
+    );
+    println!(
+        "tag bytes     : {} ({:.1}/msg)",
+        r.stats.tag_bytes,
+        r.stats.tag_bytes_per_user()
+    );
     println!("mean latency  : {:.1}", r.stats.mean_latency());
     println!("mean inhibit  : {:.1}", r.stats.mean_inhibition());
+    if faulty || r.stats.retransmitted_frames > 0 {
+        println!("delivered     : {}/{}", r.stats.delivered, messages);
+        println!("dropped       : {}", r.stats.dropped_frames);
+        println!("duplicated    : {}", r.stats.duplicated_frames);
+        println!("retransmitted : {}", r.stats.retransmitted_frames);
+        println!("dup suppressed: {}", r.stats.suppressed_duplicates);
+    }
     println!("in X_co       : {}", limit_sets::in_x_co(&user));
     println!("in X_sync     : {}", limit_sets::in_x_sync(&user));
     if let Some(p) = &spec_pred {
@@ -243,8 +331,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
     }
     if timeline {
-        println!("
-time diagram:");
+        println!(
+            "
+time diagram:"
+        );
         print!("{}", msgorder::runs::display::render_timeline(&r.run));
     }
     Ok(())

@@ -4,10 +4,7 @@ use std::process::Command;
 
 fn msgorder(args: &[&str]) -> (bool, String, String) {
     let exe = env!("CARGO_BIN_EXE_msgorder");
-    let out = Command::new(exe)
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(exe).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),

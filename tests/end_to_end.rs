@@ -7,11 +7,7 @@ use msgorder::protocols::{run_and_verify, ProtocolKind};
 use msgorder::simnet::{LatencyModel, SimConfig, Workload};
 
 fn config(processes: usize, seed: u64) -> SimConfig {
-    SimConfig {
-        processes,
-        latency: LatencyModel::Uniform { lo: 1, hi: 600 },
-        seed,
-    }
+    SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 600 }, seed)
 }
 
 /// A workload that exercises the colors/variables the entry mentions.
@@ -43,7 +39,11 @@ fn recommended_protocols_implement_their_specs() {
         let kind = report.recommendation();
         // Large-variable predicates make the synthesized checker
         // expensive; keep those sweeps shorter.
-        let seeds = if entry.predicate.var_count() > 3 { 3 } else { 6 };
+        let seeds = if entry.predicate.var_count() > 3 {
+            3
+        } else {
+            6
+        };
         for seed in 0..seeds {
             let out = run_and_verify(
                 config(n, seed),

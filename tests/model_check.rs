@@ -24,9 +24,24 @@ fn same_channel(n: u64) -> Workload {
 fn triangle() -> Workload {
     Workload {
         sends: vec![
-            SendSpec { at: 0, src: 0, dst: 2, color: None },
-            SendSpec { at: 1, src: 0, dst: 1, color: None },
-            SendSpec { at: 2, src: 1, dst: 2, color: None },
+            SendSpec {
+                at: 0,
+                src: 0,
+                dst: 2,
+                color: None,
+            },
+            SendSpec {
+                at: 1,
+                src: 0,
+                dst: 1,
+                color: None,
+            },
+            SendSpec {
+                at: 2,
+                src: 1,
+                dst: 2,
+                color: None,
+            },
         ],
     }
 }
@@ -35,59 +50,92 @@ fn triangle() -> Workload {
 fn fifo_protocol_exhaustively_fifo_on_three_messages() {
     let spec = catalog::fifo();
     let mut checked = 0;
-    let exp = explore(2, same_channel(3), |_| FifoProtocol::new(), 100_000, |run| {
-        assert!(run.is_quiescent(), "liveness on every schedule");
-        assert!(
-            eval::satisfies_spec(&spec, &run.users_view()),
-            "FIFO violated on a schedule"
-        );
-        checked += 1;
-        true
-    });
-    assert!(!exp.truncated, "exploration must be complete to count as proof");
-    assert!(checked >= 6, "expected all arrival interleavings, got {checked}");
+    let exp = explore(
+        2,
+        same_channel(3),
+        |_| FifoProtocol::new(),
+        100_000,
+        |run| {
+            assert!(run.is_quiescent(), "liveness on every schedule");
+            assert!(
+                eval::satisfies_spec(&spec, &run.users_view()),
+                "FIFO violated on a schedule"
+            );
+            checked += 1;
+            true
+        },
+    );
+    assert!(
+        !exp.truncated,
+        "exploration must be complete to count as proof"
+    );
+    assert!(
+        checked >= 6,
+        "expected all arrival interleavings, got {checked}"
+    );
 }
 
 #[test]
 fn async_protocol_exhaustively_shown_non_fifo() {
     let spec = catalog::fifo();
     let mut violated = false;
-    explore(2, same_channel(2), |_| AsyncProtocol::new(), 100_000, |run| {
-        if !eval::satisfies_spec(&spec, &run.users_view()) {
-            violated = true;
-            return false; // counterexample found
-        }
-        true
-    });
+    explore(
+        2,
+        same_channel(2),
+        |_| AsyncProtocol::new(),
+        100_000,
+        |run| {
+            if !eval::satisfies_spec(&spec, &run.users_view()) {
+                violated = true;
+                return false; // counterexample found
+            }
+            true
+        },
+    );
     assert!(violated, "some schedule must invert the two deliveries");
 }
 
 #[test]
 fn causal_rst_exhaustively_causal_on_the_triangle() {
     let mut checked = 0;
-    let exp = explore(3, triangle(), |_| CausalRst::new(3), 200_000, |run| {
-        assert!(run.is_quiescent(), "liveness on every schedule");
-        assert!(
-            limit_sets::in_x_co(&run.users_view()),
-            "causal ordering violated on a schedule"
-        );
-        checked += 1;
-        true
-    });
+    let exp = explore(
+        3,
+        triangle(),
+        |_| CausalRst::new(3),
+        200_000,
+        |run| {
+            assert!(run.is_quiescent(), "liveness on every schedule");
+            assert!(
+                limit_sets::in_x_co(&run.users_view()),
+                "causal ordering violated on a schedule"
+            );
+            checked += 1;
+            true
+        },
+    );
     assert!(!exp.truncated);
-    assert!(checked >= 2, "triangle has multiple schedules, got {checked}");
+    assert!(
+        checked >= 2,
+        "triangle has multiple schedules, got {checked}"
+    );
 }
 
 #[test]
 fn async_protocol_exhaustively_breaks_the_triangle() {
     let mut violated = false;
-    explore(3, triangle(), |_| AsyncProtocol::new(), 200_000, |run| {
-        if !limit_sets::in_x_co(&run.users_view()) {
-            violated = true;
-            return false;
-        }
-        true
-    });
+    explore(
+        3,
+        triangle(),
+        |_| AsyncProtocol::new(),
+        200_000,
+        |run| {
+            if !limit_sets::in_x_co(&run.users_view()) {
+                violated = true;
+                return false;
+            }
+            true
+        },
+    );
     assert!(
         violated,
         "the relay must overtake the direct message on some schedule"
@@ -101,20 +149,36 @@ fn sync_protocol_exhaustively_synchronous_on_crossing_pair() {
     // that on EVERY schedule, including all control-frame orderings.
     let w = Workload {
         sends: vec![
-            SendSpec { at: 0, src: 0, dst: 1, color: None },
-            SendSpec { at: 0, src: 1, dst: 0, color: None },
+            SendSpec {
+                at: 0,
+                src: 0,
+                dst: 1,
+                color: None,
+            },
+            SendSpec {
+                at: 0,
+                src: 1,
+                dst: 0,
+                color: None,
+            },
         ],
     };
     let mut checked = 0;
-    let exp = explore(2, w, |_| SyncProtocol::new(), 500_000, |run| {
-        assert!(run.is_quiescent(), "liveness on every schedule");
-        assert!(
-            limit_sets::in_x_sync(&run.users_view()),
-            "logical synchrony violated on a schedule"
-        );
-        checked += 1;
-        true
-    });
+    let exp = explore(
+        2,
+        w,
+        |_| SyncProtocol::new(),
+        500_000,
+        |run| {
+            assert!(run.is_quiescent(), "liveness on every schedule");
+            assert!(
+                limit_sets::in_x_sync(&run.users_view()),
+                "logical synchrony violated on a schedule"
+            );
+            checked += 1;
+            true
+        },
+    );
     assert!(!exp.truncated);
     assert!(checked >= 2, "got {checked}");
 }
@@ -123,17 +187,33 @@ fn sync_protocol_exhaustively_synchronous_on_crossing_pair() {
 fn async_protocol_exhaustively_crosses_the_pair() {
     let w = Workload {
         sends: vec![
-            SendSpec { at: 0, src: 0, dst: 1, color: None },
-            SendSpec { at: 0, src: 1, dst: 0, color: None },
+            SendSpec {
+                at: 0,
+                src: 0,
+                dst: 1,
+                color: None,
+            },
+            SendSpec {
+                at: 0,
+                src: 1,
+                dst: 0,
+                color: None,
+            },
         ],
     };
     let mut crossed = false;
-    explore(2, w, |_| AsyncProtocol::new(), 100_000, |run| {
-        if !limit_sets::in_x_sync(&run.users_view()) {
-            crossed = true;
-            return false;
-        }
-        true
-    });
+    explore(
+        2,
+        w,
+        |_| AsyncProtocol::new(),
+        100_000,
+        |run| {
+            if !limit_sets::in_x_sync(&run.users_view()) {
+                crossed = true;
+                return false;
+            }
+            true
+        },
+    );
     assert!(crossed, "some schedule must cross the pair");
 }

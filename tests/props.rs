@@ -144,11 +144,7 @@ proptest! {
         let (kind, spec) = &specs[which];
         let n = 3;
         let out = run_and_verify(
-            SimConfig {
-                processes: n,
-                latency: LatencyModel::Uniform { lo: 1, hi: 700 },
-                seed,
-            },
+            SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 700 }, seed),
             Workload::uniform_random(n, msgs, seed),
             |node| kind.instantiate(n, node),
             spec,
