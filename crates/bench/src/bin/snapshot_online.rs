@@ -1,0 +1,159 @@
+//! Writes `BENCH_3.json` — a throughput snapshot of the streaming run
+//! pipeline vs the post-hoc one:
+//!
+//! 1. **violating runs** (async protocol, FIFO spec) — post-hoc closure
+//!    + search vs online monitoring vs online with early halt;
+//! 2. **safe runs** (FIFO protocol, FIFO spec) — the streaming overhead
+//!    when no early exit is possible;
+//! 3. **detection latency and live state** — how early the verdict
+//!    lands and how much the pipeline holds onto.
+//!
+//! ```sh
+//! cargo run --release -p msgorder-bench --bin snapshot_online   # ./BENCH_3.json
+//! cargo run --release -p msgorder-bench --bin snapshot_online -- out.json
+//! ```
+//!
+//! The measurement budget per metric comes from `SNAPSHOT_MS`
+//! (milliseconds, default 300).
+
+use msgorder_predicate::{catalog, eval};
+use msgorder_protocols::{AsyncProtocol, FifoProtocol, OnlineMonitor};
+use msgorder_simnet::{LatencyModel, SimConfig, Simulation, Workload};
+use serde_json::json;
+use std::time::Instant;
+
+/// Runs `f` repeatedly until the budget elapses; returns
+/// (iterations, elapsed seconds). Always runs at least once.
+fn measure<R>(budget_ms: u64, mut f: impl FnMut() -> R) -> (usize, f64) {
+    let budget = std::time::Duration::from_millis(budget_ms);
+    let start = Instant::now();
+    let mut iters = 0usize;
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    (iters, start.elapsed().as_secs_f64())
+}
+
+fn config(n: usize, seed: u64) -> SimConfig {
+    SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 500 }, seed)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_3.json".to_owned());
+    let budget_ms = std::env::var("SNAPSHOT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("[snapshot: {budget_ms} ms per metric, {cores} core(s)]");
+
+    let n = 3usize;
+    let spec = catalog::fifo();
+    let mut rows = Vec::new();
+    for msgs in [20usize, 40, 80] {
+        let seed = 3u64;
+        let w = Workload::uniform_random(n, msgs, seed);
+
+        let (ph_iters, ph_secs) = measure(budget_ms, || {
+            let r = Simulation::run_uniform(config(n, seed), w.clone(), |_| AsyncProtocol::new())
+                .expect("no protocol bug");
+            eval::find_instantiation(&spec, &r.run.users_view())
+        });
+        let (on_iters, on_secs) = measure(budget_ms, || {
+            let mut mon = OnlineMonitor::new(&spec);
+            Simulation::new(config(n, seed), w.clone(), |_| AsyncProtocol::new())
+                .run_streaming(&mut mon)
+                .expect("no protocol bug");
+            mon.violated()
+        });
+        let (ha_iters, ha_secs) = measure(budget_ms, || {
+            let mut mon = OnlineMonitor::halting(&spec);
+            Simulation::new(config(n, seed), w.clone(), |_| AsyncProtocol::new())
+                .run_streaming(&mut mon)
+                .expect("no protocol bug");
+            mon.violated()
+        });
+        let posthoc_rps = ph_iters as f64 / ph_secs;
+        let online_rps = on_iters as f64 / on_secs;
+        let halt_rps = ha_iters as f64 / ha_secs;
+
+        // Detection latency and live state on this workload.
+        let mut mon = OnlineMonitor::halting(&spec);
+        let r = Simulation::new(config(n, seed), w.clone(), |_| AsyncProtocol::new())
+            .run_streaming(&mut mon)
+            .expect("no protocol bug");
+        let detection_event = mon.detection_event();
+        let total_events = 4 * msgs;
+        println!(
+            "violating msgs={msgs}: posthoc {posthoc_rps:>9.0}/s  online {online_rps:>9.0}/s  \
+             halt {halt_rps:>9.0}/s  detect@{:?}/{total_events}",
+            detection_event
+        );
+        rows.push(json!({
+            "msgs": msgs,
+            "posthoc_runs_per_sec": posthoc_rps,
+            "online_runs_per_sec": online_rps,
+            "online_halt_runs_per_sec": halt_rps,
+            "halt_speedup_over_posthoc": halt_rps / posthoc_rps.max(f64::MIN_POSITIVE),
+            "detection_event": detection_event,
+            "total_events": total_events,
+            "monitor_live_state": mon.live_state(),
+            "clock_words_at_halt": r.run.clock_words(),
+        }));
+    }
+
+    // Safe runs: no early exit; isolates streaming vs closure overhead.
+    let msgs = 40usize;
+    let seed = 11u64;
+    let w = Workload::uniform_random(n, msgs, seed);
+    let (ph_iters, ph_secs) = measure(budget_ms, || {
+        let r = Simulation::run_uniform(config(n, seed), w.clone(), |_| FifoProtocol::new())
+            .expect("no protocol bug");
+        eval::find_instantiation(&spec, &r.run.users_view())
+    });
+    let (on_iters, on_secs) = measure(budget_ms, || {
+        let mut mon = OnlineMonitor::new(&spec);
+        Simulation::new(config(n, seed), w.clone(), |_| FifoProtocol::new())
+            .run_streaming(&mut mon)
+            .expect("no protocol bug");
+        mon.violated()
+    });
+    let safe_posthoc_rps = ph_iters as f64 / ph_secs;
+    let safe_online_rps = on_iters as f64 / on_secs;
+    println!(
+        "safe      msgs={msgs}: posthoc {safe_posthoc_rps:>9.0}/s  online {safe_online_rps:>9.0}/s"
+    );
+
+    let violating = json!({
+        "protocol": "async",
+        "rows": rows,
+    });
+    let safe = json!({
+        "protocol": "fifo",
+        "msgs": msgs,
+        "posthoc_runs_per_sec": safe_posthoc_rps,
+        "online_runs_per_sec": safe_online_rps,
+        "online_over_posthoc": safe_online_rps / safe_posthoc_rps.max(f64::MIN_POSITIVE),
+    });
+    let report = json!({
+        "bench": "BENCH_3",
+        "generated_by": "cargo run --release -p msgorder-bench --bin snapshot_online",
+        "budget_ms": budget_ms,
+        "cores": cores,
+        "spec": "fifo",
+        "violating": violating,
+        "safe": safe,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_vec_pretty(&report).expect("serializes"),
+    )
+    .expect("snapshot file is writable");
+    println!("[snapshot written to {out_path}]");
+}

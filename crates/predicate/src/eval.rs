@@ -9,9 +9,15 @@
 //! Variables bind **pairwise-distinct** messages — the instantiation is
 //! injective. See [`ForbiddenPredicate`] for why this is the semantics
 //! the paper's theorems require.
+//!
+//! The search core is generic over [`OrderView`], so the same code
+//! evaluates post-hoc against a materialized [`UserRun`] and *online*
+//! against a live `StreamingRun` prefix — the latter through
+//! [`Monitor`], which finds the first violating instantiation at the
+//! exact delivery event completing it.
 
 use crate::ast::{Constraint, EventTerm, ForbiddenPredicate, Var};
-use msgorder_runs::{MessageId, UserEvent, UserEventKind, UserRun};
+use msgorder_runs::{MessageId, OrderView, UserEvent, UserEventKind, UserRun};
 
 fn term_event(term: EventTerm, assignment: &[Option<MessageId>]) -> Option<UserEvent> {
     let msg = assignment[term.var.0]?;
@@ -21,8 +27,8 @@ fn term_event(term: EventTerm, assignment: &[Option<MessageId>]) -> Option<UserE
     })
 }
 
-fn term_process(term: EventTerm, m: MessageId, run: &UserRun) -> usize {
-    let meta = run.message(m);
+fn term_process<V: OrderView>(term: EventTerm, m: MessageId, view: &V) -> usize {
+    let meta = view.meta(m);
     match term.kind {
         UserEventKind::Send => meta.src.0,
         UserEventKind::Deliver => meta.dst.0,
@@ -31,9 +37,9 @@ fn term_process(term: EventTerm, m: MessageId, run: &UserRun) -> usize {
 
 /// Checks every conjunct/constraint whose variables are all assigned and
 /// involve `just_set` (incremental consistency check).
-fn consistent(
+fn consistent<V: OrderView>(
     pred: &ForbiddenPredicate,
-    run: &UserRun,
+    view: &V,
     assignment: &[Option<MessageId>],
     just_set: Var,
 ) -> bool {
@@ -42,7 +48,7 @@ fn consistent(
             continue;
         }
         if let (Some(a), Some(b)) = (term_event(c.lhs, assignment), term_event(c.rhs, assignment)) {
-            if !run.before(a, b) {
+            if !view.before(a, b) {
                 return false;
             }
         }
@@ -54,7 +60,7 @@ fn consistent(
                     continue;
                 }
                 if let (Some(ma), Some(mb)) = (assignment[a.var.0], assignment[b.var.0]) {
-                    let same = term_process(*a, ma, run) == term_process(*b, mb, run);
+                    let same = term_process(*a, ma, view) == term_process(*b, mb, view);
                     let want_same = matches!(c, Constraint::SameProcess(_, _));
                     if same != want_same {
                         return false;
@@ -64,7 +70,7 @@ fn consistent(
             Constraint::Color(v, color) => {
                 if *v == just_set {
                     let m = assignment[v.0].expect("just set");
-                    if !run.message(m).has_color(color) {
+                    if !view.meta(m).has_color(color) {
                         return false;
                     }
                 }
@@ -72,7 +78,7 @@ fn consistent(
             Constraint::NotColor(v, color) => {
                 if *v == just_set {
                     let m = assignment[v.0].expect("just set");
-                    if run.message(m).has_color(color) {
+                    if view.meta(m).has_color(color) {
                         return false;
                     }
                 }
@@ -82,25 +88,16 @@ fn consistent(
     true
 }
 
-/// Static search plan: assign the most-connected variables first (their
-/// conjuncts prune earliest) and pre-filter each variable's candidates
-/// by its color constraints.
-struct Plan<'a> {
-    /// Variable assignment order (indices into the predicate's vars).
-    order: &'a [usize],
-    /// Per-variable candidate messages (indexed by variable, not order).
-    candidates: Vec<Vec<MessageId>>,
-}
-
 /// A predicate compiled for evaluation against many runs.
 ///
-/// [`Plan`] construction has a run-independent part (the variable
+/// Evaluation-plan construction has a run-independent part (the variable
 /// assignment order and each variable's color filters, derived purely
 /// from the predicate) and a run-dependent part (the candidate message
 /// lists). `Prepared` hoists the former so that evaluating one
 /// predicate over a corpus of runs — the shape of every experiment and
 /// benchmark loop in this workspace — pays the predicate analysis once
 /// instead of once per run.
+#[derive(Clone)]
 pub struct Prepared<'p> {
     pred: &'p ForbiddenPredicate,
     /// Variable assignment order (most-connected first).
@@ -137,9 +134,8 @@ impl<'p> Prepared<'p> {
 
     /// The run-dependent half of plan construction: candidate lists
     /// filtered through the precomputed color filters.
-    fn plan_for(&self, run: &UserRun) -> Plan<'_> {
-        let candidates = self
-            .color_filters
+    fn candidates_for(&self, run: &UserRun) -> Vec<Vec<MessageId>> {
+        self.color_filters
             .iter()
             .map(|filters| {
                 (0..run.len())
@@ -151,11 +147,7 @@ impl<'p> Prepared<'p> {
                     })
                     .collect()
             })
-            .collect();
-        Plan {
-            order: &self.order,
-            candidates,
-        }
+            .collect()
     }
 
     /// See [`holds`].
@@ -170,56 +162,223 @@ impl<'p> Prepared<'p> {
 
     /// See [`find_instantiation`].
     pub fn find_instantiation(&self, run: &UserRun) -> Option<Vec<MessageId>> {
-        let plan = self.plan_for(run);
+        let candidates = self.candidates_for(run);
         let mut assignment = vec![None; self.pred.var_count()];
         let mut result = None;
-        search(self.pred, run, &plan, &mut assignment, 0, &mut |a| {
-            result = Some(a.to_vec());
-            true
-        });
+        search(
+            self.pred,
+            run,
+            &self.order,
+            &candidates,
+            &mut assignment,
+            0,
+            &mut |a| {
+                result = Some(a.to_vec());
+                true
+            },
+        );
         result
     }
 
     /// See [`count_instantiations`].
     pub fn count_instantiations(&self, run: &UserRun, cap: usize) -> usize {
-        let plan = self.plan_for(run);
+        if cap == 0 {
+            return 0;
+        }
+        let candidates = self.candidates_for(run);
         let mut assignment = vec![None; self.pred.var_count()];
         let mut count = 0usize;
-        search(self.pred, run, &plan, &mut assignment, 0, &mut |_| {
-            count += 1;
-            count >= cap
-        });
+        search(
+            self.pred,
+            run,
+            &self.order,
+            &candidates,
+            &mut assignment,
+            0,
+            &mut |_| {
+                count += 1;
+                count >= cap
+            },
+        );
         count
     }
 }
 
-fn search(
+/// Backtracking search assigning the variables in `order` from
+/// `candidates` (indexed by variable, not order position). Variables
+/// already bound in `assignment` before the call are left untouched —
+/// the [`Monitor`] uses this to pin its freshly completed message at one
+/// position and search only the rest.
+fn search<V: OrderView>(
     pred: &ForbiddenPredicate,
-    run: &UserRun,
-    plan: &Plan<'_>,
+    view: &V,
+    order: &[usize],
+    candidates: &[Vec<MessageId>],
     assignment: &mut Vec<Option<MessageId>>,
     depth: usize,
     found: &mut dyn FnMut(&[MessageId]) -> bool,
 ) -> bool {
-    if depth == pred.var_count() {
+    if depth == order.len() {
         let full: Vec<MessageId> = assignment.iter().map(|a| a.expect("complete")).collect();
         return found(&full);
     }
-    let var = plan.order[depth];
-    for &msg in &plan.candidates[var] {
+    let var = order[depth];
+    for &msg in &candidates[var] {
         // Injective instantiation: variables bind distinct messages.
         if assignment.contains(&Some(msg)) {
             continue;
         }
         assignment[var] = Some(msg);
-        if consistent(pred, run, assignment, Var(var))
-            && search(pred, run, plan, assignment, depth + 1, found)
+        if consistent(pred, view, assignment, Var(var))
+            && search(pred, view, order, candidates, assignment, depth + 1, found)
         {
             return true;
         }
         assignment[var] = None;
     }
     false
+}
+
+/// An online monitor for one forbidden predicate.
+///
+/// Feed it each message the moment it *completes* (its delivery event
+/// executes) together with an [`OrderView`] of the live prefix; it
+/// reports the first satisfying instantiation of `B` at the exact
+/// delivery that completes it. Soundness rests on two facts about the
+/// user-view order `▷` on growing prefixes:
+///
+/// 1. the truth of `a ▷ b` for two present events never changes as the
+///    run extends (every edge points chronologically forward), and
+/// 2. any instantiation of `B` contains a message whose delivery is the
+///    *last* to execute — binding the freshly completed message at each
+///    variable position in turn and searching the remaining positions
+///    over earlier-completed messages therefore finds every violation
+///    exactly once, at its completion event.
+///
+/// Per completed message the monitor stores only its id in the
+/// candidate list of each variable whose color constraints it passes —
+/// the partial-match state is those lists plus one in-flight assignment
+/// of size `var_count()`, so memory grows with *arity × completed
+/// messages*, never with the event count, and the delta search touches
+/// each candidate combination at most once across the whole run.
+#[derive(Clone)]
+pub struct Monitor<'p> {
+    prep: Prepared<'p>,
+    /// For each variable `v`: the assignment order of the *other*
+    /// variables (most-connected first), used when `v` is pinned to the
+    /// freshly completed message.
+    order_without: Vec<Vec<usize>>,
+    /// Per-variable candidates among completed messages (color-filtered).
+    candidates: Vec<Vec<MessageId>>,
+    /// Completed messages seen so far (monotone; for diagnostics).
+    fed: usize,
+    witness: Option<Vec<MessageId>>,
+}
+
+impl<'p> Monitor<'p> {
+    /// Compiles `pred` into an online monitor.
+    pub fn new(pred: &'p ForbiddenPredicate) -> Self {
+        let prep = Prepared::new(pred);
+        let order_without = (0..pred.var_count())
+            .map(|v| {
+                prep.order
+                    .iter()
+                    .copied()
+                    .filter(|&o| o != v)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let candidates = vec![Vec::new(); pred.var_count()];
+        Monitor {
+            prep,
+            order_without,
+            candidates,
+            fed: 0,
+            witness: None,
+        }
+    }
+
+    /// The monitored predicate.
+    pub fn predicate(&self) -> &'p ForbiddenPredicate {
+        self.prep.pred
+    }
+
+    fn passes_filters<V: OrderView>(&self, view: &V, var: usize, m: MessageId) -> bool {
+        self.prep.color_filters[var]
+            .iter()
+            .all(|&(color, want)| view.meta(m).has_color(color) == want)
+    }
+
+    /// Notifies the monitor that message `m` just completed (its `x.r`
+    /// executed). Returns the witness instantiation if the predicate is
+    /// now (or was already) satisfied. Message ids are in `view`'s
+    /// numbering.
+    ///
+    /// Calling order must follow completion order; after the first
+    /// witness the monitor stops searching and keeps reporting it.
+    pub fn on_complete<V: OrderView>(&mut self, view: &V, m: MessageId) -> Option<&[MessageId]> {
+        if self.witness.is_none() {
+            self.fed += 1;
+            let vars = self.prep.pred.var_count();
+            let mut assignment = vec![None; vars];
+            for v in 0..vars {
+                if !self.passes_filters(view, v, m) {
+                    continue;
+                }
+                assignment[v] = Some(m);
+                let mut result = None;
+                if consistent(self.prep.pred, view, &assignment, Var(v))
+                    && search(
+                        self.prep.pred,
+                        view,
+                        &self.order_without[v],
+                        &self.candidates,
+                        &mut assignment,
+                        0,
+                        &mut |a| {
+                            result = Some(a.to_vec());
+                            true
+                        },
+                    )
+                {
+                    self.witness = result;
+                    break;
+                }
+                assignment[v] = None;
+            }
+            if self.witness.is_none() {
+                for v in 0..vars {
+                    if self.passes_filters(view, v, m) {
+                        self.candidates[v].push(m);
+                    }
+                }
+            }
+        }
+        self.witness.as_deref()
+    }
+
+    /// Whether a satisfying instantiation has been found.
+    pub fn violated(&self) -> bool {
+        self.witness.is_some()
+    }
+
+    /// The first satisfying instantiation, if any (message per variable,
+    /// ids in the monitored view's numbering).
+    pub fn witness(&self) -> Option<&[MessageId]> {
+        self.witness.as_deref()
+    }
+
+    /// Number of completed messages fed before (and including) the
+    /// violation, or all of them if none.
+    pub fn completed_seen(&self) -> usize {
+        self.fed
+    }
+
+    /// Current partial-match state size: total candidate-list entries
+    /// across variables (bounded by arity × completed messages).
+    pub fn live_state(&self) -> usize {
+        self.candidates.iter().map(Vec::len).sum()
+    }
 }
 
 /// Whether the run satisfies `B` — i.e. some instantiation of the
@@ -244,6 +403,26 @@ pub fn find_instantiation(pred: &ForbiddenPredicate, run: &UserRun) -> Option<Ve
 /// `usize::MAX` for an exact count on small runs).
 pub fn count_instantiations(pred: &ForbiddenPredicate, run: &UserRun, cap: usize) -> usize {
     Prepared::new(pred).count_instantiations(run, cap)
+}
+
+/// Whether `assignment` (one message per variable, in declaration
+/// order) is a genuine witness: pairwise distinct and satisfying every
+/// conjunct and constraint of `pred` on `view`. Works against both a
+/// materialized [`UserRun`] and a live streaming prefix — the check
+/// used to validate witnesses reported by the online [`Monitor`].
+pub fn check_instantiation<V: OrderView>(
+    pred: &ForbiddenPredicate,
+    view: &V,
+    assignment: &[MessageId],
+) -> bool {
+    if assignment.len() != pred.var_count() {
+        return false;
+    }
+    let slots: Vec<Option<MessageId>> = assignment.iter().copied().map(Some).collect();
+    assignment
+        .iter()
+        .enumerate()
+        .all(|(v, m)| !assignment[..v].contains(m) && consistent(pred, view, &slots, Var(v)))
 }
 
 /// Semantic implication over a family of runs: `stronger ⇒ weaker` holds
@@ -434,6 +613,23 @@ mod tests {
     }
 
     #[test]
+    fn count_cap_edge_semantics() {
+        // Three messages, each satisfying the unary predicate: the true
+        // count is 3 (UserRun::new inserts every x.s ▷ x.r edge).
+        let p = ForbiddenPredicate::parse("forbid x: x.s < x.r").unwrap();
+        let run = UserRun::new(meta(&[(0, 1), (0, 1), (0, 1)]), []).unwrap();
+        // cap = 0 counts nothing, even though instantiations exist.
+        assert_eq!(count_instantiations(&p, &run, 0), 0);
+        // cap exactly equal to the true count reports the true count.
+        assert_eq!(count_instantiations(&p, &run, 3), 3);
+        // cap smaller than the true count stops at the cap.
+        assert_eq!(count_instantiations(&p, &run, 1), 1);
+        // cap = 0 on a run with no instantiations is also 0.
+        let none = ForbiddenPredicate::parse("forbid x, y: x.r < y.s & y.r < x.s").unwrap();
+        assert_eq!(count_instantiations(&none, &run, 0), 0);
+    }
+
+    #[test]
     fn empty_run_never_satisfies() {
         let run = UserRun::new(vec![], []).unwrap();
         assert!(!holds(&causal(), &run));
@@ -490,6 +686,156 @@ mod tests {
             implies_on_runs(&b2, &fifo, runs.iter()).is_err(),
             "cross-channel causal violations are not FIFO violations"
         );
+    }
+
+    #[test]
+    fn monitor_detects_fifo_violation_at_completing_delivery() {
+        use msgorder_runs::StreamingRun;
+        let fifo = ForbiddenPredicate::parse(
+            "forbid x, y: x.s < y.s & y.r < x.r \
+             where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)",
+        )
+        .unwrap();
+        let mut mon = Monitor::new(&fifo);
+        let mut s = StreamingRun::new(2);
+        let x = s.message(0, 1);
+        let y = s.message(0, 1);
+        s.invoke(x).unwrap().send(x).unwrap();
+        s.invoke(y).unwrap().send(y).unwrap();
+        s.receive(x).unwrap().receive(y).unwrap();
+        // y overtakes x: the violation is completed by x's delivery.
+        s.deliver(y).unwrap();
+        assert_eq!(mon.on_complete(&s, y), None);
+        assert!(!mon.violated());
+        s.deliver(x).unwrap();
+        let witness = mon.on_complete(&s, x).expect("violation now complete");
+        assert_eq!(witness, &[x, y]);
+        assert!(mon.violated());
+        assert_eq!(mon.completed_seen(), 2);
+        // The verdict is sticky and reported without further search.
+        assert_eq!(mon.on_complete(&s, x), Some(&[x, y][..]));
+    }
+
+    #[test]
+    fn monitor_respects_color_filters() {
+        use msgorder_runs::StreamingRun;
+        let red_flush =
+            ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.r where color(y) = red")
+                .unwrap();
+        // Overtaking by an uncolored message: the monitor must stay quiet.
+        let mut mon = Monitor::new(&red_flush);
+        let mut s = StreamingRun::new(2);
+        let x = s.message(0, 1);
+        let y = s.message(0, 1);
+        s.invoke(x).unwrap().send(x).unwrap();
+        s.invoke(y).unwrap().send(y).unwrap();
+        s.receive(x).unwrap().receive(y).unwrap();
+        s.deliver(y).unwrap();
+        mon.on_complete(&s, y);
+        s.deliver(x).unwrap();
+        assert_eq!(mon.on_complete(&s, x), None);
+        // Neither message is red, so only the unconstrained variable's
+        // candidate list fills up.
+        assert_eq!(mon.live_state(), 2, "both messages in x's list only");
+
+        // Same shape with a red overtaker: detected.
+        let mut mon = Monitor::new(&red_flush);
+        let mut s = StreamingRun::new(2);
+        let x = s.message(0, 1);
+        let y = s.message_colored(0, 1, "red");
+        s.invoke(x).unwrap().send(x).unwrap();
+        s.invoke(y).unwrap().send(y).unwrap();
+        s.receive(x).unwrap().receive(y).unwrap();
+        s.deliver(y).unwrap();
+        mon.on_complete(&s, y);
+        s.deliver(x).unwrap();
+        assert_eq!(mon.on_complete(&s, x), Some(&[x, y][..]));
+    }
+
+    /// xorshift64* — deterministic schedule driver.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut v = self.0;
+            v ^= v << 13;
+            v ^= v >> 7;
+            v ^= v << 17;
+            self.0 = v;
+            v.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    #[test]
+    fn monitor_matches_posthoc_on_random_runs() {
+        use msgorder_runs::StreamingRun;
+        let preds = [
+            ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.r").unwrap(),
+            ForbiddenPredicate::parse(
+                "forbid x, y: x.s < y.s & y.r < x.r \
+                 where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)",
+            )
+            .unwrap(),
+            ForbiddenPredicate::parse("forbid x1, x2, x3: x1.s < x2.s & x2.s < x3.s & x3.r < x1.r")
+                .unwrap(),
+        ];
+        for seed in 0..30u64 {
+            let mut rng = Rng(0xace0_ba5e ^ (seed << 1) | 1);
+            let (n, m) = (3, 6);
+            let mut s = StreamingRun::new(n);
+            for _ in 0..m {
+                let (src, dst) = (rng.below(n), rng.below(n));
+                s.message(src, dst);
+            }
+            let mut monitors: Vec<Monitor<'_>> = preds.iter().map(Monitor::new).collect();
+            let mut stage = vec![0usize; m];
+            loop {
+                let enabled: Vec<usize> = (0..m).filter(|&i| stage[i] < 4).collect();
+                if enabled.is_empty() {
+                    break;
+                }
+                let i = enabled[rng.below(enabled.len())];
+                let msg = MessageId(i);
+                match stage[i] {
+                    0 => s.invoke(msg).unwrap(),
+                    1 => s.send(msg).unwrap(),
+                    2 => s.receive(msg).unwrap(),
+                    _ => s.deliver(msg).unwrap(),
+                };
+                stage[i] += 1;
+                if stage[i] == 4 {
+                    for mon in &mut monitors {
+                        mon.on_complete(&s, msg);
+                    }
+                }
+            }
+            // The run completed fully, so user-run ids equal original ids.
+            let user = s.users_view();
+            for (pred, mon) in preds.iter().zip(&monitors) {
+                assert_eq!(
+                    mon.violated(),
+                    holds(pred, &user),
+                    "online/post-hoc divergence on seed {seed}"
+                );
+                if let Some(w) = mon.witness() {
+                    // Re-check the witness against the post-hoc view.
+                    for c in pred.conjuncts() {
+                        let a = UserEvent {
+                            msg: w[c.lhs.var.0],
+                            kind: c.lhs.kind,
+                        };
+                        let b = UserEvent {
+                            msg: w[c.rhs.var.0],
+                            kind: c.rhs.kind,
+                        };
+                        assert!(user.before(a, b), "witness conjunct fails post-hoc");
+                    }
+                }
+                assert!(mon.live_state() <= pred.var_count() * m);
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //!   `forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s)`;
 //! - [`eval`] — the ∃-instantiation search deciding whether a
 //!   [`UserRun`](msgorder_runs::UserRun) satisfies `B` (and hence
-//!   violates `X_B`);
+//!   violates `X_B`), plus the online [`eval::Monitor`] that detects the
+//!   first violation on a live run prefix at the delivery completing it;
 //! - [`catalog`] — every specification named in the paper (FIFO, the
 //!   three causal forms of Lemma 3, the SYNC family, k-weaker causal
 //!   ordering, flush variants, the mobile handoff property, ...);

@@ -13,9 +13,11 @@
 //! | [`SynthesizedTagged`] | tagged | any order-≤1 forbidden predicate | causal-history tag |
 //!
 //! Every protocol is verified by simulating adversarial workloads and
-//! checking the captured user's view against the corresponding forbidden
-//! predicate ([`verify`]) — safety *and* liveness, per the paper's
-//! definition of "implements".
+//! monitoring the corresponding forbidden predicate *online* while the
+//! run executes ([`verify`]) — safety *and* liveness, per the paper's
+//! definition of "implements". [`verify_online`] halts at the first
+//! violating delivery; [`OnlineMonitor`] plugs the same detector into
+//! exhaustive schedule exploration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,4 +44,4 @@ pub use registry::ProtocolKind;
 pub use reliable::{ControlEvent, ReliableLink, RetryConfig};
 pub use sync::SyncProtocol;
 pub use synthesis::SynthesizedTagged;
-pub use verify::{run_and_verify, VerifyOutcome};
+pub use verify::{run_and_verify, verify_online, OnlineMonitor, VerifyOutcome};

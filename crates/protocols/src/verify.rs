@@ -1,15 +1,124 @@
-//! Post-hoc protocol verification: simulate, extract the user's view,
+//! Protocol verification over the streaming run pipeline: simulate,
+//! monitor the forbidden predicate *online* (delivery by delivery), and
 //! check safety (spec membership) and liveness (quiescence).
 //!
 //! This is the executable form of the paper's definition of
 //! "`P` implements `Y`": liveness (`P(H) ∩ (R ∪ C) ≠ ∅` whenever
 //! something is pending — here: the run drains to quiescence) and safety
-//! (`X_P ⊆ Y` — here: the captured complete run satisfies the forbidden
-//! predicate's specification).
+//! (`X_P ⊆ Y` — here: no prefix of the captured run satisfies the
+//! forbidden predicate).
+//!
+//! [`run_and_verify`] is a thin adapter over the kernel's
+//! [`Simulation::run_streaming`] and the predicate layer's
+//! [`eval::Monitor`]: the unsafe path is a *single* incremental search
+//! whose witness is the violation, found at the exact delivery that
+//! completes it — no post-hoc transitive closure, no second search.
+//! [`verify_online`] additionally halts the simulation at that delivery.
 
 use msgorder_predicate::{eval, ForbiddenPredicate};
-use msgorder_runs::{MessageId, SystemRunBuilder, UserRun};
-use msgorder_simnet::{Protocol, SimConfig, SimError, Simulation, Stats, Workload};
+use msgorder_runs::{EventKind, MessageId, StreamingRun, SystemEvent, SystemRunBuilder, UserRun};
+use msgorder_simnet::{
+    PrefixMonitor, Protocol, RunObserver, SimConfig, SimError, Simulation, Stats, Workload,
+};
+
+/// Feeds kernel run events into the predicate layer's online
+/// [`eval::Monitor`]: every delivery (`x.r`) completes its message, and
+/// the monitor's delta search runs at exactly that event.
+///
+/// As a [`RunObserver`] it records *when* the first violation was
+/// detected (global event index and simulated time) and — in halting
+/// mode — stops the simulation there. As a [`PrefixMonitor`] it
+/// condemns any exploration prefix containing a violation, pruning the
+/// whole schedule sub-tree below it.
+#[derive(Clone)]
+pub struct OnlineMonitor<'p> {
+    inner: eval::Monitor<'p>,
+    halt_on_violation: bool,
+    detection_event: Option<usize>,
+    detection_time: Option<u64>,
+}
+
+impl<'p> OnlineMonitor<'p> {
+    /// A monitor that keeps observing after a violation (the simulation
+    /// runs to drain, so liveness is still decided exactly).
+    pub fn new(pred: &'p ForbiddenPredicate) -> Self {
+        OnlineMonitor {
+            inner: eval::Monitor::new(pred),
+            halt_on_violation: false,
+            detection_event: None,
+            detection_time: None,
+        }
+    }
+
+    /// A monitor that halts the simulation at the violating delivery.
+    pub fn halting(pred: &'p ForbiddenPredicate) -> Self {
+        OnlineMonitor {
+            halt_on_violation: true,
+            ..OnlineMonitor::new(pred)
+        }
+    }
+
+    /// Whether a satisfying instantiation has been found.
+    pub fn violated(&self) -> bool {
+        self.inner.violated()
+    }
+
+    /// The first satisfying instantiation, in the *simulation's*
+    /// (workload-order) message numbering — remap through
+    /// [`StreamingRun::dense_id`] before comparing against a
+    /// [`UserRun`].
+    pub fn witness(&self) -> Option<&[MessageId]> {
+        self.inner.witness()
+    }
+
+    /// Global index of the run event at which the violation was
+    /// detected (the delivery completing the witness).
+    pub fn detection_event(&self) -> Option<usize> {
+        self.detection_event
+    }
+
+    /// Simulated time of the detecting delivery.
+    pub fn detection_time(&self) -> Option<u64> {
+        self.detection_time
+    }
+
+    /// Current partial-match state size (see [`eval::Monitor::live_state`]).
+    pub fn live_state(&self) -> usize {
+        self.inner.live_state()
+    }
+
+    /// Feeds one run event; `true` while the simulation should go on.
+    fn feed(&mut self, view: &StreamingRun, ev: SystemEvent, index: usize, time: u64) -> bool {
+        if self.inner.violated() {
+            return !self.halt_on_violation;
+        }
+        if ev.kind == EventKind::Deliver && self.inner.on_complete(view, ev.msg).is_some() {
+            self.detection_event = Some(index);
+            self.detection_time = Some(time);
+            if self.halt_on_violation {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl RunObserver for OnlineMonitor<'_> {
+    fn on_event(&mut self, view: &StreamingRun, ev: SystemEvent, index: usize, time: u64) -> bool {
+        self.feed(view, ev, index, time)
+    }
+}
+
+impl PrefixMonitor for OnlineMonitor<'_> {
+    fn on_event(&mut self, view: &StreamingRun, ev: SystemEvent) -> bool {
+        // Exploration always prunes at the violation, whatever the
+        // halting mode: extending a violating prefix cannot un-violate.
+        if self.inner.violated() {
+            return false;
+        }
+        !(ev.kind == EventKind::Deliver && self.inner.on_complete(view, ev.msg).is_some())
+    }
+}
 
 /// The verdict of one verified simulation.
 #[derive(Debug)]
@@ -17,11 +126,21 @@ pub struct VerifyOutcome {
     /// Safety: the user's view belongs to `X_B`.
     pub safe: bool,
     /// Liveness: every requested message was sent and delivered, and the
-    /// simulation completed within its step budget.
+    /// simulation completed within its step budget. Always `false` when
+    /// [`verify_online`] halted early — liveness is undecided then.
     pub live: bool,
     /// If unsafe, one satisfying instantiation of the forbidden
-    /// predicate (the offending messages).
+    /// predicate (the offending messages, in [`user_run`]'s numbering).
+    ///
+    /// [`user_run`]: VerifyOutcome::user_run
     pub violation: Option<Vec<MessageId>>,
+    /// Global index of the run event at which the online monitor found
+    /// the violation — the delivery completing it, strictly before the
+    /// run drained whenever the violating messages are not the last to
+    /// complete.
+    pub detection_event: Option<usize>,
+    /// Simulated time of the detecting delivery.
+    pub detection_time: Option<u64>,
     /// The captured user's view.
     pub user_run: UserRun,
     /// Overhead counters.
@@ -41,7 +160,8 @@ impl VerifyOutcome {
 }
 
 /// Runs `factory`'s protocol on `workload` and verifies it against
-/// `spec`.
+/// `spec`, monitoring the forbidden predicate online while the
+/// simulation runs to drain (so liveness is decided exactly).
 ///
 /// A protocol bug (an invalid kernel action) no longer aborts the
 /// process: it is reported through
@@ -53,21 +173,64 @@ pub fn run_and_verify<P: Protocol>(
     factory: impl Fn(usize) -> P,
     spec: &ForbiddenPredicate,
 ) -> VerifyOutcome {
+    verify_with(config, workload, factory, OnlineMonitor::new(spec), spec)
+}
+
+/// Like [`run_and_verify`], but halts the simulation at the violating
+/// delivery — the early-exit online pipeline. On a violation,
+/// [`live`](VerifyOutcome::live) is reported `false` (undecided) and
+/// [`user_run`](VerifyOutcome::user_run) is the prefix up to detection.
+pub fn verify_online<P: Protocol>(
+    config: SimConfig,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    spec: &ForbiddenPredicate,
+) -> VerifyOutcome {
+    verify_with(
+        config,
+        workload,
+        factory,
+        OnlineMonitor::halting(spec),
+        spec,
+    )
+}
+
+fn verify_with<P: Protocol>(
+    config: SimConfig,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    mut monitor: OnlineMonitor<'_>,
+    spec: &ForbiddenPredicate,
+) -> VerifyOutcome {
     let processes = config.processes;
-    match Simulation::run_uniform(config, workload, factory) {
+    match Simulation::new(config, workload, factory).run_streaming(&mut monitor) {
         Ok(result) => {
-            let user_run = result.run.users_view();
-            let violation = eval::find_instantiation(spec, &user_run);
+            let violation = monitor.witness().map(|w| {
+                w.iter()
+                    .map(|&m| {
+                        result
+                            .run
+                            .dense_id(m)
+                            .expect("witness messages are complete")
+                    })
+                    .collect()
+            });
             VerifyOutcome {
                 safe: violation.is_none(),
                 live: result.completed && result.run.is_quiescent(),
                 violation,
-                user_run,
+                detection_event: monitor.detection_event(),
+                detection_time: monitor.detection_time(),
+                user_run: result.run.users_view(),
                 stats: result.stats,
                 counterexample: None,
             }
         }
         Err(e) => {
+            // The monitor's witness ids cannot be remapped without the
+            // live builder (consumed by the error), so safety on the
+            // partial trace is re-decided post hoc — same verdict, per
+            // the online/post-hoc equivalence.
             let user_run = e.trace.as_ref().map(|t| t.users_view()).unwrap_or_else(|| {
                 SystemRunBuilder::new(processes)
                     .build()
@@ -79,6 +242,8 @@ pub fn run_and_verify<P: Protocol>(
                 safe: violation.is_none(),
                 live: false,
                 violation,
+                detection_event: monitor.detection_event(),
+                detection_time: monitor.detection_time(),
                 user_run,
                 stats: e.stats.clone(),
                 counterexample: Some(e),
@@ -90,9 +255,9 @@ pub fn run_and_verify<P: Protocol>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{AsyncProtocol, CausalRst, FifoProtocol};
+    use crate::{AsyncProtocol, CausalRst, FifoProtocol, ProtocolKind};
     use msgorder_predicate::catalog;
-    use msgorder_simnet::LatencyModel;
+    use msgorder_simnet::{explore_monitored, FaultModel, LatencyModel};
 
     fn config(processes: usize, seed: u64) -> SimConfig {
         SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 900 }, seed)
@@ -108,6 +273,7 @@ mod tests {
         );
         assert!(out.ok());
         assert!(out.violation.is_none());
+        assert!(out.detection_event.is_none());
     }
 
     #[test]
@@ -130,6 +296,7 @@ mod tests {
         let out = failed.expect("async never violated causal ordering");
         let inst = out.violation.unwrap();
         assert_eq!(inst.len(), 2, "causal violations involve two messages");
+        assert!(out.detection_event.is_some(), "found online, not post hoc");
     }
 
     #[test]
@@ -152,5 +319,154 @@ mod tests {
                 assert!(out.ok(), "RST failed {spec} at seed {seed}");
             }
         }
+    }
+
+    /// The acceptance property: the online monitor's verdict (and the
+    /// existence of a witness) equals post-hoc evaluation of the drained
+    /// run, across every registered protocol, quiet and faulty networks,
+    /// and both spec polarities.
+    #[test]
+    fn online_verdict_matches_posthoc_across_protocols_and_faults() {
+        let specs = [catalog::fifo(), catalog::causal()];
+        let faults = [
+            FaultModel::none(),
+            FaultModel::none().with_drop(0.15),
+            FaultModel::none().with_duplication(0.1),
+        ];
+        for kind in ProtocolKind::fixed() {
+            for spec in &specs {
+                for (fi, fault) in faults.iter().enumerate() {
+                    // Bare protocols are built for reliable channels;
+                    // on faulty networks use the retransmission layer
+                    // where it exists (elsewhere, loss merely costs
+                    // liveness and the verdicts must still agree).
+                    let reliable = !fault.is_quiet() && kind.supports_retransmission();
+                    if fi == 2 && !reliable {
+                        // Duplicate frames need the dedup of the
+                        // reliable layer; skip kinds without one.
+                        continue;
+                    }
+                    for seed in 0..4 {
+                        let n = 3;
+                        let cfg = config(n, seed).with_faults(fault.clone());
+                        let w = Workload::uniform_random(n, 12, seed);
+                        let out = run_and_verify(
+                            cfg,
+                            w,
+                            |node| kind.instantiate_with(n, node, reliable),
+                            spec,
+                        );
+                        // Post-hoc ground truth on the same captured view.
+                        let posthoc = eval::find_instantiation(spec, &out.user_run);
+                        assert_eq!(
+                            out.safe,
+                            posthoc.is_none(),
+                            "{} / {spec} / fault {fi} / seed {seed}: online and \
+                             post-hoc verdicts disagree",
+                            kind.name()
+                        );
+                        assert_eq!(out.safe, out.violation.is_none());
+                        assert_eq!(out.safe, out.detection_event.is_none());
+                        if let Some(w) = &out.violation {
+                            assert!(
+                                eval::check_instantiation(spec, &out.user_run, w),
+                                "{} / {spec} / fault {fi} / seed {seed}: reported \
+                                 witness does not satisfy the predicate",
+                                kind.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Online detection fires strictly before the simulation drains:
+    /// the halting pipeline stops with messages still undelivered.
+    #[test]
+    fn seeded_fifo_violation_detected_strictly_before_drain() {
+        let spec = catalog::fifo();
+        let mut checked = false;
+        for seed in 0..40 {
+            let n = 3;
+            let w = Workload::uniform_random(n, 12, seed);
+            let full = run_and_verify(config(n, seed), w.clone(), |_| AsyncProtocol::new(), &spec);
+            if full.safe {
+                continue;
+            }
+            assert!(full.live, "async drains");
+            let total_events = 4 * full.user_run.len();
+            let at = full.detection_event.expect("violation found online");
+            assert!(
+                at < total_events - 1,
+                "seed {seed}: detection at event {at} of {total_events} \
+                 must precede the drain"
+            );
+            // Same seed, halting pipeline: identical detection point,
+            // and the prefix view is strictly smaller than the full run.
+            let early = verify_online(config(n, seed), w, |_| AsyncProtocol::new(), &spec);
+            assert!(!early.safe);
+            assert_eq!(early.detection_event, full.detection_event);
+            assert_eq!(early.detection_time, full.detection_time);
+            assert!(
+                early.user_run.len() < full.user_run.len(),
+                "seed {seed}: halting before drain must leave messages incomplete"
+            );
+            checked = true;
+        }
+        assert!(checked, "no seed produced a FIFO violation");
+    }
+
+    /// The real predicate monitor prunes condemned schedule prefixes in
+    /// exhaustive exploration, and every surviving run satisfies the spec.
+    #[test]
+    fn exploration_with_online_monitor_prunes_violating_schedules() {
+        let spec = catalog::fifo();
+        // Two same-channel messages: async exploration reaches both
+        // delivery orders; the monitor must condemn the reordered one.
+        let send = |at| msgorder_simnet::SendSpec {
+            at,
+            src: 0,
+            dst: 1,
+            color: None,
+        };
+        let w = Workload {
+            sends: vec![send(0), send(1)],
+        };
+        let mut plain_total = 0usize;
+        let plain = msgorder_simnet::explore(
+            2,
+            w.clone(),
+            |_| AsyncProtocol::new(),
+            10_000,
+            |_| {
+                plain_total += 1;
+                true
+            },
+        );
+        assert!(plain.error.is_none());
+        let mut surviving = 0usize;
+        let monitored = explore_monitored(
+            2,
+            w,
+            |_| AsyncProtocol::new(),
+            OnlineMonitor::new(&spec),
+            10_000,
+            |run| {
+                assert!(
+                    eval::find_instantiation(&spec, &run.users_view()).is_none(),
+                    "a surviving schedule violates FIFO"
+                );
+                surviving += 1;
+                true
+            },
+        );
+        assert!(monitored.error.is_none());
+        assert!(monitored.pruned > 0, "reordered schedules must be pruned");
+        assert_eq!(monitored.schedules, surviving);
+        assert!(
+            surviving < plain_total,
+            "pruning must remove some of the {plain_total} schedules"
+        );
     }
 }

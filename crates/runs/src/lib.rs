@@ -55,11 +55,15 @@ pub mod lemma2;
 pub mod limit_sets;
 mod message;
 pub mod realize;
+mod streaming;
 mod system;
 mod users_view;
+mod view;
 
 pub use error::RunError;
 pub use ids::{EventKind, MessageId, ProcessId, SystemEvent, UserEvent, UserEventKind};
 pub use message::MessageMeta;
+pub use streaming::StreamingRun;
 pub use system::{PendingSets, SystemRun, SystemRunBuilder};
 pub use users_view::UserRun;
+pub use view::OrderView;

@@ -1,0 +1,63 @@
+//! [`OrderView`] — the causality interface shared by materialized and
+//! streaming runs.
+//!
+//! The forbidden-predicate evaluator only ever asks two questions about
+//! a run: *does user event `a` precede user event `b` under `▷`?* and
+//! *what are message `m`'s endpoints and color?* Abstracting those
+//! queries lets the same evaluation core run post-hoc against a
+//! [`UserRun`](crate::UserRun) (bitset transitive closure) and online
+//! against a [`StreamingRun`](crate::StreamingRun) (vector clocks on the
+//! live prefix) without materializing the full poset.
+
+use crate::ids::{MessageId, UserEvent};
+use crate::message::MessageMeta;
+
+/// Read-only causality queries over the user's view of a run.
+///
+/// Implementations must answer [`before`](OrderView::before) with the
+/// strict order `▷` of §3.3: process order among user events, the edges
+/// `x.s ▷ x.r`, and transitivity. For streaming implementations the
+/// relation is over the *live prefix*; because every edge points from an
+/// earlier to a later appended event, the answer for two present events
+/// never changes as the run grows.
+pub trait OrderView {
+    /// The strict order `a ▷ b`; `false` if either event is absent.
+    fn before(&self, a: UserEvent, b: UserEvent) -> bool;
+
+    /// Metadata (endpoints, color) of message `m`.
+    ///
+    /// # Panics
+    /// May panic if `m` was never declared.
+    fn meta(&self, m: MessageId) -> &MessageMeta;
+
+    /// Number of declared messages (bound for message ids).
+    fn message_count(&self) -> usize;
+}
+
+impl OrderView for crate::UserRun {
+    fn before(&self, a: UserEvent, b: UserEvent) -> bool {
+        crate::UserRun::before(self, a, b)
+    }
+
+    fn meta(&self, m: MessageId) -> &MessageMeta {
+        self.message(m)
+    }
+
+    fn message_count(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<V: OrderView + ?Sized> OrderView for &V {
+    fn before(&self, a: UserEvent, b: UserEvent) -> bool {
+        (**self).before(a, b)
+    }
+
+    fn meta(&self, m: MessageId) -> &MessageMeta {
+        (**self).meta(m)
+    }
+
+    fn message_count(&self) -> usize {
+        (**self).message_count()
+    }
+}

@@ -15,7 +15,7 @@
 use crate::error::SimError;
 use crate::kernel::{EventKind, Protocol, Scheduled, SimConfig, Simulation};
 use crate::workload::Workload;
-use msgorder_runs::SystemRun;
+use msgorder_runs::{StreamingRun, SystemEvent, SystemRun};
 use std::cmp::Reverse;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
@@ -30,9 +30,27 @@ pub struct Exploration {
     pub schedules: usize,
     /// Whether the cap stopped the search early.
     pub truncated: bool,
+    /// Prefixes condemned by the [`PrefixMonitor`] (and therefore never
+    /// extended). Zero for the unmonitored entry points.
+    pub pruned: usize,
     /// A protocol bug found along some schedule, with its counterexample
     /// trace; the search stops at the first one.
     pub error: Option<Box<SimError>>,
+}
+
+/// An online check over growing run prefixes, used by
+/// [`explore_monitored`] to cut schedule sub-trees the moment they are
+/// known bad.
+///
+/// Cloned at every branch point (so implementations should keep their
+/// state small); fed each run event in the order the explored schedule
+/// executes it. Returning `false` *condemns* the prefix: because
+/// forbidden-predicate violations are monotone under run extension,
+/// every schedule extending a condemned prefix would violate too, so
+/// the whole sub-tree is pruned.
+pub trait PrefixMonitor: Clone {
+    /// Called once per executed run event. Return `false` to condemn.
+    fn on_event(&mut self, view: &StreamingRun, ev: SystemEvent) -> bool;
 }
 
 /// Exhaustively explores every schedule of `workload` under the
@@ -61,6 +79,7 @@ where
     let mut exp = Exploration {
         schedules: 0,
         truncated: false,
+        pruned: 0,
         error: None,
     };
     dfs(&mut state, cap, &mut exp, &mut visit);
@@ -96,12 +115,63 @@ where
     let mut exp = Exploration {
         schedules: 0,
         truncated: false,
+        pruned: 0,
         error: None,
     };
     let mut visited = HashSet::new();
     visited.insert(state.dedup_key());
     dfs_dedup(&mut state, cap, &mut exp, &mut visited, &mut visit);
     exp
+}
+
+/// Like [`explore`], but carries a [`PrefixMonitor`] along every branch
+/// and prunes any prefix the monitor condemns — the schedule sub-tree
+/// below a detected violation is never expanded. `visit` receives only
+/// the complete runs of *uncondemned* schedules;
+/// [`Exploration::pruned`] counts the condemned prefixes.
+///
+/// # Panics
+/// Panics if a protocol livelocks within a schedule (see [`explore`]).
+pub fn explore_monitored<P, M, V>(
+    processes: usize,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    monitor: M,
+    cap: usize,
+    mut visit: V,
+) -> Exploration
+where
+    P: Protocol + Clone,
+    M: PrefixMonitor,
+    V: FnMut(&SystemRun) -> bool,
+{
+    let mut state = initial_state(processes, workload, factory);
+    state.world.record = true;
+    let mut exp = Exploration {
+        schedules: 0,
+        truncated: false,
+        pruned: 0,
+        error: None,
+    };
+    let mut mon = monitor;
+    if drain_into_monitor(&mut state, &mut mon) {
+        exp.pruned = 1;
+        return exp;
+    }
+    dfs_monitored(&mut state, &mon, cap, &mut exp, &mut visit);
+    exp
+}
+
+/// Feeds the journal of freshly executed run events to the monitor.
+/// Returns `true` if the monitor condemned the prefix.
+fn drain_into_monitor<P, M: PrefixMonitor>(state: &mut State<P>, mon: &mut M) -> bool {
+    let fresh = std::mem::take(&mut state.world.fresh);
+    for (ev, _time) in fresh {
+        if !mon.on_event(&state.world.builder, ev) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Like [`explore`], but fans the top-level branches of the DFS out
@@ -138,6 +208,7 @@ where
             return Exploration {
                 schedules: 0,
                 truncated: true,
+                pruned: 0,
                 error: None,
             };
         }
@@ -150,6 +221,7 @@ where
         return Exploration {
             schedules: 1,
             truncated: false,
+            pruned: 0,
             error: None,
         };
     }
@@ -190,6 +262,7 @@ where
     Exploration {
         schedules: schedules.load(Ordering::Relaxed),
         truncated: truncated.load(Ordering::Relaxed),
+        pruned: 0,
         error: error
             .into_inner()
             .expect("no worker panicked holding the error slot"),
@@ -380,6 +453,74 @@ where
             return false;
         }
         if !dfs(&mut next, cap, exp, visit) {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`dfs`] with a [`PrefixMonitor`] cloned along each branch; condemned
+/// branches are pruned (counted, not descended into).
+fn dfs_monitored<P, M, V>(
+    state: &mut State<P>,
+    monitor: &M,
+    cap: usize,
+    exp: &mut Exploration,
+    visit: &mut V,
+) -> bool
+where
+    P: Protocol + Clone,
+    M: PrefixMonitor,
+    V: FnMut(&SystemRun) -> bool,
+{
+    if exp.schedules >= cap {
+        exp.truncated = true;
+        return false;
+    }
+    let pool_len = state.pool.len();
+    let request_nodes: Vec<usize> = (0..state.requests.len())
+        .filter(|&p| !state.requests[p].is_empty())
+        .collect();
+    if pool_len == 0 && request_nodes.is_empty() {
+        exp.schedules += 1;
+        let run = state
+            .world
+            .builder
+            .build()
+            .expect("explored runs are valid");
+        return visit(&run);
+    }
+    for i in 0..pool_len {
+        let mut next = state.clone_state();
+        let mut mon = monitor.clone();
+        let ev = next.pool.swap_remove(i);
+        next.step(ev);
+        if let Some(e) = next.take_error() {
+            exp.error = Some(e);
+            return false;
+        }
+        if drain_into_monitor(&mut next, &mut mon) {
+            exp.pruned += 1;
+            continue;
+        }
+        if !dfs_monitored(&mut next, &mon, cap, exp, visit) {
+            return false;
+        }
+    }
+    for p in request_nodes {
+        let mut next = state.clone_state();
+        let mut mon = monitor.clone();
+        let ev = next.requests[p].pop_front().expect("nonempty");
+        next.step(ev);
+        if let Some(e) = next.take_error() {
+            exp.error = Some(e);
+            return false;
+        }
+        if drain_into_monitor(&mut next, &mut mon) {
+            exp.pruned += 1;
+            continue;
+        }
+        if !dfs_monitored(&mut next, &mon, cap, exp, visit) {
             return false;
         }
     }
@@ -760,6 +901,81 @@ mod tests {
             },
         );
         assert_eq!(seq_runs, par_runs.into_inner().expect("final read"));
+    }
+
+    /// Condemns any prefix whose deliveries on the (0 → 1) channel are
+    /// out of send order — an online FIFO check via the live `▷`.
+    #[derive(Clone)]
+    struct FifoCheck;
+    impl PrefixMonitor for FifoCheck {
+        fn on_event(&mut self, view: &StreamingRun, ev: SystemEvent) -> bool {
+            use msgorder_runs::{EventKind, UserEvent};
+            if ev.kind != EventKind::Deliver {
+                return true;
+            }
+            // Any earlier-sent, later-delivered same-channel message?
+            for other in view.completed() {
+                let (a, b) = (*other, ev.msg);
+                if a != b
+                    && view.before(UserEvent::send(b), UserEvent::send(a))
+                    && view.before(UserEvent::deliver(a), UserEvent::deliver(b))
+                {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn monitored_exploration_prunes_condemned_prefixes() {
+        let mut plain_total = 0usize;
+        let mut plain_fifo = 0usize;
+        explore(
+            2,
+            two_same_channel(),
+            |_| Immediate,
+            usize::MAX,
+            |run| {
+                plain_total += 1;
+                let user = run.users_view();
+                if user.before(
+                    msgorder_runs::UserEvent::deliver(MessageId(0)),
+                    msgorder_runs::UserEvent::deliver(MessageId(1)),
+                ) {
+                    plain_fifo += 1;
+                }
+                true
+            },
+        );
+        let mut visited = 0usize;
+        let exp = explore_monitored(
+            2,
+            two_same_channel(),
+            |_| Immediate,
+            FifoCheck,
+            usize::MAX,
+            |run| {
+                visited += 1;
+                let user = run.users_view();
+                assert!(
+                    user.before(
+                        msgorder_runs::UserEvent::deliver(MessageId(0)),
+                        msgorder_runs::UserEvent::deliver(MessageId(1)),
+                    ),
+                    "condemned schedules must not reach the visitor"
+                );
+                true
+            },
+        );
+        assert!(exp.error.is_none());
+        assert_eq!(exp.schedules, visited);
+        assert_eq!(visited, plain_fifo, "every FIFO schedule still visited");
+        assert!(exp.pruned > 0, "violating prefixes were cut");
+        assert!(
+            exp.schedules < plain_total,
+            "pruning must reduce the visited count"
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::faults::FaultModel;
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
 use crate::workload::Workload;
-use msgorder_runs::{MessageId, ProcessId, SystemRun, SystemRunBuilder};
+use msgorder_runs::{
+    EventKind as RunEventKind, MessageId, ProcessId, StreamingRun, SystemEvent, SystemRun,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -112,6 +114,7 @@ impl Ctx<'_> {
                 .fail(self.node, Some(msg), SimErrorKind::InvalidSend(e));
             return;
         }
+        self.world.journal(msg, RunEventKind::Send);
         self.world.stats.user_messages += 1;
         self.world.stats.tag_bytes += tag.len();
         self.world.sent[msg.0] = true;
@@ -169,6 +172,7 @@ impl Ctx<'_> {
                 .fail(self.node, Some(msg), SimErrorKind::InvalidDelivery(e));
             return;
         }
+        self.world.journal(msg, RunEventKind::Deliver);
         let received = self.world.receive_time[msg.0].expect("received before delivery");
         let invoked = self.world.invoke_time[msg.0].expect("invoked before delivery");
         self.world.stats.delivered += 1;
@@ -292,6 +296,7 @@ impl World {
                     self.fail(node, Some(msg), SimErrorKind::InvalidRequest(e));
                     return;
                 }
+                self.journal(msg, RunEventKind::Invoke);
                 self.invoke_time[msg.0] = Some(self.now);
                 let mut ctx = Ctx { world: self, node };
                 protocols[node].on_send_request(&mut ctx, msg);
@@ -309,6 +314,7 @@ impl World {
                     self.fail(node, Some(msg), SimErrorKind::InvalidReceive(e));
                     return;
                 }
+                self.journal(msg, RunEventKind::Receive);
                 self.receive_time[msg.0] = Some(self.now);
                 let mut ctx = Ctx { world: self, node };
                 protocols[node].on_user_frame(&mut ctx, ProcessId(from), msg, tag);
@@ -356,7 +362,7 @@ pub(crate) struct World {
     pub(crate) latency: LatencyModel,
     pub(crate) faults: FaultModel,
     pub(crate) metas: Vec<msgorder_runs::MessageMeta>,
-    pub(crate) builder: SystemRunBuilder,
+    pub(crate) builder: StreamingRun,
     pub(crate) queue: BinaryHeap<Reverse<Scheduled>>,
     pub(crate) rng: StdRng,
     /// Independent stream for fault decisions (see [`FAULT_RNG_SALT`]).
@@ -371,9 +377,23 @@ pub(crate) struct World {
     /// The first protocol bug detected, if any; once set, the world is
     /// poisoned and all further protocol actions are no-ops.
     pub(crate) error: Option<SimError>,
+    /// When `true`, every appended run event is journaled into `fresh`
+    /// for the streaming observer; the plain [`Simulation::run`] path
+    /// leaves this off so it pays nothing.
+    pub(crate) record: bool,
+    /// Run events appended since the observer last drained, with their
+    /// simulated times.
+    pub(crate) fresh: Vec<(SystemEvent, u64)>,
 }
 
 impl World {
+    /// Journals a just-appended run event for the streaming observer.
+    pub(crate) fn journal(&mut self, msg: MessageId, kind: RunEventKind) {
+        if self.record {
+            self.fresh.push((SystemEvent::new(msg, kind), self.now));
+        }
+    }
+
     fn schedule(&mut self, time: u64, node: usize, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -444,6 +464,36 @@ pub struct SimResult {
     pub completed: bool,
 }
 
+/// A hook fed every run event (`s*`, `s`, `r*`, `r`) the moment the
+/// kernel executes it, together with the live [`StreamingRun`] prefix —
+/// the entry point of the streaming verdict pipeline.
+///
+/// Events arrive in execution order; `index` is the event's position in
+/// the global appended order (0-based) and `time` the simulated time it
+/// executed at. Returning `false` halts the simulation after the
+/// current dispatch — the early-exit used by online violation
+/// detection.
+pub trait RunObserver {
+    /// Called once per executed run event. Return `false` to halt.
+    fn on_event(&mut self, view: &StreamingRun, ev: SystemEvent, index: usize, time: u64) -> bool;
+}
+
+/// The outcome of [`Simulation::run_streaming`]: the live run is handed
+/// back as-is — no post-hoc transitive closure is ever built on this
+/// path.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// The streaming run at the moment the simulation stopped.
+    pub run: StreamingRun,
+    /// Overhead counters.
+    pub stats: Stats,
+    /// `true` iff the event queue drained (no step-limit hit, no
+    /// observer halt).
+    pub completed: bool,
+    /// `true` iff the observer requested the halt.
+    pub halted: bool,
+}
+
 /// A discrete-event simulation of `P` instances exchanging a workload.
 pub struct Simulation<P> {
     protocols: Vec<P>,
@@ -458,7 +508,7 @@ impl<P: Protocol> Simulation<P> {
     /// # Panics
     /// Panics if a workload request references a process out of range.
     pub fn new(config: SimConfig, workload: Workload, factory: impl Fn(usize) -> P) -> Self {
-        let mut builder = SystemRunBuilder::new(config.processes);
+        let mut builder = StreamingRun::new(config.processes);
         let mut metas = Vec::new();
         let mut world_queue = BinaryHeap::new();
         let mut seq = 0u64;
@@ -502,6 +552,8 @@ impl<P: Protocol> Simulation<P> {
             receive_time: vec![None; n_msgs],
             sent: vec![false; n_msgs],
             error: None,
+            record: false,
+            fresh: Vec::new(),
         };
         let protocols = (0..config.processes).map(factory).collect();
         Simulation {
@@ -528,12 +580,72 @@ impl<P: Protocol> Simulation<P> {
     // would not shrink the Result.
     #[allow(clippy::result_large_err)]
     pub fn run(mut self) -> SimOutcome {
+        let (completed, _halted) = self.drive(None);
+        self.world.stats.end_time = self.world.now;
+        if let Some(mut e) = self.world.error.take() {
+            e.trace = self.world.builder.build().ok();
+            e.stats = self.world.stats.clone();
+            return Err(e);
+        }
+        match self.world.builder.build() {
+            Ok(run) => Ok(SimResult {
+                run,
+                stats: self.world.stats,
+                completed,
+            }),
+            Err(re) => Err(SimError {
+                kind: SimErrorKind::InvalidRun(re),
+                node: ProcessId(0),
+                msg: None,
+                time: self.world.now,
+                trace: None,
+                stats: self.world.stats.clone(),
+            }),
+        }
+    }
+
+    /// Runs the simulation while feeding every run event to `obs` as it
+    /// executes. Unlike [`run`](Simulation::run), the captured run is
+    /// returned as the live [`StreamingRun`] — no transitive closure is
+    /// built, so the cost is O(events · n) total regardless of run
+    /// length.
+    ///
+    /// The observer may halt the simulation by returning `false`
+    /// (reflected in [`StreamResult::halted`]); a protocol bug still
+    /// yields the structured [`SimError`] counterexample.
+    #[allow(clippy::result_large_err)] // see `run`
+    pub fn run_streaming(mut self, obs: &mut dyn RunObserver) -> Result<StreamResult, SimError> {
+        self.world.record = true;
+        let (completed, halted) = self.drive(Some(obs));
+        self.world.stats.end_time = self.world.now;
+        if let Some(mut e) = self.world.error.take() {
+            e.trace = self.world.builder.build().ok();
+            e.stats = self.world.stats.clone();
+            return Err(e);
+        }
+        Ok(StreamResult {
+            run: self.world.builder,
+            stats: self.world.stats,
+            completed,
+            halted,
+        })
+    }
+
+    /// The shared event loop: dispatches until the queue drains, the
+    /// step limit is hit, a protocol bug poisons the world, or the
+    /// observer (if any) requests a halt. Returns `(completed, halted)`.
+    fn drive(&mut self, mut obs: Option<&mut dyn RunObserver>) -> (bool, bool) {
         for node in 0..self.world.processes {
             let mut ctx = Ctx {
                 world: &mut self.world,
                 node,
             };
             self.protocols[node].on_init(&mut ctx);
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            if !self.notify(o) {
+                return (false, true);
+            }
         }
         let mut steps = 0usize;
         let mut completed = true;
@@ -562,31 +674,32 @@ impl<P: Protocol> Simulation<P> {
                 continue;
             }
             self.world.dispatch(&mut self.protocols, ev.node, ev.kind);
+            if let Some(o) = obs.as_deref_mut() {
+                if !self.notify(o) {
+                    return (false, true);
+                }
+            }
             if self.world.error.is_some() {
                 break;
             }
         }
-        self.world.stats.end_time = self.world.now;
-        if let Some(mut e) = self.world.error.take() {
-            e.trace = self.world.builder.build().ok();
-            e.stats = self.world.stats.clone();
-            return Err(e);
+        (completed, false)
+    }
+
+    /// Drains the journal of freshly appended run events into `obs`.
+    /// Returns `false` as soon as the observer requests a halt.
+    fn notify(&mut self, obs: &mut dyn RunObserver) -> bool {
+        if self.world.fresh.is_empty() {
+            return true;
         }
-        match self.world.builder.build() {
-            Ok(run) => Ok(SimResult {
-                run,
-                stats: self.world.stats,
-                completed,
-            }),
-            Err(re) => Err(SimError {
-                kind: SimErrorKind::InvalidRun(re),
-                node: ProcessId(0),
-                msg: None,
-                time: self.world.now,
-                trace: None,
-                stats: self.world.stats.clone(),
-            }),
+        let fresh = std::mem::take(&mut self.world.fresh);
+        let base = self.world.builder.event_count() - fresh.len();
+        for (i, (ev, time)) in fresh.into_iter().enumerate() {
+            if !obs.on_event(&self.world.builder, ev, base + i, time) {
+                return false;
+            }
         }
+        true
     }
 
     /// Decomposes the simulation into its world and protocol instances
@@ -914,6 +1027,84 @@ mod tests {
         })
         .expect_err("resend before send");
         assert_eq!(e.kind, SimErrorKind::ResendBeforeSend);
+    }
+
+    /// Records every observed event; optionally halts at the first
+    /// delivery.
+    struct Recorder {
+        events: Vec<(SystemEvent, usize, u64)>,
+        halt_on_deliver: bool,
+    }
+    impl RunObserver for Recorder {
+        fn on_event(
+            &mut self,
+            view: &StreamingRun,
+            ev: SystemEvent,
+            index: usize,
+            time: u64,
+        ) -> bool {
+            // Events appended by one dispatch are notified as a batch
+            // after it returns, so the view may already be a few events
+            // ahead — but never behind.
+            assert!(index < view.event_count(), "view includes the event");
+            assert!(view.contains(ev), "event visible in the live prefix");
+            self.events.push((ev, index, time));
+            !(self.halt_on_deliver && ev.kind == RunEventKind::Deliver)
+        }
+    }
+
+    #[test]
+    fn run_streaming_observes_every_event_in_order() {
+        let w = Workload::uniform_random(3, 20, 19);
+        let mut obs = Recorder {
+            events: Vec::new(),
+            halt_on_deliver: false,
+        };
+        let r = Simulation::new(config(2), w.clone(), |_| Immediate)
+            .run_streaming(&mut obs)
+            .expect("no protocol bug");
+        assert!(r.completed && !r.halted);
+        assert!(r.run.is_quiescent() && r.run.is_complete());
+        assert_eq!(obs.events.len(), 80, "4 events per message");
+        for (i, (_, index, _)) in obs.events.iter().enumerate() {
+            assert_eq!(*index, i, "indices are the global append order");
+        }
+        let times: Vec<u64> = obs.events.iter().map(|&(_, _, t)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "times monotone");
+
+        // The streaming path is observationally identical to the plain
+        // one: same stats, same user view.
+        let plain = Simulation::run_uniform(config(2), w, |_| Immediate).expect("ok");
+        assert_eq!(plain.stats, r.stats);
+        assert_eq!(
+            plain.run.users_view().relation_pairs(),
+            r.run.users_view().relation_pairs()
+        );
+    }
+
+    #[test]
+    fn observer_halt_stops_simulation_early() {
+        let w = Workload::uniform_random(3, 20, 19);
+        let mut obs = Recorder {
+            events: Vec::new(),
+            halt_on_deliver: true,
+        };
+        let r = Simulation::new(config(2), w, |_| Immediate)
+            .run_streaming(&mut obs)
+            .expect("no protocol bug");
+        assert!(r.halted && !r.completed);
+        assert_eq!(
+            obs.events
+                .iter()
+                .filter(|(ev, _, _)| ev.kind == RunEventKind::Deliver)
+                .count(),
+            1,
+            "halted at the first delivery"
+        );
+        assert!(
+            r.run.event_count() < 80,
+            "most of the run was never executed"
+        );
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //!   messages (whose four events are recorded) or control messages
 //!   (counted and costed, invisible in the user's view);
 //! - **full run capture** — the kernel logs `x.s*`, `x.s`, `x.r*`,
-//!   `x.r` into a [`SystemRun`](msgorder_runs::SystemRun) as the
-//!   simulation executes, so safety is checked *exactly* afterwards;
+//!   `x.r` into a live [`StreamingRun`](msgorder_runs::StreamingRun) as
+//!   the simulation executes; [`Simulation::run`] materializes it into
+//!   a [`SystemRun`](msgorder_runs::SystemRun) afterwards, while
+//!   [`Simulation::run_streaming`] feeds every event to a
+//!   [`RunObserver`] the moment it executes (online monitoring,
+//!   early-exit on violation) and never builds the closure at all;
 //! - **determinism** — all randomness flows from one seed; event ties
 //!   break on a monotone sequence number.
 //!
@@ -56,10 +60,12 @@ mod stats;
 mod workload;
 
 pub use error::{SimError, SimErrorKind, SimOutcome};
-pub use explore::{explore, explore_dedup, explore_parallel, Exploration};
+pub use explore::{
+    explore, explore_dedup, explore_monitored, explore_parallel, Exploration, PrefixMonitor,
+};
 pub use faults::{CrashSchedule, FaultModel, Partition};
 pub use frame::Frame;
-pub use kernel::{Ctx, Protocol, SimConfig, SimResult, Simulation};
+pub use kernel::{Ctx, Protocol, RunObserver, SimConfig, SimResult, Simulation, StreamResult};
 pub use latency::LatencyModel;
 pub use stats::Stats;
 pub use workload::{SendSpec, Workload};

@@ -7,6 +7,7 @@
 //! msgorder dot "forbid x, y: x.s < y.s & y.r < x.r" | dot -Tsvg > graph.svg
 //! msgorder simulate --protocol causal-rst --processes 4 --messages 30 --seed 7
 //! msgorder simulate --protocol synthesized --spec "forbid x, y: x.s < y.s & y.r < x.r"
+//! msgorder simulate --protocol async --spec fifo --online
 //! ```
 
 use msgorder::classifier::classify::classify;
@@ -68,6 +69,7 @@ USAGE:
       --partition A:B:FROM:UNTIL   sever the A<->B link for FROM <= t < UNTIL (repeatable)
       --crash     P:AT[:RESTART]   crash process P at tick AT, optionally restarting (repeatable)
       --reliable      layer ack/retransmission under the protocol (fifo, causal-rst, sync)
+      --online        monitor --spec online and halt at the first violating delivery
 
 PREDICATE DSL:
   forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), color(y) = red"
@@ -225,6 +227,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut partitions: Vec<Partition> = Vec::new();
     let mut crashes: Vec<CrashSchedule> = Vec::new();
     let mut reliable = false;
+    let mut online = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -244,6 +247,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--partition" => partitions.push(parse_partition(&val()?)?),
             "--crash" => crashes.push(parse_crash(&val()?)?),
             "--reliable" => reliable = true,
+            "--online" => online = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -285,6 +289,43 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let w = Workload::uniform_random(processes, messages, seed);
     let config = SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 800 }, seed)
         .with_faults(faults);
+    if online {
+        let p = spec_pred
+            .as_ref()
+            .ok_or_else(|| "--online requires --spec".to_owned())?;
+        let out = msgorder::protocols::verify_online(
+            config,
+            w,
+            |node| kind.instantiate_with(processes, node, reliable),
+            p,
+        );
+        println!("protocol      : {}", kind.name());
+        println!("spec          : {p}");
+        if let Some(ce) = &out.counterexample {
+            println!("PROTOCOL BUG  : {ce}");
+        }
+        match (&out.violation, out.detection_event) {
+            (Some(inst), Some(at)) => {
+                println!("online verdict: VIOLATED by {inst:?}");
+                println!(
+                    "detected at   : event {} (t = {}), {} of {} messages delivered",
+                    at,
+                    out.detection_time.unwrap_or(0),
+                    out.user_run.len(),
+                    messages
+                );
+            }
+            _ => {
+                println!("online verdict: satisfied (run drained, no violation)");
+                println!("live          : {}", out.live);
+            }
+        }
+        if timeline {
+            println!("\ntime diagram (prefix at halt):");
+            print!("{}", out.user_run.render());
+        }
+        return Ok(());
+    }
     let r = match Simulation::run_uniform(config, w, |node| {
         kind.instantiate_with(processes, node, reliable)
     }) {
