@@ -239,6 +239,43 @@ fn search<V: OrderView>(
     false
 }
 
+/// Wall-clock accounting of a [`Monitor`]'s delta searches — the timing
+/// hook behind the tracing layer's monitor-search histogram. One delta
+/// search runs per completed message (until the first witness), so
+/// `searches == completed_seen()` while the monitor is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorTimings {
+    /// Delta searches executed.
+    pub searches: u64,
+    /// Total wall-clock nanoseconds across all searches.
+    pub total_nanos: u64,
+    /// The slowest single search, in nanoseconds.
+    pub max_nanos: u64,
+    /// `buckets[i]` counts searches whose duration `d` (ns) satisfies
+    /// `floor(log2(d)) == i` (durations of 0 ns land in bucket 0) — a
+    /// log₂ histogram of per-search latency.
+    pub buckets: [u64; 32],
+}
+
+impl MonitorTimings {
+    fn record(&mut self, nanos: u64) {
+        self.searches += 1;
+        self.total_nanos += nanos;
+        self.max_nanos = self.max_nanos.max(nanos);
+        let bucket = (64 - nanos.max(1).leading_zeros() as usize - 1).min(31);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean nanoseconds per search (0 if none ran).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.searches as f64
+        }
+    }
+}
+
 /// An online monitor for one forbidden predicate.
 ///
 /// Feed it each message the moment it *completes* (its delivery event
@@ -273,6 +310,7 @@ pub struct Monitor<'p> {
     /// Completed messages seen so far (monotone; for diagnostics).
     fed: usize,
     witness: Option<Vec<MessageId>>,
+    timings: MonitorTimings,
 }
 
 impl<'p> Monitor<'p> {
@@ -295,6 +333,7 @@ impl<'p> Monitor<'p> {
             candidates,
             fed: 0,
             witness: None,
+            timings: MonitorTimings::default(),
         }
     }
 
@@ -318,6 +357,7 @@ impl<'p> Monitor<'p> {
     /// witness the monitor stops searching and keeps reporting it.
     pub fn on_complete<V: OrderView>(&mut self, view: &V, m: MessageId) -> Option<&[MessageId]> {
         if self.witness.is_none() {
+            let started = std::time::Instant::now();
             self.fed += 1;
             let vars = self.prep.pred.var_count();
             let mut assignment = vec![None; vars];
@@ -353,8 +393,15 @@ impl<'p> Monitor<'p> {
                     }
                 }
             }
+            self.timings
+                .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         }
         self.witness.as_deref()
+    }
+
+    /// Wall-clock accounting of the delta searches run so far.
+    pub fn timings(&self) -> MonitorTimings {
+        self.timings
     }
 
     /// Whether a satisfying instantiation has been found.

@@ -48,6 +48,25 @@ impl ProtocolKind {
         }
     }
 
+    /// Resolves a display name back to its kind — the inverse of
+    /// [`name`](ProtocolKind::name) for the fixed protocols, used by
+    /// trace replay to re-instantiate the recorded protocol. The
+    /// parameterized kinds (`synthesized`, `synthesized-set`) need their
+    /// predicate: pass it via `spec`, which is ignored otherwise.
+    pub fn by_name(name: &str, spec: Option<&ForbiddenPredicate>) -> Option<ProtocolKind> {
+        match name {
+            "async" => Some(ProtocolKind::Async),
+            "fifo" => Some(ProtocolKind::Fifo),
+            "causal-rst" => Some(ProtocolKind::CausalRst),
+            "causal-ses" => Some(ProtocolKind::CausalSes),
+            "flush" => Some(ProtocolKind::Flush),
+            "sync" => Some(ProtocolKind::Sync),
+            "sync-batched" => Some(ProtocolKind::SyncBatched),
+            "synthesized" => spec.map(|p| ProtocolKind::Synthesized(p.clone())),
+            _ => None,
+        }
+    }
+
     /// All fixed (non-parameterized) protocols.
     pub fn fixed() -> Vec<ProtocolKind> {
         vec![

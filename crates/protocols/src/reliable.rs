@@ -108,13 +108,29 @@ impl ReliableLink {
     }
 
     fn backoff(&self, attempts: u32) -> u64 {
-        // Cap the shift so pathological attempt counts cannot overflow.
-        self.config.base_timeout << attempts.min(16)
+        // Cap the shift *and* saturate the multiply: a large
+        // `base_timeout` times 2^16 must not wrap around to a tiny
+        // timeout (`<<` on an over-wide base is an overflow in debug and
+        // silent wrap in release).
+        self.config
+            .base_timeout
+            .saturating_mul(1u64 << attempts.min(16))
     }
 
     /// Sends user frame `msg` with `tag`, tracking it for
     /// retransmission until the destination acknowledges.
+    ///
+    /// Timer ids pack the *global* message id under `RETX_USER_BIT`, so
+    /// distinct in-flight messages — to any mix of destinations — can
+    /// never collide: message ids are unique across the whole workload,
+    /// not per channel. The guard below keeps that sound if message ids
+    /// ever grew into the namespace bits.
     pub fn send_user(&mut self, ctx: &mut Ctx<'_>, msg: MessageId, tag: Vec<u8>) {
+        debug_assert_eq!(
+            msg.0 as u64 & (RETX_USER_BIT | RETX_CTL_BIT),
+            0,
+            "message id intrudes into the link's timer-id namespace"
+        );
         ctx.send_user(msg, tag.clone());
         self.user_out.insert(msg.0, (tag, 1));
         ctx.set_timer(self.backoff(0), RETX_USER_BIT | msg.0 as u64);
@@ -132,6 +148,11 @@ impl ReliableLink {
     /// for retransmission until acknowledged.
     pub fn send_control(&mut self, ctx: &mut Ctx<'_>, to: ProcessId, payload: Vec<u8>) {
         let id = self.next_ctl_id;
+        debug_assert_eq!(
+            id & (RETX_USER_BIT | RETX_CTL_BIT),
+            0,
+            "control id intrudes into the link's timer-id namespace"
+        );
         self.next_ctl_id += 1;
         let mut frame = vec![MAGIC, OP_DATA];
         frame.extend_from_slice(&id.to_le_bytes());
@@ -182,6 +203,11 @@ impl ReliableLink {
     /// Handles a timer tick. Returns `true` if the timer belonged to the
     /// link (the protocol should ignore it), `false` if it is the
     /// protocol's own.
+    ///
+    /// An ack that arrives *after* the final backoff attempt gave up
+    /// cannot resurrect anything: give-up and ack both only remove the
+    /// outstanding entry, and a timer whose entry is gone is a no-op
+    /// (the `None` arms below) — it is consumed, never rescheduled.
     pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: u64) -> bool {
         let max = self.config.max_attempts;
         if id & RETX_USER_BIT != 0 {
@@ -264,5 +290,23 @@ mod tests {
         assert_eq!(link.backoff(3), 16_000);
         // far past the cap: still finite
         assert!(link.backoff(60) > link.backoff(3));
+    }
+
+    #[test]
+    fn backoff_with_huge_base_timeout_saturates_instead_of_wrapping() {
+        // Regression: `base_timeout << 16` wrapped for bases past
+        // u64::MAX >> 16, turning the *longest* backoff into a tiny one
+        // (or a debug-mode overflow panic).
+        let link = ReliableLink::with_config(RetryConfig {
+            base_timeout: u64::MAX / 4,
+            max_attempts: 10,
+        });
+        assert_eq!(link.backoff(0), u64::MAX / 4);
+        assert_eq!(link.backoff(1), u64::MAX / 4 * 2);
+        assert_eq!(link.backoff(16), u64::MAX, "saturates, never wraps");
+        assert!(
+            link.backoff(5) >= link.backoff(4),
+            "backoff stays monotone under saturation"
+        );
     }
 }

@@ -87,6 +87,13 @@ impl<'p> OnlineMonitor<'p> {
         self.inner.live_state()
     }
 
+    /// Wall-clock accounting of the delta searches run so far (see
+    /// [`eval::MonitorTimings`]) — the source of the `--metrics`
+    /// monitor-search histogram.
+    pub fn search_timings(&self) -> eval::MonitorTimings {
+        self.inner.timings()
+    }
+
     /// Feeds one run event; `true` while the simulation should go on.
     fn feed(&mut self, view: &StreamingRun, ev: SystemEvent, index: usize, time: u64) -> bool {
         if self.inner.violated() {

@@ -7,6 +7,7 @@
 //! message, the simulated time, the partial captured run (the
 //! counterexample trace), and the stats accumulated so far.
 
+use crate::latency::LatencyOverflow;
 use crate::stats::Stats;
 use msgorder_runs::{MessageId, ProcessId, RunError, SystemRun};
 
@@ -48,6 +49,17 @@ pub enum SimErrorKind {
     ResendBeforeSend,
     /// The captured run failed final validation.
     InvalidRun(RunError),
+    /// A latency sample overflowed `u64` — the frame could never be
+    /// dispatched and would have wedged the event queue.
+    LatencyOverflow(LatencyOverflow),
+    /// Scheduling a frame at `now + delay` overflowed simulated time.
+    TimeOverflow {
+        /// The in-transit delay that pushed `now` past `u64::MAX`.
+        delay: u64,
+    },
+    /// A replayed run requested more network decisions than the trace
+    /// recorded — the setup being replayed does not match the recording.
+    ReplayExhausted,
 }
 
 impl std::fmt::Display for SimErrorKind {
@@ -68,6 +80,19 @@ impl std::fmt::Display for SimErrorKind {
                 write!(f, "resend of a message that was never sent")
             }
             SimErrorKind::InvalidRun(e) => write!(f, "captured run failed validation: {e}"),
+            SimErrorKind::LatencyOverflow(o) => write!(f, "{o}"),
+            SimErrorKind::TimeOverflow { delay } => {
+                write!(
+                    f,
+                    "simulated time overflow scheduling a frame {delay} ticks out"
+                )
+            }
+            SimErrorKind::ReplayExhausted => {
+                write!(
+                    f,
+                    "replay decision log exhausted: run diverged from the recording"
+                )
+            }
         }
     }
 }

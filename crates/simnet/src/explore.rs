@@ -13,11 +13,10 @@
 //! search stops once reached).
 
 use crate::error::SimError;
-use crate::kernel::{EventKind, Protocol, Scheduled, SimConfig, Simulation};
+use crate::kernel::{EventKind, KernelEvent, Protocol, Scheduled, SimConfig, Simulation};
 use crate::workload::Workload;
 use msgorder_runs::{StreamingRun, SystemEvent, SystemRun};
 use std::cmp::Reverse;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -166,9 +165,13 @@ where
 /// Returns `true` if the monitor condemned the prefix.
 fn drain_into_monitor<P, M: PrefixMonitor>(state: &mut State<P>, mon: &mut M) -> bool {
     let fresh = std::mem::take(&mut state.world.fresh);
-    for (ev, _time) in fresh {
-        if !mon.on_event(&state.world.builder, ev) {
-            return true;
+    for entry in fresh {
+        // The explorer never journals wire/fault records (record_wire
+        // stays off under exploration), so only run events appear.
+        if let KernelEvent::Run { ev, .. } = entry {
+            if !mon.on_event(&state.world.builder, ev) {
+                return true;
+            }
         }
     }
     false
@@ -369,34 +372,71 @@ impl<P: Protocol + Clone> State<P> {
     }
 }
 
+/// A [`Hasher`] that records every byte fed to it instead of mixing
+/// them down to 64 bits. Feeding a component's `Hash` impl through it
+/// yields the component's full canonical encoding, so two states key
+/// equal iff their hash material is identical — no truncation, no
+/// collisions beyond what `Hash` itself conflates.
+#[derive(Default)]
+struct KeyRecorder {
+    bytes: Vec<u8>,
+}
+
+impl Hasher for KeyRecorder {
+    fn write(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+    fn finish(&self) -> u64 {
+        unreachable!("KeyRecorder keys are the recorded bytes, never a u64")
+    }
+}
+
 impl<P: Protocol + Clone + Hash> State<P> {
-    /// A 64-bit key identifying this configuration up to everything that
-    /// can influence future branching or run capture.
+    /// The full canonical key identifying this configuration up to
+    /// everything that can influence future branching or run capture.
     ///
     /// Included: the captured run so far (the builder), the protocol
     /// states, the simulated clock, and every pending event's
-    /// `(time, node, kind)`. The pool is combined commutatively — it is
-    /// an unordered set of enabled events, and commuting prefixes
-    /// produce it in different orders. Excluded: event sequence labels
-    /// (they only break heap ties, and the explorer branches over all
-    /// pool events regardless) and stats (not observable through the
-    /// explorer's visitor). The RNG is untouched under exploration
-    /// (fixed latency never samples), so it is excluded too.
-    fn dedup_key(&self) -> u64 {
-        let mut h = DefaultHasher::new();
+    /// `(time, node, kind)`. The pool is canonicalized by *sorting* the
+    /// per-event encodings — it is an unordered set of enabled events,
+    /// and commuting prefixes produce it in different orders. Excluded:
+    /// event sequence labels (they only break heap ties, and the
+    /// explorer branches over all pool events regardless) and stats
+    /// (not observable through the explorer's visitor). The RNG is
+    /// untouched under exploration (fixed latency never samples), so it
+    /// is excluded too.
+    ///
+    /// The key is the complete hash material, not a 64-bit digest: a
+    /// digest collision would silently merge two *distinct*
+    /// configurations and could prune a reachable violating schedule,
+    /// which is unacceptable for a model checker. All component
+    /// encodings are length-prefixed (std's collection `Hash` impls
+    /// prefix lengths, and the variable-length pool entries are
+    /// prefixed explicitly below), so the encoding is injective.
+    fn dedup_key(&self) -> Vec<u8> {
+        let mut h = KeyRecorder::default();
         self.world.builder.hash(&mut h);
         self.world.now.hash(&mut h);
+        self.protocols.len().hash(&mut h);
         for p in &self.protocols {
             p.hash(&mut h);
         }
-        let mut pool_acc: u64 = 0;
-        for ev in &self.pool {
-            let mut eh = DefaultHasher::new();
-            (ev.time, ev.node).hash(&mut eh);
-            ev.kind.hash(&mut eh);
-            pool_acc = pool_acc.wrapping_add(eh.finish());
+        let mut pool_keys: Vec<Vec<u8>> = self
+            .pool
+            .iter()
+            .map(|ev| {
+                let mut eh = KeyRecorder::default();
+                (ev.time, ev.node).hash(&mut eh);
+                ev.kind.hash(&mut eh);
+                eh.bytes
+            })
+            .collect();
+        pool_keys.sort_unstable();
+        pool_keys.len().hash(&mut h);
+        for k in pool_keys {
+            k.len().hash(&mut h);
+            h.bytes.extend_from_slice(&k);
         }
-        pool_acc.hash(&mut h);
         for q in &self.requests {
             q.len().hash(&mut h);
             for ev in q {
@@ -404,7 +444,7 @@ impl<P: Protocol + Clone + Hash> State<P> {
                 ev.kind.hash(&mut h);
             }
         }
-        h.finish()
+        h.bytes
     }
 }
 
@@ -533,7 +573,7 @@ fn dfs_dedup<P, V>(
     state: &mut State<P>,
     cap: usize,
     exp: &mut Exploration,
-    visited: &mut HashSet<u64>,
+    visited: &mut HashSet<Vec<u8>>,
     visit: &mut V,
 ) -> bool
 where
@@ -858,6 +898,65 @@ mod tests {
             dedup.schedules,
             plain.schedules
         );
+    }
+
+    /// Walks the whole configuration graph, collecting the canonical
+    /// dedup key of every distinct configuration reached.
+    fn collect_keys(state: &State<Immediate>, seen: &mut HashSet<Vec<u8>>) {
+        for next in branch_states(state) {
+            if seen.insert(next.dedup_key()) {
+                collect_keys(&next, seen);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_key_survives_collisions_that_kill_a_truncated_hash() {
+        // Regression for the 64-bit-digest dedup key: a digest collision
+        // silently merges two distinct configurations, and in a model
+        // checker that can prune a reachable *violating* schedule. The
+        // canonical key is the full hash material, so distinct
+        // configurations always key distinct — demonstrated here by
+        // pigeonhole: over an 8-bit truncation of the same material,
+        // collisions are guaranteed once we have > 256 distinct
+        // configurations, yet every full key stays unique.
+        let w = Workload {
+            sends: (0..4)
+                .map(|i| SendSpec {
+                    at: i,
+                    src: (i as usize) % 3,
+                    dst: ((i as usize) + 1) % 3,
+                    color: None,
+                })
+                .collect(),
+        };
+        let root = initial_state(3, w, |_| Immediate);
+        let mut keys = HashSet::new();
+        keys.insert(root.dedup_key());
+        collect_keys(&root, &mut keys);
+        assert!(
+            keys.len() > 256,
+            "need > 256 distinct configurations for the pigeonhole \
+             argument, got {}",
+            keys.len()
+        );
+        // Truncate each canonical key to 8 bits the way any fixed-width
+        // digest would: distinct configurations now collide...
+        let truncated: HashSet<u8> = keys
+            .iter()
+            .map(|k| {
+                use std::collections::hash_map::DefaultHasher;
+                let mut h = DefaultHasher::new();
+                k.hash(&mut h);
+                h.finish() as u8
+            })
+            .collect();
+        assert!(
+            truncated.len() < keys.len(),
+            "a truncated digest must collide on this many configurations"
+        );
+        // ...while the full canonical keys are all distinct by
+        // construction (they are the deduplicating set itself).
     }
 
     #[test]

@@ -10,8 +10,9 @@ use msgorder_runs::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Salt applied to the simulation seed for the fault-decision RNG, so
 /// fault sampling never perturbs the latency stream: a run with a quiet
@@ -121,7 +122,7 @@ impl Ctx<'_> {
         let dst = self.world.metas[msg.0].dst.0;
         let from = self.node;
         self.world
-            .transmit(from, dst, EventKind::UserArrival { from, msg, tag });
+            .transmit(from, dst, false, EventKind::UserArrival { from, msg, tag });
     }
 
     /// Retransmits a previously sent user frame (same message id, fresh
@@ -145,7 +146,7 @@ impl Ctx<'_> {
         let dst = self.world.metas[msg.0].dst.0;
         let from = self.node;
         self.world
-            .transmit(from, dst, EventKind::UserArrival { from, msg, tag });
+            .transmit(from, dst, true, EventKind::UserArrival { from, msg, tag });
     }
 
     /// Executes the delivery `x.r` of a previously received message.
@@ -189,7 +190,7 @@ impl Ctx<'_> {
         self.world.stats.control_bytes += bytes.len();
         let from = self.node;
         self.world
-            .transmit(from, to.0, EventKind::ControlArrival { from, bytes });
+            .transmit(from, to.0, false, EventKind::ControlArrival { from, bytes });
     }
 
     /// Retransmits a control frame. Counted as a retransmission (and its
@@ -202,12 +203,12 @@ impl Ctx<'_> {
         self.world.stats.control_bytes += bytes.len();
         let from = self.node;
         self.world
-            .transmit(from, to.0, EventKind::ControlArrival { from, bytes });
+            .transmit(from, to.0, true, EventKind::ControlArrival { from, bytes });
     }
 
     /// Schedules `on_timer(id)` for this process after `delay` ticks.
     pub fn set_timer(&mut self, delay: u64, id: u64) {
-        let at = self.world.now + delay.max(1);
+        let at = self.world.now.saturating_add(delay.max(1));
         self.world.schedule(at, self.node, EventKind::Timer { id });
     }
 }
@@ -254,6 +255,162 @@ impl<T: Protocol + ?Sized> Protocol for Box<T> {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: u64) {
         (**self).on_timer(ctx, id);
     }
+}
+
+/// Why the fault layer ate a frame at transmit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The link was cut by a timed [`Partition`](crate::Partition).
+    Partition,
+    /// Random loss (the fault model's `drop` probability fired).
+    Loss,
+}
+
+/// What kind of frame a [`WireRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PayloadKind {
+    /// A user frame carrying `msg` with `bytes` of piggybacked tag.
+    User {
+        /// The workload message on the frame.
+        msg: MessageId,
+        /// Piggybacked tag bytes.
+        bytes: usize,
+        /// `true` for a protocol-level retransmission of the frame.
+        retransmit: bool,
+    },
+    /// A control frame of `bytes` payload bytes.
+    Control {
+        /// Control payload bytes.
+        bytes: usize,
+        /// `true` for a protocol-level retransmission of the frame.
+        retransmit: bool,
+    },
+}
+
+impl PayloadKind {
+    fn of(kind: &EventKind, retransmit: bool) -> PayloadKind {
+        match kind {
+            EventKind::UserArrival { msg, tag, .. } => PayloadKind::User {
+                msg: *msg,
+                bytes: tag.len(),
+                retransmit,
+            },
+            EventKind::ControlArrival { bytes, .. } => PayloadKind::Control {
+                bytes: bytes.len(),
+                retransmit,
+            },
+            EventKind::Request { .. } | EventKind::Timer { .. } => {
+                unreachable!("only frames are transmitted")
+            }
+        }
+    }
+}
+
+/// One `transmit` call, with everything the kernel's RNGs decided about
+/// it: the journal entry that makes the network layer replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireRecord {
+    /// Sending process.
+    pub from: usize,
+    /// Destination process.
+    pub to: usize,
+    /// Simulated time the frame was put on the wire.
+    pub time: u64,
+    /// What was on the frame.
+    pub payload: PayloadKind,
+    /// Sampled in-transit latency. Always drawn — even for dropped
+    /// frames — so the RNG stream stays aligned with the fault-free
+    /// kernel.
+    pub delay: u64,
+    /// `Some` if the fault layer ate the frame.
+    pub dropped: Option<DropReason>,
+    /// Latency of the duplicated copy, if network duplication fired.
+    pub dup_delay: Option<u64>,
+}
+
+impl WireRecord {
+    /// The network decision this record captures (the replayable part).
+    pub fn decision(&self) -> TransmitDecision {
+        TransmitDecision {
+            delay: self.delay,
+            dropped: self.dropped,
+            dup_delay: self.dup_delay,
+        }
+    }
+}
+
+/// A crash-schedule effect applied by the kernel event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultRecord {
+    /// A frame arrived at a crashed process and was lost.
+    ArrivalAtCrashed {
+        /// The crashed process.
+        node: usize,
+        /// Arrival time.
+        time: u64,
+    },
+    /// A request/timer came due while its process was down and was
+    /// deferred to the restart tick.
+    DeferredToRestart {
+        /// The crashed process.
+        node: usize,
+        /// When the work was originally due.
+        time: u64,
+        /// The restart tick it was deferred to.
+        until: u64,
+    },
+    /// A request/timer came due at a permanently crashed process and was
+    /// lost with it.
+    LostToCrash {
+        /// The crashed process.
+        node: usize,
+        /// When the work was originally due.
+        time: u64,
+    },
+}
+
+/// Everything the kernel journals for an observer: run events (`s*`,
+/// `s`, `r*`, `r`) interleaved, in execution order, with the wire and
+/// fault records between them. This is the trace-event schema serialized
+/// by the `msgorder-trace` crate (DESIGN.md §10).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelEvent {
+    /// A run event with its simulated time.
+    Run {
+        /// The run event.
+        ev: SystemEvent,
+        /// Simulated time it executed at.
+        time: u64,
+    },
+    /// A frame put on (or eaten off) the wire.
+    Wire(WireRecord),
+    /// A crash-schedule effect.
+    Fault(FaultRecord),
+}
+
+/// One recorded network decision: the latency draw plus the fault
+/// layer's verdict for a single `transmit` call. A replayed run consumes
+/// these in order instead of sampling its RNGs, which is what makes
+/// replay bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransmitDecision {
+    /// In-transit latency of the (original) frame.
+    pub delay: u64,
+    /// `Some` if the fault layer ate the frame.
+    pub dropped: Option<DropReason>,
+    /// Latency of the duplicated copy, if duplication fired.
+    pub dup_delay: Option<u64>,
+}
+
+/// Where the kernel gets its network decisions from.
+#[derive(Clone)]
+pub(crate) enum DecisionSource {
+    /// Sample latencies and fault verdicts from the seeded RNGs (the
+    /// normal mode).
+    Sample,
+    /// Pop pre-recorded decisions in order (replay mode); exhausting the
+    /// log poisons the world with [`SimErrorKind::ReplayExhausted`].
+    Replay(VecDeque<TransmitDecision>),
 }
 
 #[derive(Debug, Clone, Hash)]
@@ -381,16 +538,32 @@ pub(crate) struct World {
     /// for the streaming observer; the plain [`Simulation::run`] path
     /// leaves this off so it pays nothing.
     pub(crate) record: bool,
-    /// Run events appended since the observer last drained, with their
-    /// simulated times.
-    pub(crate) fresh: Vec<(SystemEvent, u64)>,
+    /// When `true`, wire and fault records are journaled too (only when
+    /// the observer asked for them via [`RunObserver::wants_wire`], so
+    /// monitor-only streaming runs pay nothing extra).
+    pub(crate) record_wire: bool,
+    /// Journal entries appended since the observer last drained, in
+    /// execution order.
+    pub(crate) fresh: Vec<KernelEvent>,
+    /// Where network decisions come from (sampled or replayed).
+    pub(crate) decisions: DecisionSource,
 }
 
 impl World {
     /// Journals a just-appended run event for the streaming observer.
     pub(crate) fn journal(&mut self, msg: MessageId, kind: RunEventKind) {
         if self.record {
-            self.fresh.push((SystemEvent::new(msg, kind), self.now));
+            self.fresh.push(KernelEvent::Run {
+                ev: SystemEvent::new(msg, kind),
+                time: self.now,
+            });
+        }
+    }
+
+    /// Journals a crash-schedule effect for the streaming observer.
+    fn journal_fault(&mut self, fault: FaultRecord) {
+        if self.record_wire {
+            self.fresh.push(KernelEvent::Fault(fault));
         }
     }
 
@@ -403,6 +576,7 @@ impl World {
             node,
             kind,
         }));
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
     }
 
     /// Records the first protocol bug (later ones are dropped: the world
@@ -427,26 +601,92 @@ impl World {
     /// partitions and loss may eat the frame, and duplication may
     /// schedule a second copy with an independently sampled latency from
     /// the fault stream.
-    fn transmit(&mut self, from: usize, to: usize, kind: EventKind) {
-        let delay = self.latency.sample(&mut self.rng);
-        if self.faults.link_blocked(from, to, self.now) {
-            self.stats.dropped_frames += 1;
-            return;
-        }
-        if self.faults.drop > 0.0 && self.fault_rng.gen_bool(self.faults.drop) {
-            self.stats.dropped_frames += 1;
-            return;
-        }
-        let dup = if self.faults.duplicate > 0.0 && self.fault_rng.gen_bool(self.faults.duplicate) {
-            Some(kind.clone())
-        } else {
-            None
+    ///
+    /// Everything random funnels through one [`TransmitDecision`]: in
+    /// replay mode the RNGs are bypassed entirely and recorded decisions
+    /// are consumed in order, which is what makes replay bit-exact.
+    fn transmit(&mut self, from: usize, to: usize, retransmit: bool, kind: EventKind) {
+        let decision = match &mut self.decisions {
+            DecisionSource::Sample => {
+                let delay = match self.latency.sample(&mut self.rng) {
+                    Ok(d) => d,
+                    Err(o) => {
+                        self.fail(from, None, SimErrorKind::LatencyOverflow(o));
+                        return;
+                    }
+                };
+                let dropped = if self.faults.link_blocked(from, to, self.now) {
+                    Some(DropReason::Partition)
+                } else if self.faults.drop > 0.0 && self.fault_rng.gen_bool(self.faults.drop) {
+                    Some(DropReason::Loss)
+                } else {
+                    None
+                };
+                // A dropped frame never rolls for duplication — matches
+                // the pre-replay kernel, keeping fault RNG streams (and
+                // thus every seeded regression baseline) unchanged.
+                let dup_delay = if dropped.is_none()
+                    && self.faults.duplicate > 0.0
+                    && self.fault_rng.gen_bool(self.faults.duplicate)
+                {
+                    match self.latency.sample(&mut self.fault_rng) {
+                        Ok(d) => Some(d),
+                        Err(o) => {
+                            self.fail(from, None, SimErrorKind::LatencyOverflow(o));
+                            return;
+                        }
+                    }
+                } else {
+                    None
+                };
+                TransmitDecision {
+                    delay,
+                    dropped,
+                    dup_delay,
+                }
+            }
+            DecisionSource::Replay(log) => match log.pop_front() {
+                Some(d) => d,
+                None => {
+                    self.fail(from, None, SimErrorKind::ReplayExhausted);
+                    return;
+                }
+            },
         };
-        self.schedule(self.now + delay, to, kind);
-        if let Some(copy) = dup {
-            let dup_delay = self.latency.sample(&mut self.fault_rng);
+        if self.record_wire {
+            self.fresh.push(KernelEvent::Wire(WireRecord {
+                from,
+                to,
+                time: self.now,
+                payload: PayloadKind::of(&kind, retransmit),
+                delay: decision.delay,
+                dropped: decision.dropped,
+                dup_delay: decision.dup_delay,
+            }));
+        }
+        if decision.dropped.is_some() {
+            self.stats.dropped_frames += 1;
+            return;
+        }
+        let Some(at) = self.now.checked_add(decision.delay) else {
+            self.fail(
+                from,
+                None,
+                SimErrorKind::TimeOverflow {
+                    delay: decision.delay,
+                },
+            );
+            return;
+        };
+        let dup = decision.dup_delay.map(|d| (d, kind.clone()));
+        self.schedule(at, to, kind);
+        if let Some((dup_delay, copy)) = dup {
+            let Some(dup_at) = self.now.checked_add(dup_delay) else {
+                self.fail(from, None, SimErrorKind::TimeOverflow { delay: dup_delay });
+                return;
+            };
             self.stats.duplicated_frames += 1;
-            self.schedule(self.now + dup_delay, to, copy);
+            self.schedule(dup_at, to, copy);
         }
     }
 }
@@ -476,6 +716,21 @@ pub struct SimResult {
 pub trait RunObserver {
     /// Called once per executed run event. Return `false` to halt.
     fn on_event(&mut self, view: &StreamingRun, ev: SystemEvent, index: usize, time: u64) -> bool;
+
+    /// Called for every frame put on (or eaten off) the wire, when this
+    /// observer opted in via [`wants_wire`](RunObserver::wants_wire).
+    fn on_wire(&mut self, _wire: &WireRecord) {}
+
+    /// Called for every crash-schedule effect, when this observer opted
+    /// in via [`wants_wire`](RunObserver::wants_wire).
+    fn on_fault(&mut self, _fault: &FaultRecord) {}
+
+    /// Whether the kernel should journal wire/fault records for this
+    /// observer. Defaults to `false` so monitor-only streaming runs pay
+    /// nothing for the tracing layer.
+    fn wants_wire(&self) -> bool {
+        false
+    }
 }
 
 /// The outcome of [`Simulation::run_streaming`]: the live run is handed
@@ -553,7 +808,9 @@ impl<P: Protocol> Simulation<P> {
             sent: vec![false; n_msgs],
             error: None,
             record: false,
+            record_wire: false,
             fresh: Vec::new(),
+            decisions: DecisionSource::Sample,
         };
         let protocols = (0..config.processes).map(factory).collect();
         Simulation {
@@ -566,6 +823,17 @@ impl<P: Protocol> Simulation<P> {
     /// Overrides the livelock step limit.
     pub fn with_step_limit(mut self, limit: usize) -> Self {
         self.step_limit = limit;
+        self
+    }
+
+    /// Replaces the network RNGs with a recorded decision log: every
+    /// `transmit` pops the next [`TransmitDecision`] instead of sampling
+    /// latency and fault verdicts. With the same config, workload, and
+    /// protocol as the recording, the run is bit-exact; a run that asks
+    /// for more decisions than were recorded diverged from the recording
+    /// and poisons the world with [`SimErrorKind::ReplayExhausted`].
+    pub fn with_replay(mut self, decisions: impl IntoIterator<Item = TransmitDecision>) -> Self {
+        self.world.decisions = DecisionSource::Replay(decisions.into_iter().collect());
         self
     }
 
@@ -616,6 +884,7 @@ impl<P: Protocol> Simulation<P> {
     #[allow(clippy::result_large_err)] // see `run`
     pub fn run_streaming(mut self, obs: &mut dyn RunObserver) -> Result<StreamResult, SimError> {
         self.world.record = true;
+        self.world.record_wire = obs.wants_wire();
         let (completed, halted) = self.drive(Some(obs));
         self.world.stats.end_time = self.world.now;
         if let Some(mut e) = self.world.error.take() {
@@ -662,17 +931,32 @@ impl<P: Protocol> Simulation<P> {
                     // Frames arriving at a crashed process are lost.
                     EventKind::UserArrival { .. } | EventKind::ControlArrival { .. } => {
                         self.world.stats.dropped_frames += 1;
+                        self.world.journal_fault(FaultRecord::ArrivalAtCrashed {
+                            node: ev.node,
+                            time: ev.time,
+                        });
                     }
                     // The process's own pending actions are deferred to
                     // its restart — or lost with it on a permanent crash.
                     kind @ (EventKind::Request { .. } | EventKind::Timer { .. }) => {
                         if let Some(r) = restart {
                             self.world.schedule(r, ev.node, kind);
+                            self.world.journal_fault(FaultRecord::DeferredToRestart {
+                                node: ev.node,
+                                time: ev.time,
+                                until: r,
+                            });
+                        } else {
+                            self.world.journal_fault(FaultRecord::LostToCrash {
+                                node: ev.node,
+                                time: ev.time,
+                            });
                         }
                     }
                 }
                 continue;
             }
+            self.world.stats.dispatched_events += 1;
             self.world.dispatch(&mut self.protocols, ev.node, ev.kind);
             if let Some(o) = obs.as_deref_mut() {
                 if !self.notify(o) {
@@ -683,20 +967,38 @@ impl<P: Protocol> Simulation<P> {
                 break;
             }
         }
+        // Flush journal entries appended after the last dispatch (e.g.
+        // fault records from trailing crash-window drops). Only run
+        // events can halt, and there are none left here.
+        if let Some(o) = obs {
+            let _ = self.notify(o);
+        }
         (completed, false)
     }
 
-    /// Drains the journal of freshly appended run events into `obs`.
+    /// Drains the journal of fresh entries into `obs`: run events via
+    /// `on_event` (which may halt), wire/fault records via their hooks.
     /// Returns `false` as soon as the observer requests a halt.
     fn notify(&mut self, obs: &mut dyn RunObserver) -> bool {
         if self.world.fresh.is_empty() {
             return true;
         }
         let fresh = std::mem::take(&mut self.world.fresh);
-        let base = self.world.builder.event_count() - fresh.len();
-        for (i, (ev, time)) in fresh.into_iter().enumerate() {
-            if !obs.on_event(&self.world.builder, ev, base + i, time) {
-                return false;
+        let run_count = fresh
+            .iter()
+            .filter(|e| matches!(e, KernelEvent::Run { .. }))
+            .count();
+        let mut index = self.world.builder.event_count() - run_count;
+        for entry in fresh {
+            match entry {
+                KernelEvent::Run { ev, time } => {
+                    if !obs.on_event(&self.world.builder, ev, index, time) {
+                        return false;
+                    }
+                    index += 1;
+                }
+                KernelEvent::Wire(w) => obs.on_wire(&w),
+                KernelEvent::Fault(f) => obs.on_fault(&f),
             }
         }
         true

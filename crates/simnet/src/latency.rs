@@ -2,10 +2,11 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// How long a frame spends in transit. All models are sampled from the
 /// simulation's seeded RNG, so runs are reproducible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LatencyModel {
     /// Every frame takes exactly this long — channels behave FIFO.
     Fixed(u64),
@@ -33,10 +34,38 @@ pub enum LatencyModel {
     },
 }
 
+/// A latency computation exceeded `u64` — saturating would silently pin
+/// the frame at `t = u64::MAX` and wedge the event queue, so the kernel
+/// surfaces this as a structured [`SimError`] instead.
+///
+/// [`SimError`]: crate::SimError
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyOverflow {
+    /// The base latency that was being scaled.
+    pub base: u64,
+    /// The straggler multiplier that overflowed it.
+    pub factor: u64,
+}
+
+impl std::fmt::Display for LatencyOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency overflow: {} * {} exceeds u64",
+            self.base, self.factor
+        )
+    }
+}
+
 impl LatencyModel {
     /// Samples a latency (at least 1 tick so causality is never
     /// instantaneous).
-    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+    ///
+    /// Straggler multiplication is checked: a product past `u64::MAX`
+    /// returns [`LatencyOverflow`] rather than saturating, because a
+    /// frame scheduled at `u64::MAX` can never be dispatched and every
+    /// later event would be starved behind it.
+    pub fn sample(&self, rng: &mut StdRng) -> Result<u64, LatencyOverflow> {
         let raw = match *self {
             LatencyModel::Fixed(d) => d,
             LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
@@ -48,13 +77,16 @@ impl LatencyModel {
             } => {
                 let base = rng.gen_range(lo..=hi);
                 if slow_every > 0 && rng.gen_ratio(1, slow_every) {
-                    base.saturating_mul(slow_factor)
+                    base.checked_mul(slow_factor).ok_or(LatencyOverflow {
+                        base,
+                        factor: slow_factor,
+                    })?
                 } else {
                     base
                 }
             }
         };
-        raw.max(1)
+        Ok(raw.max(1))
     }
 }
 
@@ -67,7 +99,7 @@ mod tests {
     fn fixed_is_constant() {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10 {
-            assert_eq!(LatencyModel::Fixed(7).sample(&mut rng), 7);
+            assert_eq!(LatencyModel::Fixed(7).sample(&mut rng), Ok(7));
         }
     }
 
@@ -75,7 +107,9 @@ mod tests {
     fn uniform_stays_in_range() {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..200 {
-            let d = LatencyModel::Uniform { lo: 5, hi: 9 }.sample(&mut rng);
+            let d = LatencyModel::Uniform { lo: 5, hi: 9 }
+                .sample(&mut rng)
+                .unwrap();
             assert!((5..=9).contains(&d));
         }
     }
@@ -83,7 +117,7 @@ mod tests {
     #[test]
     fn zero_latency_clamped_to_one() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(LatencyModel::Fixed(0).sample(&mut rng), 1);
+        assert_eq!(LatencyModel::Fixed(0).sample(&mut rng), Ok(1));
     }
 
     #[test]
@@ -95,7 +129,7 @@ mod tests {
             slow_every: 3,
             slow_factor: 50,
         };
-        let samples: Vec<u64> = (0..100).map(|_| m.sample(&mut rng)).collect();
+        let samples: Vec<u64> = (0..100).map(|_| m.sample(&mut rng).unwrap()).collect();
         assert!(samples.contains(&10));
         assert!(samples.contains(&500));
     }
@@ -110,7 +144,11 @@ mod tests {
             slow_factor: 50,
         };
         for _ in 0..200 {
-            assert_eq!(m.sample(&mut rng), 10, "slow_every = 0 must never straggle");
+            assert_eq!(
+                m.sample(&mut rng),
+                Ok(10),
+                "slow_every = 0 must never straggle"
+            );
         }
     }
 
@@ -126,10 +164,28 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(
                 m.sample(&mut rng),
-                500,
+                Ok(500),
                 "slow_every = 1 straggles every frame"
             );
         }
+    }
+
+    #[test]
+    fn straggler_overflow_is_structured_not_saturated() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = LatencyModel::Straggler {
+            lo: u64::MAX / 2,
+            hi: u64::MAX / 2,
+            slow_every: 1,
+            slow_factor: 3,
+        };
+        assert_eq!(
+            m.sample(&mut rng),
+            Err(LatencyOverflow {
+                base: u64::MAX / 2,
+                factor: 3,
+            })
+        );
     }
 
     #[test]
@@ -137,12 +193,30 @@ mod tests {
         let m = LatencyModel::Uniform { lo: 1, hi: 1000 };
         let a: Vec<u64> = {
             let mut rng = StdRng::seed_from_u64(9);
-            (0..20).map(|_| m.sample(&mut rng)).collect()
+            (0..20).map(|_| m.sample(&mut rng).unwrap()).collect()
         };
         let b: Vec<u64> = {
             let mut rng = StdRng::seed_from_u64(9);
-            (0..20).map(|_| m.sample(&mut rng)).collect()
+            (0..20).map(|_| m.sample(&mut rng).unwrap()).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrips_through_serde() {
+        for m in [
+            LatencyModel::Fixed(3),
+            LatencyModel::Uniform { lo: 1, hi: 500 },
+            LatencyModel::Straggler {
+                lo: 1,
+                hi: 20,
+                slow_every: 7,
+                slow_factor: 100,
+            },
+        ] {
+            let bytes = serde_json::to_vec(&m).unwrap();
+            let back: LatencyModel = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(m, back);
+        }
     }
 }

@@ -65,7 +65,10 @@ pub use explore::{
 };
 pub use faults::{CrashSchedule, FaultModel, Partition};
 pub use frame::Frame;
-pub use kernel::{Ctx, Protocol, RunObserver, SimConfig, SimResult, Simulation, StreamResult};
-pub use latency::LatencyModel;
+pub use kernel::{
+    Ctx, DropReason, FaultRecord, KernelEvent, PayloadKind, Protocol, RunObserver, SimConfig,
+    SimResult, Simulation, StreamResult, TransmitDecision, WireRecord,
+};
+pub use latency::{LatencyModel, LatencyOverflow};
 pub use stats::Stats;
 pub use workload::{SendSpec, Workload};

@@ -33,6 +33,11 @@ pub struct Stats {
     pub suppressed_duplicates: usize,
     /// Frames re-sent by protocols via `resend_user`/`resend_control`.
     pub retransmitted_frames: usize,
+    /// Events dispatched to protocol instances by the kernel loop
+    /// (excludes crash-window drops/deferrals).
+    pub dispatched_events: usize,
+    /// High-water mark of the kernel event queue.
+    pub max_queue_depth: usize,
 }
 
 impl Stats {

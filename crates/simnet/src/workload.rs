@@ -2,9 +2,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// One user send request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SendSpec {
     /// When the user invokes the send (`x.s*`).
     pub at: u64,
@@ -17,7 +18,7 @@ pub struct SendSpec {
 }
 
 /// A batch of user send requests driven into the simulation.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Workload {
     /// The requests; the kernel sorts them by time.
     pub sends: Vec<SendSpec>,

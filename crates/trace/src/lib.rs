@@ -1,0 +1,809 @@
+//! Trace capture and deterministic replay for the simulator, plus a
+//! cheap metrics layer over the same observer hook (DESIGN.md §10).
+//!
+//! A **trace** is the complete journal of one simulation: a header
+//! naming the [`Setup`] (config, workload, protocol, spec), the
+//! [`KernelEvent`] stream (run events interleaved with wire and fault
+//! records), and a footer with the run [`Stats`], the outcome, and a
+//! 64-bit FNV-1a fingerprint of the event stream. Traces serialize to
+//! JSONL — one self-describing JSON value per line — so they can be
+//! diffed, grepped, and checked into CI as goldens.
+//!
+//! **Replay determinism contract.** Every random choice the kernel makes
+//! flows through one [`TransmitDecision`] per `transmit` call, and every
+//! decision is captured in the trace's [`WireRecord`]s. Re-running the
+//! same setup with [`Simulation::with_replay`] over the recorded
+//! decisions therefore reproduces the identical event stream — same run
+//! events, same times, same stats, same error (if any) — with the RNGs
+//! bypassed entirely. [`replay`] checks exactly that, and re-verifies
+//! the recorded spec against the reconstructed run.
+//!
+//! ```
+//! use msgorder_trace::{record, replay, Setup};
+//! use msgorder_simnet::{FaultModel, LatencyModel, Workload};
+//!
+//! let setup = Setup {
+//!     processes: 3,
+//!     latency: LatencyModel::Uniform { lo: 1, hi: 100 },
+//!     seed: 7,
+//!     faults: FaultModel::none().with_drop(0.2),
+//!     workload: Workload::uniform_random(3, 10, 7),
+//!     protocol: "fifo".into(),
+//!     reliable: true,
+//!     spec: Some("fifo".into()),
+//!     step_limit: 1_000_000,
+//! };
+//! let recorded = record(&setup).expect("known protocol");
+//! let report = replay(&recorded.trace).expect("well-formed trace");
+//! assert!(report.ok(), "replay reproduces the recording bit-exactly");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+
+use msgorder_predicate::{catalog, eval, ForbiddenPredicate};
+use msgorder_protocols::ProtocolKind;
+use msgorder_runs::{EventKind, StreamingRun};
+use msgorder_simnet::{
+    FaultModel, FaultRecord, KernelEvent, LatencyModel, Protocol, RunObserver, SimConfig, SimError,
+    Simulation, Stats, StreamResult, TransmitDecision, WireRecord, Workload,
+};
+use serde::{Deserialize, Serialize};
+
+/// Version stamp of the JSONL trace schema. Bump on any incompatible
+/// change to [`Setup`], [`KernelEvent`], or the framing.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Everything needed to re-create the simulation a trace was recorded
+/// from: feed it to [`record`] to (re-)run, and carry it in the trace
+/// header so a trace file is self-contained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Setup {
+    /// Number of processes.
+    pub processes: usize,
+    /// Channel latency model.
+    pub latency: LatencyModel,
+    /// RNG seed.
+    pub seed: u64,
+    /// Network fault model.
+    pub faults: FaultModel,
+    /// The workload driven into the simulation.
+    pub workload: Workload,
+    /// Protocol name in the [`ProtocolKind`] registry, or any other
+    /// label for a custom protocol (replay then skips re-execution and
+    /// only reconstructs/verifies the recorded run).
+    pub protocol: String,
+    /// Whether the ack/retransmission layer was enabled.
+    pub reliable: bool,
+    /// The verified specification: a catalog name or a `forbid …` DSL
+    /// predicate. `None` = no spec verification.
+    pub spec: Option<String>,
+    /// The kernel's livelock step limit.
+    pub step_limit: usize,
+}
+
+impl Setup {
+    fn config(&self) -> SimConfig {
+        SimConfig::new(self.processes, self.latency, self.seed).with_faults(self.faults.clone())
+    }
+
+    /// Parses the setup's spec into a predicate (catalog name first,
+    /// then the `forbid …` DSL).
+    pub fn spec_predicate(&self) -> Result<Option<ForbiddenPredicate>, TraceError> {
+        match &self.spec {
+            None => Ok(None),
+            Some(s) => parse_spec(s).map(Some),
+        }
+    }
+}
+
+/// Resolves a spec string the same way the CLI does: a catalog name
+/// (`fifo`, `causal`, …) or a `forbid …` DSL predicate.
+pub fn parse_spec(s: &str) -> Result<ForbiddenPredicate, TraceError> {
+    if let Some(entry) = catalog::by_name(s) {
+        return Ok(entry.predicate);
+    }
+    ForbiddenPredicate::parse(s).map_err(|e| TraceError::Spec(format!("{s:?}: {e}")))
+}
+
+/// The trace header: schema version + the recorded setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Header {
+    /// Schema version ([`TRACE_VERSION`]).
+    pub version: u32,
+    /// The recorded setup.
+    pub setup: Setup,
+}
+
+/// A serializable digest of a [`SimError`] counterexample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorSummary {
+    /// Human-readable error kind (the `SimErrorKind` display).
+    pub kind: String,
+    /// The process whose protocol instance triggered the error.
+    pub node: usize,
+    /// The offending message id, when the error concerns one.
+    pub msg: Option<usize>,
+    /// Simulated time of the error.
+    pub time: u64,
+}
+
+impl ErrorSummary {
+    /// Digests a counterexample.
+    pub fn of(e: &SimError) -> ErrorSummary {
+        ErrorSummary {
+            kind: e.kind.to_string(),
+            node: e.node.0,
+            msg: e.msg.map(|m| m.0),
+            time: e.time,
+        }
+    }
+}
+
+/// The spec verdict recorded with (and re-checked against) a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Whether the forbidden predicate was satisfied (spec violated).
+    pub violated: bool,
+    /// The witness instantiation (message ids in workload numbering),
+    /// empty if not violated.
+    pub witness: Vec<usize>,
+}
+
+/// The trace footer: outcome, stats, and the event-stream fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Footer {
+    /// FNV-1a 64 fingerprint of the event stream (see [`fingerprint`]).
+    pub fingerprint: u64,
+    /// Stats at the end of the recorded run.
+    pub stats: Stats,
+    /// Whether the event queue drained.
+    pub completed: bool,
+    /// Whether an observer halted the run early.
+    pub halted: bool,
+    /// The counterexample, if the run was poisoned by a protocol bug.
+    pub error: Option<ErrorSummary>,
+    /// The spec verdict at record time, when the setup names a spec.
+    pub verdict: Option<Verdict>,
+}
+
+/// One JSONL line of a trace file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Line {
+    /// First line.
+    Header(Header),
+    /// One kernel event per line, in execution order.
+    Event(KernelEvent),
+    /// Last line.
+    Footer(Footer),
+}
+
+/// A complete recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Version + setup.
+    pub header: Header,
+    /// The kernel event stream, in execution order.
+    pub events: Vec<KernelEvent>,
+    /// Outcome, stats, fingerprint.
+    pub footer: Footer,
+}
+
+impl Trace {
+    /// Serializes to JSONL (header line, one line per event, footer
+    /// line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut push = |line: &Line| {
+            out.push_str(&serde_json::to_string(line).expect("trace lines serialize"));
+            out.push('\n');
+        };
+        push(&Line::Header(self.header.clone()));
+        for ev in &self.events {
+            push(&Line::Event(ev.clone()));
+        }
+        push(&Line::Footer(self.footer.clone()));
+        out
+    }
+
+    /// Parses a JSONL trace, validating framing and schema version.
+    pub fn from_jsonl(text: &str) -> Result<Trace, TraceError> {
+        let mut header = None;
+        let mut footer = None;
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed: Line = serde_json::from_str(line)
+                .map_err(|e| TraceError::Parse(format!("line {}: {e:?}", i + 1)))?;
+            match parsed {
+                Line::Header(h) => {
+                    if header.is_some() {
+                        return Err(TraceError::Schema("duplicate header line".into()));
+                    }
+                    if h.version != TRACE_VERSION {
+                        return Err(TraceError::Schema(format!(
+                            "trace version {} (this build reads {})",
+                            h.version, TRACE_VERSION
+                        )));
+                    }
+                    header = Some(h);
+                }
+                Line::Event(ev) => {
+                    if header.is_none() {
+                        return Err(TraceError::Schema("event before header".into()));
+                    }
+                    if footer.is_some() {
+                        return Err(TraceError::Schema("event after footer".into()));
+                    }
+                    events.push(ev);
+                }
+                Line::Footer(f) => {
+                    if footer.is_some() {
+                        return Err(TraceError::Schema("duplicate footer line".into()));
+                    }
+                    footer = Some(f);
+                }
+            }
+        }
+        match (header, footer) {
+            (Some(header), Some(footer)) => Ok(Trace {
+                header,
+                events,
+                footer,
+            }),
+            (None, _) => Err(TraceError::Schema("missing header line".into())),
+            (_, None) => Err(TraceError::Schema("missing footer line".into())),
+        }
+    }
+
+    /// Writes the trace as JSONL to `path`.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
+        std::fs::write(path, self.to_jsonl()).map_err(TraceError::Io)
+    }
+
+    /// Reads a JSONL trace from `path`.
+    pub fn read(path: impl AsRef<std::path::Path>) -> Result<Trace, TraceError> {
+        let text = std::fs::read_to_string(path).map_err(TraceError::Io)?;
+        Trace::from_jsonl(&text)
+    }
+
+    /// The recorded network decisions, in transmit order — feed to
+    /// [`Simulation::with_replay`].
+    pub fn decisions(&self) -> Vec<TransmitDecision> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                KernelEvent::Wire(w) => Some(w.decision()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The run events (`s*`, `s`, `r*`, `r`) with their times, in
+    /// execution order.
+    pub fn run_events(&self) -> impl Iterator<Item = (msgorder_runs::SystemEvent, u64)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            KernelEvent::Run { ev, time } => Some((*ev, *time)),
+            _ => None,
+        })
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(h: &mut u64, v: u64) {
+    // FNV-1a with a word-sized step: one xor-multiply per u64 keeps the
+    // fingerprint off the recording path's profile entirely.
+    *h ^= v;
+    *h = h.wrapping_mul(FNV_PRIME);
+}
+
+fn mix_event(h: &mut u64, ev: &KernelEvent) {
+    match ev {
+        KernelEvent::Run { ev, time } => {
+            mix(h, 0);
+            mix(h, ev.msg.0 as u64);
+            mix(
+                h,
+                match ev.kind {
+                    EventKind::Invoke => 0,
+                    EventKind::Send => 1,
+                    EventKind::Receive => 2,
+                    EventKind::Deliver => 3,
+                },
+            );
+            mix(h, *time);
+        }
+        KernelEvent::Wire(w) => {
+            mix(h, 1);
+            mix(h, w.from as u64);
+            mix(h, w.to as u64);
+            mix(h, w.time);
+            match w.payload {
+                msgorder_simnet::PayloadKind::User {
+                    msg,
+                    bytes,
+                    retransmit,
+                } => {
+                    mix(h, 0);
+                    mix(h, msg.0 as u64);
+                    mix(h, bytes as u64);
+                    mix(h, retransmit as u64);
+                }
+                msgorder_simnet::PayloadKind::Control { bytes, retransmit } => {
+                    mix(h, 1);
+                    mix(h, bytes as u64);
+                    mix(h, retransmit as u64);
+                }
+            }
+            mix(h, w.delay);
+            mix(
+                h,
+                match w.dropped {
+                    None => 0,
+                    Some(msgorder_simnet::DropReason::Partition) => 1,
+                    Some(msgorder_simnet::DropReason::Loss) => 2,
+                },
+            );
+            match w.dup_delay {
+                None => mix(h, 0),
+                Some(d) => {
+                    mix(h, 1);
+                    mix(h, d);
+                }
+            }
+        }
+        KernelEvent::Fault(f) => {
+            mix(h, 2);
+            match f {
+                FaultRecord::ArrivalAtCrashed { node, time } => {
+                    mix(h, 0);
+                    mix(h, *node as u64);
+                    mix(h, *time);
+                }
+                FaultRecord::DeferredToRestart { node, time, until } => {
+                    mix(h, 1);
+                    mix(h, *node as u64);
+                    mix(h, *time);
+                    mix(h, *until);
+                }
+                FaultRecord::LostToCrash { node, time } => {
+                    mix(h, 2);
+                    mix(h, *node as u64);
+                    mix(h, *time);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a 64 over the process count and every field of every kernel
+/// event, in order (a direct binary mix — no serialization on the
+/// recording path). Two traces fingerprint equal iff their event
+/// streams are identical.
+pub fn fingerprint(processes: usize, events: &[KernelEvent]) -> u64 {
+    let mut h = FNV_OFFSET;
+    mix(&mut h, processes as u64);
+    for ev in events {
+        mix_event(&mut h, ev);
+    }
+    h
+}
+
+/// A [`RunObserver`] that journals the complete kernel event stream —
+/// the capture side of the trace pipeline.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// The captured stream, in execution order.
+    pub events: Vec<KernelEvent>,
+}
+
+impl Recorder {
+    /// A recorder with room for `cap` events pre-allocated, so the hot
+    /// observer path never reallocates mid-run.
+    pub fn with_capacity(cap: usize) -> Recorder {
+        Recorder {
+            events: Vec::with_capacity(cap),
+        }
+    }
+}
+
+impl RunObserver for Recorder {
+    fn on_event(
+        &mut self,
+        _view: &StreamingRun,
+        ev: msgorder_runs::SystemEvent,
+        _index: usize,
+        time: u64,
+    ) -> bool {
+        self.events.push(KernelEvent::Run { ev, time });
+        true
+    }
+
+    fn on_wire(&mut self, wire: &WireRecord) {
+        self.events.push(KernelEvent::Wire(*wire));
+    }
+
+    fn on_fault(&mut self, fault: &FaultRecord) {
+        self.events.push(KernelEvent::Fault(*fault));
+    }
+
+    fn wants_wire(&self) -> bool {
+        true
+    }
+}
+
+/// Fans kernel notifications out to several observers. Every observer
+/// sees every event (no short-circuiting); the run halts if *any*
+/// observer asks to.
+pub struct Fanout<'a>(pub Vec<&'a mut dyn RunObserver>);
+
+impl RunObserver for Fanout<'_> {
+    fn on_event(
+        &mut self,
+        view: &StreamingRun,
+        ev: msgorder_runs::SystemEvent,
+        index: usize,
+        time: u64,
+    ) -> bool {
+        let mut go = true;
+        for obs in &mut self.0 {
+            go &= obs.on_event(view, ev, index, time);
+        }
+        go
+    }
+
+    fn on_wire(&mut self, wire: &WireRecord) {
+        for obs in &mut self.0 {
+            obs.on_wire(wire);
+        }
+    }
+
+    fn on_fault(&mut self, fault: &FaultRecord) {
+        for obs in &mut self.0 {
+            obs.on_fault(fault);
+        }
+    }
+
+    fn wants_wire(&self) -> bool {
+        self.0.iter().any(|o| o.wants_wire())
+    }
+}
+
+/// What [`record`] hands back: the assembled trace plus the raw
+/// simulation outcome (for callers that want the live run or the full
+/// [`SimError`] counterexample).
+#[derive(Debug)]
+pub struct Recorded {
+    /// The assembled trace.
+    pub trace: Trace,
+    /// The raw streaming outcome of the recorded run.
+    pub outcome: Result<StreamResult, SimError>,
+}
+
+/// Records one run of `setup` using the protocol registry, returning
+/// the assembled trace. Fails if the setup names an unknown protocol.
+pub fn record(setup: &Setup) -> Result<Recorded, TraceError> {
+    let kind = resolve_protocol(setup)?;
+    let n = setup.processes;
+    let reliable = setup.reliable;
+    record_with(setup, |node| kind.instantiate_with(n, node, reliable))
+}
+
+/// Like [`record`], with an explicit protocol factory (for protocols
+/// outside the registry; replay of such a trace skips re-execution).
+pub fn record_with<P: Protocol>(
+    setup: &Setup,
+    factory: impl Fn(usize) -> P,
+) -> Result<Recorded, TraceError> {
+    record_with_extra(setup, factory, None)
+}
+
+/// Like [`record_with`], additionally fanning the kernel event stream
+/// out to `extra` (an online monitor, a metrics collector, …). If the
+/// extra observer halts the run, the trace captures the halted prefix.
+pub fn record_with_extra<P: Protocol>(
+    setup: &Setup,
+    factory: impl Fn(usize) -> P,
+    extra: Option<&mut dyn RunObserver>,
+) -> Result<Recorded, TraceError> {
+    let spec = setup.spec_predicate()?;
+    let sim = Simulation::new(setup.config(), setup.workload.clone(), factory)
+        .with_step_limit(setup.step_limit);
+    // 4 run events per message, one wire record per frame, plus slack
+    // for control traffic and retransmissions.
+    let mut recorder = Recorder::with_capacity(setup.workload.len() * 8);
+    let outcome = match extra {
+        Some(x) => {
+            let mut fan = Fanout(vec![&mut recorder, x]);
+            sim.run_streaming(&mut fan)
+        }
+        None => sim.run_streaming(&mut recorder),
+    };
+    let events = recorder.events;
+    let (stats, completed, halted, error) = match &outcome {
+        Ok(sr) => (sr.stats.clone(), sr.completed, sr.halted, None),
+        Err(e) => (e.stats.clone(), false, false, Some(ErrorSummary::of(e))),
+    };
+    let header = Header {
+        version: TRACE_VERSION,
+        setup: setup.clone(),
+    };
+    let mut trace = Trace {
+        header,
+        events,
+        footer: Footer {
+            fingerprint: 0,
+            stats,
+            completed,
+            halted,
+            error,
+            verdict: None,
+        },
+    };
+    trace.footer.fingerprint = fingerprint(setup.processes, &trace.events);
+    if let Some(pred) = &spec {
+        trace.footer.verdict = Some(compute_verdict(&trace, pred)?);
+    }
+    Ok(Recorded { trace, outcome })
+}
+
+fn resolve_protocol(setup: &Setup) -> Result<ProtocolKind, TraceError> {
+    let spec = setup.spec_predicate()?;
+    ProtocolKind::by_name(&setup.protocol, spec.as_ref())
+        .ok_or_else(|| TraceError::UnknownProtocol(setup.protocol.clone()))
+}
+
+/// Rebuilds the captured [`StreamingRun`] from a trace's run events —
+/// works for any trace, registry protocol or not, complete or partial.
+pub fn reconstruct(trace: &Trace) -> Result<StreamingRun, TraceError> {
+    let setup = &trace.header.setup;
+    let mut run = StreamingRun::new(setup.processes);
+    for spec in &setup.workload.sends {
+        match &spec.color {
+            Some(c) => {
+                run.message_colored(spec.src, spec.dst, c);
+            }
+            None => {
+                run.message(spec.src, spec.dst);
+            }
+        }
+    }
+    for (ev, _time) in trace.run_events() {
+        let step = match ev.kind {
+            EventKind::Invoke => run.invoke(ev.msg),
+            EventKind::Send => run.send(ev.msg),
+            EventKind::Receive => run.receive(ev.msg),
+            EventKind::Deliver => run.deliver(ev.msg),
+        };
+        step.map_err(|e| TraceError::Schema(format!("trace encodes an invalid run: {e}")))?;
+    }
+    Ok(run)
+}
+
+/// Re-verifies `pred` over the trace's reconstructed run, feeding the
+/// online monitor delivery by delivery exactly as the recording did.
+fn compute_verdict(trace: &Trace, pred: &ForbiddenPredicate) -> Result<Verdict, TraceError> {
+    let run = reconstruct(trace)?;
+    let mut mon = eval::Monitor::new(pred);
+    for (ev, _time) in trace.run_events() {
+        if ev.kind == EventKind::Deliver {
+            mon.on_complete(&run, ev.msg);
+        }
+        if mon.violated() {
+            break;
+        }
+    }
+    Ok(Verdict {
+        violated: mon.violated(),
+        witness: mon
+            .witness()
+            .map_or_else(Vec::new, |w| w.iter().map(|m| m.0).collect()),
+    })
+}
+
+/// The result of re-executing a trace through the kernel in replay
+/// mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reexecution {
+    /// Fingerprint of the re-executed event stream.
+    pub fingerprint: u64,
+    /// Whether the re-executed event stream is identical to the trace.
+    pub identical: bool,
+    /// Whether the re-executed stats match the footer.
+    pub stats_match: bool,
+    /// Whether the re-executed outcome (error or clean) matches.
+    pub error_match: bool,
+}
+
+impl Reexecution {
+    /// All checks passed.
+    pub fn ok(&self) -> bool {
+        self.identical && self.stats_match && self.error_match
+    }
+}
+
+/// The full replay report of [`replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Fingerprint recomputed from the trace file's events.
+    pub recomputed_fingerprint: u64,
+    /// Whether the recomputed fingerprint matches the footer (file
+    /// integrity).
+    pub fingerprint_ok: bool,
+    /// Kernel re-execution checks; `None` when the trace's protocol is
+    /// not in the registry.
+    pub reexecution: Option<Reexecution>,
+    /// The spec verdict recomputed from the reconstructed run, when the
+    /// setup names a spec.
+    pub verdict: Option<Verdict>,
+    /// Whether the recomputed verdict matches the recorded one.
+    pub verdict_ok: Option<bool>,
+}
+
+impl ReplayReport {
+    /// Every applicable check passed: the trace is internally
+    /// consistent, re-execution (if possible) was bit-exact, and the
+    /// spec verdict (if any) reproduced.
+    pub fn ok(&self) -> bool {
+        self.fingerprint_ok
+            && self.reexecution.as_ref().is_none_or(Reexecution::ok)
+            && self.verdict_ok.unwrap_or(true)
+    }
+}
+
+/// Replays a trace: checks file integrity (fingerprint), re-executes
+/// the recorded protocol through the kernel with the recorded network
+/// decisions (when the protocol is in the registry), and re-verifies
+/// the recorded spec against the reconstructed run.
+pub fn replay(trace: &Trace) -> Result<ReplayReport, TraceError> {
+    let setup = &trace.header.setup;
+    let recomputed = fingerprint(setup.processes, &trace.events);
+    let fingerprint_ok = recomputed == trace.footer.fingerprint;
+
+    let spec = setup.spec_predicate()?;
+    let reexecution = match ProtocolKind::by_name(&setup.protocol, spec.as_ref()) {
+        None => None,
+        Some(kind) => {
+            let n = setup.processes;
+            let reliable = setup.reliable;
+            let sim = Simulation::new(setup.config(), setup.workload.clone(), |node| {
+                kind.instantiate_with(n, node, reliable)
+            })
+            .with_step_limit(setup.step_limit)
+            .with_replay(trace.decisions());
+            let mut recorder = Recorder::default();
+            let outcome = sim.run_streaming(&mut recorder);
+            let (stats, error) = match &outcome {
+                Ok(sr) => (sr.stats.clone(), None),
+                Err(e) => (e.stats.clone(), Some(ErrorSummary::of(e))),
+            };
+            // A run the observer halted stops mid-stream; the replayed
+            // kernel (with no halting observer) runs past that point, so
+            // compare only the recorded prefix then.
+            let identical = if trace.footer.halted {
+                recorder.events.len() >= trace.events.len()
+                    && recorder.events[..trace.events.len()] == trace.events[..]
+            } else {
+                recorder.events == trace.events
+            };
+            let stats_match = trace.footer.halted || stats == trace.footer.stats;
+            // A halted recording stopped consuming decisions early, so
+            // the unhalted replay may legitimately run the log dry past
+            // the recorded prefix.
+            let exhausted_past_prefix = matches!(
+                &outcome,
+                Err(e) if matches!(e.kind, msgorder_simnet::SimErrorKind::ReplayExhausted)
+            );
+            let error_match = if trace.footer.halted {
+                error.is_none() || exhausted_past_prefix
+            } else {
+                error == trace.footer.error
+            };
+            Some(Reexecution {
+                fingerprint: fingerprint(setup.processes, &recorder.events),
+                identical,
+                stats_match,
+                error_match,
+            })
+        }
+    };
+
+    let (verdict, verdict_ok) = match &spec {
+        None => (None, None),
+        Some(pred) => {
+            let v = compute_verdict(trace, pred)?;
+            let ok = trace.footer.verdict.as_ref().is_none_or(|rec| *rec == v);
+            (Some(v), Some(ok))
+        }
+    };
+
+    Ok(ReplayReport {
+        recomputed_fingerprint: recomputed,
+        fingerprint_ok,
+        reexecution,
+        verdict,
+        verdict_ok,
+    })
+}
+
+/// Extends [`SimError`] with self-contained, replayable counterexample
+/// capture.
+pub trait SimErrorExt {
+    /// Re-records the failing run of `setup` (which must be the setup
+    /// that produced this error) and returns the trace, verified to
+    /// reproduce this counterexample at the same node and time.
+    fn as_trace(&self, setup: &Setup) -> Result<Trace, TraceError>;
+
+    /// Like [`as_trace`](SimErrorExt::as_trace), with an explicit
+    /// protocol factory for protocols outside the registry.
+    fn as_trace_with<P: Protocol>(
+        &self,
+        setup: &Setup,
+        factory: impl Fn(usize) -> P,
+    ) -> Result<Trace, TraceError>;
+}
+
+fn check_reproduced(err: &SimError, trace: Trace) -> Result<Trace, TraceError> {
+    let expected = ErrorSummary::of(err);
+    match &trace.footer.error {
+        Some(got) if *got == expected => Ok(trace),
+        got => Err(TraceError::Divergence(format!(
+            "re-recording did not reproduce the counterexample: expected {expected:?}, got {got:?}"
+        ))),
+    }
+}
+
+impl SimErrorExt for SimError {
+    fn as_trace(&self, setup: &Setup) -> Result<Trace, TraceError> {
+        check_reproduced(self, record(setup)?.trace)
+    }
+
+    fn as_trace_with<P: Protocol>(
+        &self,
+        setup: &Setup,
+        factory: impl Fn(usize) -> P,
+    ) -> Result<Trace, TraceError> {
+        check_reproduced(self, record_with(setup, factory)?.trace)
+    }
+}
+
+/// What can go wrong assembling, parsing, or replaying a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem error reading or writing a trace file.
+    Io(std::io::Error),
+    /// A line was not valid JSON (or not a trace line).
+    Parse(String),
+    /// Structurally invalid trace (framing, version, inconsistent run).
+    Schema(String),
+    /// The setup names a protocol the registry cannot instantiate.
+    UnknownProtocol(String),
+    /// The setup's spec string parses to nothing.
+    Spec(String),
+    /// Re-recording/replay did not reproduce the recorded run.
+    Divergence(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o: {e}"),
+            TraceError::Parse(m) => write!(f, "trace parse: {m}"),
+            TraceError::Schema(m) => write!(f, "trace schema: {m}"),
+            TraceError::UnknownProtocol(p) => {
+                write!(f, "protocol {p:?} is not in the registry")
+            }
+            TraceError::Spec(m) => write!(f, "spec: {m}"),
+            TraceError::Divergence(m) => write!(f, "replay divergence: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}

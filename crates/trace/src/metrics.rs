@@ -1,0 +1,512 @@
+//! Run metrics: counters and log₂ histograms collected from the kernel
+//! event stream via the same [`RunObserver`] hook the tracer uses.
+//!
+//! [`MetricsObserver`] rides along a simulation (alone or fanned out
+//! next to a [`Recorder`](crate::Recorder) / online monitor) and is
+//! folded into a [`Metrics`] report with
+//! [`finish`](MetricsObserver::finish). All message timings are in
+//! simulated ticks; only `wall_nanos` (and thus deliveries/sec) uses
+//! the host clock.
+
+use msgorder_predicate::eval::MonitorTimings;
+use msgorder_runs::{EventKind, StreamingRun, SystemEvent};
+use msgorder_simnet::{
+    DropReason, FaultRecord, KernelEvent, PayloadKind, RunObserver, Stats, WireRecord,
+};
+use serde::{Deserialize, Serialize};
+
+/// A log₂-bucketed histogram of `u64` samples: bucket `i` holds samples
+/// in `[2^i, 2^(i+1))` (bucket 0 also takes 0).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    pub buckets: Vec<u64>,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let bucket = 63 - v.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean sample, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`), resolved to
+    /// bucket granularity: the exclusive upper edge of the bucket the
+    /// quantile sample falls in.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// Renders the non-empty buckets as `[lo, hi): count` lines.
+    pub fn render(&self, indent: &str) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = if i == 0 { 0u64 } else { 1u64 << i };
+            if i >= 63 {
+                out.push_str(&format!("{indent}[{lo}, ..): {c}\n"));
+            } else {
+                out.push_str(&format!("{indent}[{lo}, {}): {c}\n", 1u64 << (i + 1)));
+            }
+        }
+        out
+    }
+}
+
+impl From<&MonitorTimings> for Histogram {
+    fn from(t: &MonitorTimings) -> Histogram {
+        let mut h = Histogram::new();
+        h.buckets[..t.buckets.len()].copy_from_slice(&t.buckets);
+        h.count = t.searches;
+        h.sum = t.total_nanos;
+        h.max = t.max_nanos;
+        // MonitorTimings does not track the minimum; approximate with the
+        // smallest non-empty bucket's lower edge.
+        h.min = t.buckets.iter().position(|&c| c > 0).map_or(u64::MAX, |i| {
+            if i == 0 {
+                0
+            } else {
+                1u64 << i
+            }
+        });
+        h
+    }
+}
+
+/// The metrics report of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Host wall-clock time of the run, in nanoseconds.
+    pub wall_nanos: u64,
+    /// User messages delivered.
+    pub deliveries: u64,
+    /// End-to-end delivery latency (`deliver - invoke`), in sim ticks.
+    pub delivery_latency: Histogram,
+    /// Protocol inhibition (`deliver - receive`), in sim ticks.
+    pub inhibition: Histogram,
+    /// User frames put on the wire (including retransmissions).
+    pub user_frames: u64,
+    /// Control frames put on the wire (including retransmissions).
+    pub control_frames: u64,
+    /// Total user-frame tag bytes on the wire.
+    pub user_bytes: u64,
+    /// Total control-frame bytes on the wire.
+    pub control_bytes: u64,
+    /// Frames marked as retransmissions.
+    pub retransmissions: u64,
+    /// Frames eaten by partitions.
+    pub partition_drops: u64,
+    /// Frames eaten by random loss.
+    pub loss_drops: u64,
+    /// Duplicate frame copies created by the network.
+    pub duplicates: u64,
+    /// Frames lost to (or deferred by) crash windows.
+    pub crash_effects: u64,
+    /// The online monitor's delta-search timings (host nanoseconds),
+    /// when a monitor ran alongside.
+    pub monitor_search_nanos: Option<Histogram>,
+    /// Final kernel stats, attached at [`MetricsObserver::finish`].
+    pub stats: Stats,
+}
+
+impl Metrics {
+    /// Deliveries per host wall-clock second.
+    pub fn deliveries_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.deliveries as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Control overhead: control frames per user frame.
+    pub fn control_overhead(&self) -> f64 {
+        if self.user_frames == 0 {
+            0.0
+        } else {
+            self.control_frames as f64 / self.user_frames as f64
+        }
+    }
+
+    /// Renders the report as the human-readable block `msgorder simulate
+    /// --metrics` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "wall time           {:.3} ms\n",
+            self.wall_nanos as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "deliveries          {} ({:.0}/s wall)\n",
+            self.deliveries,
+            self.deliveries_per_sec()
+        ));
+        out.push_str(&format!(
+            "wire frames         {} user + {} control ({:.2} ctl/user), {} retransmitted\n",
+            self.user_frames,
+            self.control_frames,
+            self.control_overhead(),
+            self.retransmissions
+        ));
+        out.push_str(&format!(
+            "wire bytes          {} tag + {} control\n",
+            self.user_bytes, self.control_bytes
+        ));
+        out.push_str(&format!(
+            "faults              {} partition drops, {} losses, {} duplicates, {} crash effects\n",
+            self.partition_drops, self.loss_drops, self.duplicates, self.crash_effects
+        ));
+        out.push_str(&format!(
+            "delivery latency    mean {:.1}, p50 ≤{}, p99 ≤{}, max {} ticks\n",
+            self.delivery_latency.mean(),
+            self.delivery_latency.quantile(0.5),
+            self.delivery_latency.quantile(0.99),
+            self.delivery_latency.max
+        ));
+        out.push_str("  histogram (ticks):\n");
+        out.push_str(&self.delivery_latency.render("    "));
+        out.push_str(&format!(
+            "inhibition          mean {:.1}, max {} ticks\n",
+            self.inhibition.mean(),
+            self.inhibition.max
+        ));
+        if let Some(mon) = &self.monitor_search_nanos {
+            out.push_str(&format!(
+                "monitor searches    {} (mean {:.0} ns, p99 ≤{} ns, max {} ns)\n",
+                mon.count,
+                mon.mean(),
+                mon.quantile(0.99),
+                mon.max
+            ));
+            out.push_str("  histogram (ns):\n");
+            out.push_str(&mon.render("    "));
+        }
+        out
+    }
+}
+
+/// A [`RunObserver`] that folds the kernel event stream into a
+/// [`Metrics`] report. Opts into wire records to count frames, bytes,
+/// and fault effects.
+#[derive(Debug)]
+pub struct MetricsObserver {
+    started: std::time::Instant,
+    invoke_time: Vec<Option<u64>>,
+    receive_time: Vec<Option<u64>>,
+    deliveries: u64,
+    delivery_latency: Histogram,
+    inhibition: Histogram,
+    user_frames: u64,
+    control_frames: u64,
+    user_bytes: u64,
+    control_bytes: u64,
+    retransmissions: u64,
+    partition_drops: u64,
+    loss_drops: u64,
+    duplicates: u64,
+    crash_effects: u64,
+}
+
+impl MetricsObserver {
+    /// Starts the wall clock.
+    pub fn new() -> MetricsObserver {
+        MetricsObserver {
+            started: std::time::Instant::now(),
+            invoke_time: Vec::new(),
+            receive_time: Vec::new(),
+            deliveries: 0,
+            delivery_latency: Histogram::new(),
+            inhibition: Histogram::new(),
+            user_frames: 0,
+            control_frames: 0,
+            user_bytes: 0,
+            control_bytes: 0,
+            retransmissions: 0,
+            partition_drops: 0,
+            loss_drops: 0,
+            duplicates: 0,
+            crash_effects: 0,
+        }
+    }
+
+    fn slot(v: &mut Vec<Option<u64>>, msg: usize) -> &mut Option<u64> {
+        if v.len() <= msg {
+            v.resize(msg + 1, None);
+        }
+        &mut v[msg]
+    }
+
+    /// Folds the observation into a [`Metrics`] report, stopping the
+    /// wall clock and attaching the kernel's final `stats`.
+    pub fn finish(self, stats: &Stats) -> Metrics {
+        Metrics {
+            wall_nanos: self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            deliveries: self.deliveries,
+            delivery_latency: self.delivery_latency,
+            inhibition: self.inhibition,
+            user_frames: self.user_frames,
+            control_frames: self.control_frames,
+            user_bytes: self.user_bytes,
+            control_bytes: self.control_bytes,
+            retransmissions: self.retransmissions,
+            partition_drops: self.partition_drops,
+            loss_drops: self.loss_drops,
+            duplicates: self.duplicates,
+            crash_effects: self.crash_effects,
+            monitor_search_nanos: None,
+            stats: stats.clone(),
+        }
+    }
+
+    /// Like [`finish`](MetricsObserver::finish), attaching the online
+    /// monitor's delta-search timings.
+    pub fn finish_with_monitor(self, stats: &Stats, timings: &MonitorTimings) -> Metrics {
+        let mut m = self.finish(stats);
+        m.monitor_search_nanos = Some(Histogram::from(timings));
+        m
+    }
+
+    /// Replays a recorded event stream through the observer — lets
+    /// `msgorder replay --metrics` report on a trace without re-running
+    /// the kernel.
+    pub fn consume(&mut self, events: &[KernelEvent]) {
+        for ev in events {
+            match ev {
+                KernelEvent::Run { ev, time } => self.observe_run(*ev, *time),
+                KernelEvent::Wire(w) => self.on_wire(w),
+                KernelEvent::Fault(f) => self.on_fault(f),
+            }
+        }
+    }
+
+    fn observe_run(&mut self, ev: SystemEvent, time: u64) {
+        let msg = ev.msg.0;
+        match ev.kind {
+            EventKind::Invoke => *Self::slot(&mut self.invoke_time, msg) = Some(time),
+            EventKind::Send => {}
+            EventKind::Receive => {
+                let slot = Self::slot(&mut self.receive_time, msg);
+                if slot.is_none() {
+                    *slot = Some(time);
+                }
+            }
+            EventKind::Deliver => {
+                self.deliveries += 1;
+                if let Some(Some(t0)) = self.invoke_time.get(msg) {
+                    self.delivery_latency.record(time.saturating_sub(*t0));
+                }
+                if let Some(Some(t0)) = self.receive_time.get(msg) {
+                    self.inhibition.record(time.saturating_sub(*t0));
+                }
+            }
+        }
+    }
+}
+
+impl Default for MetricsObserver {
+    fn default() -> Self {
+        MetricsObserver::new()
+    }
+}
+
+impl RunObserver for MetricsObserver {
+    fn on_event(
+        &mut self,
+        _view: &StreamingRun,
+        ev: SystemEvent,
+        _index: usize,
+        time: u64,
+    ) -> bool {
+        self.observe_run(ev, time);
+        true
+    }
+
+    fn on_wire(&mut self, wire: &WireRecord) {
+        match wire.payload {
+            PayloadKind::User {
+                bytes, retransmit, ..
+            } => {
+                self.user_frames += 1;
+                self.user_bytes += bytes as u64;
+                if retransmit {
+                    self.retransmissions += 1;
+                }
+            }
+            PayloadKind::Control { bytes, retransmit } => {
+                self.control_frames += 1;
+                self.control_bytes += bytes as u64;
+                if retransmit {
+                    self.retransmissions += 1;
+                }
+            }
+        }
+        match wire.dropped {
+            Some(DropReason::Partition) => self.partition_drops += 1,
+            Some(DropReason::Loss) => self.loss_drops += 1,
+            None => {
+                if wire.dup_delay.is_some() {
+                    self.duplicates += 1;
+                }
+            }
+        }
+    }
+
+    fn on_fault(&mut self, _fault: &FaultRecord) {
+        self.crash_effects += 1;
+    }
+
+    fn wants_wire(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(h.buckets[1], 2, "2 and 3");
+        assert_eq!(h.buckets[2], 1, "4");
+        assert_eq!(h.buckets[3], 1, "8");
+        assert_eq!(h.buckets[6], 1);
+        assert!(h.quantile(0.5) >= 2);
+        assert_eq!(h.quantile(1.0), 127, "100 falls in [64, 128)");
+        assert!((h.mean() - 118.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.render("  "), "");
+    }
+
+    #[test]
+    fn quantile_top_bucket_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn monitor_timings_fold_in() {
+        let mut t = MonitorTimings {
+            searches: 3,
+            total_nanos: 300,
+            max_nanos: 200,
+            ..MonitorTimings::default()
+        };
+        t.buckets[6] = 2; // two ~100ns searches
+        t.buckets[7] = 1;
+        let h = Histogram::from(&t);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 300);
+        assert_eq!(h.max, 200);
+        assert_eq!(h.min(), 64);
+    }
+
+    #[test]
+    fn metrics_render_mentions_the_headline_numbers() {
+        let mut obs = MetricsObserver::new();
+        use msgorder_runs::MessageId;
+        obs.observe_run(
+            SystemEvent {
+                msg: MessageId(0),
+                kind: EventKind::Invoke,
+            },
+            10,
+        );
+        obs.observe_run(
+            SystemEvent {
+                msg: MessageId(0),
+                kind: EventKind::Receive,
+            },
+            30,
+        );
+        obs.observe_run(
+            SystemEvent {
+                msg: MessageId(0),
+                kind: EventKind::Deliver,
+            },
+            40,
+        );
+        let m = obs.finish(&Stats::default());
+        assert_eq!(m.deliveries, 1);
+        assert_eq!(m.delivery_latency.max, 30);
+        assert_eq!(m.inhibition.max, 10);
+        let text = m.render();
+        assert!(text.contains("deliveries          1"), "{text}");
+        assert!(text.contains("delivery latency"), "{text}");
+    }
+}

@@ -14,11 +14,15 @@ use msgorder::classifier::classify::classify;
 use msgorder::classifier::dot::to_dot;
 use msgorder::core::Spec;
 use msgorder::predicate::{catalog, eval, ForbiddenPredicate};
+use msgorder::protocols::OnlineMonitor;
 use msgorder::protocols::ProtocolKind;
 use msgorder::runs::limit_sets;
 use msgorder::simnet::{
-    CrashSchedule, FaultModel, LatencyModel, Partition, SimConfig, Simulation, Workload,
+    CrashSchedule, FaultModel, LatencyModel, Partition, RunObserver, SimConfig, Simulation,
+    Workload,
 };
+use msgorder::trace::metrics::MetricsObserver;
+use msgorder::trace::{record_with_extra, Fanout, Setup, Trace};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
         Some("witness") => cmd_witness(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -70,6 +75,12 @@ USAGE:
       --crash     P:AT[:RESTART]   crash process P at tick AT, optionally restarting (repeatable)
       --reliable      layer ack/retransmission under the protocol (fifo, causal-rst, sync)
       --online        monitor --spec online and halt at the first violating delivery
+      --record PATH   write the run as a replayable JSONL trace
+      --metrics       print the run's metrics report (latency histograms, wire counters)
+  msgorder replay <trace.jsonl> [--metrics]
+                                           re-execute a recorded trace and check it
+                                           reproduces bit-exactly (fingerprint, stats,
+                                           spec verdict)
 
 PREDICATE DSL:
   forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), color(y) = red"
@@ -215,6 +226,53 @@ fn parse_crash(s: &str) -> Result<CrashSchedule, String> {
     })
 }
 
+/// Rejects structurally nonsensical fault windows up front, instead of
+/// letting them silently do nothing (out-of-range endpoints never match
+/// a link) or panic deep in the kernel.
+fn validate_faults(
+    processes: usize,
+    partitions: &[Partition],
+    crashes: &[CrashSchedule],
+) -> Result<(), String> {
+    for p in partitions {
+        if p.a == p.b {
+            return Err(format!(
+                "--partition {}:{}:{}:{}: endpoints must differ",
+                p.a, p.b, p.from, p.until
+            ));
+        }
+        if p.a >= processes || p.b >= processes {
+            return Err(format!(
+                "--partition {}:{}:{}:{}: endpoints must be < --processes ({processes})",
+                p.a, p.b, p.from, p.until
+            ));
+        }
+        if p.from >= p.until {
+            return Err(format!(
+                "--partition {}:{}:{}:{}: empty window (need FROM < UNTIL)",
+                p.a, p.b, p.from, p.until
+            ));
+        }
+    }
+    for c in crashes {
+        if c.process >= processes {
+            return Err(format!(
+                "--crash {}:{}: process must be < --processes ({processes})",
+                c.process, c.at
+            ));
+        }
+        if let Some(r) = c.restart {
+            if r <= c.at {
+                return Err(format!(
+                    "--crash {}:{}:{}: restart must be after the crash tick",
+                    c.process, c.at, r
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut protocol = "causal-rst".to_owned();
     let mut spec: Option<String> = None;
@@ -228,6 +286,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut crashes: Vec<CrashSchedule> = Vec::new();
     let mut reliable = false;
     let mut online = false;
+    let mut record_path: Option<String> = None;
+    let mut metrics = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -248,6 +308,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--crash" => crashes.push(parse_crash(&val()?)?),
             "--reliable" => reliable = true,
             "--online" => online = true,
+            "--record" => record_path = Some(val()?),
+            "--metrics" => metrics = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -282,11 +344,33 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             kind.name()
         ));
     }
+    validate_faults(processes, &partitions, &crashes)?;
     let mut faults = FaultModel::none().with_drop(drop).with_duplication(dup);
     faults.partitions = partitions;
     faults.crashes = crashes;
     let faulty = !faults.is_quiet();
     let w = Workload::uniform_random(processes, messages, seed);
+    if record_path.is_some() || metrics {
+        return simulate_traced(
+            &kind,
+            Setup {
+                processes,
+                latency: LatencyModel::Uniform { lo: 1, hi: 800 },
+                seed,
+                faults,
+                workload: w,
+                protocol: protocol.clone(),
+                reliable,
+                spec: spec.clone(),
+                step_limit: 1_000_000,
+            },
+            spec_pred.as_ref(),
+            online,
+            timeline,
+            record_path.as_deref(),
+            metrics,
+        );
+    }
     let config = SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 800 }, seed)
         .with_faults(faults);
     if online {
@@ -379,4 +463,195 @@ time diagram:"
         print!("{}", msgorder::runs::display::render_timeline(&r.run));
     }
     Ok(())
+}
+
+/// The `--record` / `--metrics` pipeline: runs the simulation through
+/// the trace recorder (fanning out to the metrics collector and/or the
+/// online monitor), writes the JSONL trace, and prints the reports.
+fn simulate_traced(
+    kind: &ProtocolKind,
+    setup: Setup,
+    spec_pred: Option<&ForbiddenPredicate>,
+    online: bool,
+    timeline: bool,
+    record_path: Option<&str>,
+    metrics: bool,
+) -> Result<(), String> {
+    if online && spec_pred.is_none() {
+        return Err("--online requires --spec".into());
+    }
+    let processes = setup.processes;
+    let reliable = setup.reliable;
+    let mut mobs = MetricsObserver::new();
+    let mut monitor = match (online, spec_pred) {
+        (true, Some(p)) => Some(OnlineMonitor::halting(p)),
+        _ => None,
+    };
+    let recorded = {
+        let mut extras: Vec<&mut dyn RunObserver> = Vec::new();
+        if metrics {
+            extras.push(&mut mobs);
+        }
+        if let Some(m) = monitor.as_mut() {
+            extras.push(m);
+        }
+        let mut fan = Fanout(extras);
+        let extra: Option<&mut dyn RunObserver> = if fan.0.is_empty() {
+            None
+        } else {
+            Some(&mut fan)
+        };
+        record_with_extra(
+            &setup,
+            |node| kind.instantiate_with(processes, node, reliable),
+            extra,
+        )
+        .map_err(|e| e.to_string())?
+    };
+    println!("protocol      : {}", kind.name());
+    if let Some(path) = record_path {
+        recorded.trace.write(path).map_err(|e| e.to_string())?;
+        println!(
+            "trace         : {path} ({} events, fingerprint {:016x})",
+            recorded.trace.events.len(),
+            recorded.trace.footer.fingerprint
+        );
+    }
+    let footer = &recorded.trace.footer;
+    let buggy = match &recorded.outcome {
+        Err(e) => {
+            println!("PROTOCOL BUG  : {e}");
+            if let Some(run) = &e.trace {
+                println!("\ncounterexample trace (up to the bug):");
+                print!("{}", msgorder::runs::display::render_timeline(run));
+            }
+            true
+        }
+        Ok(r) => {
+            println!("live          : {}", r.completed && r.run.is_quiescent());
+            false
+        }
+    };
+    println!("user messages : {}", footer.stats.user_messages);
+    println!(
+        "control msgs  : {} ({:.2}/msg)",
+        footer.stats.control_messages,
+        footer.stats.control_per_user()
+    );
+    println!("delivered     : {}", footer.stats.delivered);
+    match (&footer.verdict, monitor.as_ref()) {
+        (Some(v), _) if v.violated => {
+            println!("spec          : VIOLATED by {:?}", v.witness);
+            if let Some(m) = monitor.as_ref() {
+                if let (Some(at), Some(t)) = (m.detection_event(), m.detection_time()) {
+                    println!("detected at   : event {at} (t = {t}), run halted");
+                }
+            }
+        }
+        (Some(_), _) => println!("spec          : satisfied"),
+        (None, _) => {}
+    }
+    if metrics {
+        let m = match monitor.as_ref() {
+            Some(mon) => mobs.finish_with_monitor(&footer.stats, &mon.search_timings()),
+            None => mobs.finish(&footer.stats),
+        };
+        println!("\nmetrics:");
+        print!("{}", m.render());
+    }
+    if timeline {
+        if let Ok(r) = &recorded.outcome {
+            if let Ok(run) = r.run.build() {
+                println!("\ntime diagram:");
+                print!("{}", msgorder::runs::display::render_timeline(&run));
+            }
+        }
+    }
+    if buggy {
+        return Err("simulation hit a protocol bug".into());
+    }
+    Ok(())
+}
+
+/// `msgorder replay <trace.jsonl> [--metrics]` — re-execute a recorded
+/// trace and verify it reproduces bit-exactly.
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut metrics = false;
+    for a in args {
+        match a.as_str() {
+            "--metrics" => metrics = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("expected a trace path (msgorder replay <trace.jsonl>)")?;
+    let trace = Trace::read(&path).map_err(|e| e.to_string())?;
+    let s = &trace.header.setup;
+    println!("trace         : {path}");
+    println!(
+        "recorded run  : {} ({} processes, seed {}, {} events)",
+        s.protocol,
+        s.processes,
+        s.seed,
+        trace.events.len()
+    );
+    let report = msgorder::trace::replay(&trace).map_err(|e| e.to_string())?;
+    if report.fingerprint_ok {
+        println!(
+            "fingerprint   : ok ({:016x})",
+            report.recomputed_fingerprint
+        );
+    } else {
+        println!(
+            "fingerprint   : MISMATCH (recorded {:016x}, recomputed {:016x})",
+            trace.footer.fingerprint, report.recomputed_fingerprint
+        );
+    }
+    match &report.reexecution {
+        None => println!(
+            "re-execution  : skipped (protocol `{}` is not in the registry)",
+            s.protocol
+        ),
+        Some(re) => println!(
+            "re-execution  : events {}, stats {}, outcome {}",
+            if re.identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+            if re.stats_match { "match" } else { "DIFFER" },
+            if re.error_match { "match" } else { "DIFFER" },
+        ),
+    }
+    if let Some(v) = &report.verdict {
+        let status = match report.verdict_ok {
+            Some(true) => " (reproduces the recording)",
+            Some(false) => " (DIFFERS from the recording)",
+            None => "",
+        };
+        if v.violated {
+            println!("spec verdict  : VIOLATED by {:?}{status}", v.witness);
+        } else {
+            println!("spec verdict  : satisfied{status}");
+        }
+    }
+    if let Some(err) = &trace.footer.error {
+        println!(
+            "recorded bug  : {} at t={} on P{}",
+            err.kind, err.time, err.node
+        );
+    }
+    if metrics {
+        let mut mobs = MetricsObserver::new();
+        mobs.consume(&trace.events);
+        println!("\nmetrics (from the recorded events):");
+        print!("{}", mobs.finish(&trace.footer.stats).render());
+    }
+    if report.ok() {
+        println!("REPLAY OK     : the trace reproduces the recorded run");
+        Ok(())
+    } else {
+        Err("replay diverged from the recording".into())
+    }
 }

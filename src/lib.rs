@@ -15,6 +15,7 @@
 //! - [`simnet`] — deterministic discrete-event network simulator.
 //! - [`protocols`] — runnable ordering protocols (async, FIFO, causal,
 //!   k-weaker, flush channels, logically synchronous, synthesized).
+//! - [`trace`] — trace capture, deterministic replay, and run metrics.
 //! - [`core`] — the high-level `Spec` / `analyze` facade.
 //!
 //! ## Quickstart
@@ -38,3 +39,4 @@ pub use msgorder_predicate as predicate;
 pub use msgorder_protocols as protocols;
 pub use msgorder_runs as runs;
 pub use msgorder_simnet as simnet;
+pub use msgorder_trace as trace;

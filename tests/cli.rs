@@ -166,3 +166,160 @@ fn unknown_protocol_fails() {
     assert!(!ok);
     assert!(stderr.contains("unknown protocol"));
 }
+
+#[test]
+fn simulate_record_then_replay_round_trips() {
+    let dir = std::env::temp_dir().join("msgorder-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.jsonl");
+    let path = path.to_str().unwrap();
+    let (ok, stdout, stderr) = msgorder(&[
+        "simulate",
+        "--protocol",
+        "fifo",
+        "--processes",
+        "3",
+        "--messages",
+        "8",
+        "--seed",
+        "6",
+        "--spec",
+        "fifo",
+        "--reliable",
+        "--drop",
+        "0.3",
+        "--record",
+        path,
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("trace         :"), "{stdout}");
+    assert!(stdout.contains("fingerprint"), "{stdout}");
+
+    let (ok, stdout, stderr) = msgorder(&["replay", path]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("fingerprint   : ok"), "{stdout}");
+    assert!(stdout.contains("events identical"), "{stdout}");
+    assert!(stdout.contains("REPLAY OK"), "{stdout}");
+}
+
+#[test]
+fn replay_flags_a_tampered_trace() {
+    let dir = std::env::temp_dir().join("msgorder-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tampered.jsonl");
+    let (ok, _, _) = msgorder(&[
+        "simulate",
+        "--protocol",
+        "fifo",
+        "--processes",
+        "3",
+        "--messages",
+        "5",
+        "--seed",
+        "8",
+        "--record",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    // Corrupt one wire delay in place.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let tampered = text.replacen("\"delay\":", "\"delay\":1", 1);
+    assert_ne!(text, tampered, "tampering must change the file");
+    std::fs::write(&path, tampered).unwrap();
+    let (ok, stdout, stderr) = msgorder(&["replay", path.to_str().unwrap()]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("MISMATCH"), "{stdout}");
+    assert!(stderr.contains("diverged"), "{stderr}");
+}
+
+#[test]
+fn simulate_metrics_report() {
+    let (ok, stdout, stderr) = msgorder(&[
+        "simulate",
+        "--protocol",
+        "causal-rst",
+        "--processes",
+        "3",
+        "--messages",
+        "10",
+        "--seed",
+        "2",
+        "--spec",
+        "causal",
+        "--online",
+        "--metrics",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("metrics:"), "{stdout}");
+    assert!(stdout.contains("delivery latency"), "{stdout}");
+    assert!(stdout.contains("monitor searches"), "{stdout}");
+    assert!(stdout.contains("histogram (ticks):"), "{stdout}");
+}
+
+#[test]
+fn replay_metrics_from_recorded_events() {
+    let dir = std::env::temp_dir().join("msgorder-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.jsonl");
+    let path = path.to_str().unwrap();
+    let (ok, _, _) = msgorder(&[
+        "simulate",
+        "--protocol",
+        "sync",
+        "--processes",
+        "3",
+        "--messages",
+        "6",
+        "--seed",
+        "1",
+        "--record",
+        path,
+    ]);
+    assert!(ok);
+    let (ok, stdout, _) = msgorder(&["replay", path, "--metrics"]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("metrics (from the recorded events):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("wire frames"), "{stdout}");
+}
+
+#[test]
+fn golden_trace_replays() {
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace-v1.jsonl");
+    let (ok, stdout, stderr) = msgorder(&["replay", golden]);
+    assert!(ok, "golden trace must keep replaying: {stdout}{stderr}");
+    assert!(stdout.contains("REPLAY OK"), "{stdout}");
+    assert!(stdout.contains("events identical"), "{stdout}");
+}
+
+#[test]
+fn fault_flags_are_validated() {
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["simulate", "--partition", "0:0:5:10"],
+            "endpoints must differ",
+        ),
+        (
+            &["simulate", "--partition", "0:9:5:10"],
+            "endpoints must be < --processes",
+        ),
+        (&["simulate", "--partition", "0:1:10:10"], "empty window"),
+        (
+            &["simulate", "--crash", "9:50"],
+            "process must be < --processes",
+        ),
+        (
+            &["simulate", "--crash", "1:50:20"],
+            "restart must be after the crash tick",
+        ),
+        (&["simulate", "--drop", "1.5"], "not in [0, 1]"),
+        (&["simulate", "--dup", "-0.1"], "not in [0, 1]"),
+    ];
+    for (args, needle) in cases {
+        let (ok, _, stderr) = msgorder(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
