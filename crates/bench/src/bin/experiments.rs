@@ -1224,7 +1224,7 @@ fn exp_n1() -> Value {
                 let seed = seed as u64;
                 let w = Workload::uniform_random(n, msgs, seed);
                 let config = SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 500 }, seed)
-                    .with_faults(msgorder_simnet::FaultModel::none().with_drop(drop));
+                    .with_faults(msgorder_simnet::FaultModel::none().with_drop(drop).unwrap());
                 let r = Simulation::run_uniform(config, w, |node| {
                     kind.instantiate_with(n, node, *reliable)
                 })

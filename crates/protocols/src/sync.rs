@@ -141,15 +141,26 @@ impl SyncProtocol {
     }
 
     fn on_grant(&mut self, ctx: &mut Ctx<'_>) {
-        debug_assert_eq!(self.state, SenderState::Waiting);
+        if self.state != SenderState::Waiting {
+            // A duplicated (or stale, post-crash) grant: the window it
+            // opened is already over. Acting on it would transmit
+            // outside a lock window and break logical synchrony.
+            return;
+        }
+        let Some(msg) = self.waiting.pop_front() else {
+            // Granted with nothing left to send (queue state lost to a
+            // crash): hand the lock straight back so the coordinator
+            // isn't wedged on a window that will never release.
+            self.state = SenderState::Idle;
+            self.send_ctl(ctx, Self::COORD, &Msg::Release);
+            return;
+        };
         if self.batched {
             // Transmit the window's first message; the rest follow
             // ack-by-ack (sequential blocks keep logical synchrony).
-            let msg = self.waiting.pop_front().expect("waiting implies queued");
             self.state = SenderState::Holding;
             self.send_user_frame(ctx, msg);
         } else {
-            let msg = self.waiting.pop_front().expect("waiting implies queued");
             self.state = SenderState::Idle;
             self.send_user_frame(ctx, msg);
             // The receiver will release to the coordinator; if more
@@ -159,7 +170,9 @@ impl SyncProtocol {
     }
 
     fn on_ack(&mut self, ctx: &mut Ctx<'_>) {
-        debug_assert_eq!(self.state, SenderState::Holding);
+        if self.state != SenderState::Holding {
+            return; // duplicated ack for a window already closed
+        }
         if let Some(next) = self.waiting.pop_front() {
             // Continue the window with the next queued message.
             self.send_user_frame(ctx, next);
@@ -199,7 +212,13 @@ impl Protocol for SyncProtocol {
         let m: Msg = serde_json::from_slice(&payload).expect("control frame deserializes");
         match m {
             Msg::Request => {
-                self.queue.push_back(from.0);
+                // A sender has at most one request in flight (it stays
+                // Waiting until granted), so a repeat here is a network
+                // duplicate — queuing it twice would produce a second
+                // grant nobody answers and wedge the lock.
+                if !self.queue.contains(&from.0) {
+                    self.queue.push_back(from.0);
+                }
                 self.coord_pump(ctx);
             }
             Msg::Grant => self.on_grant(ctx),

@@ -18,7 +18,8 @@
 use msgorder_predicate::{eval, ForbiddenPredicate};
 use msgorder_runs::{EventKind, MessageId, StreamingRun, SystemEvent, SystemRunBuilder, UserRun};
 use msgorder_simnet::{
-    PrefixMonitor, Protocol, RunObserver, SimConfig, SimError, Simulation, Stats, Workload,
+    LivenessVerdict, PrefixMonitor, Protocol, RunObserver, SimConfig, SimError, Simulation, Stats,
+    Workload,
 };
 
 /// Feeds kernel run events into the predicate layer's online
@@ -156,6 +157,10 @@ pub struct VerifyOutcome {
     /// non-owner, …), the structured counterexample: the offending
     /// event, message, simulated time, and the trace up to the bug.
     pub counterexample: Option<SimError>,
+    /// When the run ended non-quiescent (and was not halted early), the
+    /// kernel's blame analysis of the pending frontier: which messages
+    /// are stuck at which system event, and why.
+    pub liveness: Option<LivenessVerdict>,
 }
 
 impl VerifyOutcome {
@@ -231,6 +236,7 @@ fn verify_with<P: Protocol>(
                 user_run: result.run.users_view(),
                 stats: result.stats,
                 counterexample: None,
+                liveness: result.liveness,
             }
         }
         Err(e) => {
@@ -245,6 +251,7 @@ fn verify_with<P: Protocol>(
                     .users_view()
             });
             let violation = eval::find_instantiation(spec, &user_run);
+            let liveness = e.kind.liveness().cloned();
             VerifyOutcome {
                 safe: violation.is_none(),
                 live: false,
@@ -254,6 +261,7 @@ fn verify_with<P: Protocol>(
                 user_run,
                 stats: e.stats.clone(),
                 counterexample: Some(e),
+                liveness,
             }
         }
     }
@@ -337,8 +345,8 @@ mod tests {
         let specs = [catalog::fifo(), catalog::causal()];
         let faults = [
             FaultModel::none(),
-            FaultModel::none().with_drop(0.15),
-            FaultModel::none().with_duplication(0.1),
+            FaultModel::none().with_drop(0.15).unwrap(),
+            FaultModel::none().with_duplication(0.1).unwrap(),
         ];
         for kind in ProtocolKind::fixed() {
             for spec in &specs {
@@ -374,6 +382,18 @@ mod tests {
                         );
                         assert_eq!(out.safe, out.violation.is_none());
                         assert_eq!(out.safe, out.detection_event.is_none());
+                        assert!(out.counterexample.is_none());
+                        assert_eq!(
+                            out.live,
+                            out.liveness.is_none(),
+                            "{} / fault {fi} / seed {seed}: a non-live run must \
+                             carry a liveness verdict (and a live one must not)",
+                            kind.name()
+                        );
+                        if let Some(v) = &out.liveness {
+                            assert!(v.stuck_count() > 0);
+                            assert!(!v.step_limited);
+                        }
                         if let Some(w) = &out.violation {
                             assert!(
                                 eval::check_instantiation(spec, &out.user_run, w),
@@ -384,6 +404,41 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// A permanent crash wedges the run and the verdict names the crash
+    /// — not just "non-quiescent".
+    #[test]
+    fn crash_without_restart_is_blamed_in_liveness_verdict() {
+        use msgorder_simnet::{Blame, StuckCause};
+        let n = 3;
+        let fault = FaultModel::none().with_crash(1, 1, None);
+        let out = run_and_verify(
+            config(n, 3).with_faults(fault),
+            Workload::uniform_random(n, 12, 3),
+            |node| ProtocolKind::Fifo.instantiate_with(n, node, true),
+            &catalog::fifo(),
+        );
+        assert!(out.counterexample.is_none(), "no protocol bug");
+        assert!(!out.live, "messages touching P1 can never finish");
+        let v = out.liveness.expect("non-live run carries a verdict");
+        assert!(v.stuck_count() > 0);
+        let crashed = msgorder_runs::ProcessId(1);
+        for s in &v.stuck {
+            match s.cause {
+                StuckCause::ArrivalAtCrashedProcess { node }
+                | StuckCause::CrashedWithoutRestart { node } => assert_eq!(node, crashed),
+                StuckCause::FrameLost { .. } => {
+                    // A frame eaten mid-backoff by the crash window is
+                    // accounted at the link; it must involve P1.
+                    assert!(matches!(
+                        s.blame,
+                        Blame::Link { from, to } if from == crashed || to == crashed
+                    ));
+                }
+                other => panic!("unexpected cause {other:?} for {s}"),
             }
         }
     }

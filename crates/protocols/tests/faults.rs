@@ -11,7 +11,7 @@ use msgorder_simnet::{
 
 fn lossy(processes: usize, seed: u64, drop: f64) -> SimConfig {
     SimConfig::new(processes, LatencyModel::Uniform { lo: 1, hi: 500 }, seed)
-        .with_faults(FaultModel::none().with_drop(drop))
+        .with_faults(FaultModel::none().with_drop(drop).unwrap())
 }
 
 #[test]

@@ -8,6 +8,7 @@
 //! counterexample trace), and the stats accumulated so far.
 
 use crate::latency::LatencyOverflow;
+use crate::liveness::LivenessVerdict;
 use crate::stats::Stats;
 use msgorder_runs::{MessageId, ProcessId, RunError, SystemRun};
 
@@ -60,6 +61,46 @@ pub enum SimErrorKind {
     /// A replayed run requested more network decisions than the trace
     /// recorded — the setup being replayed does not match the recording.
     ReplayExhausted,
+    /// The step limit tripped before the event queue drained: a
+    /// livelocked (or wedged) protocol. Carries the liveness blame
+    /// analysis of everything still pending at the limit.
+    StepLimit {
+        /// The step limit that was exhausted.
+        steps: usize,
+        /// Blame analysis of the pending frontier (possibly empty: a
+        /// pure control-frame livelock leaves no user message pending).
+        frontier: LivenessVerdict,
+    },
+}
+
+impl SimErrorKind {
+    /// A stable kebab-case discriminant name — the identity the
+    /// counterexample shrinker preserves across reductions (two errors
+    /// of the same discriminant are "the same bug" for shrinking).
+    pub fn discriminant_name(&self) -> &'static str {
+        match self {
+            SimErrorKind::SendFromNonOwner { .. } => "send-from-non-owner",
+            SimErrorKind::DeliverAtNonDestination { .. } => "deliver-at-non-destination",
+            SimErrorKind::InvalidSend(_) => "invalid-send",
+            SimErrorKind::InvalidDelivery(_) => "invalid-delivery",
+            SimErrorKind::InvalidRequest(_) => "invalid-request",
+            SimErrorKind::InvalidReceive(_) => "invalid-receive",
+            SimErrorKind::ResendBeforeSend => "resend-before-send",
+            SimErrorKind::InvalidRun(_) => "invalid-run",
+            SimErrorKind::LatencyOverflow(_) => "latency-overflow",
+            SimErrorKind::TimeOverflow { .. } => "time-overflow",
+            SimErrorKind::ReplayExhausted => "replay-exhausted",
+            SimErrorKind::StepLimit { .. } => "step-limit",
+        }
+    }
+
+    /// The liveness verdict attached to this error, if it carries one.
+    pub fn liveness(&self) -> Option<&LivenessVerdict> {
+        match self {
+            SimErrorKind::StepLimit { frontier, .. } => Some(frontier),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimErrorKind {
@@ -92,6 +133,17 @@ impl std::fmt::Display for SimErrorKind {
                     f,
                     "replay decision log exhausted: run diverged from the recording"
                 )
+            }
+            SimErrorKind::StepLimit { steps, frontier } => {
+                write!(
+                    f,
+                    "step limit ({steps}) exhausted with {} user message(s) pending",
+                    frontier.stuck_count()
+                )?;
+                if let Some(class) = frontier.primary_class() {
+                    write!(f, " [{class}]")?;
+                }
+                Ok(())
             }
         }
     }

@@ -14,6 +14,7 @@
 
 use crate::error::SimError;
 use crate::kernel::{EventKind, KernelEvent, Protocol, Scheduled, SimConfig, Simulation};
+use crate::liveness::{self, LivenessVerdict};
 use crate::workload::Workload;
 use msgorder_runs::{StreamingRun, SystemEvent, SystemRun};
 use std::cmp::Reverse;
@@ -35,6 +36,13 @@ pub struct Exploration {
     /// A protocol bug found along some schedule, with its counterexample
     /// trace; the search stops at the first one.
     pub error: Option<Box<SimError>>,
+    /// Complete schedules that ended *non-quiescent* — the protocol
+    /// inhibited some message forever along that interleaving.
+    pub non_live: usize,
+    /// Blame analysis of the first non-quiescent schedule encountered
+    /// (under [`explore_parallel`] with several threads, "first" is
+    /// whichever worker got there first).
+    pub first_stall: Option<Box<LivenessVerdict>>,
 }
 
 /// An online check over growing run prefixes, used by
@@ -80,6 +88,8 @@ where
         truncated: false,
         pruned: 0,
         error: None,
+        non_live: 0,
+        first_stall: None,
     };
     dfs(&mut state, cap, &mut exp, &mut visit);
     exp
@@ -116,6 +126,8 @@ where
         truncated: false,
         pruned: 0,
         error: None,
+        non_live: 0,
+        first_stall: None,
     };
     let mut visited = HashSet::new();
     visited.insert(state.dedup_key());
@@ -151,6 +163,8 @@ where
         truncated: false,
         pruned: 0,
         error: None,
+        non_live: 0,
+        first_stall: None,
     };
     let mut mon = monitor;
     if drain_into_monitor(&mut state, &mut mon) {
@@ -159,6 +173,18 @@ where
     }
     dfs_monitored(&mut state, &mon, cap, &mut exp, &mut visit);
     exp
+}
+
+/// Accounts a complete schedule's liveness: a leaf whose run is
+/// non-quiescent wedged under this interleaving (the explorer has no
+/// faults, so the blame is always the protocol's inhibition).
+fn note_leaf_liveness<P>(state: &State<P>, exp: &mut Exploration) {
+    if let Some(v) = liveness::analyze(&state.world, false) {
+        exp.non_live += 1;
+        if exp.first_stall.is_none() {
+            exp.first_stall = Some(Box::new(v));
+        }
+    }
 }
 
 /// Feeds the journal of freshly executed run events to the monitor.
@@ -213,6 +239,8 @@ where
                 truncated: true,
                 pruned: 0,
                 error: None,
+                non_live: 0,
+                first_stall: None,
             };
         }
         let run = state
@@ -226,9 +254,13 @@ where
             truncated: false,
             pruned: 0,
             error: None,
+            non_live: 0,
+            first_stall: None,
         };
     }
     let schedules = AtomicUsize::new(0);
+    let non_live = AtomicUsize::new(0);
+    let stall: Mutex<Option<Box<LivenessVerdict>>> = Mutex::new(None);
     let truncated = AtomicBool::new(false);
     let stopped = AtomicBool::new(false);
     let error: Mutex<Option<Box<SimError>>> = Mutex::new(None);
@@ -254,6 +286,8 @@ where
                     &mut branch,
                     cap,
                     &schedules,
+                    &non_live,
+                    &stall,
                     &truncated,
                     &stopped,
                     &error,
@@ -269,6 +303,10 @@ where
         error: error
             .into_inner()
             .expect("no worker panicked holding the error slot"),
+        non_live: non_live.load(Ordering::Relaxed),
+        first_stall: stall
+            .into_inner()
+            .expect("no worker panicked holding the stall slot"),
     }
 }
 
@@ -463,6 +501,7 @@ where
         .collect();
     if pool_len == 0 && request_nodes.is_empty() {
         exp.schedules += 1;
+        note_leaf_liveness(state, exp);
         let run = state
             .world
             .builder
@@ -523,6 +562,7 @@ where
         .collect();
     if pool_len == 0 && request_nodes.is_empty() {
         exp.schedules += 1;
+        note_leaf_liveness(state, exp);
         let run = state
             .world
             .builder
@@ -590,6 +630,7 @@ where
         .collect();
     if pool_len == 0 && request_nodes.is_empty() {
         exp.schedules += 1;
+        note_leaf_liveness(state, exp);
         let run = state
             .world
             .builder
@@ -627,11 +668,13 @@ where
 /// [`dfs`] against shared atomic progress state, used by the workers of
 /// [`explore_parallel`]. The schedule count is claimed with a
 /// compare-exchange loop so it can never overshoot `cap`.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // one slot per shared accumulator
 fn dfs_shared<P, V>(
     state: &mut State<P>,
     cap: usize,
     schedules: &AtomicUsize,
+    non_live: &AtomicUsize,
+    stall: &Mutex<Option<Box<LivenessVerdict>>>,
     truncated: &AtomicBool,
     stopped: &AtomicBool,
     error: &Mutex<Option<Box<SimError>>>,
@@ -666,6 +709,13 @@ where
                 Err(seen) => cur = seen,
             }
         }
+        if let Some(v) = liveness::analyze(&state.world, false) {
+            non_live.fetch_add(1, Ordering::Relaxed);
+            stall
+                .lock()
+                .expect("no worker panicked holding the stall slot")
+                .get_or_insert_with(|| Box::new(v));
+        }
         let run = state
             .world
             .builder
@@ -689,7 +739,9 @@ where
             stopped.store(true, Ordering::Relaxed);
             return false;
         }
-        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, error, visit) {
+        if !dfs_shared(
+            &mut next, cap, schedules, non_live, stall, truncated, stopped, error, visit,
+        ) {
             return false;
         }
     }
@@ -705,7 +757,9 @@ where
             stopped.store(true, Ordering::Relaxed);
             return false;
         }
-        if !dfs_shared(&mut next, cap, schedules, truncated, stopped, error, visit) {
+        if !dfs_shared(
+            &mut next, cap, schedules, non_live, stall, truncated, stopped, error, visit,
+        ) {
             return false;
         }
     }
@@ -733,6 +787,50 @@ mod tests {
         ) {
             ctx.deliver(msg);
         }
+    }
+
+    #[derive(Clone, Hash)]
+    struct Sink;
+    impl Protocol for Sink {
+        fn on_send_request(&mut self, ctx: &mut crate::Ctx<'_>, msg: MessageId) {
+            ctx.send_user(msg, Vec::new());
+        }
+        fn on_user_frame(
+            &mut self,
+            _ctx: &mut crate::Ctx<'_>,
+            _from: ProcessId,
+            _msg: MessageId,
+            _tag: Vec<u8>,
+        ) {
+            // Never delivers: every schedule wedges.
+        }
+    }
+
+    #[test]
+    fn exploration_counts_non_live_schedules_with_blame() {
+        let exp = explore(2, two_same_channel(), |_| Sink, 10_000, |_| true);
+        assert!(exp.error.is_none());
+        assert!(exp.schedules > 0);
+        assert_eq!(
+            exp.non_live, exp.schedules,
+            "a sink protocol wedges every interleaving"
+        );
+        let stall = exp.first_stall.expect("blame for the first stall");
+        assert_eq!(stall.stuck_count(), 2);
+        assert_eq!(
+            stall.classes(),
+            vec!["deliver:protocol-inhibited".to_owned()]
+        );
+
+        // A live protocol reports none.
+        let exp = explore(2, two_same_channel(), |_| Immediate, 10_000, |_| true);
+        assert_eq!(exp.non_live, 0);
+        assert!(exp.first_stall.is_none());
+
+        // The parallel front end aggregates the same counts.
+        let par = explore_parallel(2, two_same_channel(), |_| Sink, 4, 10_000, |_| true);
+        assert_eq!(par.non_live, par.schedules);
+        assert!(par.first_stall.is_some());
     }
 
     fn two_same_channel() -> Workload {

@@ -11,6 +11,55 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A structured rejection of an ill-formed fault configuration —
+/// surfaced at the API boundary instead of a CLI-only check or a panic
+/// deep inside the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultConfigError {
+    /// A probability was NaN or outside `[0, 1]`.
+    InvalidProbability {
+        /// Which knob: `"drop"` or `"duplication"`.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A partition references a process outside `0..processes`, or
+    /// partitions itself, or has an empty window (`until <= from`).
+    InvalidPartition(Partition),
+    /// A crash schedule references a process outside `0..processes` or
+    /// restarts at (or before) the crash tick.
+    InvalidCrash(CrashSchedule),
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::InvalidProbability { knob, value } => {
+                write!(f, "{knob} probability {value} not in [0, 1]")
+            }
+            FaultConfigError::InvalidPartition(p) => write!(
+                f,
+                "invalid partition P{}<->P{} over [{}, {}): endpoints must be distinct \
+                 in-range processes and the window non-empty",
+                p.a, p.b, p.from, p.until
+            ),
+            FaultConfigError::InvalidCrash(c) => write!(
+                f,
+                "invalid crash of P{} at t={}{}: process must be in range and any \
+                 restart strictly after the crash",
+                c.process,
+                c.at,
+                match c.restart {
+                    Some(r) => format!(" (restart t={r})"),
+                    None => String::new(),
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
 /// A symmetric link partition: frames between processes `a` and `b`
 /// (either direction) are dropped while `from <= now < until`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,28 +118,35 @@ impl FaultModel {
 
     /// Sets the per-frame drop probability.
     ///
-    /// # Panics
-    /// Panics if `p` is outside `[0, 1]`.
-    pub fn with_drop(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "drop probability {p} not in [0, 1]"
-        );
+    /// # Errors
+    /// Rejects NaN and anything outside `[0, 1]` with a structured
+    /// [`FaultConfigError`] (NaN fails the range check too — it compares
+    /// false to everything).
+    pub fn with_drop(mut self, p: f64) -> Result<Self, FaultConfigError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultConfigError::InvalidProbability {
+                knob: "drop",
+                value: p,
+            });
+        }
         self.drop = p;
-        self
+        Ok(self)
     }
 
     /// Sets the per-frame duplication probability.
     ///
-    /// # Panics
-    /// Panics if `p` is outside `[0, 1]`.
-    pub fn with_duplication(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "duplication probability {p} not in [0, 1]"
-        );
+    /// # Errors
+    /// Rejects NaN and anything outside `[0, 1]` with a structured
+    /// [`FaultConfigError`].
+    pub fn with_duplication(mut self, p: f64) -> Result<Self, FaultConfigError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultConfigError::InvalidProbability {
+                knob: "duplication",
+                value: p,
+            });
+        }
         self.duplicate = p;
-        self
+        Ok(self)
     }
 
     /// Adds a symmetric partition between `a` and `b` over `[from, until)`.
@@ -108,6 +164,28 @@ impl FaultModel {
             restart,
         });
         self
+    }
+
+    /// Checks the schedules against a concrete process count: partition
+    /// endpoints and crash targets must exist, partition windows must be
+    /// non-empty, crashes must restart strictly after they happen.
+    /// Probabilities are validated at construction and need no recheck.
+    ///
+    /// # Errors
+    /// The first offending [`Partition`] or [`CrashSchedule`].
+    pub fn validate_for(&self, processes: usize) -> Result<(), FaultConfigError> {
+        for p in &self.partitions {
+            if p.a >= processes || p.b >= processes || p.a == p.b || p.until <= p.from {
+                return Err(FaultConfigError::InvalidPartition(*p));
+            }
+        }
+        for c in &self.crashes {
+            let bad_restart = matches!(c.restart, Some(r) if r <= c.at);
+            if c.process >= processes || bad_restart {
+                return Err(FaultConfigError::InvalidCrash(*c));
+            }
+        }
+        Ok(())
     }
 
     /// `true` if this model can never perturb a run: the kernel takes
@@ -153,21 +231,85 @@ mod tests {
 
     #[test]
     fn builders_mark_model_noisy() {
-        assert!(!FaultModel::none().with_drop(0.1).is_quiet());
-        assert!(!FaultModel::none().with_duplication(0.1).is_quiet());
+        assert!(!FaultModel::none().with_drop(0.1).unwrap().is_quiet());
+        assert!(!FaultModel::none().with_duplication(0.1).unwrap().is_quiet());
         assert!(!FaultModel::none().with_partition(0, 1, 5, 10).is_quiet());
         assert!(!FaultModel::none().with_crash(2, 100, None).is_quiet());
         // Zero probabilities alone stay quiet.
         assert!(FaultModel::none()
             .with_drop(0.0)
+            .unwrap()
             .with_duplication(0.0)
+            .unwrap()
             .is_quiet());
     }
 
     #[test]
-    #[should_panic(expected = "not in [0, 1]")]
-    fn drop_probability_validated() {
-        let _ = FaultModel::none().with_drop(1.5);
+    fn probabilities_rejected_with_structured_errors() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = FaultModel::none().with_drop(bad).unwrap_err();
+            match e {
+                FaultConfigError::InvalidProbability { knob, value } => {
+                    assert_eq!(knob, "drop");
+                    assert!(value.is_nan() == bad.is_nan() && (value.is_nan() || value == bad));
+                }
+                other => panic!("wrong error: {other:?}"),
+            }
+            let e = FaultModel::none().with_duplication(bad).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    FaultConfigError::InvalidProbability {
+                        knob: "duplication",
+                        ..
+                    }
+                ),
+                "{e:?}"
+            );
+            assert!(e.to_string().contains("not in [0, 1]"), "{e}");
+        }
+        // Boundary values are accepted.
+        assert!(FaultModel::none().with_drop(0.0).is_ok());
+        assert!(FaultModel::none().with_drop(1.0).is_ok());
+        assert!(FaultModel::none().with_duplication(1.0).is_ok());
+    }
+
+    #[test]
+    fn schedules_validated_against_process_count() {
+        assert!(FaultModel::none()
+            .with_partition(0, 1, 5, 10)
+            .with_crash(2, 100, Some(200))
+            .validate_for(3)
+            .is_ok());
+        // Endpoint out of range.
+        let e = FaultModel::none()
+            .with_partition(0, 3, 5, 10)
+            .validate_for(3)
+            .unwrap_err();
+        assert!(matches!(e, FaultConfigError::InvalidPartition(_)), "{e:?}");
+        // Self-partition and empty window.
+        assert!(FaultModel::none()
+            .with_partition(1, 1, 5, 10)
+            .validate_for(3)
+            .is_err());
+        assert!(FaultModel::none()
+            .with_partition(0, 1, 10, 10)
+            .validate_for(3)
+            .is_err());
+        // Crash target out of range; restart not after crash.
+        let e = FaultModel::none()
+            .with_crash(5, 10, None)
+            .validate_for(3)
+            .unwrap_err();
+        assert!(matches!(e, FaultConfigError::InvalidCrash(_)), "{e:?}");
+        assert!(FaultModel::none()
+            .with_crash(0, 10, Some(10))
+            .validate_for(3)
+            .is_err());
+        assert!(FaultModel::none()
+            .with_crash(0, 10, Some(11))
+            .validate_for(3)
+            .is_ok());
     }
 
     #[test]

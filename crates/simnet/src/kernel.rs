@@ -3,6 +3,7 @@
 use crate::error::{SimError, SimErrorKind, SimOutcome};
 use crate::faults::FaultModel;
 use crate::latency::LatencyModel;
+use crate::liveness::{self, FrameFate, LivenessVerdict};
 use crate::stats::Stats;
 use crate::workload::Workload;
 use msgorder_runs::{
@@ -531,6 +532,9 @@ pub(crate) struct World {
     pub(crate) receive_time: Vec<Option<u64>>,
     /// Which messages have executed their send `x.s` (gates resends).
     pub(crate) sent: Vec<bool>,
+    /// Per-message wire accounting (copies out, copies eaten, why) for
+    /// the liveness blame analysis.
+    pub(crate) frame_fate: Vec<FrameFate>,
     /// The first protocol bug detected, if any; once set, the world is
     /// poisoned and all further protocol actions are no-ops.
     pub(crate) error: Option<SimError>,
@@ -664,6 +668,17 @@ impl World {
                 dup_delay: decision.dup_delay,
             }));
         }
+        if let EventKind::UserArrival { msg, .. } = &kind {
+            let fate = &mut self.frame_fate[msg.0];
+            fate.attempts += 1;
+            if let Some(reason) = decision.dropped {
+                fate.dropped += 1;
+                fate.last_drop = Some(reason);
+            } else if decision.dup_delay.is_some() {
+                // The duplicated copy is one more frame on the wire.
+                fate.attempts += 1;
+            }
+        }
         if decision.dropped.is_some() {
             self.stats.dropped_frames += 1;
             return;
@@ -699,9 +714,15 @@ pub struct SimResult {
     pub run: SystemRun,
     /// Overhead counters.
     pub stats: Stats,
-    /// `false` if the step limit was hit before the event queue drained
-    /// (a livelocked protocol).
+    /// `true` iff the event queue drained. Step-limit exhaustion now
+    /// surfaces as [`SimErrorKind::StepLimit`], so an `Ok` result always
+    /// has `completed == true`; the field is kept for the streaming
+    /// path's halted runs and for symmetry.
     pub completed: bool,
+    /// `Some` when the run ended non-quiescent: the structured blame
+    /// analysis of the pending frontier (which messages are stuck at
+    /// which system event, and why).
+    pub liveness: Option<LivenessVerdict>,
 }
 
 /// A hook fed every run event (`s*`, `s`, `r*`, `r`) the moment the
@@ -747,6 +768,11 @@ pub struct StreamResult {
     pub completed: bool,
     /// `true` iff the observer requested the halt.
     pub halted: bool,
+    /// `Some` when the run drained its queue but ended non-quiescent:
+    /// the structured blame analysis of the pending frontier. Always
+    /// `None` for halted runs (the observer cut the run short on
+    /// purpose).
+    pub liveness: Option<LivenessVerdict>,
 }
 
 /// A discrete-event simulation of `P` instances exchanging a workload.
@@ -806,6 +832,7 @@ impl<P: Protocol> Simulation<P> {
             invoke_time: vec![None; n_msgs],
             receive_time: vec![None; n_msgs],
             sent: vec![false; n_msgs],
+            frame_fate: vec![FrameFate::default(); n_msgs],
             error: None,
             record: false,
             record_wire: false,
@@ -850,16 +877,19 @@ impl<P: Protocol> Simulation<P> {
     pub fn run(mut self) -> SimOutcome {
         let (completed, _halted) = self.drive(None);
         self.world.stats.end_time = self.world.now;
+        self.poison_step_limit(completed, false);
         if let Some(mut e) = self.world.error.take() {
             e.trace = self.world.builder.build().ok();
             e.stats = self.world.stats.clone();
             return Err(e);
         }
+        let liveness = liveness::analyze(&self.world, false);
         match self.world.builder.build() {
             Ok(run) => Ok(SimResult {
                 run,
                 stats: self.world.stats,
                 completed,
+                liveness,
             }),
             Err(re) => Err(SimError {
                 kind: SimErrorKind::InvalidRun(re),
@@ -887,17 +917,47 @@ impl<P: Protocol> Simulation<P> {
         self.world.record_wire = obs.wants_wire();
         let (completed, halted) = self.drive(Some(obs));
         self.world.stats.end_time = self.world.now;
+        self.poison_step_limit(completed, halted);
         if let Some(mut e) = self.world.error.take() {
             e.trace = self.world.builder.build().ok();
             e.stats = self.world.stats.clone();
             return Err(e);
         }
+        let liveness = if halted {
+            None
+        } else {
+            liveness::analyze(&self.world, false)
+        };
         Ok(StreamResult {
             run: self.world.builder,
             stats: self.world.stats,
             completed,
             halted,
+            liveness,
         })
+    }
+
+    /// Turns step-limit exhaustion into the structured
+    /// [`SimErrorKind::StepLimit`] counterexample, carrying the blame
+    /// analysis of whatever was still pending when the limit tripped.
+    /// Observer halts are deliberate and never poisoned.
+    fn poison_step_limit(&mut self, completed: bool, halted: bool) {
+        if completed || halted || self.world.error.is_some() {
+            return;
+        }
+        let frontier = liveness::analyze(&self.world, true).unwrap_or(LivenessVerdict {
+            stuck: Vec::new(),
+            step_limited: true,
+            end_time: self.world.now,
+        });
+        self.world.fail(
+            0,
+            None,
+            SimErrorKind::StepLimit {
+                steps: self.step_limit,
+                frontier,
+            },
+        );
     }
 
     /// The shared event loop: dispatches until the queue drains, the
@@ -929,7 +989,15 @@ impl<P: Protocol> Simulation<P> {
             if let Some(restart) = self.world.faults.down_until(ev.node, ev.time) {
                 match ev.kind {
                     // Frames arriving at a crashed process are lost.
-                    EventKind::UserArrival { .. } | EventKind::ControlArrival { .. } => {
+                    EventKind::UserArrival { msg, .. } => {
+                        self.world.frame_fate[msg.0].crashed_arrivals += 1;
+                        self.world.stats.dropped_frames += 1;
+                        self.world.journal_fault(FaultRecord::ArrivalAtCrashed {
+                            node: ev.node,
+                            time: ev.time,
+                        });
+                    }
+                    EventKind::ControlArrival { .. } => {
                         self.world.stats.dropped_frames += 1;
                         self.world.journal_fault(FaultRecord::ArrivalAtCrashed {
                             node: ev.node,
@@ -947,6 +1015,9 @@ impl<P: Protocol> Simulation<P> {
                                 until: r,
                             });
                         } else {
+                            if let EventKind::Request { msg } = kind {
+                                self.world.frame_fate[msg.0].request_lost = true;
+                            }
                             self.world.journal_fault(FaultRecord::LostToCrash {
                                 node: ev.node,
                                 time: ev.time,
@@ -1220,11 +1291,43 @@ mod tests {
             }
         }
         let w = Workload::uniform_random(2, 1, 0);
-        let r = Simulation::new(config(7), w, |_| Livelock)
+        let e = Simulation::new(config(7), w, |_| Livelock)
             .with_step_limit(500)
             .run()
-            .expect("ok");
-        assert!(!r.completed);
+            .expect_err("step-limit exhaustion is a structured error");
+        match &e.kind {
+            SimErrorKind::StepLimit { steps, frontier } => {
+                assert_eq!(*steps, 500);
+                assert!(frontier.step_limited);
+                // The one user message delivers immediately; only the
+                // control ping-pong livelocks, so the frontier is empty.
+                assert_eq!(frontier.stuck_count(), 0);
+            }
+            other => panic!("wrong error kind: {other:?}"),
+        }
+        assert_eq!(e.kind.discriminant_name(), "step-limit");
+        assert!(e.trace.is_some(), "partial run still captured");
+    }
+
+    #[test]
+    fn undelivered_messages_get_liveness_blame() {
+        let w = Workload::uniform_random(3, 5, 2);
+        let r = Simulation::run_uniform(config(4), w, |_| BlackHole).expect("ok");
+        let v = r.liveness.expect("non-quiescent run carries a verdict");
+        assert!(!v.step_limited, "queue drained normally");
+        assert_eq!(v.stuck_count(), 5, "all five messages pending");
+        for s in &v.stuck {
+            assert_eq!(s.stage, crate::liveness::StuckStage::Deliver);
+            assert_eq!(s.cause, crate::liveness::StuckCause::ProtocolInhibited);
+        }
+        assert_eq!(v.classes(), vec!["deliver:protocol-inhibited".to_owned()]);
+    }
+
+    #[test]
+    fn quiescent_runs_have_no_liveness_verdict() {
+        let w = Workload::uniform_random(3, 10, 7);
+        let r = Simulation::run_uniform(config(1), w, |_| Immediate).expect("ok");
+        assert!(r.liveness.is_none());
     }
 
     #[test]

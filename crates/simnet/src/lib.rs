@@ -56,6 +56,7 @@ mod faults;
 mod frame;
 mod kernel;
 mod latency;
+mod liveness;
 mod stats;
 mod workload;
 
@@ -63,12 +64,13 @@ pub use error::{SimError, SimErrorKind, SimOutcome};
 pub use explore::{
     explore, explore_dedup, explore_monitored, explore_parallel, Exploration, PrefixMonitor,
 };
-pub use faults::{CrashSchedule, FaultModel, Partition};
+pub use faults::{CrashSchedule, FaultConfigError, FaultModel, Partition};
 pub use frame::Frame;
 pub use kernel::{
     Ctx, DropReason, FaultRecord, KernelEvent, PayloadKind, Protocol, RunObserver, SimConfig,
     SimResult, Simulation, StreamResult, TransmitDecision, WireRecord,
 };
 pub use latency::{LatencyModel, LatencyOverflow};
+pub use liveness::{Blame, LivenessVerdict, StuckCause, StuckMessage, StuckStage};
 pub use stats::Stats;
 pub use workload::{SendSpec, Workload};

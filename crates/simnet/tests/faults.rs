@@ -93,7 +93,7 @@ fn stats_agree_with_hand_computation_on_scripted_workload() {
 fn full_loss_delivers_nothing() {
     let w = Workload::uniform_random(3, 10, 7);
     let cfg = SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 100 }, 7)
-        .with_faults(FaultModel::none().with_drop(1.0));
+        .with_faults(FaultModel::none().with_drop(1.0).unwrap());
     let r = Simulation::run_uniform(cfg, w, |_| Immediate).expect("no bug");
     assert_eq!(r.stats.delivered, 0);
     assert_eq!(r.stats.dropped_frames, 10);
@@ -104,7 +104,7 @@ fn full_loss_delivers_nothing() {
 fn duplication_is_fully_absorbed_by_the_kernel() {
     let w = Workload::uniform_random(3, 12, 9);
     let cfg = SimConfig::new(3, LatencyModel::Uniform { lo: 1, hi: 100 }, 9)
-        .with_faults(FaultModel::none().with_duplication(1.0));
+        .with_faults(FaultModel::none().with_duplication(1.0).unwrap());
     let r = Simulation::run_uniform(cfg, w, |_| Immediate)
         .expect("duplicates must not corrupt the run");
     assert_eq!(r.stats.delivered, 12, "every message still delivered once");
@@ -195,7 +195,9 @@ fn crashed_sender_defers_its_request_to_the_restart() {
 fn faulty_runs_are_deterministic_given_seed() {
     let faults = FaultModel::none()
         .with_drop(0.3)
+        .unwrap()
         .with_duplication(0.2)
+        .unwrap()
         .with_partition(0, 1, 50, 150)
         .with_crash(2, 200, Some(400));
     let mk = || {
@@ -231,7 +233,13 @@ proptest! {
         ).expect("no bug");
         let quiet = Simulation::run_uniform(
             SimConfig::new(procs, latency, seed)
-                .with_faults(FaultModel::none().with_drop(0.0).with_duplication(0.0)),
+                .with_faults(
+                    FaultModel::none()
+                        .with_drop(0.0)
+                        .unwrap()
+                        .with_duplication(0.0)
+                        .unwrap(),
+                ),
             w,
             |_| Immediate,
         ).expect("no bug");

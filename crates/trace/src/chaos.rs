@@ -1,0 +1,262 @@
+//! Chaos sweep: seeded randomized search over protocol × fault model ×
+//! workload, funneling every violation through the counterexample
+//! shrinker.
+//!
+//! Each trial derives its own seed from the sweep seed (SplitMix64, so
+//! trial `i` of sweep seed `s` is reproducible in isolation), samples a
+//! small scenario — protocol, process count, workload, drop/duplication
+//! probabilities, an optional partition, an optional crash — records
+//! one run, and triages the outcome into a
+//! [`crate::shrink::VerdictClass`]. Findings are
+//! deduplicated by `(protocol, verdict class)` so the report is a table
+//! of *distinct* failure modes, each carried by its minimal (shrunk)
+//! reproducer rather than the raw noisy trace that first exposed it.
+//!
+//! The sweep is fully deterministic: no wall clock, no global RNG —
+//! same [`ChaosConfig`], same findings.
+
+use crate::shrink::{self, ShrinkReport, VerdictClass};
+use crate::{record, Setup, Trace, TraceError};
+use msgorder_protocols::ProtocolKind;
+use msgorder_simnet::{FaultModel, LatencyModel, Workload};
+
+/// SplitMix64 — the trace crate carries no RNG dependency, and the
+/// sweep only needs a fast, well-mixed deterministic stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    /// True with probability `p`.
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+/// Parameters of a chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Number of trials to run.
+    pub trials: usize,
+    /// Sweep seed; every trial's scenario and kernel seed derive from
+    /// it.
+    pub seed: u64,
+    /// Protocols to sample from (registry names). Empty = the full
+    /// fixed-membership registry.
+    pub protocols: Vec<String>,
+    /// Kernel step limit per trial — deliberately small so livelocks
+    /// trip fast.
+    pub step_limit: usize,
+    /// Whether to shrink each finding to a minimal reproducer.
+    pub shrink: bool,
+}
+
+impl ChaosConfig {
+    /// A sweep of `trials` trials from `seed` over the whole registry,
+    /// with shrinking on and a 200k-step budget.
+    pub fn new(trials: usize, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            trials,
+            seed,
+            protocols: Vec::new(),
+            step_limit: 200_000,
+            shrink: true,
+        }
+    }
+}
+
+/// One distinct failure mode a sweep found.
+#[derive(Debug)]
+pub struct ChaosFinding {
+    /// Protocol the scenario ran.
+    pub protocol: String,
+    /// Index of the trial that first exposed this mode.
+    pub trial: usize,
+    /// The preserved verdict class.
+    pub class: VerdictClass,
+    /// The reproducer: shrunk when shrinking is on, else the raw trace.
+    pub trace: Trace,
+    /// The shrink accounting, when shrinking ran.
+    pub shrink: Option<ShrinkReport>,
+}
+
+/// The outcome of a chaos sweep.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Trials executed.
+    pub trials: usize,
+    /// Trials whose outcome classified as a violation (before
+    /// deduplication).
+    pub violations: usize,
+    /// Distinct failure modes, in discovery order.
+    pub findings: Vec<ChaosFinding>,
+}
+
+impl ChaosReport {
+    /// Renders the findings as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{} trial(s), {} violation(s), {} distinct failure mode(s)\n",
+            self.trials,
+            self.violations,
+            self.findings.len()
+        );
+        if self.findings.is_empty() {
+            return out;
+        }
+        out.push_str(&format!(
+            "{:<12} {:>5}  {:<40} {:>7} {:>9}\n",
+            "protocol", "trial", "class", "events", "shrunk-by"
+        ));
+        for f in &self.findings {
+            let (events, by) = match &f.shrink {
+                Some(r) => (
+                    r.events_after.to_string(),
+                    format!("{:.0}%", r.reduction() * 100.0),
+                ),
+                None => (f.trace.events.len().to_string(), "-".into()),
+            };
+            out.push_str(&format!(
+                "{:<12} {:>5}  {:<40} {:>7} {:>9}\n",
+                f.protocol,
+                f.trial,
+                f.class.to_string(),
+                events,
+                by
+            ));
+        }
+        out
+    }
+}
+
+/// Samples one trial scenario from the trial's private RNG stream.
+fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Setup {
+    let protocol = rng.pick(protocols).clone();
+    let processes = rng.range(2, 4) as usize;
+    let messages = rng.range(4, 16) as usize;
+    let workload = Workload::uniform_random(processes, messages, rng.next());
+    let mut faults = FaultModel::none();
+    if rng.chance(0.7) {
+        faults = faults
+            .with_drop(rng.range(5, 30) as f64 / 100.0)
+            .expect("sampled probability is in range");
+    }
+    if rng.chance(0.3) {
+        faults = faults
+            .with_duplication(rng.range(5, 20) as f64 / 100.0)
+            .expect("sampled probability is in range");
+    }
+    if rng.chance(0.4) {
+        let a = rng.range(0, processes as u64 - 1) as usize;
+        let b = (a + 1 + rng.range(0, processes as u64 - 2) as usize) % processes;
+        let from = rng.range(0, 500);
+        faults = faults.with_partition(a, b, from, from + rng.range(100, 4000));
+    }
+    if rng.chance(0.4) {
+        let at = rng.range(1, 800);
+        let restart = if rng.chance(0.5) {
+            Some(at + rng.range(100, 3000))
+        } else {
+            None // permanent crash
+        };
+        faults = faults.with_crash(rng.range(0, processes as u64 - 1) as usize, at, restart);
+    }
+    let spec = match rng.range(0, 2) {
+        0 => None,
+        1 => Some("fifo".to_owned()),
+        _ => Some("causal".to_owned()),
+    };
+    Setup {
+        processes,
+        latency: LatencyModel::Uniform {
+            lo: 1,
+            hi: rng.range(50, 200),
+        },
+        seed: rng.next(),
+        faults,
+        workload,
+        protocol,
+        reliable: rng.chance(0.6),
+        spec,
+        step_limit: 0, // filled by the sweep from the config
+    }
+}
+
+/// Runs a chaos sweep. Deterministic in `config`; every violation is
+/// triaged by verdict class, shrunk (when enabled), and deduplicated by
+/// `(protocol, class)`.
+///
+/// # Errors
+/// Only on internal inconsistencies (a sampled setup failing to record);
+/// individual trial *violations* are findings, not errors.
+pub fn sweep(config: &ChaosConfig) -> Result<ChaosReport, TraceError> {
+    let protocols: Vec<String> = if config.protocols.is_empty() {
+        ProtocolKind::fixed()
+            .iter()
+            .map(|k| k.name().to_owned())
+            .collect()
+    } else {
+        config.protocols.clone()
+    };
+    let mut master = SplitMix64(config.seed);
+    let mut violations = 0usize;
+    let mut findings: Vec<ChaosFinding> = Vec::new();
+    for trial in 0..config.trials {
+        let mut rng = SplitMix64(master.next());
+        let mut setup = sample_setup(&mut rng, &protocols);
+        setup.step_limit = config.step_limit;
+        let recorded = record(&setup)?;
+        let violated = recorded
+            .trace
+            .footer
+            .verdict
+            .as_ref()
+            .is_some_and(|v| v.violated);
+        let Some(class) = shrink::classify_outcome(&recorded.outcome, violated) else {
+            continue;
+        };
+        violations += 1;
+        if findings
+            .iter()
+            .any(|f| f.protocol == setup.protocol && f.class == class)
+        {
+            continue;
+        }
+        let (trace, report) = if config.shrink {
+            match shrink::shrink(&recorded.trace) {
+                Ok(sh) => (sh.trace, Some(sh.report)),
+                // A finding that resists shrinking is still a finding.
+                Err(_) => (recorded.trace, None),
+            }
+        } else {
+            (recorded.trace, None)
+        };
+        findings.push(ChaosFinding {
+            protocol: setup.protocol.clone(),
+            trial,
+            class,
+            trace,
+            shrink: report,
+        });
+    }
+    Ok(ChaosReport {
+        trials: config.trials,
+        violations,
+        findings,
+    })
+}

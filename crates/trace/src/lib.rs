@@ -26,7 +26,7 @@
 //!     processes: 3,
 //!     latency: LatencyModel::Uniform { lo: 1, hi: 100 },
 //!     seed: 7,
-//!     faults: FaultModel::none().with_drop(0.2),
+//!     faults: FaultModel::none().with_drop(0.2).unwrap(),
 //!     workload: Workload::uniform_random(3, 10, 7),
 //!     protocol: "fifo".into(),
 //!     reliable: true,
@@ -41,14 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod metrics;
+pub mod shrink;
 
 use msgorder_predicate::{catalog, eval, ForbiddenPredicate};
 use msgorder_protocols::ProtocolKind;
 use msgorder_runs::{EventKind, StreamingRun};
 use msgorder_simnet::{
-    FaultModel, FaultRecord, KernelEvent, LatencyModel, Protocol, RunObserver, SimConfig, SimError,
-    Simulation, Stats, StreamResult, TransmitDecision, WireRecord, Workload,
+    FaultModel, FaultRecord, KernelEvent, LatencyModel, LivenessVerdict, Protocol, RunObserver,
+    SimConfig, SimError, Simulation, Stats, StreamResult, TransmitDecision, WireRecord, Workload,
 };
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +144,30 @@ impl ErrorSummary {
     }
 }
 
+/// A compact digest of a [`LivenessVerdict`] for the trace footer:
+/// enough to see *why* a recorded run wedged without deserializing the
+/// full blame analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivenessSummary {
+    /// Distinct blame classes (`stage:cause`, sorted) of the frontier.
+    pub classes: Vec<String>,
+    /// Messages pending on the frontier.
+    pub stuck: usize,
+    /// Whether the step limit tripped (vs the queue draining wedged).
+    pub step_limited: bool,
+}
+
+impl LivenessSummary {
+    /// Digests a verdict.
+    pub fn of(v: &LivenessVerdict) -> LivenessSummary {
+        LivenessSummary {
+            classes: v.classes(),
+            stuck: v.stuck_count(),
+            step_limited: v.step_limited,
+        }
+    }
+}
+
 /// The spec verdict recorded with (and re-checked against) a trace.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Verdict {
@@ -167,6 +193,9 @@ pub struct Footer {
     pub error: Option<ErrorSummary>,
     /// The spec verdict at record time, when the setup names a spec.
     pub verdict: Option<Verdict>,
+    /// Blame digest when the recorded run ended non-quiescent (absent
+    /// in pre-liveness traces, which deserialize to `None`).
+    pub liveness: Option<LivenessSummary>,
 }
 
 /// One JSONL line of a trace file.
@@ -526,10 +555,34 @@ pub fn record_with_extra<P: Protocol>(
         }
         None => sim.run_streaming(&mut recorder),
     };
-    let events = recorder.events;
-    let (stats, completed, halted, error) = match &outcome {
-        Ok(sr) => (sr.stats.clone(), sr.completed, sr.halted, None),
-        Err(e) => (e.stats.clone(), false, false, Some(ErrorSummary::of(e))),
+    let trace = assemble_trace(setup, recorder.events, &outcome, spec.as_ref())?;
+    Ok(Recorded { trace, outcome })
+}
+
+/// Builds a complete [`Trace`] (footer, fingerprint, verdict) from a
+/// captured event stream and its raw outcome — shared by [`record`] and
+/// the counterexample shrinker's re-execution path.
+pub(crate) fn assemble_trace(
+    setup: &Setup,
+    events: Vec<KernelEvent>,
+    outcome: &Result<StreamResult, SimError>,
+    spec: Option<&ForbiddenPredicate>,
+) -> Result<Trace, TraceError> {
+    let (stats, completed, halted, error, liveness) = match outcome {
+        Ok(sr) => (
+            sr.stats.clone(),
+            sr.completed,
+            sr.halted,
+            None,
+            sr.liveness.as_ref().map(LivenessSummary::of),
+        ),
+        Err(e) => (
+            e.stats.clone(),
+            false,
+            false,
+            Some(ErrorSummary::of(e)),
+            e.kind.liveness().map(LivenessSummary::of),
+        ),
     };
     let header = Header {
         version: TRACE_VERSION,
@@ -545,13 +598,14 @@ pub fn record_with_extra<P: Protocol>(
             halted,
             error,
             verdict: None,
+            liveness,
         },
     };
     trace.footer.fingerprint = fingerprint(setup.processes, &trace.events);
-    if let Some(pred) = &spec {
+    if let Some(pred) = spec {
         trace.footer.verdict = Some(compute_verdict(&trace, pred)?);
     }
-    Ok(Recorded { trace, outcome })
+    Ok(trace)
 }
 
 fn resolve_protocol(setup: &Setup) -> Result<ProtocolKind, TraceError> {

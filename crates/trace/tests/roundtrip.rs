@@ -27,11 +27,13 @@ fn setup(protocol: &str, reliable: bool, faults: FaultModel, seed: u64, msgs: us
 fn fault_grid() -> Vec<(FaultModel, bool)> {
     vec![
         (FaultModel::none(), false),
-        (FaultModel::none().with_drop(0.3), true),
+        (FaultModel::none().with_drop(0.3).unwrap(), true),
         (
             FaultModel::none()
                 .with_drop(0.1)
+                .unwrap()
                 .with_duplication(0.2)
+                .unwrap()
                 .with_partition(0, 1, 50, 400),
             true,
         ),
@@ -120,7 +122,7 @@ fn reliable_retries_are_per_message_across_destinations() {
         processes: 3,
         latency: LatencyModel::Uniform { lo: 1, hi: 20 },
         seed: 11,
-        faults: FaultModel::none().with_drop(0.7),
+        faults: FaultModel::none().with_drop(0.7).unwrap(),
         workload,
         protocol: "fifo".into(),
         reliable: true,

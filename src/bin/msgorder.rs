@@ -36,6 +36,8 @@ fn main() -> ExitCode {
         Some("dot") => cmd_dot(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("shrink") => cmd_shrink(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -81,6 +83,18 @@ USAGE:
                                            re-execute a recorded trace and check it
                                            reproduces bit-exactly (fingerprint, stats,
                                            spec verdict)
+  msgorder shrink <trace.jsonl> [--out PATH]
+                                           delta-debug a violating trace to a minimal
+                                           reproducer of the same verdict class
+                                           (default output: <trace>.min.jsonl)
+  msgorder chaos [options]                 seeded randomized fault/protocol sweep;
+                                           violations are shrunk and deduplicated
+      --trials N      (default 50)
+      --seed   N      (default 1)
+      --protocol X    restrict to one protocol (repeatable)
+      --step-limit N  per-trial step budget (default 200000)
+      --no-shrink     report raw traces without minimizing
+      --out DIR       write each finding's reproducer trace into DIR
 
 PREDICATE DSL:
   forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), color(y) = red"
@@ -226,51 +240,22 @@ fn parse_crash(s: &str) -> Result<CrashSchedule, String> {
     })
 }
 
-/// Rejects structurally nonsensical fault windows up front, instead of
-/// letting them silently do nothing (out-of-range endpoints never match
-/// a link) or panic deep in the kernel.
+/// Rejects structurally nonsensical fault schedules up front, instead
+/// of letting them silently do nothing (out-of-range endpoints never
+/// match a link) or panic deep in the kernel. Delegates to the model's
+/// own [`FaultModel::validate_for`] so the CLI and the library agree on
+/// what is well-formed.
 fn validate_faults(
     processes: usize,
     partitions: &[Partition],
     crashes: &[CrashSchedule],
 ) -> Result<(), String> {
-    for p in partitions {
-        if p.a == p.b {
-            return Err(format!(
-                "--partition {}:{}:{}:{}: endpoints must differ",
-                p.a, p.b, p.from, p.until
-            ));
-        }
-        if p.a >= processes || p.b >= processes {
-            return Err(format!(
-                "--partition {}:{}:{}:{}: endpoints must be < --processes ({processes})",
-                p.a, p.b, p.from, p.until
-            ));
-        }
-        if p.from >= p.until {
-            return Err(format!(
-                "--partition {}:{}:{}:{}: empty window (need FROM < UNTIL)",
-                p.a, p.b, p.from, p.until
-            ));
-        }
-    }
-    for c in crashes {
-        if c.process >= processes {
-            return Err(format!(
-                "--crash {}:{}: process must be < --processes ({processes})",
-                c.process, c.at
-            ));
-        }
-        if let Some(r) = c.restart {
-            if r <= c.at {
-                return Err(format!(
-                    "--crash {}:{}:{}: restart must be after the crash tick",
-                    c.process, c.at, r
-                ));
-            }
-        }
-    }
-    Ok(())
+    let model = FaultModel {
+        partitions: partitions.to_vec(),
+        crashes: crashes.to_vec(),
+        ..FaultModel::none()
+    };
+    model.validate_for(processes).map_err(|e| e.to_string())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
@@ -345,7 +330,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         ));
     }
     validate_faults(processes, &partitions, &crashes)?;
-    let mut faults = FaultModel::none().with_drop(drop).with_duplication(dup);
+    let mut faults = FaultModel::none()
+        .with_drop(drop)
+        .and_then(|f| f.with_duplication(dup))
+        .map_err(|e| e.to_string())?;
     faults.partitions = partitions;
     faults.crashes = crashes;
     let faulty = !faults.is_quiet();
@@ -404,6 +392,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 println!("live          : {}", out.live);
             }
         }
+        if let Some(v) = &out.liveness {
+            print!("liveness      : {v}");
+        }
         if timeline {
             println!("\ntime diagram (prefix at halt):");
             print!("{}", out.user_run.render());
@@ -417,6 +408,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Err(e) => {
             println!("protocol      : {}", kind.name());
             println!("PROTOCOL BUG  : {e}");
+            if let Some(v) = e.kind.liveness() {
+                print!("liveness      : {v}");
+            }
             if let Some(trace) = &e.trace {
                 println!("\ncounterexample trace (up to the bug):");
                 print!("{}", msgorder::runs::display::render_timeline(trace));
@@ -427,6 +421,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let user = r.run.users_view();
     println!("protocol      : {}", kind.name());
     println!("live          : {}", r.completed && r.run.is_quiescent());
+    if let Some(v) = &r.liveness {
+        print!("liveness      : {v}");
+    }
     println!("user messages : {}", r.stats.user_messages);
     println!(
         "control msgs  : {} ({:.2}/msg)",
@@ -521,6 +518,9 @@ fn simulate_traced(
     let buggy = match &recorded.outcome {
         Err(e) => {
             println!("PROTOCOL BUG  : {e}");
+            if let Some(v) = e.kind.liveness() {
+                print!("liveness      : {v}");
+            }
             if let Some(run) = &e.trace {
                 println!("\ncounterexample trace (up to the bug):");
                 print!("{}", msgorder::runs::display::render_timeline(run));
@@ -529,6 +529,9 @@ fn simulate_traced(
         }
         Ok(r) => {
             println!("live          : {}", r.completed && r.run.is_quiescent());
+            if let Some(v) = &r.liveness {
+                print!("liveness      : {v}");
+            }
             false
         }
     };
@@ -642,6 +645,18 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             err.kind, err.time, err.node
         );
     }
+    if let Some(lv) = &trace.footer.liveness {
+        println!(
+            "recorded stall: {} message(s) pending{} — classes {:?}",
+            lv.stuck,
+            if lv.step_limited {
+                " (step limit tripped)"
+            } else {
+                ""
+            },
+            lv.classes
+        );
+    }
     if metrics {
         let mut mobs = MetricsObserver::new();
         mobs.consume(&trace.events);
@@ -654,4 +669,110 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     } else {
         Err("replay diverged from the recording".into())
     }
+}
+
+/// `msgorder shrink <trace.jsonl> [--out PATH]` — delta-debug a
+/// violating trace to a minimal reproducer of the same verdict class.
+fn cmd_shrink(args: &[String]) -> Result<(), String> {
+    let mut path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--out needs a value".to_owned())?,
+                )
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("expected a trace path (msgorder shrink <trace.jsonl>)")?;
+    let trace = Trace::read(&path).map_err(|e| e.to_string())?;
+    let shrunk = msgorder::trace::shrink::shrink(&trace).map_err(|e| e.to_string())?;
+    let r = &shrunk.report;
+    println!("trace         : {path}");
+    println!("verdict class : {}", r.class);
+    println!(
+        "events        : {} -> {} ({:.0}% reduction)",
+        r.events_before,
+        r.events_after,
+        r.reduction() * 100.0
+    );
+    println!(
+        "messages      : {} -> {}",
+        r.messages_before, r.messages_after
+    );
+    println!(
+        "processes     : {} -> {}",
+        r.processes_before, r.processes_after
+    );
+    println!(
+        "search        : {} candidate(s) tried, {} accepted, {} round(s)",
+        r.candidates_tried, r.candidates_accepted, r.rounds
+    );
+    let out_path = out.unwrap_or_else(|| format!("{}.min.jsonl", path.trim_end_matches(".jsonl")));
+    shrunk.trace.write(&out_path).map_err(|e| e.to_string())?;
+    println!(
+        "minimized     : {out_path} ({} events, fingerprint {:016x})",
+        shrunk.trace.events.len(),
+        shrunk.trace.footer.fingerprint
+    );
+    Ok(())
+}
+
+/// `msgorder chaos [options]` — seeded randomized search over protocol
+/// × fault model × workload; violations are shrunk to minimal
+/// reproducers and deduplicated by failure mode.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let mut trials = 50usize;
+    let mut seed = 1u64;
+    let mut protocols: Vec<String> = Vec::new();
+    let mut step_limit: Option<usize> = None;
+    let mut no_shrink = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--trials" => trials = val()?.parse().map_err(|e| format!("--trials: {e}"))?,
+            "--seed" => seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--protocol" => protocols.push(val()?),
+            "--step-limit" => {
+                step_limit = Some(val()?.parse().map_err(|e| format!("--step-limit: {e}"))?)
+            }
+            "--no-shrink" => no_shrink = true,
+            "--out" => out = Some(val()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    for p in &protocols {
+        if ProtocolKind::by_name(p, None).is_none() {
+            return Err(format!("--protocol: `{p}` is not in the registry"));
+        }
+    }
+    let mut config = msgorder::trace::chaos::ChaosConfig::new(trials, seed);
+    config.protocols = protocols;
+    if let Some(limit) = step_limit {
+        config.step_limit = limit;
+    }
+    config.shrink = !no_shrink;
+    let report = msgorder::trace::chaos::sweep(&config).map_err(|e| e.to_string())?;
+    print!("{}", report.table());
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+        for (i, f) in report.findings.iter().enumerate() {
+            let file = format!("{dir}/finding-{i:02}-{}.jsonl", f.protocol);
+            f.trace.write(&file).map_err(|e| e.to_string())?;
+            println!("reproducer    : {file}");
+        }
+    }
+    Ok(())
 }

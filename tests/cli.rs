@@ -295,24 +295,104 @@ fn golden_trace_replays() {
 }
 
 #[test]
+fn shrink_minimizes_a_stalled_trace_end_to_end() {
+    let dir = std::env::temp_dir().join("msgorder-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let raw = dir.join("shrink-raw.jsonl");
+    let raw = raw.to_str().unwrap();
+    let min = dir.join("shrink-min.jsonl");
+    let min = min.to_str().unwrap();
+    // Reliable FIFO wedged by a permanent crash under drop: non-live.
+    let (ok, stdout, _) = msgorder(&[
+        "simulate",
+        "--protocol",
+        "fifo",
+        "--reliable",
+        "--processes",
+        "3",
+        "--messages",
+        "12",
+        "--seed",
+        "3",
+        "--drop",
+        "0.15",
+        "--crash",
+        "1:1",
+        "--record",
+        raw,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("live          : false"), "{stdout}");
+    assert!(stdout.contains("liveness      : "), "{stdout}");
+    let (ok, stdout, stderr) = msgorder(&["shrink", raw, "--out", min]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("verdict class : non-live:"), "{stdout}");
+    // The minimized artifact replays bit-exactly and keeps its verdict.
+    let (ok, stdout, _) = msgorder(&["replay", min]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("REPLAY OK"), "{stdout}");
+    assert!(stdout.contains("recorded stall:"), "{stdout}");
+}
+
+#[test]
+fn golden_shrunk_trace_replays_and_reshrinks_to_itself() {
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/shrunk-v1.jsonl");
+    let (ok, stdout, stderr) = msgorder(&["replay", golden]);
+    assert!(
+        ok,
+        "golden minimized trace must keep replaying: {stdout}{stderr}"
+    );
+    assert!(stdout.contains("REPLAY OK"), "{stdout}");
+    assert!(stdout.contains("events identical"), "{stdout}");
+    // Shrinking a fixpoint is a byte-stable no-op.
+    let dir = std::env::temp_dir().join("msgorder-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("golden-reshrunk.jsonl");
+    let out = out.to_str().unwrap();
+    let (ok, stdout, stderr) = msgorder(&["shrink", golden, "--out", out]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("(0% reduction)"), "{stdout}");
+    assert_eq!(
+        std::fs::read(golden).unwrap(),
+        std::fs::read(out).unwrap(),
+        "re-shrinking the golden minimized trace must reproduce it byte-for-byte"
+    );
+}
+
+#[test]
+fn chaos_sweep_reports_shrunk_findings() {
+    let (ok, stdout, stderr) = msgorder(&["chaos", "--trials", "12", "--seed", "7"]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("12 trial(s)"), "{stdout}");
+    assert!(stdout.contains("distinct failure mode"), "{stdout}");
+}
+
+#[test]
+fn chaos_rejects_unknown_protocol() {
+    let (ok, _, stderr) = msgorder(&["chaos", "--trials", "1", "--protocol", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("not in the registry"), "{stderr}");
+}
+
+#[test]
 fn fault_flags_are_validated() {
     let cases: &[(&[&str], &str)] = &[
         (
             &["simulate", "--partition", "0:0:5:10"],
-            "endpoints must differ",
+            "invalid partition P0<->P0",
         ),
         (
             &["simulate", "--partition", "0:9:5:10"],
-            "endpoints must be < --processes",
+            "invalid partition P0<->P9",
         ),
-        (&["simulate", "--partition", "0:1:10:10"], "empty window"),
         (
-            &["simulate", "--crash", "9:50"],
-            "process must be < --processes",
+            &["simulate", "--partition", "0:1:10:10"],
+            "invalid partition P0<->P1 over [10, 10)",
         ),
+        (&["simulate", "--crash", "9:50"], "invalid crash of P9"),
         (
             &["simulate", "--crash", "1:50:20"],
-            "restart must be after the crash tick",
+            "invalid crash of P1 at t=50 (restart t=20)",
         ),
         (&["simulate", "--drop", "1.5"], "not in [0, 1]"),
         (&["simulate", "--dup", "-0.1"], "not in [0, 1]"),
