@@ -1,0 +1,246 @@
+//! Writes `BENCH_6.json` — a throughput snapshot of the schedule
+//! explorer across its engine configurations:
+//!
+//! 1. **full search** — every interleaving, the pre-reduction baseline;
+//! 2. **POR** — sleep-set partial-order reduction;
+//! 3. **POR + dedup** — reduction plus the exact seen-set;
+//! 4. **POR + 2 threads** — reduction over the sharded work-stealing
+//!    frontier.
+//!
+//! Every row re-checks the FIFO spec on every terminal configuration
+//! and records a commutative digest of the violating configurations, so
+//! the file itself witnesses that all four engines find the *same*
+//! violation set. A final bounded run demonstrates the compact
+//! seen-set spilling past `max_states` while still completing.
+//!
+//! ```sh
+//! cargo run --release -p msgorder-bench --bin snapshot_explore   # ./BENCH_6.json
+//! cargo run --release -p msgorder-bench --bin snapshot_explore -- out.json
+//! ```
+//!
+//! `SNAPSHOT_EXPLORE_BIG=0` skips the million-state bounded run (it is
+//! the one long measurement, ~half a minute in release).
+
+use msgorder_predicate::{catalog, eval, ForbiddenPredicate};
+use msgorder_protocols::AsyncProtocol;
+use msgorder_runs::{SystemRun, UserRunSnapshot};
+use msgorder_simnet::{explore_parallel_with, DedupMode, Exploration, ExploreOptions, Workload};
+use serde_json::json;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// FNV-1a over the terminal run's user-view partial order: identical
+/// for identical configurations whatever schedule produced them.
+fn run_digest(run: &SystemRun) -> u64 {
+    let snap = UserRunSnapshot::from(&run.users_view());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for m in &snap.messages {
+        eat(m.src.0 as u64);
+        eat(m.dst.0 as u64);
+    }
+    for &(a, b) in &snap.covers {
+        eat(a as u64);
+        eat(b as u64);
+    }
+    h
+}
+
+struct Row {
+    wall_s: f64,
+    exploration: Exploration,
+    violating_configs: usize,
+    digest: u64,
+}
+
+/// One timed exploration, checking `spec` on every terminal
+/// configuration and folding the violating ones into a set digest.
+fn run(procs: usize, w: &Workload, spec: &ForbiddenPredicate, opts: &ExploreOptions) -> Row {
+    let configs: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    let start = Instant::now();
+    let exploration = explore_parallel_with(
+        procs,
+        w.clone(),
+        |_| AsyncProtocol::new(),
+        opts,
+        &|run: &SystemRun| {
+            if eval::find_instantiation(spec, &run.users_view()).is_some() {
+                configs
+                    .lock()
+                    .expect("no visitor panicked")
+                    .insert(run_digest(run));
+            }
+            true
+        },
+    );
+    let wall_s = start.elapsed().as_secs_f64();
+    let configs = configs.into_inner().expect("no visitor panicked");
+    Row {
+        wall_s,
+        exploration,
+        violating_configs: configs.len(),
+        digest: configs.iter().fold(0u64, |acc, d| acc.wrapping_add(*d)),
+    }
+}
+
+fn row_json(name: &str, r: &Row) -> serde_json::Value {
+    json!({
+        "engine": name,
+        "wall_s": r.wall_s,
+        "schedules": r.exploration.schedules,
+        "schedules_per_sec": r.exploration.schedules as f64 / r.wall_s,
+        "states": r.exploration.states,
+        "states_per_sec": r.exploration.states as f64 / r.wall_s,
+        "sleep_skipped": r.exploration.sleep_skipped,
+        "truncated": r.exploration.truncated,
+        "violating_configurations": r.violating_configs,
+        "violation_digest": format!("{:#018x}", r.digest),
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_6.json".to_owned());
+    let big = std::env::var("SNAPSHOT_EXPLORE_BIG").as_deref() != Ok("0");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "[snapshot_explore: {cores} core(s), big run {}]",
+        if big { "on" } else { "off" }
+    );
+
+    let procs = 3usize;
+    let seed = 3u64;
+    let spec = catalog::fifo();
+    let mut sizes = Vec::new();
+    for msgs in [4usize, 5, 6] {
+        let w = Workload::uniform_random(procs, msgs, seed);
+        let full = run(procs, &w, &spec, &ExploreOptions::default());
+        let por = run(
+            procs,
+            &w,
+            &spec,
+            &ExploreOptions {
+                por: true,
+                ..ExploreOptions::default()
+            },
+        );
+        let por_dedup = run(
+            procs,
+            &w,
+            &spec,
+            &ExploreOptions {
+                por: true,
+                dedup: DedupMode::Exact,
+                ..ExploreOptions::default()
+            },
+        );
+        let por_threads = run(
+            procs,
+            &w,
+            &spec,
+            &ExploreOptions {
+                por: true,
+                threads: 2,
+                ..ExploreOptions::default()
+            },
+        );
+        for (name, r) in [
+            ("full", &full),
+            ("por", &por),
+            ("por+dedup", &por_dedup),
+            ("por+threads2", &por_threads),
+        ] {
+            println!(
+                "  msgs={msgs} {name:<12} {:>9} schedules in {:>8.3}s  digest {:#018x}",
+                r.exploration.schedules, r.wall_s, r.digest
+            );
+            assert_eq!(
+                (r.violating_configs, r.digest),
+                (full.violating_configs, full.digest),
+                "{name} at msgs={msgs} changed the violation set"
+            );
+        }
+        sizes.push(json!({
+            "workload": format!("{procs} processes, {msgs} messages, seed {seed}, async vs fifo"),
+            "messages": msgs,
+            "schedule_reduction_full_over_por":
+                full.exploration.schedules as f64 / por.exploration.schedules as f64,
+            "rows": vec![
+                row_json("full", &full),
+                row_json("por", &por),
+                row_json("por+dedup", &por_dedup),
+                row_json("por+threads2", &por_threads),
+            ],
+        }));
+    }
+
+    // The bounded seen-set demo: more distinct configurations than
+    // `max_states`, spilled to disk, search still complete.
+    let bounded = if big {
+        let procs = 4usize;
+        let msgs = 9usize;
+        let dir =
+            std::env::temp_dir().join(format!("msgorder-snapshot-spill-{}", std::process::id()));
+        let w = Workload::uniform_random(procs, msgs, seed);
+        let start = Instant::now();
+        let e = explore_parallel_with(
+            procs,
+            w,
+            |_| AsyncProtocol::new(),
+            &ExploreOptions {
+                dedup: DedupMode::Compact {
+                    max_states: 400_000,
+                    spill: Some(dir.clone()),
+                },
+                ..ExploreOptions::default()
+            },
+            &|_| true,
+        );
+        let wall_s = start.elapsed().as_secs_f64();
+        std::fs::remove_dir_all(&dir).ok();
+        println!(
+            "  bounded: {} distinct states (cap 400000, {} segment(s) spilled) in {wall_s:.1}s",
+            e.states, e.spilled
+        );
+        assert!(
+            e.states >= 1_000_000,
+            "the demo must visit >= 10^6 distinct states"
+        );
+        assert!(
+            !e.truncated,
+            "spilling must let the bounded search complete"
+        );
+        json!({
+            "workload": format!("{procs} processes, {msgs} messages, seed {seed}, full search"),
+            "max_states": 400_000,
+            "distinct_states": e.states,
+            "states_per_sec": e.states as f64 / wall_s,
+            "segments_spilled": e.spilled,
+            "truncated": e.truncated,
+            "wall_s": wall_s,
+        })
+    } else {
+        json!(null)
+    };
+
+    let doc = json!({
+        "bench": "BENCH_6",
+        "generated_by": "cargo run --release -p msgorder-bench --bin snapshot_explore",
+        "cores": cores,
+        "note": "threaded rows only beat threads=1 when cores > 1; on a single-core \
+                 machine they measure frontier overhead, not speedup. violation_digest \
+                 is a commutative digest of the violating configurations — equal digests \
+                 mean equal violation sets.",
+        "explore": sizes,
+        "bounded_seen_set": bounded,
+    });
+    let mut bytes = serde_json::to_vec_pretty(&doc).expect("serializable");
+    bytes.push(b'\n');
+    std::fs::write(&out_path, bytes).expect("write snapshot");
+    println!("wrote {out_path}");
+}

@@ -6,7 +6,7 @@ use msgorder_simnet::{Ctx, Protocol};
 /// Sends immediately, delivers immediately: the protocol witnessing
 /// Theorem 1.3 — it implements exactly `X_async`, the weakest
 /// implementable specification, with zero overhead.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Hash)]
 pub struct AsyncProtocol;
 
 impl AsyncProtocol {

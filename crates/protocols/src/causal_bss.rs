@@ -27,7 +27,7 @@ struct Tag {
 }
 
 /// The BSS causal-broadcast protocol (one instance per process).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct CausalBss {
     me: usize,
     /// `delivered[k]` = broadcasts from origin `k` delivered here

@@ -19,7 +19,7 @@ struct Tag {
 }
 
 /// The RST causal-ordering protocol (one instance per process).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct CausalRst {
     n: usize,
     sent: Vec<Vec<u64>>,

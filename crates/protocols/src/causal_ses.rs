@@ -16,7 +16,7 @@ use msgorder_simnet::{Ctx, Protocol};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Hash, Serialize, Deserialize)]
 struct Tag {
     /// The message's own timestamp (sender's clock after the send tick).
     stamp: VectorClock,
@@ -26,7 +26,7 @@ struct Tag {
 }
 
 /// The SES causal-ordering protocol (one instance per process).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct CausalSes {
     me: usize,
     clock: VectorClock,

@@ -40,8 +40,11 @@ pub use causal_rst::CausalRst;
 pub use causal_ses::CausalSes;
 pub use fifo::FifoProtocol;
 pub use flush::FlushChannels;
-pub use registry::ProtocolKind;
+pub use registry::{ExplorableProtocol, ProtocolKind};
 pub use reliable::{ControlEvent, ReliableLink, RetryConfig};
 pub use sync::SyncProtocol;
 pub use synthesis::SynthesizedTagged;
-pub use verify::{run_and_verify, verify_online, OnlineMonitor, VerifyOutcome};
+pub use verify::{
+    run_and_verify, verify_exhaustive, verify_online, ExhaustiveOutcome, OnlineMonitor,
+    VerifyOutcome,
+};

@@ -123,6 +123,108 @@ impl ProtocolKind {
                 | ProtocolKind::SyncBatched
         )
     }
+
+    /// Instantiates the protocol as a concrete [`ExplorableProtocol`]
+    /// (`Clone + Hash`, as the explorer's deduplicating and reducing
+    /// entry points require), or `None` for kinds whose state cannot be
+    /// canonically hashed (`flush` holds `HashMap` channel state; the
+    /// synthesized kinds carry predicate automata).
+    pub fn explorable(&self, n: usize, node: usize) -> Option<ExplorableProtocol> {
+        match self {
+            ProtocolKind::Async => Some(ExplorableProtocol::Async(AsyncProtocol::new())),
+            ProtocolKind::Fifo => Some(ExplorableProtocol::Fifo(FifoProtocol::new())),
+            ProtocolKind::CausalRst => Some(ExplorableProtocol::CausalRst(CausalRst::new(n))),
+            ProtocolKind::CausalSes => Some(ExplorableProtocol::CausalSes(CausalSes::new(n, node))),
+            ProtocolKind::Sync => Some(ExplorableProtocol::Sync(SyncProtocol::new())),
+            ProtocolKind::SyncBatched => {
+                Some(ExplorableProtocol::Sync(SyncProtocol::new_batched()))
+            }
+            ProtocolKind::Flush
+            | ProtocolKind::Synthesized(_)
+            | ProtocolKind::SynthesizedSet(_) => None,
+        }
+    }
+}
+
+/// A concrete (non-boxed) protocol instance for the schedule explorer:
+/// unlike `Box<dyn Protocol>`, this is `Clone` (the explorer clones the
+/// world at every branch) and `Hash` (configuration deduplication keys
+/// protocol state). Obtained via [`ProtocolKind::explorable`].
+#[derive(Debug, Clone, Hash)]
+pub enum ExplorableProtocol {
+    /// [`AsyncProtocol`].
+    Async(AsyncProtocol),
+    /// [`FifoProtocol`].
+    Fifo(FifoProtocol),
+    /// [`CausalRst`].
+    CausalRst(CausalRst),
+    /// [`CausalSes`].
+    CausalSes(CausalSes),
+    /// [`SyncProtocol`] (per-message or batched).
+    Sync(SyncProtocol),
+}
+
+impl Protocol for ExplorableProtocol {
+    fn on_init(&mut self, ctx: &mut msgorder_simnet::Ctx<'_>) {
+        match self {
+            ExplorableProtocol::Async(p) => p.on_init(ctx),
+            ExplorableProtocol::Fifo(p) => p.on_init(ctx),
+            ExplorableProtocol::CausalRst(p) => p.on_init(ctx),
+            ExplorableProtocol::CausalSes(p) => p.on_init(ctx),
+            ExplorableProtocol::Sync(p) => p.on_init(ctx),
+        }
+    }
+    fn on_send_request(
+        &mut self,
+        ctx: &mut msgorder_simnet::Ctx<'_>,
+        msg: msgorder_runs::MessageId,
+    ) {
+        match self {
+            ExplorableProtocol::Async(p) => p.on_send_request(ctx, msg),
+            ExplorableProtocol::Fifo(p) => p.on_send_request(ctx, msg),
+            ExplorableProtocol::CausalRst(p) => p.on_send_request(ctx, msg),
+            ExplorableProtocol::CausalSes(p) => p.on_send_request(ctx, msg),
+            ExplorableProtocol::Sync(p) => p.on_send_request(ctx, msg),
+        }
+    }
+    fn on_user_frame(
+        &mut self,
+        ctx: &mut msgorder_simnet::Ctx<'_>,
+        from: msgorder_runs::ProcessId,
+        msg: msgorder_runs::MessageId,
+        tag: Vec<u8>,
+    ) {
+        match self {
+            ExplorableProtocol::Async(p) => p.on_user_frame(ctx, from, msg, tag),
+            ExplorableProtocol::Fifo(p) => p.on_user_frame(ctx, from, msg, tag),
+            ExplorableProtocol::CausalRst(p) => p.on_user_frame(ctx, from, msg, tag),
+            ExplorableProtocol::CausalSes(p) => p.on_user_frame(ctx, from, msg, tag),
+            ExplorableProtocol::Sync(p) => p.on_user_frame(ctx, from, msg, tag),
+        }
+    }
+    fn on_control_frame(
+        &mut self,
+        ctx: &mut msgorder_simnet::Ctx<'_>,
+        from: msgorder_runs::ProcessId,
+        bytes: Vec<u8>,
+    ) {
+        match self {
+            ExplorableProtocol::Async(p) => p.on_control_frame(ctx, from, bytes),
+            ExplorableProtocol::Fifo(p) => p.on_control_frame(ctx, from, bytes),
+            ExplorableProtocol::CausalRst(p) => p.on_control_frame(ctx, from, bytes),
+            ExplorableProtocol::CausalSes(p) => p.on_control_frame(ctx, from, bytes),
+            ExplorableProtocol::Sync(p) => p.on_control_frame(ctx, from, bytes),
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut msgorder_simnet::Ctx<'_>, id: u64) {
+        match self {
+            ExplorableProtocol::Async(p) => p.on_timer(ctx, id),
+            ExplorableProtocol::Fifo(p) => p.on_timer(ctx, id),
+            ExplorableProtocol::CausalRst(p) => p.on_timer(ctx, id),
+            ExplorableProtocol::CausalSes(p) => p.on_timer(ctx, id),
+            ExplorableProtocol::Sync(p) => p.on_timer(ctx, id),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ enum Msg {
     Ack,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum SenderState {
     Idle,
     Waiting,
@@ -56,7 +56,7 @@ enum SenderState {
 
 /// The lock-server logically-synchronous protocol (one instance per
 /// process; the instance at process 0 also plays coordinator).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 pub struct SyncProtocol {
     batched: bool,
     // --- coordinator state (only used at process 0) ---

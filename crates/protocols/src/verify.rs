@@ -15,11 +15,13 @@
 //! completes it — no post-hoc transitive closure, no second search.
 //! [`verify_online`] additionally halts the simulation at that delivery.
 
+use std::hash::Hash;
+
 use msgorder_predicate::{eval, ForbiddenPredicate};
 use msgorder_runs::{EventKind, MessageId, StreamingRun, SystemEvent, SystemRunBuilder, UserRun};
 use msgorder_simnet::{
-    LivenessVerdict, PrefixMonitor, Protocol, RunObserver, SimConfig, SimError, Simulation, Stats,
-    Workload,
+    explore_monitored_with, Exploration, ExploreOptions, LivenessVerdict, PrefixMonitor, Protocol,
+    RunObserver, SimConfig, SimError, Simulation, Stats, Workload,
 };
 
 /// Feeds kernel run events into the predicate layer's online
@@ -264,6 +266,58 @@ fn verify_with<P: Protocol>(
                 liveness,
             }
         }
+    }
+}
+
+/// The verdict of an exhaustive (model-checking) verification: the
+/// spec was checked on *every* schedule the explorer reached, not one
+/// sampled run.
+#[derive(Debug)]
+pub struct ExhaustiveOutcome {
+    /// No reachable schedule violates the spec and the protocol never
+    /// tripped a kernel invariant. Only meaningful when
+    /// [`exploration`](ExhaustiveOutcome::exploration) was not
+    /// truncated — a capped search that saw no violation proves
+    /// nothing about the schedules beyond the cap.
+    pub safe: bool,
+    /// The explorer's counters: `pruned` is the number of condemned
+    /// (violating) schedule prefixes, `sleep_skipped`/`states` expose
+    /// the partial-order reduction at work.
+    pub exploration: Exploration,
+}
+
+/// Model-checks `factory`'s protocol against `spec` over **all**
+/// schedules of `workload`, riding the explorer configured by `opts`
+/// (sleep-set reduction, deduplication, caps).
+///
+/// The online monitor condemns every violating prefix, so the whole
+/// sub-tree below a violation is pruned rather than enumerated;
+/// `safe` holds iff nothing was condemned and no schedule tripped a
+/// kernel invariant. Sleep-set reduction and deduplication preserve
+/// the verdict: a violation reachable by full search is reachable by
+/// the reduced one (condemnation is insensitive to the order of
+/// commuting deliveries).
+pub fn verify_exhaustive<P>(
+    processes: usize,
+    workload: Workload,
+    factory: impl Fn(usize) -> P,
+    spec: &ForbiddenPredicate,
+    opts: &ExploreOptions,
+) -> ExhaustiveOutcome
+where
+    P: Protocol + Clone + Hash,
+{
+    let exploration = explore_monitored_with(
+        processes,
+        workload,
+        factory,
+        OnlineMonitor::halting(spec),
+        opts,
+        &mut |_| true,
+    );
+    ExhaustiveOutcome {
+        safe: exploration.pruned == 0 && exploration.error.is_none(),
+        exploration,
     }
 }
 
@@ -530,5 +584,82 @@ mod tests {
             surviving < plain_total,
             "pruning must remove some of the {plain_total} schedules"
         );
+    }
+
+    fn cross_workload(n: usize, msgs: usize) -> Workload {
+        // Every process sends `msgs` messages round-robin to the next —
+        // plenty of commuting deliveries for the sleep sets to merge.
+        let sends = (0..msgs)
+            .map(|i| msgorder_simnet::SendSpec {
+                at: i as u64,
+                src: i % n,
+                dst: (i + 1) % n,
+                color: None,
+            })
+            .collect();
+        Workload { sends }
+    }
+
+    /// FIFO protocol vs FIFO spec: exhaustively safe, and the reduced
+    /// search actually skipped commuting interleavings.
+    #[test]
+    fn fifo_exhaustively_safe_under_reduction() {
+        let spec = catalog::fifo();
+        let opts = ExploreOptions {
+            por: true,
+            ..ExploreOptions::default()
+        };
+        let out = verify_exhaustive(
+            3,
+            cross_workload(3, 6),
+            |_| FifoProtocol::new(),
+            &spec,
+            &opts,
+        );
+        assert!(out.safe, "FIFO protocol violates its own spec");
+        assert_eq!(out.exploration.pruned, 0);
+        assert!(out.exploration.error.is_none());
+        assert!(!out.exploration.truncated);
+        assert!(
+            out.exploration.sleep_skipped > 0,
+            "reduction never fired on a commuting workload"
+        );
+    }
+
+    /// Async vs FIFO: some schedule reorders a channel, and the
+    /// exhaustive verdict is identical with and without reduction and
+    /// deduplication.
+    #[test]
+    fn exhaustive_verdict_stable_across_reduction_and_dedup() {
+        use msgorder_simnet::DedupMode;
+        let spec = catalog::fifo();
+        let send = |at| msgorder_simnet::SendSpec {
+            at,
+            src: 0,
+            dst: 1,
+            color: None,
+        };
+        let w = Workload {
+            sends: vec![send(0), send(1), send(2)],
+        };
+        let variants = [
+            ExploreOptions::default(),
+            ExploreOptions {
+                por: true,
+                ..ExploreOptions::default()
+            },
+            ExploreOptions {
+                por: true,
+                dedup: DedupMode::Exact,
+                ..ExploreOptions::default()
+            },
+        ];
+        for opts in &variants {
+            let out = verify_exhaustive(2, w.clone(), |_| AsyncProtocol::new(), &spec, opts);
+            assert!(!out.safe, "async must violate FIFO under {opts:?}");
+            assert!(out.exploration.pruned > 0);
+            let fifo = verify_exhaustive(2, w.clone(), |_| FifoProtocol::new(), &spec, opts);
+            assert!(fifo.safe, "FIFO must stay safe under {opts:?}");
+        }
     }
 }

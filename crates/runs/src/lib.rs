@@ -65,5 +65,5 @@ pub use ids::{EventKind, MessageId, ProcessId, SystemEvent, UserEvent, UserEvent
 pub use message::MessageMeta;
 pub use streaming::StreamingRun;
 pub use system::{PendingSets, SystemRun, SystemRunBuilder};
-pub use users_view::UserRun;
+pub use users_view::{UserRun, UserRunSnapshot};
 pub use view::OrderView;

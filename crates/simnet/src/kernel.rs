@@ -414,7 +414,7 @@ pub(crate) enum DecisionSource {
     Replay(VecDeque<TransmitDecision>),
 }
 
-#[derive(Debug, Clone, Hash)]
+#[derive(Debug, Clone, Hash, PartialEq, Eq)]
 pub(crate) enum EventKind {
     Request {
         msg: MessageId,

@@ -62,7 +62,8 @@ mod workload;
 
 pub use error::{SimError, SimErrorKind, SimOutcome};
 pub use explore::{
-    explore, explore_dedup, explore_monitored, explore_parallel, Exploration, PrefixMonitor,
+    explore, explore_dedup, explore_monitored, explore_monitored_with, explore_parallel,
+    explore_parallel_with, explore_with, DedupMode, Exploration, ExploreOptions, PrefixMonitor,
 };
 pub use faults::{CrashSchedule, FaultConfigError, FaultModel, Partition};
 pub use frame::Frame;

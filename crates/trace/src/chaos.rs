@@ -17,8 +17,8 @@
 
 use crate::shrink::{self, ShrinkReport, VerdictClass};
 use crate::{record, Setup, Trace, TraceError};
-use msgorder_protocols::ProtocolKind;
-use msgorder_simnet::{FaultModel, LatencyModel, Workload};
+use msgorder_protocols::{verify_exhaustive, ProtocolKind};
+use msgorder_simnet::{DedupMode, ExploreOptions, FaultModel, LatencyModel, Workload};
 
 /// SplitMix64 — the trace crate carries no RNG dependency, and the
 /// sweep only needs a fast, well-mixed deterministic stream.
@@ -64,6 +64,11 @@ pub struct ChaosConfig {
     pub step_limit: usize,
     /// Whether to shrink each finding to a minimal reproducer.
     pub shrink: bool,
+    /// Whether to cross-check each spec violation against a fault-free
+    /// *exhaustive* exploration of the same scenario, deciding whether
+    /// the ordering violation is inherent to the protocol or an
+    /// artifact of the injected faults.
+    pub confirm: bool,
 }
 
 impl ChaosConfig {
@@ -76,6 +81,7 @@ impl ChaosConfig {
             protocols: Vec::new(),
             step_limit: 200_000,
             shrink: true,
+            confirm: false,
         }
     }
 }
@@ -93,6 +99,14 @@ pub struct ChaosFinding {
     pub trace: Trace,
     /// The shrink accounting, when shrinking ran.
     pub shrink: Option<ShrinkReport>,
+    /// Confirmation verdict, when [`ChaosConfig::confirm`] ran on a
+    /// spec violation: `Some(true)` — a *fault-free* schedule of the
+    /// same scenario also violates the spec (the ordering failure is
+    /// inherent to the protocol); `Some(false)` — no fault-free
+    /// schedule violates it (fault-induced); `None` — not checked
+    /// (confirmation off, not a spec violation, the protocol is not
+    /// explorable, or the capped exhaustive search was truncated).
+    pub ordering_inherent: Option<bool>,
 }
 
 /// The outcome of a chaos sweep.
@@ -120,8 +134,8 @@ impl ChaosReport {
             return out;
         }
         out.push_str(&format!(
-            "{:<12} {:>5}  {:<40} {:>7} {:>9}\n",
-            "protocol", "trial", "class", "events", "shrunk-by"
+            "{:<12} {:>5}  {:<40} {:>7} {:>9} {:>8}\n",
+            "protocol", "trial", "class", "events", "shrunk-by", "inherent"
         ));
         for f in &self.findings {
             let (events, by) = match &f.shrink {
@@ -131,13 +145,19 @@ impl ChaosReport {
                 ),
                 None => (f.trace.events.len().to_string(), "-".into()),
             };
+            let inherent = match f.ordering_inherent {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "-",
+            };
             out.push_str(&format!(
-                "{:<12} {:>5}  {:<40} {:>7} {:>9}\n",
+                "{:<12} {:>5}  {:<40} {:>7} {:>9} {:>8}\n",
                 f.protocol,
                 f.trial,
                 f.class.to_string(),
                 events,
-                by
+                by,
+                inherent
             ));
         }
         out
@@ -197,6 +217,46 @@ fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Setup {
     }
 }
 
+/// Fault-free exhaustive cross-check of a spec-violation finding: does
+/// *some* schedule of the same protocol/workload violate the spec with
+/// no faults injected at all? Rides the sleep-set-reduced, deduplicated
+/// explorer with a schedule cap so a single confirmation stays cheap;
+/// returns `None` when the scenario cannot be checked (no catalog
+/// predicate, protocol not explorable, workload too large, or the
+/// capped search truncated without finding a violation).
+pub fn confirm_ordering_inherent(setup: &Setup) -> Option<bool> {
+    // Best effort: beyond ~10 messages even the reduced fault-free
+    // state space dwarfs the schedule cap, so the check could only ever
+    // answer "inconclusive" slowly — skip it outright.
+    if setup.workload.sends.len() > 10 {
+        return None;
+    }
+    let spec = setup.spec_predicate().ok().flatten()?;
+    let kind = ProtocolKind::by_name(&setup.protocol, Some(&spec))?;
+    let n = setup.processes;
+    kind.explorable(n, 0)?;
+    let opts = ExploreOptions {
+        cap: 25_000,
+        por: true,
+        dedup: DedupMode::Exact,
+        ..ExploreOptions::default()
+    };
+    let out = verify_exhaustive(
+        n,
+        setup.workload.clone(),
+        |node| {
+            kind.explorable(n, node)
+                .expect("explorability is uniform across nodes")
+        },
+        &spec,
+        &opts,
+    );
+    if out.safe && out.exploration.truncated {
+        return None; // inconclusive: the violation may live beyond the cap
+    }
+    Some(!out.safe)
+}
+
 /// Runs a chaos sweep. Deterministic in `config`; every violation is
 /// triaged by verdict class, shrunk (when enabled), and deduplicated by
 /// `(protocol, class)`.
@@ -246,12 +306,21 @@ pub fn sweep(config: &ChaosConfig) -> Result<ChaosReport, TraceError> {
         } else {
             (recorded.trace, None)
         };
+        // Confirm against the (possibly shrunk) trace's own setup: the
+        // minimized workload is the scenario the finding reports, and
+        // it is far more likely to fit under the confirmation gate.
+        let ordering_inherent = if config.confirm && class == VerdictClass::SpecViolated {
+            confirm_ordering_inherent(&trace.header.setup)
+        } else {
+            None
+        };
         findings.push(ChaosFinding {
             protocol: setup.protocol.clone(),
             trial,
             class,
             trace,
             shrink: report,
+            ordering_inherent,
         });
     }
     Ok(ChaosReport {

@@ -229,6 +229,84 @@ fn chaos_sweep_finds_dedups_and_shrinks_violations() {
     assert!(table.contains("distinct failure mode"));
 }
 
+/// The fault-free exhaustive cross-check is honest in both directions:
+/// an `async`-protocol FIFO violation is *inherent* (the protocol
+/// reorders without any fault's help), a `fifo`-protocol one can only
+/// be fault-induced, and oversized workloads are declined rather than
+/// guessed at.
+#[test]
+fn chaos_confirm_separates_inherent_from_fault_induced() {
+    use msgorder_trace::chaos::confirm_ordering_inherent;
+    let base = |protocol: &str, msgs: usize| Setup {
+        processes: 2,
+        latency: LatencyModel::Uniform { lo: 1, hi: 50 },
+        seed: 7,
+        faults: FaultModel::none().with_duplication(0.2).unwrap(),
+        workload: Workload::uniform_random(2, msgs, 7),
+        protocol: protocol.into(),
+        reliable: false,
+        spec: Some("fifo".into()),
+        step_limit: 100_000,
+    };
+    assert_eq!(
+        confirm_ordering_inherent(&base("async", 5)),
+        Some(true),
+        "async reorders fault-free; the cross-check must confirm it"
+    );
+    assert_eq!(
+        confirm_ordering_inherent(&base("fifo", 5)),
+        Some(false),
+        "a FIFO-protocol FIFO violation can only be fault-induced"
+    );
+    assert_eq!(
+        confirm_ordering_inherent(&base("async", 40)),
+        None,
+        "oversized workloads are declined, not guessed at"
+    );
+    let mut no_spec = base("async", 5);
+    no_spec.spec = None;
+    assert_eq!(confirm_ordering_inherent(&no_spec), None);
+}
+
+/// With confirmation on, spec-violation findings carry a cross-check
+/// verdict that is never a false "fault-induced" for `async`, and
+/// non-spec findings stay unchecked.
+#[test]
+fn chaos_confirm_annotates_sweep_findings() {
+    let mut config = ChaosConfig::new(24, 0xC0FFEE);
+    config.step_limit = 100_000;
+    config.shrink = false;
+    config.confirm = true;
+    // async only: its violations confirm quickly (the reduced search
+    // hits a fault-free violation long before the schedule cap), which
+    // keeps this debug-mode sweep fast while still exercising both the
+    // checked and the unchecked branch.
+    config.protocols = vec!["async".into()];
+    let report = sweep(&config).expect("sweep runs");
+    let mut spec_findings = 0usize;
+    for f in &report.findings {
+        if f.class == VerdictClass::SpecViolated {
+            spec_findings += 1;
+            if f.protocol == "async" {
+                assert_ne!(
+                    f.ordering_inherent,
+                    Some(false),
+                    "async reordering must never be blamed on the faults"
+                );
+            }
+        } else {
+            assert_eq!(
+                f.ordering_inherent, None,
+                "only spec violations are checked"
+            );
+        }
+    }
+    assert!(
+        spec_findings > 0,
+        "sweep seed no longer produces a spec violation"
+    );
+}
+
 #[test]
 fn chaos_sweep_is_deterministic() {
     let mut config = ChaosConfig::new(10, 42);

@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         Some("witness") => cmd_witness(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
@@ -79,6 +80,23 @@ USAGE:
       --online        monitor --spec online and halt at the first violating delivery
       --record PATH   write the run as a replayable JSONL trace
       --metrics       print the run's metrics report (latency histograms, wire counters)
+  msgorder explore [options]               exhaustively explore every schedule of a
+                                           seeded workload (model checking)
+      --protocol  async|fifo|causal-rst|causal-ses|sync|sync-batched   (default async)
+      --spec      \"<predicate>\"  count schedules violating the spec
+      --processes N   (default 3)
+      --messages  N   (default 6)
+      --seed      N   (default 1)
+      --por       on|off   sleep-set partial-order reduction (default on)
+      --threads   N   worker threads over the sharded frontier (default 1)
+      --dedup     off|exact|compact   configuration deduplication (default off)
+      --max-states N  bound the seen-set (implies --dedup compact)
+      --spill DIR     spill seen-set overflow to DIR (requires --max-states)
+      --cap       N   stop after N complete schedules
+      --max-depth N   truncate schedules deeper than N dispatches
+      --drop      P   drop each frame with probability P (incompatible with --dedup,
+                      makes --por ineffective)
+      --dup       P   duplicate each frame with probability P (same restrictions)
   msgorder replay <trace.jsonl> [--metrics]
                                            re-execute a recorded trace and check it
                                            reproduces bit-exactly (fingerprint, stats,
@@ -94,6 +112,8 @@ USAGE:
       --protocol X    restrict to one protocol (repeatable)
       --step-limit N  per-trial step budget (default 200000)
       --no-shrink     report raw traces without minimizing
+      --confirm       cross-check each spec violation against a fault-free
+                      exhaustive exploration (inherent vs fault-induced)
       --out DIR       write each finding's reproducer trace into DIR
 
 PREDICATE DSL:
@@ -724,6 +744,239 @@ fn cmd_shrink(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// A 64-bit FNV-1a digest of a terminal run's *partial order* (message
+/// metadata + covering pairs of `▷`): identical for identical user
+/// views, whatever schedule produced them. Violation digests are
+/// combined by wrapping addition, so the total is independent of the
+/// order workers reach the violating schedules in.
+fn run_digest(run: &msgorder::runs::SystemRun) -> u64 {
+    let snap = msgorder::runs::UserRunSnapshot::from(&run.users_view());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: &mut u64, v: u64| {
+        *h ^= v;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for m in &snap.messages {
+        eat(&mut h, m.src.0 as u64);
+        eat(&mut h, m.dst.0 as u64);
+    }
+    for &(a, b) in &snap.covers {
+        eat(&mut h, a as u64);
+        eat(&mut h, b as u64);
+    }
+    h
+}
+
+/// `msgorder explore [options]` — exhaustive schedule exploration
+/// (model checking) of an explorable protocol on a seeded workload:
+/// sleep-set partial-order reduction, a sharded work-stealing frontier
+/// for `--threads`, and an optional bounded/disk-spillable seen-set.
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    let mut protocol = "async".to_owned();
+    let mut spec: Option<String> = None;
+    let mut processes = 3usize;
+    let mut messages = 6usize;
+    let mut seed = 1u64;
+    let mut por = true;
+    let mut threads = 1usize;
+    let mut dedup: Option<String> = None;
+    let mut max_states: Option<usize> = None;
+    let mut spill: Option<String> = None;
+    let mut cap: Option<usize> = None;
+    let mut max_depth: Option<usize> = None;
+    let mut drop = 0.0f64;
+    let mut dup = 0.0f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--protocol" => protocol = val()?,
+            "--spec" => spec = Some(val()?),
+            "--processes" => processes = val()?.parse().map_err(|e| format!("--processes: {e}"))?,
+            "--messages" => messages = val()?.parse().map_err(|e| format!("--messages: {e}"))?,
+            "--seed" => seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--por" => {
+                por = match val()?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--por: expected `on` or `off`, got `{other}`")),
+                }
+            }
+            "--threads" => threads = val()?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--dedup" => {
+                let v = val()?;
+                match v.as_str() {
+                    "off" | "exact" | "compact" => dedup = Some(v),
+                    other => {
+                        return Err(format!(
+                            "--dedup: expected `off`, `exact` or `compact`, got `{other}`"
+                        ))
+                    }
+                }
+            }
+            "--max-states" => {
+                max_states = Some(val()?.parse().map_err(|e| format!("--max-states: {e}"))?)
+            }
+            "--spill" => spill = Some(val()?),
+            "--cap" => cap = Some(val()?.parse().map_err(|e| format!("--cap: {e}"))?),
+            "--max-depth" => {
+                max_depth = Some(val()?.parse().map_err(|e| format!("--max-depth: {e}"))?)
+            }
+            "--drop" => drop = parse_probability("--drop", &val()?)?,
+            "--dup" => dup = parse_probability("--dup", &val()?)?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if processes < 2 {
+        return Err("--processes must be at least 2".into());
+    }
+    if threads < 1 {
+        return Err("--threads must be at least 1".into());
+    }
+    if spill.is_some() && max_states.is_none() {
+        return Err("--spill requires --max-states (nothing overflows an unbounded set)".into());
+    }
+    if max_states.is_some() && dedup.as_deref().is_some_and(|d| d != "compact") {
+        return Err(
+            "--max-states requires --dedup compact (its seen-set is the bounded one)".into(),
+        );
+    }
+    let dedup_mode = if max_states.is_some() || dedup.as_deref() == Some("compact") {
+        msgorder::simnet::DedupMode::Compact {
+            max_states: max_states.unwrap_or(0),
+            spill: spill.map(std::path::PathBuf::from),
+        }
+    } else if dedup.as_deref() == Some("exact") {
+        msgorder::simnet::DedupMode::Exact
+    } else {
+        msgorder::simnet::DedupMode::Off
+    };
+    let faults = FaultModel::none()
+        .with_drop(drop)
+        .and_then(|f| f.with_duplication(dup))
+        .map_err(|e| e.to_string())?;
+    if dedup_mode != msgorder::simnet::DedupMode::Off && !faults.is_quiet() {
+        return Err(
+            "--dedup requires a quiet fault model: the probabilistic fault stream is part \
+             of the configuration but cannot be keyed (remove --drop/--dup)"
+                .into(),
+        );
+    }
+    let spec_pred = match &spec {
+        Some(s) => Some(catalog::by_name(s).map(|e| e.predicate).map_or_else(
+            || ForbiddenPredicate::parse(s).map_err(|e| e.to_string()),
+            Ok,
+        )?),
+        None => None,
+    };
+    let kind = ProtocolKind::by_name(&protocol, spec_pred.as_ref())
+        .ok_or_else(|| format!("unknown protocol `{protocol}`"))?;
+    if kind.explorable(processes, 0).is_none() {
+        return Err(format!(
+            "--protocol `{protocol}` is not explorable (its state cannot be fingerprinted); \
+             use async, fifo, causal-rst, causal-ses, sync or sync-batched"
+        ));
+    }
+    let por_effective = por && faults.is_quiet();
+    let opts = msgorder::simnet::ExploreOptions {
+        cap: cap.unwrap_or(usize::MAX),
+        por,
+        threads,
+        dedup: dedup_mode.clone(),
+        max_depth: max_depth.unwrap_or(msgorder::simnet::ExploreOptions::default().max_depth),
+        faults,
+    };
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let violations = AtomicUsize::new(0);
+    // Distinct violating *configurations* (user-view partial orders) by
+    // digest: invariant under --por/--threads/--dedup, which only change
+    // how many schedules reach each configuration — so the summary line
+    // is comparable across explorer settings (the CI smoke pins it).
+    let violating_configs: Mutex<std::collections::BTreeSet<u64>> =
+        Mutex::new(std::collections::BTreeSet::new());
+    let out = msgorder::simnet::explore_parallel_with(
+        processes,
+        Workload::uniform_random(processes, messages, seed),
+        |node| {
+            kind.explorable(processes, node)
+                .expect("explorability was checked above")
+        },
+        &opts,
+        &|run| {
+            if let Some(p) = &spec_pred {
+                if eval::find_instantiation(p, &run.users_view()).is_some() {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                    violating_configs
+                        .lock()
+                        .expect("no panics hold the digest lock")
+                        .insert(run_digest(run));
+                }
+            }
+            true
+        },
+    );
+    println!("protocol      : {}", kind.name());
+    println!("workload      : {processes} processes, {messages} messages, seed {seed}");
+    println!(
+        "por           : {}",
+        match (por, por_effective) {
+            (true, true) => "on",
+            (true, false) => "on (ineffective: faults are not quiet)",
+            _ => "off",
+        }
+    );
+    println!("threads       : {threads}");
+    println!(
+        "dedup         : {}",
+        match &dedup_mode {
+            msgorder::simnet::DedupMode::Off => "off".to_owned(),
+            msgorder::simnet::DedupMode::Exact => "exact".to_owned(),
+            msgorder::simnet::DedupMode::Compact {
+                max_states: 0,
+                spill: None,
+            } => "compact".to_owned(),
+            msgorder::simnet::DedupMode::Compact { max_states, spill } => format!(
+                "compact (max {max_states} states{})",
+                spill
+                    .as_ref()
+                    .map(|p| format!(", spill {}", p.display()))
+                    .unwrap_or_default()
+            ),
+        }
+    );
+    println!("schedules     : {}", out.schedules);
+    println!("states        : {}", out.states);
+    println!("sleep-skipped : {}", out.sleep_skipped);
+    println!("spilled       : {} segment(s)", out.spilled);
+    println!("non-live      : {}", out.non_live);
+    println!(
+        "truncated     : {}",
+        if out.truncated { "yes" } else { "no" }
+    );
+    if let Some(e) = &out.error {
+        println!("PROTOCOL BUG  : {e}");
+        return Err("exploration found a protocol bug".into());
+    }
+    if let Some(p) = &spec_pred {
+        let configs = violating_configs
+            .lock()
+            .expect("no panics hold the digest lock");
+        let digest = configs.iter().fold(0u64, |acc, d| acc.wrapping_add(*d));
+        println!(
+            "violations    : {} schedule(s), {} distinct configuration(s) violate {p}",
+            violations.load(Ordering::Relaxed),
+            configs.len()
+        );
+        println!("digest        : {digest:#018x}");
+    }
+    Ok(())
+}
+
 /// `msgorder chaos [options]` — seeded randomized search over protocol
 /// × fault model × workload; violations are shrunk to minimal
 /// reproducers and deduplicated by failure mode.
@@ -733,6 +986,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut protocols: Vec<String> = Vec::new();
     let mut step_limit: Option<usize> = None;
     let mut no_shrink = false;
+    let mut confirm = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -749,6 +1003,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                 step_limit = Some(val()?.parse().map_err(|e| format!("--step-limit: {e}"))?)
             }
             "--no-shrink" => no_shrink = true,
+            "--confirm" => confirm = true,
             "--out" => out = Some(val()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -764,6 +1019,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         config.step_limit = limit;
     }
     config.shrink = !no_shrink;
+    config.confirm = confirm;
     let report = msgorder::trace::chaos::sweep(&config).map_err(|e| e.to_string())?;
     print!("{}", report.table());
     if let Some(dir) = out {

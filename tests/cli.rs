@@ -403,3 +403,138 @@ fn fault_flags_are_validated() {
         assert!(stderr.contains(needle), "{args:?}: {stderr}");
     }
 }
+
+#[test]
+fn explore_reduction_preserves_the_violation_set() {
+    let base = [
+        "explore",
+        "--protocol",
+        "async",
+        "--spec",
+        "fifo",
+        "--processes",
+        "2",
+        "--messages",
+        "4",
+        "--seed",
+        "1",
+    ];
+    let run = |extra: &[&str]| {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(extra);
+        let (ok, stdout, stderr) = msgorder(&args);
+        assert!(ok, "{args:?}: {stdout}{stderr}");
+        let grab = |label: &str| {
+            stdout
+                .lines()
+                .find(|l| l.starts_with(label))
+                .unwrap_or_else(|| panic!("no `{label}` line in {stdout}"))
+                .to_owned()
+        };
+        (grab("digest"), grab("schedules"))
+    };
+    let (full_digest, full_schedules) = run(&["--por", "off"]);
+    let (por_digest, por_schedules) = run(&["--por", "on"]);
+    let (par_digest, _) = run(&["--por", "on", "--threads", "2"]);
+    let (dedup_digest, _) = run(&["--por", "on", "--dedup", "exact"]);
+    assert_eq!(
+        full_digest, por_digest,
+        "reduction changed the violation set"
+    );
+    assert_eq!(full_digest, par_digest, "threads changed the violation set");
+    assert_eq!(full_digest, dedup_digest, "dedup changed the violation set");
+    assert_ne!(full_schedules, por_schedules, "reduction did not reduce");
+}
+
+#[test]
+fn explore_bounded_seen_set_spills_and_completes() {
+    let dir = std::env::temp_dir().join(format!("msgorder-cli-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp spill dir");
+    let (ok, stdout, stderr) = msgorder(&[
+        "explore",
+        "--protocol",
+        "fifo",
+        "--processes",
+        "3",
+        "--messages",
+        "5",
+        "--seed",
+        "2",
+        // Reduction off: only fully-explored states spill, and with POR
+        // every live entry may carry a sleep set the subset rule still
+        // needs — full search makes everything flushable.
+        "--por",
+        "off",
+        "--max-states",
+        "64",
+        "--spill",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(ok, "{stdout}{stderr}");
+    assert!(
+        stdout.contains("dedup         : compact (max 64 states"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("truncated     : no"), "{stdout}");
+    let spilled = stdout
+        .lines()
+        .find(|l| l.starts_with("spilled"))
+        .expect("spilled line");
+    assert!(!spilled.contains(" 0 segment"), "nothing spilled: {stdout}");
+}
+
+#[test]
+fn explore_flags_are_validated() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["explore", "--por", "maybe"], "expected `on` or `off`"),
+        (
+            &["explore", "--dedup", "huge"],
+            "expected `off`, `exact` or `compact`",
+        ),
+        (
+            &["explore", "--spill", "/tmp"],
+            "--spill requires --max-states",
+        ),
+        (
+            &["explore", "--dedup", "exact", "--max-states", "10"],
+            "--max-states requires --dedup compact",
+        ),
+        (
+            &["explore", "--dedup", "exact", "--drop", "0.1"],
+            "quiet fault model",
+        ),
+        (&["explore", "--drop", "1.5"], "not in [0, 1]"),
+        (&["explore", "--protocol", "flush"], "not explorable"),
+        (
+            &["explore", "--threads", "0"],
+            "--threads must be at least 1",
+        ),
+        (
+            &["explore", "--processes", "1"],
+            "--processes must be at least 2",
+        ),
+    ];
+    for (args, needle) in cases {
+        let (ok, _, stderr) = msgorder(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn chaos_confirm_flag_annotates_table() {
+    let (ok, stdout, stderr) = msgorder(&[
+        "chaos",
+        "--trials",
+        "12",
+        "--seed",
+        "7",
+        "--no-shrink",
+        "--confirm",
+        "--protocol",
+        "async",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("inherent"), "{stdout}");
+}
