@@ -1460,7 +1460,7 @@ fn exp_tr1() -> Value {
 
     let recorded_jsonl = time_sweep(&|msgs, seed| {
         let r = msgorder_trace::record(&setup(msgs, seed)).expect("records");
-        assert!(!r.trace.to_jsonl().is_empty());
+        assert!(!r.trace.to_jsonl().expect("serializes").is_empty());
     });
 
     let with_metrics = time_sweep(&|msgs, seed| {

@@ -59,6 +59,20 @@ impl Default for RetryConfig {
     }
 }
 
+impl RetryConfig {
+    /// The timeout before attempt `attempts + 1`: `base_timeout · 2^attempts`,
+    /// saturating. Public so hosts outside the simulator (the transport
+    /// crate's reconnect supervisor) back off on the same schedule the
+    /// link retransmits on.
+    pub fn backoff(&self, attempts: u32) -> u64 {
+        // Cap the shift *and* saturate the multiply: a large
+        // `base_timeout` times 2^16 must not wrap around to a tiny
+        // timeout (`<<` on an over-wide base is an overflow in debug and
+        // silent wrap in release).
+        self.base_timeout.saturating_mul(1u64 << attempts.min(16))
+    }
+}
+
 /// What a control frame turned out to be, from the link's point of view.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ControlEvent {
@@ -108,13 +122,7 @@ impl ReliableLink {
     }
 
     fn backoff(&self, attempts: u32) -> u64 {
-        // Cap the shift *and* saturate the multiply: a large
-        // `base_timeout` times 2^16 must not wrap around to a tiny
-        // timeout (`<<` on an over-wide base is an overflow in debug and
-        // silent wrap in release).
-        self.config
-            .base_timeout
-            .saturating_mul(1u64 << attempts.min(16))
+        self.config.backoff(attempts)
     }
 
     /// Sends user frame `msg` with `tag`, tracking it for
@@ -290,6 +298,67 @@ mod tests {
         assert_eq!(link.backoff(3), 16_000);
         // far past the cap: still finite
         assert!(link.backoff(60) > link.backoff(3));
+    }
+
+    #[test]
+    fn retransmission_at_the_virtual_time_horizon_saturates() {
+        // Regression at the overflow boundary: a send near u64::MAX with
+        // total loss drives the link's retransmission timers past the end
+        // of virtual time. `set_timer` must saturate to u64::MAX — a
+        // wrapping add would schedule the timer in the *past* and trip
+        // the kernel's time-monotonicity invariant (debug) or corrupt
+        // dispatch order (release). The run must end structurally: queue
+        // drained, message blamed as undelivered, no panic.
+        use msgorder_simnet::{
+            FaultModel, LatencyModel, Protocol, SendSpec, SimConfig, Simulation, Workload,
+        };
+        struct Rel {
+            link: ReliableLink,
+        }
+        impl Protocol for Rel {
+            fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+                self.link.send_user(ctx, msg, Vec::new());
+            }
+            fn on_user_frame(
+                &mut self,
+                ctx: &mut Ctx<'_>,
+                from: ProcessId,
+                msg: MessageId,
+                _tag: Vec<u8>,
+            ) {
+                self.link.ack_user(ctx, from, msg);
+                ctx.deliver(msg);
+            }
+            fn on_control_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, bytes: Vec<u8>) {
+                let _ = self.link.on_control(ctx, from, bytes);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+                let _ = self.link.on_timer(ctx, id);
+            }
+        }
+        let w = Workload {
+            sends: vec![SendSpec {
+                at: u64::MAX - 1_000,
+                src: 0,
+                dst: 1,
+                color: None,
+            }],
+        };
+        let cfg = SimConfig::new(2, LatencyModel::Fixed(1), 3).with_faults(
+            FaultModel::none()
+                .with_drop(1.0)
+                .expect("probability in range"),
+        );
+        let r = Simulation::new(cfg, w, |_| Rel {
+            link: ReliableLink::new(),
+        })
+        .run()
+        .expect("saturated timers end the run structurally");
+        assert!(r.completed, "queue drained after the link gave up");
+        assert_eq!(r.stats.end_time, u64::MAX, "timers pinned at the horizon");
+        assert!(r.stats.retransmitted_frames > 0, "the link did retry");
+        assert!(!r.run.is_quiescent(), "the message never got through");
+        assert!(r.liveness.is_some(), "undelivered message is blamed");
     }
 
     #[test]

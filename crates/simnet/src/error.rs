@@ -61,6 +61,14 @@ pub enum SimErrorKind {
     /// A replayed run requested more network decisions than the trace
     /// recorded — the setup being replayed does not match the recording.
     ReplayExhausted,
+    /// A real-transport host failed to dispatch an event to its remote
+    /// protocol instance (connection lost past the reconnect budget, a
+    /// malformed reply, a client gone for good). Only produced by the
+    /// realtime kernel — the in-simulator path never fails this way.
+    HostFailure {
+        /// What the transport reported.
+        detail: String,
+    },
     /// The step limit tripped before the event queue drained: a
     /// livelocked (or wedged) protocol. Carries the liveness blame
     /// analysis of everything still pending at the limit.
@@ -90,6 +98,7 @@ impl SimErrorKind {
             SimErrorKind::LatencyOverflow(_) => "latency-overflow",
             SimErrorKind::TimeOverflow { .. } => "time-overflow",
             SimErrorKind::ReplayExhausted => "replay-exhausted",
+            SimErrorKind::HostFailure { .. } => "host-failure",
             SimErrorKind::StepLimit { .. } => "step-limit",
         }
     }
@@ -133,6 +142,9 @@ impl std::fmt::Display for SimErrorKind {
                     f,
                     "replay decision log exhausted: run diverged from the recording"
                 )
+            }
+            SimErrorKind::HostFailure { detail } => {
+                write!(f, "transport host failure: {detail}")
             }
             SimErrorKind::StepLimit { steps, frontier } => {
                 write!(

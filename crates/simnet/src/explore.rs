@@ -53,7 +53,7 @@ use std::fs::File;
 use std::hash::{Hash, Hasher};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The outcome of an exploration.
@@ -129,7 +129,11 @@ pub enum DedupMode {
         /// Directory for overflow segment files. On overflow,
         /// fully-explored fingerprints are flushed as sorted segments
         /// and membership checks fall back to a seek-and-scan with an
-        /// in-memory sparse index.
+        /// in-memory sparse index. Each exploration writes into its own
+        /// `run-<pid>-<n>` subdirectory of this path (concurrent runs
+        /// sharing a spill directory can never collide) and removes the
+        /// subdirectory when the search ends — even when it aborts
+        /// mid-way, since cleanup rides the seen-set's `Drop`.
         spill: Option<PathBuf>,
     },
 }
@@ -941,13 +945,32 @@ enum SeenVerdict {
     Full,
 }
 
+/// Distinguishes concurrent explorations inside one process; combined
+/// with the pid it makes every run's spill subdirectory unique, so two
+/// searches (or an aborted search and its retry) sharing a spill path
+/// can never collide on segment file names.
+static SPILL_RUN: AtomicU64 = AtomicU64::new(0);
+
 struct SeenShards {
     shards: Vec<Mutex<Shard>>,
     mask: usize,
     exact: bool,
     /// Per-shard live-entry bound (`usize::MAX` = unbounded).
     shard_cap: usize,
+    /// This run's private spill subdirectory (`<spill>/run-<pid>-<n>`),
+    /// created lazily by the first segment write and removed on drop.
     spill: Option<PathBuf>,
+}
+
+impl Drop for SeenShards {
+    fn drop(&mut self) {
+        // Segments keep their files open — on Unix, unlinking while open
+        // is fine, and the handles die with `self.shards` right after.
+        // Removal failure only leaks a temp directory; nothing to report.
+        if let Some(dir) = &self.spill {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 }
 
 /// One exact-mode bucket: the full configuration key plus the stored
@@ -986,7 +1009,16 @@ impl SeenShards {
         let (exact, max_states, spill) = match dedup {
             DedupMode::Off => return None,
             DedupMode::Exact => (true, 0usize, None),
-            DedupMode::Compact { max_states, spill } => (false, *max_states, spill.clone()),
+            DedupMode::Compact { max_states, spill } => {
+                let run_dir = spill.as_ref().map(|dir| {
+                    dir.join(format!(
+                        "run-{}-{}",
+                        std::process::id(),
+                        SPILL_RUN.fetch_add(1, Ordering::Relaxed)
+                    ))
+                });
+                (false, *max_states, run_dir)
+            }
         };
         let n = if threads <= 1 {
             1
@@ -2347,6 +2379,51 @@ mod tests {
             spilled.spilled > 0,
             "the tiny bound must force segments out"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_seen_sets_get_distinct_spill_dirs() {
+        // Regression: segment files used to be written straight into the
+        // user-supplied directory with non-unique names, so two live (or
+        // one aborted + one retried) explorations collided.
+        let mode = DedupMode::Compact {
+            max_states: 8,
+            spill: Some(std::env::temp_dir().join("msgorder-spill-shared")),
+        };
+        let a = SeenShards::new(&mode, 1).expect("compact mode has a seen-set");
+        let b = SeenShards::new(&mode, 1).expect("compact mode has a seen-set");
+        assert_ne!(
+            a.spill, b.spill,
+            "two runs sharing a spill path must not share segment files"
+        );
+    }
+
+    #[test]
+    fn spill_run_directories_are_cleaned_up_on_drop() {
+        let dir = std::env::temp_dir().join(format!("msgorder-spill-drop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ExploreOptions {
+            dedup: DedupMode::Compact {
+                max_states: 8,
+                spill: Some(dir.clone()),
+            },
+            ..ExploreOptions::default()
+        };
+        for _ in 0..2 {
+            let exp = explore_with(3, fan_out(), |_| Immediate, &opts, &mut |_: &SystemRun| {
+                true
+            });
+            assert!(exp.spilled > 0, "the tiny bound must force segments out");
+        }
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .map(|it| {
+                it.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "segment dirs leaked: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -2,6 +2,7 @@
 
 use crate::error::{SimError, SimErrorKind, SimOutcome};
 use crate::faults::FaultModel;
+use crate::host::{HostAction, HostEnv, HostEvent};
 use crate::latency::LatencyModel;
 use crate::liveness::{self, FrameFate, LivenessVerdict};
 use crate::stats::Stats;
@@ -63,12 +64,42 @@ impl SimConfig {
 /// twice, …) do not panic: they *poison* the simulation with a
 /// [`SimError`] — the first error wins, subsequent actions become
 /// no-ops, and [`Simulation::run`] returns the counterexample.
+///
+/// The context is backed either by the simulator's `World` (actions take
+/// effect immediately) or by a [`HostEnv`] (actions are buffered as
+/// [`HostAction`]s for a real transport to apply) — protocol code cannot
+/// tell the difference, which is the point of the `ProtocolHost`
+/// boundary (DESIGN.md §13).
 pub struct Ctx<'a> {
-    world: &'a mut World,
+    inner: CtxInner<'a>,
     node: usize,
 }
 
-impl Ctx<'_> {
+enum CtxInner<'a> {
+    /// Simulator backend: mutate the world directly.
+    Sim(&'a mut World),
+    /// Host backend: buffer emitted actions for the transport.
+    Host(&'a mut HostEnv),
+}
+
+impl<'a> Ctx<'a> {
+    /// A simulator-backed context for the protocol instance at `node`.
+    pub(crate) fn sim(world: &'a mut World, node: usize) -> Ctx<'a> {
+        Ctx {
+            inner: CtxInner::Sim(world),
+            node,
+        }
+    }
+
+    /// A host-backed context buffering actions into `env`.
+    pub(crate) fn host(env: &'a mut HostEnv) -> Ctx<'a> {
+        let node = env.node;
+        Ctx {
+            inner: CtxInner::Host(env),
+            node,
+        }
+    }
+
     /// This protocol instance's process id.
     pub fn node(&self) -> ProcessId {
         ProcessId(self.node)
@@ -76,12 +107,18 @@ impl Ctx<'_> {
 
     /// Current simulated time.
     pub fn now(&self) -> u64 {
-        self.world.now
+        match &self.inner {
+            CtxInner::Sim(world) => world.now,
+            CtxInner::Host(env) => env.now,
+        }
     }
 
     /// Number of processes in the system.
     pub fn process_count(&self) -> usize {
-        self.world.processes
+        match &self.inner {
+            CtxInner::Sim(world) => world.processes,
+            CtxInner::Host(env) => env.processes,
+        }
     }
 
     /// Metadata (endpoints, color) of a workload message.
@@ -89,7 +126,10 @@ impl Ctx<'_> {
     /// # Panics
     /// Panics if `msg` is not a workload message.
     pub fn meta(&self, msg: MessageId) -> &msgorder_runs::MessageMeta {
-        &self.world.metas[msg.0]
+        match &self.inner {
+            CtxInner::Sim(world) => &world.metas[msg.0],
+            CtxInner::Host(env) => &env.metas[msg.0],
+        }
     }
 
     /// Executes the send `x.s` of a previously requested message,
@@ -99,31 +139,10 @@ impl Ctx<'_> {
     /// a protocol implementation bug: it poisons the simulation with a
     /// [`SimError`] counterexample instead of executing.
     pub fn send_user(&mut self, msg: MessageId, tag: Vec<u8>) {
-        if self.world.error.is_some() {
-            return;
+        match &mut self.inner {
+            CtxInner::Sim(world) => world.do_send_user(self.node, msg, tag),
+            CtxInner::Host(env) => env.push(HostAction::SendUser { msg, tag }),
         }
-        let owner = self.world.metas[msg.0].src;
-        if owner.0 != self.node {
-            self.world.fail(
-                self.node,
-                Some(msg),
-                SimErrorKind::SendFromNonOwner { owner },
-            );
-            return;
-        }
-        if let Err(e) = self.world.builder.send(msg) {
-            self.world
-                .fail(self.node, Some(msg), SimErrorKind::InvalidSend(e));
-            return;
-        }
-        self.world.journal(msg, RunEventKind::Send);
-        self.world.stats.user_messages += 1;
-        self.world.stats.tag_bytes += tag.len();
-        self.world.sent[msg.0] = true;
-        let dst = self.world.metas[msg.0].dst.0;
-        let from = self.node;
-        self.world
-            .transmit(from, dst, false, EventKind::UserArrival { from, msg, tag });
     }
 
     /// Retransmits a previously sent user frame (same message id, fresh
@@ -134,20 +153,10 @@ impl Ctx<'_> {
     /// Resending a message that was never sent (or from a non-owner) is
     /// a protocol bug and poisons the simulation.
     pub fn resend_user(&mut self, msg: MessageId, tag: Vec<u8>) {
-        if self.world.error.is_some() {
-            return;
+        match &mut self.inner {
+            CtxInner::Sim(world) => world.do_resend_user(self.node, msg, tag),
+            CtxInner::Host(env) => env.push(HostAction::ResendUser { msg, tag }),
         }
-        if self.world.metas[msg.0].src.0 != self.node || !self.world.sent[msg.0] {
-            self.world
-                .fail(self.node, Some(msg), SimErrorKind::ResendBeforeSend);
-            return;
-        }
-        self.world.stats.retransmitted_frames += 1;
-        self.world.stats.tag_bytes += tag.len();
-        let dst = self.world.metas[msg.0].dst.0;
-        let from = self.node;
-        self.world
-            .transmit(from, dst, true, EventKind::UserArrival { from, msg, tag });
     }
 
     /// Executes the delivery `x.r` of a previously received message.
@@ -157,60 +166,171 @@ impl Ctx<'_> {
     /// the simulation with a [`SimError`] counterexample instead of
     /// executing.
     pub fn deliver(&mut self, msg: MessageId) {
-        if self.world.error.is_some() {
-            return;
+        match &mut self.inner {
+            CtxInner::Sim(world) => world.do_deliver(self.node, msg),
+            CtxInner::Host(env) => env.push(HostAction::Deliver { msg }),
         }
-        let destination = self.world.metas[msg.0].dst;
-        if destination.0 != self.node {
-            self.world.fail(
-                self.node,
-                Some(msg),
-                SimErrorKind::DeliverAtNonDestination { destination },
-            );
-            return;
-        }
-        if let Err(e) = self.world.builder.deliver(msg) {
-            self.world
-                .fail(self.node, Some(msg), SimErrorKind::InvalidDelivery(e));
-            return;
-        }
-        self.world.journal(msg, RunEventKind::Deliver);
-        let received = self.world.receive_time[msg.0].expect("received before delivery");
-        let invoked = self.world.invoke_time[msg.0].expect("invoked before delivery");
-        self.world.stats.delivered += 1;
-        self.world.stats.total_inhibition += self.world.now - received;
-        self.world.stats.total_latency += self.world.now - invoked;
     }
 
     /// Sends a control message to another process.
     pub fn send_control(&mut self, to: ProcessId, bytes: Vec<u8>) {
-        if self.world.error.is_some() {
-            return;
+        match &mut self.inner {
+            CtxInner::Sim(world) => world.do_send_control(self.node, to, bytes),
+            CtxInner::Host(env) => env.push(HostAction::SendControl { to, bytes }),
         }
-        self.world.stats.control_messages += 1;
-        self.world.stats.control_bytes += bytes.len();
-        let from = self.node;
-        self.world
-            .transmit(from, to.0, false, EventKind::ControlArrival { from, bytes });
     }
 
     /// Retransmits a control frame. Counted as a retransmission (and its
     /// wire bytes), not as a fresh control message.
     pub fn resend_control(&mut self, to: ProcessId, bytes: Vec<u8>) {
-        if self.world.error.is_some() {
-            return;
+        match &mut self.inner {
+            CtxInner::Sim(world) => world.do_resend_control(self.node, to, bytes),
+            CtxInner::Host(env) => env.push(HostAction::ResendControl { to, bytes }),
         }
-        self.world.stats.retransmitted_frames += 1;
-        self.world.stats.control_bytes += bytes.len();
-        let from = self.node;
-        self.world
-            .transmit(from, to.0, true, EventKind::ControlArrival { from, bytes });
     }
 
     /// Schedules `on_timer(id)` for this process after `delay` ticks.
     pub fn set_timer(&mut self, delay: u64, id: u64) {
-        let at = self.world.now.saturating_add(delay.max(1));
-        self.world.schedule(at, self.node, EventKind::Timer { id });
+        match &mut self.inner {
+            CtxInner::Sim(world) => world.do_set_timer(self.node, delay, id),
+            CtxInner::Host(env) => env.push(HostAction::SetTimer { delay, id }),
+        }
+    }
+}
+
+impl World {
+    /// [`Ctx::send_user`], simulator backend.
+    fn do_send_user(&mut self, node: usize, msg: MessageId, tag: Vec<u8>) {
+        if self.error.is_some() {
+            return;
+        }
+        let owner = self.metas[msg.0].src;
+        if owner.0 != node {
+            self.fail(node, Some(msg), SimErrorKind::SendFromNonOwner { owner });
+            return;
+        }
+        if let Err(e) = self.builder.send(msg) {
+            self.fail(node, Some(msg), SimErrorKind::InvalidSend(e));
+            return;
+        }
+        self.journal(msg, RunEventKind::Send);
+        self.stats.user_messages += 1;
+        self.stats.tag_bytes += tag.len();
+        self.sent[msg.0] = true;
+        let dst = self.metas[msg.0].dst.0;
+        self.transmit(
+            node,
+            dst,
+            false,
+            EventKind::UserArrival {
+                from: node,
+                msg,
+                tag,
+            },
+        );
+    }
+
+    /// [`Ctx::resend_user`], simulator backend.
+    fn do_resend_user(&mut self, node: usize, msg: MessageId, tag: Vec<u8>) {
+        if self.error.is_some() {
+            return;
+        }
+        if self.metas[msg.0].src.0 != node || !self.sent[msg.0] {
+            self.fail(node, Some(msg), SimErrorKind::ResendBeforeSend);
+            return;
+        }
+        self.stats.retransmitted_frames += 1;
+        self.stats.tag_bytes += tag.len();
+        let dst = self.metas[msg.0].dst.0;
+        self.transmit(
+            node,
+            dst,
+            true,
+            EventKind::UserArrival {
+                from: node,
+                msg,
+                tag,
+            },
+        );
+    }
+
+    /// [`Ctx::deliver`], simulator backend.
+    fn do_deliver(&mut self, node: usize, msg: MessageId) {
+        if self.error.is_some() {
+            return;
+        }
+        let destination = self.metas[msg.0].dst;
+        if destination.0 != node {
+            self.fail(
+                node,
+                Some(msg),
+                SimErrorKind::DeliverAtNonDestination { destination },
+            );
+            return;
+        }
+        if let Err(e) = self.builder.deliver(msg) {
+            self.fail(node, Some(msg), SimErrorKind::InvalidDelivery(e));
+            return;
+        }
+        self.journal(msg, RunEventKind::Deliver);
+        let received = self.receive_time[msg.0].expect("received before delivery");
+        let invoked = self.invoke_time[msg.0].expect("invoked before delivery");
+        self.stats.delivered += 1;
+        self.stats.total_inhibition += self.now - received;
+        self.stats.total_latency += self.now - invoked;
+    }
+
+    /// [`Ctx::send_control`], simulator backend.
+    fn do_send_control(&mut self, node: usize, to: ProcessId, bytes: Vec<u8>) {
+        if self.error.is_some() {
+            return;
+        }
+        self.stats.control_messages += 1;
+        self.stats.control_bytes += bytes.len();
+        self.transmit(
+            node,
+            to.0,
+            false,
+            EventKind::ControlArrival { from: node, bytes },
+        );
+    }
+
+    /// [`Ctx::resend_control`], simulator backend.
+    fn do_resend_control(&mut self, node: usize, to: ProcessId, bytes: Vec<u8>) {
+        if self.error.is_some() {
+            return;
+        }
+        self.stats.retransmitted_frames += 1;
+        self.stats.control_bytes += bytes.len();
+        self.transmit(
+            node,
+            to.0,
+            true,
+            EventKind::ControlArrival { from: node, bytes },
+        );
+    }
+
+    /// [`Ctx::set_timer`], simulator backend.
+    fn do_set_timer(&mut self, node: usize, delay: u64, id: u64) {
+        let at = self.now.saturating_add(delay.max(1));
+        self.schedule(at, node, EventKind::Timer { id });
+    }
+
+    /// Applies a batch of host actions emitted by one protocol dispatch,
+    /// in emission order, at the current time — the simulator-semantics
+    /// sink of the `ProtocolHost` boundary. Invalid actions poison the
+    /// world exactly as their [`Ctx`] counterparts do.
+    pub(crate) fn apply(&mut self, node: usize, actions: Vec<HostAction>) {
+        for action in actions {
+            match action {
+                HostAction::SendUser { msg, tag } => self.do_send_user(node, msg, tag),
+                HostAction::ResendUser { msg, tag } => self.do_resend_user(node, msg, tag),
+                HostAction::Deliver { msg } => self.do_deliver(node, msg),
+                HostAction::SendControl { to, bytes } => self.do_send_control(node, to, bytes),
+                HostAction::ResendControl { to, bytes } => self.do_resend_control(node, to, bytes),
+                HostAction::SetTimer { delay, id } => self.do_set_timer(node, delay, id),
+            }
+        }
     }
 }
 
@@ -436,7 +556,53 @@ pub(crate) enum EventKind {
 impl World {
     /// A dispatch context for `node` (explorer entry point).
     pub(crate) fn ctx(&mut self, node: usize) -> Ctx<'_> {
-        Ctx { world: self, node }
+        Ctx::sim(self, node)
+    }
+
+    /// Admits one scheduled event at `node`: executes the kernel-owned
+    /// bookkeeping that precedes the protocol call (`x.s*`/`x.r*` run
+    /// events, journal entries, invoke/receive timestamps, duplicate
+    /// suppression) and returns the transport-agnostic [`HostEvent`] to
+    /// hand the protocol — or `None` when the event is absorbed
+    /// (suppressed duplicate) or invalid (the world is now poisoned).
+    pub(crate) fn admit(&mut self, node: usize, kind: EventKind) -> Option<HostEvent> {
+        match kind {
+            EventKind::Request { msg } => {
+                if let Err(e) = self.builder.invoke(msg) {
+                    self.fail(node, Some(msg), SimErrorKind::InvalidRequest(e));
+                    return None;
+                }
+                self.journal(msg, RunEventKind::Invoke);
+                self.invoke_time[msg.0] = Some(self.now);
+                Some(HostEvent::Request { msg })
+            }
+            EventKind::UserArrival { from, msg, tag } => {
+                if self.receive_time[msg.0].is_some() {
+                    // A duplicated or retransmitted frame whose original
+                    // already arrived: the network-level receive `x.r*`
+                    // happened once; the extra copy is absorbed by the
+                    // kernel so it cannot corrupt the run.
+                    self.stats.suppressed_duplicates += 1;
+                    return None;
+                }
+                if let Err(e) = self.builder.receive(msg) {
+                    self.fail(node, Some(msg), SimErrorKind::InvalidReceive(e));
+                    return None;
+                }
+                self.journal(msg, RunEventKind::Receive);
+                self.receive_time[msg.0] = Some(self.now);
+                Some(HostEvent::UserFrame {
+                    from: ProcessId(from),
+                    msg,
+                    tag,
+                })
+            }
+            EventKind::ControlArrival { from, bytes } => Some(HostEvent::ControlFrame {
+                from: ProcessId(from),
+                bytes,
+            }),
+            EventKind::Timer { id } => Some(HostEvent::Timer { id }),
+        }
     }
 
     /// Dispatches one event to the protocol instance at `node`,
@@ -448,43 +614,20 @@ impl World {
         node: usize,
         kind: EventKind,
     ) {
-        match kind {
-            EventKind::Request { msg } => {
-                if let Err(e) = self.builder.invoke(msg) {
-                    self.fail(node, Some(msg), SimErrorKind::InvalidRequest(e));
-                    return;
-                }
-                self.journal(msg, RunEventKind::Invoke);
-                self.invoke_time[msg.0] = Some(self.now);
-                let mut ctx = Ctx { world: self, node };
-                protocols[node].on_send_request(&mut ctx, msg);
+        let Some(ev) = self.admit(node, kind) else {
+            return;
+        };
+        let mut ctx = Ctx::sim(self, node);
+        match ev {
+            HostEvent::Init => protocols[node].on_init(&mut ctx),
+            HostEvent::Request { msg } => protocols[node].on_send_request(&mut ctx, msg),
+            HostEvent::UserFrame { from, msg, tag } => {
+                protocols[node].on_user_frame(&mut ctx, from, msg, tag);
             }
-            EventKind::UserArrival { from, msg, tag } => {
-                if self.receive_time[msg.0].is_some() {
-                    // A duplicated or retransmitted frame whose original
-                    // already arrived: the network-level receive `x.r*`
-                    // happened once; the extra copy is absorbed by the
-                    // kernel so it cannot corrupt the run.
-                    self.stats.suppressed_duplicates += 1;
-                    return;
-                }
-                if let Err(e) = self.builder.receive(msg) {
-                    self.fail(node, Some(msg), SimErrorKind::InvalidReceive(e));
-                    return;
-                }
-                self.journal(msg, RunEventKind::Receive);
-                self.receive_time[msg.0] = Some(self.now);
-                let mut ctx = Ctx { world: self, node };
-                protocols[node].on_user_frame(&mut ctx, ProcessId(from), msg, tag);
+            HostEvent::ControlFrame { from, bytes } => {
+                protocols[node].on_control_frame(&mut ctx, from, bytes);
             }
-            EventKind::ControlArrival { from, bytes } => {
-                let mut ctx = Ctx { world: self, node };
-                protocols[node].on_control_frame(&mut ctx, ProcessId(from), bytes);
-            }
-            EventKind::Timer { id } => {
-                let mut ctx = Ctx { world: self, node };
-                protocols[node].on_timer(&mut ctx, id);
-            }
+            HostEvent::Timer { id } => protocols[node].on_timer(&mut ctx, id),
         }
     }
 }
@@ -571,7 +714,7 @@ impl World {
         }
     }
 
-    fn schedule(&mut self, time: u64, node: usize, kind: EventKind) {
+    pub(crate) fn schedule(&mut self, time: u64, node: usize, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Scheduled {
@@ -581,6 +724,167 @@ impl World {
             kind,
         }));
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+    }
+
+    /// Builds a fresh world for `config` and `workload`: message ids are
+    /// assigned in workload order and every request is pre-queued at its
+    /// `at` time (shared between [`Simulation::new`] and the realtime
+    /// kernel, so both number messages and sequence events identically).
+    ///
+    /// # Panics
+    /// Panics if a workload request references a process out of range.
+    pub(crate) fn build(config: SimConfig, workload: &Workload) -> World {
+        let mut builder = StreamingRun::new(config.processes);
+        let mut metas = Vec::new();
+        let mut queue = BinaryHeap::new();
+        let mut seq = 0u64;
+        for spec in &workload.sends {
+            assert!(
+                spec.src < config.processes && spec.dst < config.processes,
+                "workload process out of range"
+            );
+            let id = match &spec.color {
+                Some(c) => builder.message_colored(spec.src, spec.dst, c),
+                None => builder.message(spec.src, spec.dst),
+            };
+            metas.push(msgorder_runs::MessageMeta {
+                id,
+                src: ProcessId(spec.src),
+                dst: ProcessId(spec.dst),
+                color: spec.color.clone(),
+            });
+            queue.push(Reverse(Scheduled {
+                time: spec.at,
+                seq,
+                node: spec.src,
+                kind: EventKind::Request { msg: id },
+            }));
+            seq += 1;
+        }
+        let n_msgs = metas.len();
+        World {
+            processes: config.processes,
+            latency: config.latency,
+            faults: config.faults,
+            metas,
+            builder,
+            queue,
+            rng: StdRng::seed_from_u64(config.seed),
+            fault_rng: StdRng::seed_from_u64(config.seed ^ FAULT_RNG_SALT),
+            seq,
+            now: 0,
+            stats: Stats::default(),
+            invoke_time: vec![None; n_msgs],
+            receive_time: vec![None; n_msgs],
+            sent: vec![false; n_msgs],
+            frame_fate: vec![FrameFate::default(); n_msgs],
+            error: None,
+            record: false,
+            record_wire: false,
+            fresh: Vec::new(),
+            decisions: DecisionSource::Sample,
+        }
+    }
+
+    /// Applies the crash schedule to a due event: returns the event
+    /// unchanged when its process is up, or absorbs it (losing arrivals,
+    /// deferring the process's own work to its restart, or losing it to
+    /// a permanent crash) and returns `None`. Shared between the timed
+    /// kernel's event loop and the realtime kernel.
+    pub(crate) fn absorb_crashed(&mut self, ev: Scheduled) -> Option<Scheduled> {
+        let Some(restart) = self.faults.down_until(ev.node, ev.time) else {
+            return Some(ev);
+        };
+        match ev.kind {
+            // Frames arriving at a crashed process are lost.
+            EventKind::UserArrival { msg, .. } => {
+                self.frame_fate[msg.0].crashed_arrivals += 1;
+                self.stats.dropped_frames += 1;
+                self.journal_fault(FaultRecord::ArrivalAtCrashed {
+                    node: ev.node,
+                    time: ev.time,
+                });
+            }
+            EventKind::ControlArrival { .. } => {
+                self.stats.dropped_frames += 1;
+                self.journal_fault(FaultRecord::ArrivalAtCrashed {
+                    node: ev.node,
+                    time: ev.time,
+                });
+            }
+            // The process's own pending actions are deferred to its
+            // restart — or lost with it on a permanent crash.
+            kind @ (EventKind::Request { .. } | EventKind::Timer { .. }) => {
+                if let Some(r) = restart {
+                    self.schedule(r, ev.node, kind);
+                    self.journal_fault(FaultRecord::DeferredToRestart {
+                        node: ev.node,
+                        time: ev.time,
+                        until: r,
+                    });
+                } else {
+                    if let EventKind::Request { msg } = kind {
+                        self.frame_fate[msg.0].request_lost = true;
+                    }
+                    self.journal_fault(FaultRecord::LostToCrash {
+                        node: ev.node,
+                        time: ev.time,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Drains the journal of fresh entries into `obs`: run events via
+    /// `on_event` (which may halt), wire/fault records via their hooks.
+    /// Returns `false` as soon as the observer requests a halt.
+    pub(crate) fn notify_observer(&mut self, obs: &mut dyn RunObserver) -> bool {
+        if self.fresh.is_empty() {
+            return true;
+        }
+        let fresh = std::mem::take(&mut self.fresh);
+        let run_count = fresh
+            .iter()
+            .filter(|e| matches!(e, KernelEvent::Run { .. }))
+            .count();
+        let mut index = self.builder.event_count() - run_count;
+        for entry in fresh {
+            match entry {
+                KernelEvent::Run { ev, time } => {
+                    if !obs.on_event(&self.builder, ev, index, time) {
+                        return false;
+                    }
+                    index += 1;
+                }
+                KernelEvent::Wire(w) => obs.on_wire(&w),
+                KernelEvent::Fault(f) => obs.on_fault(&f),
+            }
+        }
+        true
+    }
+
+    /// Turns step-limit exhaustion into the structured
+    /// [`SimErrorKind::StepLimit`] counterexample, carrying the blame
+    /// analysis of whatever was still pending when the limit tripped.
+    /// Observer halts are deliberate and never poisoned.
+    pub(crate) fn poison_step_limit(&mut self, step_limit: usize, completed: bool, halted: bool) {
+        if completed || halted || self.error.is_some() {
+            return;
+        }
+        let frontier = liveness::analyze(self, true).unwrap_or(LivenessVerdict {
+            stuck: Vec::new(),
+            step_limited: true,
+            end_time: self.now,
+        });
+        self.fail(
+            0,
+            None,
+            SimErrorKind::StepLimit {
+                steps: step_limit,
+                frontier,
+            },
+        );
     }
 
     /// Records the first protocol bug (later ones are dropped: the world
@@ -789,57 +1093,9 @@ impl<P: Protocol> Simulation<P> {
     /// # Panics
     /// Panics if a workload request references a process out of range.
     pub fn new(config: SimConfig, workload: Workload, factory: impl Fn(usize) -> P) -> Self {
-        let mut builder = StreamingRun::new(config.processes);
-        let mut metas = Vec::new();
-        let mut world_queue = BinaryHeap::new();
-        let mut seq = 0u64;
-        for spec in &workload.sends {
-            assert!(
-                spec.src < config.processes && spec.dst < config.processes,
-                "workload process out of range"
-            );
-            let id = match &spec.color {
-                Some(c) => builder.message_colored(spec.src, spec.dst, c),
-                None => builder.message(spec.src, spec.dst),
-            };
-            metas.push(msgorder_runs::MessageMeta {
-                id,
-                src: ProcessId(spec.src),
-                dst: ProcessId(spec.dst),
-                color: spec.color.clone(),
-            });
-            world_queue.push(Reverse(Scheduled {
-                time: spec.at,
-                seq,
-                node: spec.src,
-                kind: EventKind::Request { msg: id },
-            }));
-            seq += 1;
-        }
-        let n_msgs = metas.len();
-        let world = World {
-            processes: config.processes,
-            latency: config.latency,
-            faults: config.faults,
-            metas,
-            builder,
-            queue: world_queue,
-            rng: StdRng::seed_from_u64(config.seed),
-            fault_rng: StdRng::seed_from_u64(config.seed ^ FAULT_RNG_SALT),
-            seq,
-            now: 0,
-            stats: Stats::default(),
-            invoke_time: vec![None; n_msgs],
-            receive_time: vec![None; n_msgs],
-            sent: vec![false; n_msgs],
-            frame_fate: vec![FrameFate::default(); n_msgs],
-            error: None,
-            record: false,
-            record_wire: false,
-            fresh: Vec::new(),
-            decisions: DecisionSource::Sample,
-        };
-        let protocols = (0..config.processes).map(factory).collect();
+        let processes = config.processes;
+        let world = World::build(config, &workload);
+        let protocols = (0..processes).map(factory).collect();
         Simulation {
             protocols,
             world,
@@ -937,27 +1193,10 @@ impl<P: Protocol> Simulation<P> {
         })
     }
 
-    /// Turns step-limit exhaustion into the structured
-    /// [`SimErrorKind::StepLimit`] counterexample, carrying the blame
-    /// analysis of whatever was still pending when the limit tripped.
-    /// Observer halts are deliberate and never poisoned.
+    /// See [`World::poison_step_limit`].
     fn poison_step_limit(&mut self, completed: bool, halted: bool) {
-        if completed || halted || self.world.error.is_some() {
-            return;
-        }
-        let frontier = liveness::analyze(&self.world, true).unwrap_or(LivenessVerdict {
-            stuck: Vec::new(),
-            step_limited: true,
-            end_time: self.world.now,
-        });
-        self.world.fail(
-            0,
-            None,
-            SimErrorKind::StepLimit {
-                steps: self.step_limit,
-                frontier,
-            },
-        );
+        self.world
+            .poison_step_limit(self.step_limit, completed, halted);
     }
 
     /// The shared event loop: dispatches until the queue drains, the
@@ -965,14 +1204,11 @@ impl<P: Protocol> Simulation<P> {
     /// observer (if any) requests a halt. Returns `(completed, halted)`.
     fn drive(&mut self, mut obs: Option<&mut dyn RunObserver>) -> (bool, bool) {
         for node in 0..self.world.processes {
-            let mut ctx = Ctx {
-                world: &mut self.world,
-                node,
-            };
+            let mut ctx = Ctx::sim(&mut self.world, node);
             self.protocols[node].on_init(&mut ctx);
         }
         if let Some(o) = obs.as_deref_mut() {
-            if !self.notify(o) {
+            if !self.world.notify_observer(o) {
                 return (false, true);
             }
         }
@@ -986,51 +1222,13 @@ impl<P: Protocol> Simulation<P> {
             }
             debug_assert!(ev.time >= self.world.now, "time must not run backwards");
             self.world.now = ev.time;
-            if let Some(restart) = self.world.faults.down_until(ev.node, ev.time) {
-                match ev.kind {
-                    // Frames arriving at a crashed process are lost.
-                    EventKind::UserArrival { msg, .. } => {
-                        self.world.frame_fate[msg.0].crashed_arrivals += 1;
-                        self.world.stats.dropped_frames += 1;
-                        self.world.journal_fault(FaultRecord::ArrivalAtCrashed {
-                            node: ev.node,
-                            time: ev.time,
-                        });
-                    }
-                    EventKind::ControlArrival { .. } => {
-                        self.world.stats.dropped_frames += 1;
-                        self.world.journal_fault(FaultRecord::ArrivalAtCrashed {
-                            node: ev.node,
-                            time: ev.time,
-                        });
-                    }
-                    // The process's own pending actions are deferred to
-                    // its restart — or lost with it on a permanent crash.
-                    kind @ (EventKind::Request { .. } | EventKind::Timer { .. }) => {
-                        if let Some(r) = restart {
-                            self.world.schedule(r, ev.node, kind);
-                            self.world.journal_fault(FaultRecord::DeferredToRestart {
-                                node: ev.node,
-                                time: ev.time,
-                                until: r,
-                            });
-                        } else {
-                            if let EventKind::Request { msg } = kind {
-                                self.world.frame_fate[msg.0].request_lost = true;
-                            }
-                            self.world.journal_fault(FaultRecord::LostToCrash {
-                                node: ev.node,
-                                time: ev.time,
-                            });
-                        }
-                    }
-                }
+            let Some(ev) = self.world.absorb_crashed(ev) else {
                 continue;
-            }
+            };
             self.world.stats.dispatched_events += 1;
             self.world.dispatch(&mut self.protocols, ev.node, ev.kind);
             if let Some(o) = obs.as_deref_mut() {
-                if !self.notify(o) {
+                if !self.world.notify_observer(o) {
                     return (false, true);
                 }
             }
@@ -1042,37 +1240,9 @@ impl<P: Protocol> Simulation<P> {
         // fault records from trailing crash-window drops). Only run
         // events can halt, and there are none left here.
         if let Some(o) = obs {
-            let _ = self.notify(o);
+            let _ = self.world.notify_observer(o);
         }
         (completed, false)
-    }
-
-    /// Drains the journal of fresh entries into `obs`: run events via
-    /// `on_event` (which may halt), wire/fault records via their hooks.
-    /// Returns `false` as soon as the observer requests a halt.
-    fn notify(&mut self, obs: &mut dyn RunObserver) -> bool {
-        if self.world.fresh.is_empty() {
-            return true;
-        }
-        let fresh = std::mem::take(&mut self.world.fresh);
-        let run_count = fresh
-            .iter()
-            .filter(|e| matches!(e, KernelEvent::Run { .. }))
-            .count();
-        let mut index = self.world.builder.event_count() - run_count;
-        for entry in fresh {
-            match entry {
-                KernelEvent::Run { ev, time } => {
-                    if !obs.on_event(&self.world.builder, ev, index, time) {
-                        return false;
-                    }
-                    index += 1;
-                }
-                KernelEvent::Wire(w) => obs.on_wire(&w),
-                KernelEvent::Fault(f) => obs.on_fault(&f),
-            }
-        }
-        true
     }
 
     /// Decomposes the simulation into its world and protocol instances

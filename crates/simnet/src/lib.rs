@@ -54,9 +54,11 @@ mod error;
 pub mod explore;
 mod faults;
 mod frame;
+mod host;
 mod kernel;
 mod latency;
 mod liveness;
+mod realtime;
 mod stats;
 mod workload;
 
@@ -67,11 +69,15 @@ pub use explore::{
 };
 pub use faults::{CrashSchedule, FaultConfigError, FaultModel, Partition};
 pub use frame::Frame;
+pub use host::{HostAction, HostEnv, HostEvent, ProtocolHost};
 pub use kernel::{
     Ctx, DropReason, FaultRecord, KernelEvent, PayloadKind, Protocol, RunObserver, SimConfig,
     SimResult, Simulation, StreamResult, TransmitDecision, WireRecord,
 };
 pub use latency::{LatencyModel, LatencyOverflow};
 pub use liveness::{Blame, LivenessVerdict, StuckCause, StuckMessage, StuckStage};
+pub use realtime::{
+    DriftStats, HostDriver, HostError, InProcessHost, RealtimeKernel, RealtimeOutcome,
+};
 pub use stats::Stats;
 pub use workload::{SendSpec, Workload};

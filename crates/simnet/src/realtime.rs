@@ -1,0 +1,499 @@
+//! The realtime kernel: the simulator's event discipline paced against
+//! the wall clock, driving protocol instances that live behind a
+//! [`HostDriver`] (in-process, or real OS processes on real sockets).
+//!
+//! # Why live runs replay bit-exact
+//!
+//! The kernel is a *sequencer*: it keeps the exact `(time, seq)` binary
+//! heap of the discrete-event simulator and dispatches one event at a
+//! time, blocking on the host's reply before touching the next event.
+//! Three invariants make the recorded trace indistinguishable from a
+//! simulated one:
+//!
+//! 1. **Virtual time is authoritative.** Every event executes at its
+//!    scheduled virtual time `ev.time`; the wall clock only *paces* the
+//!    loop (sleep until `start + ev.time·tick`) and its lateness is
+//!    accounted separately as [`DriftStats`] — it never leaks into the
+//!    trace.
+//! 2. **Arrival times are fixed at transmit time.** When a dispatch
+//!    emits a frame, the kernel measures the wall clock *once*, converts
+//!    it to ticks, and injects a [`TransmitDecision`] with
+//!    `delay = max(wall+1 − now, 1)` into the same decision path replay
+//!    uses. The frame's arrival is pushed into the heap at `now + delay`
+//!    like any simulated frame — so the live execution order *is* the
+//!    replay order by construction.
+//! 3. **Dispatch is atomic.** The host call is a blocking round-trip;
+//!    the returned action batch is applied at `ev.time` exactly as a
+//!    simulated protocol's [`Ctx`](crate::Ctx) calls would be, through
+//!    the same `World` machinery (journal, stats, fault accounting).
+//!
+//! Replaying the recorded decisions through [`Simulation::with_replay`]
+//! therefore reproduces the identical event sequence, fingerprint, and
+//! verdict — a live-socket trace rides the verify/shrink pipeline
+//! unchanged (the perp-sim pacing idea from SNIPPETS.md §1, grafted
+//! onto the replayable kernel).
+
+use crate::error::{SimError, SimErrorKind};
+use crate::host::{HostAction, HostEnv, HostEvent, ProtocolHost};
+use crate::kernel::{
+    DecisionSource, Protocol, RunObserver, SimConfig, StreamResult, TransmitDecision, World,
+};
+use crate::liveness;
+use crate::workload::Workload;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// A failure dispatching an event to a hosted protocol instance:
+/// poisons the run with [`SimErrorKind::HostFailure`].
+#[derive(Debug, Clone)]
+pub struct HostError {
+    /// The process whose host failed.
+    pub node: usize,
+    /// What the transport reported.
+    pub detail: String,
+}
+
+impl HostError {
+    /// A host error at `node`.
+    pub fn new(node: usize, detail: impl Into<String>) -> HostError {
+        HostError {
+            node,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host failure at process {}: {}", self.node, self.detail)
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Where the realtime kernel sends each event for processing: one
+/// protocol instance per process, living wherever the driver keeps them
+/// (in this process, or across sockets in real OS processes).
+///
+/// `dispatch` must be a *blocking* round-trip: the kernel will not move
+/// to the next event until the action batch for this one is back — that
+/// atomicity is what keeps live runs bit-exact under replay.
+pub trait HostDriver {
+    /// Processes `ev` at virtual time `now` on the protocol instance for
+    /// `node`, returning the emitted actions in emission order.
+    fn dispatch(
+        &mut self,
+        node: usize,
+        ev: HostEvent,
+        now: u64,
+    ) -> Result<Vec<HostAction>, HostError>;
+}
+
+/// Wall-clock drift accounting for one realtime run.
+///
+/// Lag is measured in virtual ticks: how far past its scheduled wall
+/// deadline an event actually dispatched (0 when the pacer woke on
+/// time). Free-running mode (`tick == 0`) reports zero lag by
+/// definition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriftStats {
+    /// Events dispatched.
+    pub dispatches: u64,
+    /// Events that dispatched at least one tick late.
+    pub late: u64,
+    /// Worst lag observed, in ticks.
+    pub max_lag: u64,
+    /// Sum of all lags, in ticks.
+    pub total_lag: u64,
+}
+
+impl DriftStats {
+    fn observe(&mut self, lag: u64) {
+        self.dispatches += 1;
+        if lag > 0 {
+            self.late += 1;
+            self.max_lag = self.max_lag.max(lag);
+            self.total_lag += lag;
+        }
+    }
+
+    /// Mean lag per dispatch, in ticks.
+    pub fn mean_lag(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.total_lag as f64 / self.dispatches as f64
+        }
+    }
+}
+
+/// The outcome of a realtime run: the usual streaming result (or
+/// counterexample) plus the wall-clock drift accounting.
+#[derive(Debug)]
+pub struct RealtimeOutcome {
+    /// Exactly what [`Simulation::run_streaming`] would return — a live
+    /// trace recorded through an observer replays against the simulator
+    /// unchanged.
+    ///
+    /// [`Simulation::run_streaming`]: crate::Simulation::run_streaming
+    pub outcome: Result<StreamResult, SimError>,
+    /// Wall-clock pacing accounting.
+    pub drift: DriftStats,
+}
+
+/// The wall-clock-paced kernel. Construction mirrors
+/// [`Simulation::new`](crate::Simulation::new) — same message
+/// numbering, same pre-queued requests, same tie-breaking — but events
+/// are processed by a [`HostDriver`] instead of in-process protocol
+/// instances, and the loop sleeps until each event's wall deadline
+/// (`ev.time × tick`) before dispatching it.
+pub struct RealtimeKernel {
+    world: World,
+    step_limit: usize,
+    tick: Duration,
+}
+
+impl RealtimeKernel {
+    /// Builds a realtime kernel for `config` and `workload`.
+    ///
+    /// # Panics
+    /// Panics if a workload request references a process out of range.
+    pub fn new(config: SimConfig, workload: &Workload) -> RealtimeKernel {
+        RealtimeKernel {
+            world: World::build(config, workload),
+            step_limit: 1_000_000,
+            tick: Duration::ZERO,
+        }
+    }
+
+    /// Overrides the livelock step limit.
+    pub fn with_step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Sets the wall-clock duration of one virtual tick. `ZERO` (the
+    /// default) free-runs: no sleeping, every frame takes one virtual
+    /// tick in flight.
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Wall time since `start`, in whole virtual ticks. Free-running
+    /// mode pins the wall clock to the virtual clock.
+    fn wall_ticks(&self, start: Instant, now: u64) -> u64 {
+        if self.tick.is_zero() {
+            return now;
+        }
+        let ticks = start.elapsed().as_nanos() / self.tick.as_nanos();
+        u64::try_from(ticks).unwrap_or(u64::MAX)
+    }
+
+    /// Sleeps until `time`'s wall deadline (no-op when free-running or
+    /// already past it).
+    fn pace_until(&self, start: Instant, time: u64) {
+        if self.tick.is_zero() {
+            return;
+        }
+        let Some(deadline) = self.tick.as_nanos().checked_mul(u128::from(time)) else {
+            return; // virtual time too large to pace — run as fast as possible
+        };
+        let elapsed = start.elapsed().as_nanos();
+        if let Ok(remaining) = u64::try_from(deadline.saturating_sub(elapsed)) {
+            if remaining > 0 {
+                std::thread::sleep(Duration::from_nanos(remaining));
+            }
+        }
+    }
+
+    /// Dispatches one admitted event through the host and applies the
+    /// returned batch: measures the wall clock once, injects one
+    /// [`TransmitDecision`] per transmit-type action (arrival at
+    /// `max(wall+1, now+1)`), then applies the actions at `now`.
+    fn round_trip(
+        &mut self,
+        host: &mut dyn HostDriver,
+        node: usize,
+        ev: HostEvent,
+        start: Instant,
+        drift: &mut DriftStats,
+    ) {
+        let now = self.world.now;
+        let actions = match host.dispatch(node, ev, now) {
+            Ok(actions) => actions,
+            Err(e) => {
+                self.world
+                    .fail(e.node, None, SimErrorKind::HostFailure { detail: e.detail });
+                return;
+            }
+        };
+        let wall = self.wall_ticks(start, now);
+        drift.observe(wall.saturating_sub(now));
+        let transmits = actions.iter().filter(|a| a.is_transmit()).count();
+        if transmits > 0 {
+            let delay = wall.saturating_add(1).saturating_sub(now).max(1);
+            let decision = TransmitDecision {
+                delay,
+                dropped: None,
+                dup_delay: None,
+            };
+            if let DecisionSource::Replay(log) = &mut self.world.decisions {
+                log.extend(std::iter::repeat_n(decision, transmits));
+            }
+        }
+        self.world.apply(node, actions);
+    }
+
+    /// Runs the workload through `host`, feeding every run/wire/fault
+    /// event to `obs` exactly as [`Simulation::run_streaming`] does.
+    ///
+    /// [`Simulation::run_streaming`]: crate::Simulation::run_streaming
+    pub fn run(mut self, host: &mut dyn HostDriver, obs: &mut dyn RunObserver) -> RealtimeOutcome {
+        let mut drift = DriftStats::default();
+        self.world.record = true;
+        self.world.record_wire = obs.wants_wire();
+        // All network decisions are injected just-in-time from wall
+        // measurements; the sampling RNGs are never consulted.
+        self.world.decisions = DecisionSource::Replay(VecDeque::new());
+        let start = Instant::now();
+        for node in 0..self.world.processes {
+            self.round_trip(host, node, HostEvent::Init, start, &mut drift);
+            if self.world.error.is_some() {
+                break;
+            }
+        }
+        let (completed, halted) = if self.world.error.is_some() {
+            (false, false)
+        } else if !self.world.notify_observer(obs) {
+            (false, true)
+        } else {
+            self.drive(host, obs, start, &mut drift)
+        };
+        self.world.stats.end_time = self.world.now;
+        self.world
+            .poison_step_limit(self.step_limit, completed, halted);
+        if let Some(mut e) = self.world.error.take() {
+            e.trace = self.world.builder.build().ok();
+            e.stats = self.world.stats.clone();
+            return RealtimeOutcome {
+                outcome: Err(e),
+                drift,
+            };
+        }
+        let liveness = if halted {
+            None
+        } else {
+            liveness::analyze(&self.world, false)
+        };
+        RealtimeOutcome {
+            outcome: Ok(StreamResult {
+                run: self.world.builder,
+                stats: self.world.stats,
+                completed,
+                halted,
+                liveness,
+            }),
+            drift,
+        }
+    }
+
+    /// The paced event loop; returns `(completed, halted)`.
+    fn drive(
+        &mut self,
+        host: &mut dyn HostDriver,
+        obs: &mut dyn RunObserver,
+        start: Instant,
+        drift: &mut DriftStats,
+    ) -> (bool, bool) {
+        let mut steps = 0usize;
+        let mut completed = true;
+        while let Some(Reverse(ev)) = self.world.queue.pop() {
+            steps += 1;
+            if steps > self.step_limit {
+                completed = false;
+                break;
+            }
+            self.pace_until(start, ev.time);
+            debug_assert!(ev.time >= self.world.now, "time must not run backwards");
+            self.world.now = ev.time;
+            let Some(ev) = self.world.absorb_crashed(ev) else {
+                continue;
+            };
+            self.world.stats.dispatched_events += 1;
+            let node = ev.node;
+            if let Some(hev) = self.world.admit(node, ev.kind) {
+                self.round_trip(host, node, hev, start, drift);
+            }
+            if !self.world.notify_observer(obs) {
+                return (false, true);
+            }
+            if self.world.error.is_some() {
+                break;
+            }
+        }
+        let _ = self.world.notify_observer(obs);
+        (completed, false)
+    }
+}
+
+/// A [`HostDriver`] keeping every protocol instance in this process —
+/// the degenerate transport. Useful for tests and as the reference a
+/// socket transport must be observationally equivalent to: a protocol
+/// behaves identically under [`Simulation`](crate::Simulation), under
+/// `InProcessHost`, and across real sockets, because all three drive the
+/// same [`ProtocolHost`] objects.
+pub struct InProcessHost {
+    protocols: Vec<Box<dyn Protocol>>,
+    envs: Vec<HostEnv>,
+}
+
+impl InProcessHost {
+    /// One boxed protocol instance per process, from `factory`.
+    pub fn new(
+        processes: usize,
+        workload: &Workload,
+        factory: impl Fn(usize) -> Box<dyn Protocol>,
+    ) -> InProcessHost {
+        InProcessHost {
+            protocols: (0..processes).map(&factory).collect(),
+            envs: (0..processes)
+                .map(|node| HostEnv::new(node, processes, workload))
+                .collect(),
+        }
+    }
+}
+
+impl HostDriver for InProcessHost {
+    fn dispatch(
+        &mut self,
+        node: usize,
+        ev: HostEvent,
+        now: u64,
+    ) -> Result<Vec<HostAction>, HostError> {
+        let env = self
+            .envs
+            .get_mut(node)
+            .ok_or_else(|| HostError::new(node, "process id out of range"))?;
+        env.set_now(now);
+        self.protocols[node].process_event(env, ev);
+        Ok(env.take_actions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Ctx;
+    use crate::latency::LatencyModel;
+    use msgorder_runs::{MessageId, ProcessId};
+
+    /// Send and deliver immediately.
+    struct Immediate;
+    impl Protocol for Immediate {
+        fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
+            ctx.send_user(msg, Vec::new());
+        }
+        fn on_user_frame(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            _from: ProcessId,
+            msg: MessageId,
+            _tag: Vec<u8>,
+        ) {
+            ctx.deliver(msg);
+        }
+    }
+
+    struct Sink;
+    impl RunObserver for Sink {
+        fn on_event(
+            &mut self,
+            _view: &msgorder_runs::StreamingRun,
+            _ev: msgorder_runs::SystemEvent,
+            _index: usize,
+            _time: u64,
+        ) -> bool {
+            true
+        }
+    }
+
+    fn config(n: usize) -> SimConfig {
+        SimConfig::new(n, LatencyModel::Fixed(1), 0)
+    }
+
+    #[test]
+    fn free_running_realtime_run_completes_quiescent() {
+        let w = Workload::uniform_random(3, 20, 7);
+        let mut host = InProcessHost::new(3, &w, |_| Box::new(Immediate));
+        let out = RealtimeKernel::new(config(3), &w).run(&mut host, &mut Sink);
+        let r = out.outcome.expect("no protocol bug");
+        assert!(r.completed && !r.halted);
+        assert!(r.run.is_quiescent() && r.run.is_complete());
+        assert_eq!(r.stats.delivered, 20);
+        assert_eq!(
+            out.drift.dispatches,
+            r.stats.dispatched_events as u64 + 3,
+            "+init"
+        );
+        assert_eq!(out.drift.late, 0, "free-run never lags");
+    }
+
+    #[test]
+    fn paced_run_tracks_wall_clock() {
+        let w = Workload::uniform_random(2, 3, 1);
+        let mut host = InProcessHost::new(2, &w, |_| Box::new(Immediate));
+        let start = Instant::now();
+        let out = RealtimeKernel::new(config(2), &w)
+            .with_tick(Duration::from_micros(200))
+            .run(&mut host, &mut Sink);
+        let r = out.outcome.expect("no protocol bug");
+        assert!(r.completed);
+        // The last event's wall deadline must have been awaited.
+        let min = Duration::from_micros(200) * u32::try_from(r.stats.end_time).expect("small");
+        assert!(
+            start.elapsed() >= min,
+            "paced run finished before its last deadline"
+        );
+    }
+
+    #[test]
+    fn host_failure_poisons_with_structured_error() {
+        struct Broken;
+        impl HostDriver for Broken {
+            fn dispatch(
+                &mut self,
+                node: usize,
+                _ev: HostEvent,
+                _now: u64,
+            ) -> Result<Vec<HostAction>, HostError> {
+                Err(HostError::new(node, "wire gone"))
+            }
+        }
+        let w = Workload::uniform_random(2, 1, 0);
+        let out = RealtimeKernel::new(config(2), &w).run(&mut Broken, &mut Sink);
+        let e = out.outcome.expect_err("host failure is an error");
+        assert!(
+            matches!(&e.kind, SimErrorKind::HostFailure { detail } if detail == "wire gone"),
+            "{e}"
+        );
+        assert_eq!(e.kind.discriminant_name(), "host-failure");
+    }
+
+    #[test]
+    fn live_behavior_matches_the_simulator_on_the_same_protocol() {
+        // Same protocol, same workload: the realtime kernel (free-run)
+        // and the simulator agree on the logical run shape.
+        let w = Workload::uniform_random(3, 12, 5);
+        let mut host = InProcessHost::new(3, &w, |_| Box::new(Immediate));
+        let live = RealtimeKernel::new(config(3), &w)
+            .run(&mut host, &mut Sink)
+            .outcome
+            .expect("ok");
+        let sim = crate::Simulation::run_uniform(config(3), w, |_| Immediate).expect("ok");
+        assert_eq!(live.stats.user_messages, sim.stats.user_messages);
+        assert_eq!(live.stats.delivered, sim.stats.delivered);
+        assert!(live.run.is_quiescent());
+    }
+}

@@ -165,7 +165,12 @@ impl ChaosReport {
 }
 
 /// Samples one trial scenario from the trial's private RNG stream.
-fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Setup {
+///
+/// # Errors
+/// [`TraceError::Internal`] if a sampled fault probability is rejected
+/// by [`FaultModel`] — impossible for the ranges drawn here, but
+/// surfaced as an error so a sweep never panics.
+fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Result<Setup, TraceError> {
     let protocol = rng.pick(protocols).clone();
     let processes = rng.range(2, 4) as usize;
     let messages = rng.range(4, 16) as usize;
@@ -174,12 +179,12 @@ fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Setup {
     if rng.chance(0.7) {
         faults = faults
             .with_drop(rng.range(5, 30) as f64 / 100.0)
-            .expect("sampled probability is in range");
+            .map_err(|e| TraceError::Internal(format!("sampled drop rate rejected: {e}")))?;
     }
     if rng.chance(0.3) {
         faults = faults
             .with_duplication(rng.range(5, 20) as f64 / 100.0)
-            .expect("sampled probability is in range");
+            .map_err(|e| TraceError::Internal(format!("sampled dup rate rejected: {e}")))?;
     }
     if rng.chance(0.4) {
         let a = rng.range(0, processes as u64 - 1) as usize;
@@ -201,7 +206,7 @@ fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Setup {
         1 => Some("fifo".to_owned()),
         _ => Some("causal".to_owned()),
     };
-    Setup {
+    Ok(Setup {
         processes,
         latency: LatencyModel::Uniform {
             lo: 1,
@@ -214,7 +219,7 @@ fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Setup {
         reliable: rng.chance(0.6),
         spec,
         step_limit: 0, // filled by the sweep from the config
-    }
+    })
 }
 
 /// Fault-free exhaustive cross-check of a spec-violation finding: does
@@ -234,7 +239,9 @@ pub fn confirm_ordering_inherent(setup: &Setup) -> Option<bool> {
     let spec = setup.spec_predicate().ok().flatten()?;
     let kind = ProtocolKind::by_name(&setup.protocol, Some(&spec))?;
     let n = setup.processes;
-    kind.explorable(n, 0)?;
+    let protos: Vec<_> = (0..n)
+        .map(|node| kind.explorable(n, node))
+        .collect::<Option<Vec<_>>>()?;
     let opts = ExploreOptions {
         cap: 25_000,
         por: true,
@@ -244,10 +251,7 @@ pub fn confirm_ordering_inherent(setup: &Setup) -> Option<bool> {
     let out = verify_exhaustive(
         n,
         setup.workload.clone(),
-        |node| {
-            kind.explorable(n, node)
-                .expect("explorability is uniform across nodes")
-        },
+        |node| protos[node].clone(),
         &spec,
         &opts,
     );
@@ -278,7 +282,7 @@ pub fn sweep(config: &ChaosConfig) -> Result<ChaosReport, TraceError> {
     let mut findings: Vec<ChaosFinding> = Vec::new();
     for trial in 0..config.trials {
         let mut rng = SplitMix64(master.next());
-        let mut setup = sample_setup(&mut rng, &protocols);
+        let mut setup = sample_setup(&mut rng, &protocols)?;
         setup.step_limit = config.step_limit;
         let recorded = record(&setup)?;
         let violated = recorded

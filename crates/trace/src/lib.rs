@@ -87,7 +87,9 @@ pub struct Setup {
 }
 
 impl Setup {
-    fn config(&self) -> SimConfig {
+    /// The kernel configuration this setup describes — shared by the
+    /// recorder, the replayer, and live-transport hosts.
+    pub fn config(&self) -> SimConfig {
         SimConfig::new(self.processes, self.latency, self.seed).with_faults(self.faults.clone())
     }
 
@@ -223,18 +225,25 @@ pub struct Trace {
 impl Trace {
     /// Serializes to JSONL (header line, one line per event, footer
     /// line).
-    pub fn to_jsonl(&self) -> String {
+    ///
+    /// # Errors
+    /// [`TraceError::Internal`] if a line fails to serialize — a bug in
+    /// this crate's schema types, never a reason to abort the process.
+    pub fn to_jsonl(&self) -> Result<String, TraceError> {
         let mut out = String::new();
-        let mut push = |line: &Line| {
-            out.push_str(&serde_json::to_string(line).expect("trace lines serialize"));
+        let push = |out: &mut String, line: &Line| -> Result<(), TraceError> {
+            out.push_str(&serde_json::to_string(line).map_err(|e| {
+                TraceError::Internal(format!("trace line failed to serialize: {e:?}"))
+            })?);
             out.push('\n');
+            Ok(())
         };
-        push(&Line::Header(self.header.clone()));
+        push(&mut out, &Line::Header(self.header.clone()))?;
         for ev in &self.events {
-            push(&Line::Event(ev.clone()));
+            push(&mut out, &Line::Event(ev.clone()))?;
         }
-        push(&Line::Footer(self.footer.clone()));
-        out
+        push(&mut out, &Line::Footer(self.footer.clone()))?;
+        Ok(out)
     }
 
     /// Parses a JSONL trace, validating framing and schema version.
@@ -292,7 +301,7 @@ impl Trace {
 
     /// Writes the trace as JSONL to `path`.
     pub fn write(&self, path: impl AsRef<std::path::Path>) -> Result<(), TraceError> {
-        std::fs::write(path, self.to_jsonl()).map_err(TraceError::Io)
+        std::fs::write(path, self.to_jsonl()?).map_err(TraceError::Io)
     }
 
     /// Reads a JSONL trace from `path`.
@@ -560,9 +569,10 @@ pub fn record_with_extra<P: Protocol>(
 }
 
 /// Builds a complete [`Trace`] (footer, fingerprint, verdict) from a
-/// captured event stream and its raw outcome — shared by [`record`] and
-/// the counterexample shrinker's re-execution path.
-pub(crate) fn assemble_trace(
+/// captured event stream and its raw outcome — shared by [`record`],
+/// the counterexample shrinker's re-execution path, and live-transport
+/// recorders that capture kernel events outside the simulator.
+pub fn assemble_trace(
     setup: &Setup,
     events: Vec<KernelEvent>,
     outcome: &Result<StreamResult, SimError>,
@@ -843,6 +853,10 @@ pub enum TraceError {
     Spec(String),
     /// Re-recording/replay did not reproduce the recorded run.
     Divergence(String),
+    /// An internal invariant failed (serialization, sampled-parameter
+    /// validation) — reported instead of panicking so replay/shrink/chaos
+    /// never abort the process on bad input.
+    Internal(String),
 }
 
 impl std::fmt::Display for TraceError {
@@ -856,6 +870,7 @@ impl std::fmt::Display for TraceError {
             }
             TraceError::Spec(m) => write!(f, "spec: {m}"),
             TraceError::Divergence(m) => write!(f, "replay divergence: {m}"),
+            TraceError::Internal(m) => write!(f, "internal invariant failed: {m}"),
         }
     }
 }

@@ -51,7 +51,7 @@ fn record_replay_round_trip_grid() {
             for seed in [1u64, 7, 42] {
                 let s = setup(protocol, reliable, faults.clone(), seed, 12);
                 let recorded = record(&s).expect("registry protocol records");
-                let text = recorded.trace.to_jsonl();
+                let text = recorded.trace.to_jsonl().expect("serializes");
                 let parsed = Trace::from_jsonl(&text).expect("jsonl parses back");
                 assert_eq!(parsed, recorded.trace, "serialization round-trips");
 
@@ -372,7 +372,11 @@ fn malformed_jsonl_is_rejected_with_structure() {
         Err(TraceError::Parse(_))
     ));
     let s = setup("fifo", false, FaultModel::none(), 1, 4);
-    let good = record(&s).expect("records").trace.to_jsonl();
+    let good = record(&s)
+        .expect("records")
+        .trace
+        .to_jsonl()
+        .expect("serializes");
     // Drop the footer line.
     let truncated: String = good
         .lines()
@@ -415,7 +419,7 @@ proptest! {
         let mut s = setup(protocol, reliable, faults, seed, msgs);
         s.workload = Workload::uniform_random(3, msgs, seed);
         let recorded = record(&s).expect("records");
-        let parsed = Trace::from_jsonl(&recorded.trace.to_jsonl()).expect("parses");
+        let parsed = Trace::from_jsonl(&recorded.trace.to_jsonl().expect("serializes")).expect("parses");
         prop_assert_eq!(&parsed, &recorded.trace);
         let report = replay(&parsed).expect("replays");
         prop_assert!(report.ok(), "replay diverged: {:?}", report);

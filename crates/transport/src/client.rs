@@ -1,0 +1,200 @@
+//! The peer side: one OS process hosting one protocol instance behind
+//! a framed connection.
+//!
+//! The client is intentionally dumb about time and ordering — it is the
+//! *protocol* side of the [`ProtocolHost`] split. It dials the server
+//! (with supervisor backoff), learns the run's [`Setup`](msgorder_trace::Setup) from the
+//! `Welcome`, instantiates its registry protocol, and then answers each
+//! [`EventMsg`] with one [`ActionMsg`] until `Bye`. Reconnection keeps
+//! the protocol state and the last reply, so a resent in-flight event
+//! is answered from cache instead of reprocessed.
+//!
+//! [`ProtocolHost`]: msgorder_simnet::ProtocolHost
+
+use crate::endpoint::Endpoint;
+use crate::server::TransportError;
+use crate::supervisor::{connect_with_retry, Backoff};
+use crate::wire::{ActionMsg, ControlMsg, EventMsg, FramedConn, CH_CONTROL, CH_EVENT};
+use msgorder_protocols::ProtocolKind;
+use msgorder_simnet::{HostEnv, Protocol, ProtocolHost};
+use std::io;
+use std::time::Duration;
+
+/// Options for [`run_client`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// The server to dial.
+    pub endpoint: Endpoint,
+    /// This process's id.
+    pub node: usize,
+    /// Reconnect policy.
+    pub backoff: Backoff,
+    /// Per-read socket timeout.
+    pub io_timeout: Duration,
+}
+
+impl ClientOptions {
+    /// Defaults: standard backoff, 60 s read patience (the server may
+    /// legitimately be waiting on other peers between our events).
+    pub fn new(endpoint: Endpoint, node: usize) -> ClientOptions {
+        ClientOptions {
+            endpoint,
+            node,
+            backoff: Backoff::default(),
+            io_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Summary of one completed client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Events processed (cache hits for resent duplicates excluded).
+    pub processed: u64,
+    /// Connections established (1 = no reconnects were needed).
+    pub connects: u32,
+}
+
+/// The client's protocol instance plus its host environment.
+struct Instance {
+    protocol: Box<dyn Protocol>,
+    env: HostEnv,
+}
+
+/// Dials the server and serves one protocol instance until the server
+/// says `Bye`.
+///
+/// # Errors
+/// Dial/handshake failures, an unknown protocol in the announced setup,
+/// or a connection loss the backoff budget could not outlast.
+pub fn run_client(opts: &ClientOptions) -> Result<ClientReport, TransportError> {
+    let mut instance: Option<Instance> = None;
+    let mut cache: Option<ActionMsg> = None;
+    let mut next_seq: u64 = 0;
+    let mut report = ClientReport {
+        processed: 0,
+        connects: 0,
+    };
+    loop {
+        let conn = connect_with_retry(&opts.endpoint, &opts.backoff)?;
+        conn.set_read_timeout(Some(opts.io_timeout))?;
+        report.connects += 1;
+        let mut framed = FramedConn::new(conn);
+        framed.send(
+            CH_CONTROL,
+            &ControlMsg::Hello {
+                node: opts.node,
+                resume: next_seq,
+            },
+        )?;
+        let welcome: ControlMsg = framed.recv_on(CH_CONTROL)?;
+        let ControlMsg::Welcome { setup } = welcome else {
+            return Err(TransportError::Handshake(format!(
+                "expected Welcome, got {welcome:?}"
+            )));
+        };
+        if instance.is_none() {
+            let spec = setup.spec_predicate()?;
+            let kind = ProtocolKind::by_name(&setup.protocol, spec.as_ref()).ok_or_else(|| {
+                TransportError::Handshake(format!(
+                    "setup names unknown protocol {:?}",
+                    setup.protocol
+                ))
+            })?;
+            if opts.node >= setup.processes {
+                return Err(TransportError::Handshake(format!(
+                    "node {} out of range for a {}-process run",
+                    opts.node, setup.processes
+                )));
+            }
+            instance = Some(Instance {
+                protocol: kind.instantiate_with(setup.processes, opts.node, setup.reliable),
+                env: HostEnv::new(opts.node, setup.processes, &setup.workload),
+            });
+        }
+        match serve_events(
+            &mut framed,
+            instance.as_mut().expect("instantiated above"),
+            &mut cache,
+            &mut next_seq,
+            &mut report.processed,
+        ) {
+            Ok(()) => return Ok(report),
+            Err(e) if recoverable(&e) => continue, // redial via the supervisor
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+}
+
+/// Whether a session error is worth a reconnect attempt (the server may
+/// still be running and will resend the in-flight event).
+fn recoverable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
+/// The event loop on one established connection; `Ok(())` means the
+/// server said `Bye`.
+fn serve_events(
+    framed: &mut FramedConn,
+    instance: &mut Instance,
+    cache: &mut Option<ActionMsg>,
+    next_seq: &mut u64,
+    processed: &mut u64,
+) -> io::Result<()> {
+    loop {
+        let frame = framed.recv()?;
+        match frame.channel {
+            CH_CONTROL => {
+                let msg: ControlMsg = serde_json::from_slice(&frame.payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                match msg {
+                    ControlMsg::Bye => return Ok(()),
+                    other => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected control message mid-run: {other:?}"),
+                        ))
+                    }
+                }
+            }
+            CH_EVENT => {
+                let msg: EventMsg = serde_json::from_slice(&frame.payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                if msg.seq < *next_seq {
+                    // The reply to this event was lost in a reconnect:
+                    // answer from the cache, never reprocess.
+                    if let Some(reply) = cache.as_ref().filter(|c| c.seq == msg.seq) {
+                        framed.send(crate::wire::CH_ACTION, reply)?;
+                        continue;
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("duplicate event seq {} without a cached reply", msg.seq),
+                    ));
+                }
+                instance.env.set_now(msg.now);
+                instance.protocol.process_event(&mut instance.env, msg.ev);
+                let reply = ActionMsg {
+                    seq: msg.seq,
+                    actions: instance.env.take_actions(),
+                };
+                *next_seq = msg.seq + 1;
+                *processed += 1;
+                framed.send(crate::wire::CH_ACTION, &reply)?;
+                *cache = Some(reply);
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected channel {other}"),
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Length-prefixed framing with per-channel multiplexing.
+//!
+//! Wire format of one frame:
+//!
+//! ```text
+//! [len: u32 LE][channel: u8][payload: len-1 bytes]
+//! ```
+//!
+//! `len` counts the channel byte plus the payload, so a well-formed
+//! frame occupies `4 + len` bytes and `len >= 1` always. The channel
+//! byte multiplexes independent message streams (control, events,
+//! actions) over one connection; see [`crate::wire`] for the channel
+//! assignments.
+//!
+//! Decoding is incremental: a [`Decoder`] accepts bytes in arbitrary
+//! split positions (as TCP delivers them) and yields complete frames as
+//! they materialize, rejecting oversized or malformed length prefixes
+//! *before* buffering their payload.
+
+/// Upper bound on `len` (channel byte + payload). A peer announcing a
+/// larger frame is faulty or hostile; the decoder rejects the length
+/// prefix without allocating.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// One decoded frame: a channel id and its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Which multiplexed stream the payload belongs to.
+    pub channel: u8,
+    /// The payload bytes (everything after the channel byte).
+    pub payload: Vec<u8>,
+}
+
+/// A malformed byte stream. Framing errors are not recoverable: the
+/// stream position is lost, so the connection must be dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The announced length.
+        len: usize,
+    },
+    /// The length prefix is zero (a frame always has a channel byte).
+    Empty,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Empty => write!(f, "zero-length frame (missing channel byte)"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame.
+///
+/// # Errors
+/// [`FrameError::Oversized`] if the payload (plus channel byte) exceeds
+/// [`MAX_FRAME`].
+pub fn encode(channel: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let len = payload.len() + 1;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(
+        &u32::try_from(len)
+            .expect("len <= MAX_FRAME fits u32")
+            .to_le_bytes(),
+    );
+    out.push(channel);
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// An incremental frame decoder: push bytes in as they arrive, pull
+/// complete frames out.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Appends newly received bytes to the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` is consumed.
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete frame, `None` if more bytes are needed.
+    ///
+    /// # Errors
+    /// A [`FrameError`] on a malformed length prefix; the stream is
+    /// unrecoverable afterwards and the connection should be dropped.
+    pub fn try_next(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 {
+            return Err(FrameError::Empty);
+        }
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversized { len });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let channel = avail[4];
+        let payload = avail[5..4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(Frame { channel, payload }))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_one_frame() {
+        let bytes = encode(3, b"hello").expect("fits");
+        let mut dec = Decoder::new();
+        dec.push(&bytes);
+        let f = dec.try_next().expect("well-formed").expect("complete");
+        assert_eq!(
+            f,
+            Frame {
+                channel: 3,
+                payload: b"hello".to_vec()
+            }
+        );
+        assert_eq!(dec.try_next(), Ok(None));
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let bytes = encode(0, b"").expect("fits");
+        assert_eq!(bytes.len(), 5);
+        let mut dec = Decoder::new();
+        dec.push(&bytes);
+        let f = dec.try_next().expect("well-formed").expect("complete");
+        assert_eq!(f.payload, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_buffering() {
+        let mut dec = Decoder::new();
+        let len = (MAX_FRAME as u32 + 1).to_le_bytes();
+        dec.push(&len);
+        assert_eq!(
+            dec.try_next(),
+            Err(FrameError::Oversized { len: MAX_FRAME + 1 })
+        );
+        assert!(encode(0, &vec![0u8; MAX_FRAME]).is_err(), "encode agrees");
+    }
+
+    #[test]
+    fn zero_length_is_rejected() {
+        let mut dec = Decoder::new();
+        dec.push(&0u32.to_le_bytes());
+        assert_eq!(dec.try_next(), Err(FrameError::Empty));
+    }
+}

@@ -1,0 +1,50 @@
+//! Real-transport runtime for the ordering protocols: the simulator's
+//! verified protocol objects running over real OS sockets.
+//!
+//! The simnet kernel drives protocols through the transport-agnostic
+//! [`ProtocolHost`] boundary (DESIGN.md §13): framed events in, framed
+//! actions plus delivery decisions out. This crate supplies the *real*
+//! host for that boundary:
+//!
+//! - [`frame`] — length-prefixed framing with per-channel multiplexing,
+//!   decoded incrementally from arbitrary read splits;
+//! - [`endpoint`] — TCP and Unix-domain sockets behind one address
+//!   syntax (`tcp:HOST:PORT`, `unix:PATH`);
+//! - [`wire`] — the JSON message protocol: `Hello`/`Welcome`/`Bye`
+//!   handshake, sequence-numbered [`EventMsg`](wire::EventMsg) /
+//!   [`ActionMsg`](wire::ActionMsg) round-trips;
+//! - [`supervisor`] — dialing with the reliable-link exponential
+//!   backoff curve;
+//! - [`server`] — [`SocketHost`], a
+//!   [`HostDriver`](msgorder_simnet::HostDriver) whose protocol
+//!   instances live in other OS processes, and [`serve`], which runs a
+//!   whole session under the wall-clock
+//!   [`RealtimeKernel`](msgorder_simnet::RealtimeKernel) and assembles
+//!   the recorded trace;
+//! - [`client`] — the peer process: dial, learn the
+//!   [`Setup`](msgorder_trace::Setup), instantiate a registry protocol,
+//!   answer events until `Bye`.
+//!
+//! Because the realtime kernel fixes every frame's arrival time at
+//! transmit time and records through the standard trace pipeline, a
+//! trace captured from a live socket run replays **bit-exact** in the
+//! discrete-event simulator — same fingerprint, same event stream, same
+//! verdict — and rides the verify/shrink tooling unchanged.
+//!
+//! [`ProtocolHost`]: msgorder_simnet::ProtocolHost
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod endpoint;
+pub mod frame;
+pub mod server;
+pub mod supervisor;
+pub mod wire;
+
+pub use client::{run_client, ClientOptions, ClientReport};
+pub use endpoint::{Conn, Endpoint, Listener};
+pub use frame::{Decoder, Frame, FrameError, MAX_FRAME};
+pub use server::{serve, serve_on, ServeOptions, ServeOutcome, SocketHost, TransportError};
+pub use supervisor::{connect_with_retry, Backoff};

@@ -1,0 +1,312 @@
+//! The serving side: a [`SocketHost`] that drives remote protocol
+//! instances over framed connections, and [`serve`], which runs a whole
+//! live session under the realtime kernel and assembles the recorded
+//! trace.
+//!
+//! The server is the *kernel* side of the [`ProtocolHost`] split: it
+//! owns time, scheduling, journaling, and fault accounting; each peer
+//! process owns exactly one protocol instance's ordering state. A
+//! dispatch is one blocking round-trip — [`EventMsg`] out,
+//! [`ActionMsg`] back — which preserves the atomicity the realtime
+//! kernel needs for bit-exact replay.
+//!
+//! Reconnection: when a connection drops mid-round-trip, the server
+//! keeps the in-flight event and waits (bounded) for the peer's
+//! supervisor to dial back in with a [`ControlMsg::Hello`]; the event
+//! is resent and the peer's one-deep reply cache answers duplicates
+//! without reprocessing. A peer that lost its protocol state (fresh
+//! `resume: 0` against a mid-run sequence number) cannot resume and is
+//! rejected.
+//!
+//! [`ProtocolHost`]: msgorder_simnet::ProtocolHost
+
+use crate::endpoint::{Endpoint, Listener};
+use crate::wire::{ActionMsg, ControlMsg, EventMsg, FramedConn, CH_ACTION, CH_CONTROL};
+use msgorder_simnet::{
+    DriftStats, HostAction, HostDriver, HostError, HostEvent, RealtimeKernel, SimError,
+    StreamResult,
+};
+use msgorder_trace::{assemble_trace, Recorder, Setup, Trace, TraceError};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// What can go wrong running a live session.
+#[derive(Debug)]
+pub enum TransportError {
+    /// A socket-level failure (bind, accept, handshake I/O).
+    Io(io::Error),
+    /// A peer broke the handshake protocol.
+    Handshake(String),
+    /// Trace assembly or setup validation failed.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport i/o: {e}"),
+            TransportError::Handshake(m) => write!(f, "handshake: {m}"),
+            TransportError::Trace(e) => write!(f, "trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+impl From<TraceError> for TransportError {
+    fn from(e: TraceError) -> TransportError {
+        TransportError::Trace(e)
+    }
+}
+
+/// Options for [`serve`].
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// The run to execute: workload, protocol, spec, seed, step limit.
+    /// Becomes the recorded trace's header verbatim, so the trace
+    /// replays in the simulator with no extra context.
+    pub setup: Setup,
+    /// Wall-clock duration of one virtual tick; `ZERO` free-runs.
+    pub tick: Duration,
+    /// How long to wait for all peers to dial in (and to dial back in
+    /// after a connection drop).
+    pub handshake_timeout: Duration,
+    /// Per-connection read timeout for one round-trip.
+    pub io_timeout: Duration,
+}
+
+impl ServeOptions {
+    /// Defaults: free-running tick, 30 s handshake patience, 30 s
+    /// round-trip timeout.
+    pub fn new(endpoint: Endpoint, setup: Setup) -> ServeOptions {
+        ServeOptions {
+            endpoint,
+            setup,
+            tick: Duration::ZERO,
+            handshake_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The outcome of one live session.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The assembled trace — replayable in the simulator bit-exact.
+    pub trace: Trace,
+    /// The raw streaming outcome, exactly as the simulator would
+    /// return it.
+    pub outcome: Result<StreamResult, SimError>,
+    /// Wall-clock pacing accounting.
+    pub drift: DriftStats,
+}
+
+/// A [`HostDriver`] whose protocol instances live in other OS
+/// processes, one framed connection per process.
+pub struct SocketHost {
+    listener: Listener,
+    setup: Setup,
+    links: Vec<Option<FramedConn>>,
+    seqs: Vec<u64>,
+    handshake_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl SocketHost {
+    /// A host for `setup.processes` peers on `listener`. Call
+    /// [`await_peers`](SocketHost::await_peers) before running the
+    /// kernel.
+    pub fn new(listener: Listener, opts: &ServeOptions) -> io::Result<SocketHost> {
+        listener.set_nonblocking(true)?;
+        let n = opts.setup.processes;
+        Ok(SocketHost {
+            listener,
+            setup: opts.setup.clone(),
+            links: (0..n).map(|_| None).collect(),
+            seqs: vec![0; n],
+            handshake_timeout: opts.handshake_timeout,
+            io_timeout: opts.io_timeout,
+        })
+    }
+
+    /// Accepts and handshakes connections until every process has one.
+    ///
+    /// # Errors
+    /// [`TransportError::Handshake`] when the timeout passes first or a
+    /// peer announces an out-of-range node or a stale resume point.
+    pub fn await_peers(&mut self) -> Result<(), TransportError> {
+        let deadline = Instant::now() + self.handshake_timeout;
+        while self.links.iter().any(Option::is_none) {
+            self.accept_one(deadline)?;
+        }
+        Ok(())
+    }
+
+    /// Accepts one connection and completes its handshake, filling
+    /// `self.links` at whichever node dialed in.
+    fn accept_one(&mut self, deadline: Instant) -> Result<(), TransportError> {
+        let conn = loop {
+            match self.listener.accept() {
+                Ok(conn) => break conn,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        let missing: Vec<usize> = self
+                            .links
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, l)| l.is_none().then_some(i))
+                            .collect();
+                        return Err(TransportError::Handshake(format!(
+                            "timed out waiting for processes {missing:?} to connect"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        };
+        conn.set_read_timeout(Some(self.io_timeout))?;
+        let mut framed = FramedConn::new(conn);
+        let hello: ControlMsg = framed.recv_on(CH_CONTROL)?;
+        let ControlMsg::Hello { node, resume } = hello else {
+            return Err(TransportError::Handshake(format!(
+                "expected Hello, got {hello:?}"
+            )));
+        };
+        if node >= self.links.len() {
+            return Err(TransportError::Handshake(format!(
+                "process id {node} out of range (expected < {})",
+                self.links.len()
+            )));
+        }
+        // A surviving peer resumes at the in-flight event (reply lost:
+        // one past it). Anything older means the peer lost its protocol
+        // state and the run cannot continue correctly.
+        if resume != self.seqs[node] && resume != self.seqs[node] + 1 {
+            return Err(TransportError::Handshake(format!(
+                "process {node} resumed at seq {resume}, expected {} — protocol state lost",
+                self.seqs[node]
+            )));
+        }
+        framed.send(
+            CH_CONTROL,
+            &ControlMsg::Welcome {
+                setup: self.setup.clone(),
+            },
+        )?;
+        self.links[node] = Some(framed);
+        Ok(())
+    }
+
+    /// Tells every connected peer the run is over.
+    pub fn farewell(&mut self) {
+        for link in self.links.iter_mut().flatten() {
+            let _ = link.send(CH_CONTROL, &ControlMsg::Bye);
+        }
+    }
+
+    /// One blocking round-trip on an established link.
+    fn round_trip(link: &mut FramedConn, msg: &EventMsg) -> io::Result<Vec<HostAction>> {
+        link.send(crate::wire::CH_EVENT, msg)?;
+        loop {
+            let reply: ActionMsg = link.recv_on(CH_ACTION)?;
+            if reply.seq == msg.seq {
+                return Ok(reply.actions);
+            }
+            // A stale reply from before a reconnect: drain and re-read.
+        }
+    }
+}
+
+impl HostDriver for SocketHost {
+    fn dispatch(
+        &mut self,
+        node: usize,
+        ev: HostEvent,
+        now: u64,
+    ) -> Result<Vec<HostAction>, HostError> {
+        if node >= self.links.len() {
+            return Err(HostError::new(node, "process id out of range"));
+        }
+        let seq = self.seqs[node];
+        let msg = EventMsg { seq, now, ev };
+        let mut last_io: Option<io::Error> = None;
+        // One reconnect window per dispatch: a dropped connection gets
+        // the full handshake timeout for the peer's supervisor to dial
+        // back; a second failure on the fresh link fails the node.
+        for _ in 0..2 {
+            if self.links[node].is_none() {
+                let deadline = Instant::now() + self.handshake_timeout;
+                while self.links[node].is_none() {
+                    if let Err(e) = self.accept_one(deadline) {
+                        return Err(HostError::new(
+                            node,
+                            format!("reconnect failed after {last_io:?}: {e}"),
+                        ));
+                    }
+                }
+            }
+            let link = self.links[node].as_mut().expect("link established above");
+            match SocketHost::round_trip(link, &msg) {
+                Ok(actions) => {
+                    self.seqs[node] = seq + 1;
+                    return Ok(actions);
+                }
+                Err(e) => {
+                    self.links[node] = None;
+                    last_io = Some(e);
+                }
+            }
+        }
+        Err(HostError::new(
+            node,
+            format!("round-trip failed twice: {}", last_io.expect("loop ran")),
+        ))
+    }
+}
+
+/// Runs one live session end to end: listen, handshake all peers, run
+/// the workload under the realtime kernel, record every kernel event,
+/// and assemble the replayable trace.
+///
+/// # Errors
+/// Bind/handshake failures and trace assembly errors. A *protocol*
+/// failure (or a peer dying mid-run) is not an error here — it is the
+/// structured counterexample in [`ServeOutcome::outcome`], recorded in
+/// the trace like any simulated failure.
+pub fn serve(opts: &ServeOptions) -> Result<ServeOutcome, TransportError> {
+    let spec = opts.setup.spec_predicate()?;
+    let listener = opts.endpoint.listen()?;
+    serve_on(listener, opts, spec.as_ref())
+}
+
+/// [`serve`] on an already-bound listener (lets callers bind port 0 and
+/// learn the real address before peers dial in).
+pub fn serve_on(
+    listener: Listener,
+    opts: &ServeOptions,
+    spec: Option<&msgorder_predicate::ForbiddenPredicate>,
+) -> Result<ServeOutcome, TransportError> {
+    let mut host = SocketHost::new(listener, opts)?;
+    host.await_peers()?;
+    let kernel = RealtimeKernel::new(opts.setup.config(), &opts.setup.workload)
+        .with_step_limit(opts.setup.step_limit)
+        .with_tick(opts.tick);
+    let mut recorder = Recorder::with_capacity(opts.setup.workload.len() * 8);
+    let out = kernel.run(&mut host, &mut recorder);
+    host.farewell();
+    let trace = assemble_trace(&opts.setup, recorder.events, &out.outcome, spec)?;
+    Ok(ServeOutcome {
+        trace,
+        outcome: out.outcome,
+        drift: out.drift,
+    })
+}

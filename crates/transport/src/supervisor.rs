@@ -1,0 +1,101 @@
+//! The connection supervisor: dialing with exponential backoff.
+//!
+//! The backoff schedule is the [`RetryConfig`] exponential curve from
+//! the reliable-link retransmission machinery — `unit · 2^attempt`,
+//! saturating — applied to wall-clock durations instead of virtual
+//! ticks, so the transport and the protocol layer age their retries on
+//! the same curve.
+
+use crate::endpoint::{Conn, Endpoint};
+use msgorder_protocols::RetryConfig;
+use std::io;
+use std::time::Duration;
+
+/// A reconnect/backoff policy for one dialing side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    retry: RetryConfig,
+    unit: Duration,
+}
+
+impl Backoff {
+    /// Waits `unit` before the second attempt, doubling per further
+    /// attempt, for at most `max_attempts` total attempts.
+    pub fn new(unit: Duration, max_attempts: u32) -> Backoff {
+        Backoff {
+            // base_timeout 1 makes `RetryConfig::backoff(n)` the pure
+            // saturating 2^n curve; `unit` scales it to wall time.
+            retry: RetryConfig {
+                base_timeout: 1,
+                max_attempts,
+            },
+            unit,
+        }
+    }
+
+    /// The pause after failed attempt number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let ticks = self.retry.backoff(attempt);
+        self.unit
+            .checked_mul(u32::try_from(ticks).unwrap_or(u32::MAX))
+            .unwrap_or(Duration::MAX)
+    }
+
+    /// Total dial attempts before giving up.
+    pub fn max_attempts(&self) -> u32 {
+        self.retry.max_attempts
+    }
+}
+
+impl Default for Backoff {
+    /// 50 ms base, 8 attempts — ~6.4 s of total patience.
+    fn default() -> Backoff {
+        Backoff::new(Duration::from_millis(50), 8)
+    }
+}
+
+/// Dials `endpoint`, retrying on the backoff schedule until it answers
+/// or the attempt budget is spent.
+///
+/// # Errors
+/// The last connect error once `backoff.max_attempts()` attempts all
+/// failed.
+pub fn connect_with_retry(endpoint: &Endpoint, backoff: &Backoff) -> io::Result<Conn> {
+    let attempts = backoff.max_attempts().max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        match endpoint.connect() {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < attempts {
+                    std::thread::sleep(backoff.delay(attempt));
+                }
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("no connect attempts made")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let b = Backoff::new(Duration::from_millis(10), 40);
+        assert_eq!(b.delay(0), Duration::from_millis(10));
+        assert_eq!(b.delay(1), Duration::from_millis(20));
+        assert_eq!(b.delay(3), Duration::from_millis(80));
+        // Far past the cap the delay saturates instead of wrapping.
+        assert!(b.delay(38) >= b.delay(20));
+    }
+
+    #[test]
+    fn retry_gives_up_with_the_last_error() {
+        let dead = Endpoint::Unix("/nonexistent/msgorder-test.sock".into());
+        let err = connect_with_retry(&dead, &Backoff::new(Duration::from_millis(1), 3))
+            .expect_err("nothing listens there");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,151 @@
+//! The wire protocol spoken over a framed connection.
+//!
+//! Three multiplexed channels:
+//!
+//! - [`CH_CONTROL`] — JSON [`ControlMsg`]: handshake and shutdown;
+//! - [`CH_EVENT`] — JSON [`EventMsg`]: kernel → protocol, one framed
+//!   [`HostEvent`] per sequence number;
+//! - [`CH_ACTION`] — JSON [`ActionMsg`]: protocol → kernel, the action
+//!   batch answering one event.
+//!
+//! Every event carries a per-node sequence number and every action
+//! batch echoes it, which is what makes reconnection safe: after a
+//! connection drop the kernel resends its in-flight event, and a client
+//! that already processed it answers from its one-deep reply cache
+//! instead of reprocessing (at-least-once delivery, exactly-once
+//! processing).
+
+use crate::endpoint::Conn;
+use crate::frame::{self, Decoder, Frame};
+use msgorder_simnet::{HostAction, HostEvent};
+use msgorder_trace::Setup;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Channel id for [`ControlMsg`] frames.
+pub const CH_CONTROL: u8 = 0;
+/// Channel id for [`EventMsg`] frames (kernel → protocol).
+pub const CH_EVENT: u8 = 1;
+/// Channel id for [`ActionMsg`] frames (protocol → kernel).
+pub const CH_ACTION: u8 = 2;
+
+/// Handshake and lifecycle messages on [`CH_CONTROL`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlMsg {
+    /// Client → server, first message on every (re)connection: which
+    /// process this is, and the sequence number of the next event it
+    /// expects (`0` on a fresh start).
+    Hello {
+        /// The client's process id.
+        node: usize,
+        /// Sequence number of the next unprocessed event.
+        resume: u64,
+    },
+    /// Server → client, answering a `Hello`: the run's full setup, from
+    /// which the client instantiates its protocol and environment.
+    Welcome {
+        /// The run setup (also the header of the recorded trace).
+        setup: Setup,
+    },
+    /// Server → client: the run is over, disconnect.
+    Bye,
+}
+
+/// One framed kernel event on [`CH_EVENT`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventMsg {
+    /// Per-node sequence number, starting at 0.
+    pub seq: u64,
+    /// The virtual time the event executes at.
+    pub now: u64,
+    /// The event itself.
+    pub ev: HostEvent,
+}
+
+/// The action batch answering one [`EventMsg`], on [`CH_ACTION`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionMsg {
+    /// Echo of the answered event's sequence number.
+    pub seq: u64,
+    /// The emitted actions, in emission order.
+    pub actions: Vec<HostAction>,
+}
+
+/// A connection plus its incremental frame decoder: typed send/receive
+/// of the wire messages.
+#[derive(Debug)]
+pub struct FramedConn {
+    conn: Conn,
+    decoder: Decoder,
+}
+
+fn bad_data(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl FramedConn {
+    /// Wraps an established connection.
+    pub fn new(conn: Conn) -> FramedConn {
+        FramedConn {
+            conn,
+            decoder: Decoder::new(),
+        }
+    }
+
+    /// The underlying connection (for socket options).
+    pub fn conn(&self) -> &Conn {
+        &self.conn
+    }
+
+    /// Serializes `msg` as JSON and writes it as one frame on
+    /// `channel`.
+    ///
+    /// # Errors
+    /// Serialization failures surface as `InvalidData`; otherwise the
+    /// underlying write error.
+    pub fn send<T: Serialize>(&mut self, channel: u8, msg: &T) -> io::Result<()> {
+        let payload = serde_json::to_vec(msg).map_err(bad_data)?;
+        let bytes = frame::encode(channel, &payload).map_err(bad_data)?;
+        self.conn.write_all(&bytes)?;
+        self.conn.flush()
+    }
+
+    /// Blocks until one complete frame arrives.
+    ///
+    /// # Errors
+    /// `UnexpectedEof` when the peer closed mid-stream; `InvalidData`
+    /// on a framing violation; otherwise the underlying read error.
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        loop {
+            if let Some(frame) = self.decoder.try_next().map_err(bad_data)? {
+                return Ok(frame);
+            }
+            let mut buf = [0u8; 8192];
+            let n = self.conn.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the connection",
+                ));
+            }
+            self.decoder.push(&buf[..n]);
+        }
+    }
+
+    /// Receives one frame and decodes it as a `T`, requiring it to be
+    /// on `channel`.
+    ///
+    /// # Errors
+    /// `InvalidData` on a channel mismatch or a JSON decode failure;
+    /// otherwise as [`recv`](FramedConn::recv).
+    pub fn recv_on<T: Deserialize>(&mut self, channel: u8) -> io::Result<T> {
+        let frame = self.recv()?;
+        if frame.channel != channel {
+            return Err(bad_data(format!(
+                "expected channel {channel}, got {}",
+                frame.channel
+            )));
+        }
+        serde_json::from_slice(&frame.payload).map_err(bad_data)
+    }
+}

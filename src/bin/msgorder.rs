@@ -39,6 +39,8 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -115,6 +117,26 @@ USAGE:
       --confirm       cross-check each spec violation against a fault-free
                       exhaustive exploration (inherent vs fault-induced)
       --out DIR       write each finding's reproducer trace into DIR
+  msgorder serve [options]                 run a live session over real sockets:
+                                           this process is the wall-clock kernel,
+                                           each peer process hosts one protocol
+                                           instance; the recorded trace replays
+                                           bit-exact with `msgorder replay`
+      --transport tcp:HOST:PORT|unix:PATH  where to listen (default tcp:127.0.0.1:4600)
+      --protocol  async|fifo|causal-rst|causal-ses|flush|sync|sync-batched (default causal-rst)
+      --spec      \"<predicate>\"  verified over the live run and on replay
+      --processes N   (default 3)
+      --messages  N   (default 30)
+      --seed      N   (default 1)
+      --reliable      layer ack/retransmission under the protocol
+      --step-limit N  livelock budget (default 1000000)
+      --tick-us  N    wall-clock µs per virtual tick (default 0 = free-run)
+      --record PATH   write the live run as a replayable JSONL trace
+      --spawn         fork the N client processes locally (loopback demo)
+  msgorder client --connect tcp:HOST:PORT|unix:PATH --node N
+                                           host one protocol instance for a
+                                           `msgorder serve` session (protocol and
+                                           workload arrive in the handshake)
 
 PREDICATE DSL:
   forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), color(y) = red"
@@ -1030,5 +1052,177 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             println!("reproducer    : {file}");
         }
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use msgorder::transport::{serve_on, Endpoint, ServeOptions};
+    use std::time::Duration;
+
+    let mut transport = "tcp:127.0.0.1:4600".to_owned();
+    let mut protocol = "causal-rst".to_owned();
+    let mut spec: Option<String> = None;
+    let mut processes = 3usize;
+    let mut messages = 30usize;
+    let mut seed = 1u64;
+    let mut reliable = false;
+    let mut step_limit = 1_000_000usize;
+    let mut tick_us = 0u64;
+    let mut record_path: Option<String> = None;
+    let mut spawn = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--transport" => transport = val()?,
+            "--protocol" => protocol = val()?,
+            "--spec" => spec = Some(val()?),
+            "--processes" => processes = val()?.parse().map_err(|e| format!("--processes: {e}"))?,
+            "--messages" => messages = val()?.parse().map_err(|e| format!("--messages: {e}"))?,
+            "--seed" => seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--reliable" => reliable = true,
+            "--step-limit" => {
+                step_limit = val()?.parse().map_err(|e| format!("--step-limit: {e}"))?
+            }
+            "--tick-us" => tick_us = val()?.parse().map_err(|e| format!("--tick-us: {e}"))?,
+            "--record" => record_path = Some(val()?),
+            "--spawn" => spawn = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if processes < 2 {
+        return Err("--processes must be at least 2".into());
+    }
+    if step_limit == 0 {
+        return Err("--step-limit must be positive".into());
+    }
+    let endpoint = Endpoint::parse(&transport)?;
+    let setup = Setup {
+        processes,
+        latency: LatencyModel::Fixed(1),
+        seed,
+        faults: FaultModel::none(),
+        workload: Workload::uniform_random(processes, messages, seed),
+        protocol,
+        reliable,
+        spec,
+        step_limit,
+    };
+    let spec_pred = setup.spec_predicate().map_err(|e| e.to_string())?;
+    let kind = ProtocolKind::by_name(&setup.protocol, spec_pred.as_ref())
+        .ok_or_else(|| format!("unknown protocol `{}`", setup.protocol))?;
+    if reliable && !kind.supports_retransmission() {
+        return Err(format!(
+            "--reliable is not supported for `{}` (use fifo, causal-rst, sync or sync-batched)",
+            kind.name()
+        ));
+    }
+    let mut opts = ServeOptions::new(endpoint, setup);
+    opts.tick = Duration::from_micros(tick_us);
+    let listener = opts
+        .endpoint
+        .listen()
+        .map_err(|e| format!("{}: {e}", opts.endpoint))?;
+    let dial = listener.local_endpoint().map_err(|e| e.to_string())?;
+    println!("listening     : {dial}");
+    println!(
+        "session       : {} x{}, {} messages, seed {}{}",
+        kind.name(),
+        opts.setup.processes,
+        opts.setup.workload.len(),
+        opts.setup.seed,
+        if reliable { ", reliable link" } else { "" },
+    );
+    let mut children = Vec::new();
+    if spawn {
+        let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+        for node in 0..opts.setup.processes {
+            let child = std::process::Command::new(&exe)
+                .args(["client", "--connect", &dial.to_string(), "--node"])
+                .arg(node.to_string())
+                .spawn()
+                .map_err(|e| format!("spawning client {node}: {e}"))?;
+            children.push(child);
+        }
+    } else {
+        println!(
+            "waiting       : connect {} client(s) with `msgorder client --connect {dial} --node <N>`",
+            opts.setup.processes
+        );
+    }
+    let outcome = serve_on(listener, &opts, spec_pred.as_ref()).map_err(|e| e.to_string())?;
+    for mut child in children {
+        let _ = child.wait();
+    }
+    let d = &outcome.drift;
+    println!(
+        "drift         : {} dispatches, {} late, max lag {} tick(s), mean {:.2}",
+        d.dispatches,
+        d.late,
+        d.max_lag,
+        d.mean_lag()
+    );
+    if let Some(v) = &outcome.trace.footer.verdict {
+        if v.violated {
+            println!("spec verdict  : VIOLATED by {:?}", v.witness);
+        } else {
+            println!("spec verdict  : satisfied");
+        }
+    }
+    if let Some(path) = &record_path {
+        outcome.trace.write(path).map_err(|e| e.to_string())?;
+        println!(
+            "trace         : {path} ({} events)",
+            outcome.trace.events.len()
+        );
+    }
+    match &outcome.outcome {
+        Ok(r) => {
+            println!(
+                "live run      : {} delivered, end time {}, {} control message(s)",
+                r.stats.delivered, r.stats.end_time, r.stats.control_messages
+            );
+            if !r.completed {
+                return Err("live run hit the step limit".into());
+            }
+            Ok(())
+        }
+        Err(e) => {
+            println!("PROTOCOL BUG  : {e}");
+            Err("live run hit a protocol bug (trace records the counterexample)".into())
+        }
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use msgorder::transport::{run_client, ClientOptions, Endpoint};
+
+    let mut connect: Option<String> = None;
+    let mut node: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(val()?),
+            "--node" => node = Some(val()?.parse().map_err(|e| format!("--node: {e}"))?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let connect = connect.ok_or("--connect is required (tcp:HOST:PORT or unix:PATH)")?;
+    let node = node.ok_or("--node is required")?;
+    let endpoint = Endpoint::parse(&connect)?;
+    let report = run_client(&ClientOptions::new(endpoint, node)).map_err(|e| e.to_string())?;
+    println!(
+        "client done   : node {node}, {} event(s) processed over {} connection(s)",
+        report.processed, report.connects
+    );
     Ok(())
 }

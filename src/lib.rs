@@ -16,6 +16,8 @@
 //! - [`protocols`] — runnable ordering protocols (async, FIFO, causal,
 //!   k-weaker, flush channels, logically synchronous, synthesized).
 //! - [`trace`] — trace capture, deterministic replay, and run metrics.
+//! - [`transport`] — real-socket runtime: framed TCP/Unix transport for
+//!   the same protocol objects, with live-trace recording.
 //! - [`core`] — the high-level `Spec` / `analyze` facade.
 //!
 //! ## Quickstart
@@ -40,3 +42,4 @@ pub use msgorder_protocols as protocols;
 pub use msgorder_runs as runs;
 pub use msgorder_simnet as simnet;
 pub use msgorder_trace as trace;
+pub use msgorder_transport as transport;
