@@ -2,7 +2,7 @@
 //! hot paths, at several engine widths:
 //!
 //! 1. **batch predicate evaluation** — one prepared predicate against a
-//!    corpus of runs, fanned through the [`Engine`];
+//!    corpus of runs, fanned through the batch `Engine`;
 //! 2. **poset kernels** — transitive closure construction and the
 //!    word-parallel transitive reduction;
 //! 3. **schedule exploration** — exhaustive interleaving enumeration,
@@ -18,31 +18,13 @@
 //! count: speedups from threading are only expected when `cores > 1`;
 //! on a single-core machine the parallel rows measure engine overhead.
 
-use msgorder_bench::Engine;
+use msgorder_bench::snapshot::{budget_ms, causal_corpus, cores, measure, write_report};
 use msgorder_poset::{DiGraph, TransitiveClosure};
-use msgorder_predicate::{catalog, eval};
+use msgorder_predicate::catalog;
 use msgorder_protocols::FifoProtocol;
-use msgorder_runs::generator::{random_causal_run, GenParams};
 use msgorder_simnet::{explore, explore_dedup, explore_parallel, SendSpec, Workload};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde_json::json;
-use std::time::Instant;
-
-/// Runs `f` repeatedly until the budget elapses; returns
-/// (iterations, elapsed seconds). Always runs at least once.
-fn measure<R>(budget_ms: u64, mut f: impl FnMut() -> R) -> (usize, f64) {
-    let budget = std::time::Duration::from_millis(budget_ms);
-    let start = Instant::now();
-    let mut iters = 0usize;
-    loop {
-        std::hint::black_box(f());
-        iters += 1;
-        if start.elapsed() >= budget {
-            break;
-        }
-    }
-    (iters, start.elapsed().as_secs_f64())
-}
 
 /// A random DAG: edges only from lower to higher node ids.
 fn random_dag(n: usize, edge_prob: f64, seed: u64) -> DiGraph {
@@ -62,29 +44,20 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_1.json".to_owned());
-    let budget_ms = std::env::var("SNAPSHOT_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(300);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget_ms = budget_ms();
+    let cores = cores();
     println!("[snapshot: {budget_ms} ms per metric, {cores} core(s)]");
 
     // -- 1. batch predicate evaluation -----------------------------------
     let corpus_runs = 64usize;
     let msgs_per_run = 30usize;
-    let corpus: Vec<_> = (0..corpus_runs)
-        .map(|seed| random_causal_run(GenParams::new(3, msgs_per_run, seed as u64)))
-        .collect();
+    let corpus = causal_corpus(corpus_runs, msgs_per_run);
     let pred = catalog::causal();
-    let prep = eval::Prepared::new(&pred);
     let mut eval_rows = serde_json::Map::new();
     let mut eval_rps = Vec::new();
     for threads in [1usize, 2, 4] {
-        let engine = Engine::new(threads);
-        let (iters, secs) = measure(budget_ms, || {
-            engine.par_map_ref(&corpus, |run| prep.holds(run))
-        });
-        let rps = (iters * corpus_runs) as f64 / secs;
+        let rps =
+            msgorder_bench::snapshot::eval_batch_runs_per_sec(budget_ms, threads, &pred, &corpus);
         println!("eval/batch  threads={threads}: {rps:>12.0} runs/sec");
         eval_rows.insert(threads.to_string(), json!(rps));
         eval_rps.push(rps);
@@ -174,10 +147,5 @@ fn main() {
         "poset_kernels": poset_kernels,
         "explore": explore_report,
     });
-    std::fs::write(
-        &out_path,
-        serde_json::to_vec_pretty(&report).expect("serializes"),
-    )
-    .expect("snapshot file is writable");
-    println!("[snapshot written to {out_path}]");
+    write_report(&out_path, &report);
 }

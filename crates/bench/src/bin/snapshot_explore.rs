@@ -21,93 +21,21 @@
 //! `SNAPSHOT_EXPLORE_BIG=0` skips the million-state bounded run (it is
 //! the one long measurement, ~half a minute in release).
 
-use msgorder_predicate::{catalog, eval, ForbiddenPredicate};
+use msgorder_bench::snapshot::{
+    cores, explore_row_json as row_json, timed_explore as run, write_report,
+};
+use msgorder_predicate::catalog;
 use msgorder_protocols::AsyncProtocol;
-use msgorder_runs::{SystemRun, UserRunSnapshot};
-use msgorder_simnet::{explore_parallel_with, DedupMode, Exploration, ExploreOptions, Workload};
+use msgorder_simnet::{explore_parallel_with, DedupMode, ExploreOptions, Workload};
 use serde_json::json;
-use std::collections::BTreeSet;
-use std::sync::Mutex;
 use std::time::Instant;
-
-/// FNV-1a over the terminal run's user-view partial order: identical
-/// for identical configurations whatever schedule produced them.
-fn run_digest(run: &SystemRun) -> u64 {
-    let snap = UserRunSnapshot::from(&run.users_view());
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    };
-    for m in &snap.messages {
-        eat(m.src.0 as u64);
-        eat(m.dst.0 as u64);
-    }
-    for &(a, b) in &snap.covers {
-        eat(a as u64);
-        eat(b as u64);
-    }
-    h
-}
-
-struct Row {
-    wall_s: f64,
-    exploration: Exploration,
-    violating_configs: usize,
-    digest: u64,
-}
-
-/// One timed exploration, checking `spec` on every terminal
-/// configuration and folding the violating ones into a set digest.
-fn run(procs: usize, w: &Workload, spec: &ForbiddenPredicate, opts: &ExploreOptions) -> Row {
-    let configs: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
-    let start = Instant::now();
-    let exploration = explore_parallel_with(
-        procs,
-        w.clone(),
-        |_| AsyncProtocol::new(),
-        opts,
-        &|run: &SystemRun| {
-            if eval::find_instantiation(spec, &run.users_view()).is_some() {
-                configs
-                    .lock()
-                    .expect("no visitor panicked")
-                    .insert(run_digest(run));
-            }
-            true
-        },
-    );
-    let wall_s = start.elapsed().as_secs_f64();
-    let configs = configs.into_inner().expect("no visitor panicked");
-    Row {
-        wall_s,
-        exploration,
-        violating_configs: configs.len(),
-        digest: configs.iter().fold(0u64, |acc, d| acc.wrapping_add(*d)),
-    }
-}
-
-fn row_json(name: &str, r: &Row) -> serde_json::Value {
-    json!({
-        "engine": name,
-        "wall_s": r.wall_s,
-        "schedules": r.exploration.schedules,
-        "schedules_per_sec": r.exploration.schedules as f64 / r.wall_s,
-        "states": r.exploration.states,
-        "states_per_sec": r.exploration.states as f64 / r.wall_s,
-        "sleep_skipped": r.exploration.sleep_skipped,
-        "truncated": r.exploration.truncated,
-        "violating_configurations": r.violating_configs,
-        "violation_digest": format!("{:#018x}", r.digest),
-    })
-}
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_6.json".to_owned());
     let big = std::env::var("SNAPSHOT_EXPLORE_BIG").as_deref() != Ok("0");
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = cores();
     println!(
         "[snapshot_explore: {cores} core(s), big run {}]",
         if big { "on" } else { "off" }
@@ -239,8 +167,5 @@ fn main() {
         "explore": sizes,
         "bounded_seen_set": bounded,
     });
-    let mut bytes = serde_json::to_vec_pretty(&doc).expect("serializable");
-    bytes.push(b'\n');
-    std::fs::write(&out_path, bytes).expect("write snapshot");
-    println!("wrote {out_path}");
+    write_report(&out_path, &doc);
 }

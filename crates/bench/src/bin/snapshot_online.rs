@@ -16,27 +16,11 @@
 //! The measurement budget per metric comes from `SNAPSHOT_MS`
 //! (milliseconds, default 300).
 
+use msgorder_bench::snapshot::{budget_ms, cores, measure, write_report};
 use msgorder_predicate::{catalog, eval};
 use msgorder_protocols::{AsyncProtocol, FifoProtocol, OnlineMonitor};
 use msgorder_simnet::{LatencyModel, SimConfig, Simulation, Workload};
 use serde_json::json;
-use std::time::Instant;
-
-/// Runs `f` repeatedly until the budget elapses; returns
-/// (iterations, elapsed seconds). Always runs at least once.
-fn measure<R>(budget_ms: u64, mut f: impl FnMut() -> R) -> (usize, f64) {
-    let budget = std::time::Duration::from_millis(budget_ms);
-    let start = Instant::now();
-    let mut iters = 0usize;
-    loop {
-        std::hint::black_box(f());
-        iters += 1;
-        if start.elapsed() >= budget {
-            break;
-        }
-    }
-    (iters, start.elapsed().as_secs_f64())
-}
 
 fn config(n: usize, seed: u64) -> SimConfig {
     SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 500 }, seed)
@@ -46,11 +30,8 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_3.json".to_owned());
-    let budget_ms = std::env::var("SNAPSHOT_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(300);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget_ms = budget_ms();
+    let cores = cores();
     println!("[snapshot: {budget_ms} ms per metric, {cores} core(s)]");
 
     let n = 3usize;
@@ -150,10 +131,5 @@ fn main() {
         "violating": violating,
         "safe": safe,
     });
-    std::fs::write(
-        &out_path,
-        serde_json::to_vec_pretty(&report).expect("serializes"),
-    )
-    .expect("snapshot file is writable");
-    println!("[snapshot written to {out_path}]");
+    write_report(&out_path, &report);
 }

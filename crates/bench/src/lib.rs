@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod par;
+pub mod snapshot;
 
 pub use par::Engine;
 

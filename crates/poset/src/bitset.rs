@@ -67,6 +67,13 @@ impl BitSet {
         self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
     }
 
+    /// The backing words, least-significant bit first: element `i` is
+    /// bit `i % 64` of word `i / 64`. Exposed so batch evaluators can
+    /// run word-parallel set algebra directly on the storage.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of elements currently in the set.
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

@@ -41,6 +41,7 @@ pub mod ideals;
 pub mod linear;
 mod poset;
 mod vclock;
+pub mod words;
 
 pub use bitset::BitSet;
 pub use closure::TransitiveClosure;

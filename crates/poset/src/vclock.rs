@@ -49,14 +49,24 @@ impl VectorClock {
     }
 
     /// Component-wise maximum with `other` (the receive-merge step).
+    /// Works in place — the entry buffer is reused, never reallocated.
     ///
     /// # Panics
     /// Panics if the clocks have different lengths.
     pub fn merge(&mut self, other: &VectorClock) {
-        assert_eq!(self.len(), other.len(), "vector clock length mismatch");
-        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
-            *a = (*a).max(*b);
+        crate::words::merge_in_place(&mut self.entries, &other.entries);
+    }
+
+    /// The causal join (least upper bound), like [`merge`](Self::merge)
+    /// but tolerant of mismatched widths: when `other` is wider, `self`
+    /// grows to cover it; when the widths already match, the merge is
+    /// purely in place and never touches the allocator.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.entries.len() > self.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
         }
+        let n = other.entries.len();
+        crate::words::merge_in_place(&mut self.entries[..n], &other.entries);
     }
 
     /// `self` happened-before `other`: every component `<=` and at least
@@ -66,16 +76,16 @@ impl VectorClock {
     /// Panics if the clocks have different lengths.
     pub fn happened_before(&self, other: &VectorClock) -> bool {
         assert_eq!(self.len(), other.len(), "vector clock length mismatch");
-        let mut strict = false;
-        for (a, b) in self.entries.iter().zip(&other.entries) {
-            if a > b {
-                return false;
-            }
-            if a < b {
-                strict = true;
-            }
-        }
-        strict
+        crate::words::happened_before(&self.entries, &other.entries)
+    }
+
+    /// `self <= other` component-wise (the reflexive causal order).
+    ///
+    /// # Panics
+    /// Panics if the clocks have different lengths.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.len(), other.len(), "vector clock length mismatch");
+        crate::words::leq(&self.entries, &other.entries)
     }
 
     /// Whether the two clocks are concurrent (neither happened before the
@@ -168,6 +178,39 @@ mod tests {
         let b = VectorClock::from_entries(vec![1, 4, 2]);
         a.merge(&b);
         assert_eq!(a.entries(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn merge_and_join_work_in_place_on_matching_widths() {
+        let mut a = VectorClock::from_entries(vec![3, 0, 5]);
+        let b = VectorClock::from_entries(vec![1, 4, 2]);
+        let buf = a.entries().as_ptr();
+        a.merge(&b);
+        assert_eq!(a.entries(), &[3, 4, 5]);
+        assert_eq!(a.entries().as_ptr(), buf, "merge must reuse the buffer");
+        a.join(&b);
+        assert_eq!(a.entries(), &[3, 4, 5]);
+        assert_eq!(a.entries().as_ptr(), buf, "join must reuse the buffer");
+    }
+
+    #[test]
+    fn join_widens_to_the_larger_clock() {
+        let mut a = VectorClock::from_entries(vec![7]);
+        let b = VectorClock::from_entries(vec![1, 4, 2]);
+        a.join(&b);
+        assert_eq!(a.entries(), &[7, 4, 2]);
+        let mut c = VectorClock::from_entries(vec![1, 1, 1]);
+        c.join(&VectorClock::from_entries(vec![5]));
+        assert_eq!(c.entries(), &[5, 1, 1]);
+    }
+
+    #[test]
+    fn leq_is_reflexive_and_orders() {
+        let a = VectorClock::from_entries(vec![1, 1]);
+        let b = VectorClock::from_entries(vec![2, 1]);
+        assert!(a.leq(&a));
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
     }
 
     #[test]

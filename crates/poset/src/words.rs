@@ -1,0 +1,154 @@
+//! Word-width clock kernels over raw `u64` slabs.
+//!
+//! Every causality primitive the hot path needs — component-wise max,
+//! `≤` on all components, strict happened-before — expressed directly
+//! on `&[u64]` slices so callers holding clocks in a flat slab
+//! (`msgorder-runs`' `StreamingRun`, the protocol tag buffers) can
+//! compare and merge without materializing a `VectorClock`. No kernel
+//! allocates; all are branch-light and unrolled four words at a time
+//! so the optimizer can keep the comparisons in registers.
+//!
+//! [`crate::VectorClock`] delegates to these kernels, which keeps a
+//! single implementation under test: the property suite checks each
+//! kernel against a naive scalar oracle on arbitrary clocks.
+
+/// Component-wise maximum of `dst` and `src`, stored into `dst`
+/// (the receive-merge step). No allocation, no temporaries.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn merge_in_place(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "vector clock length mismatch");
+    let mut da = dst.chunks_exact_mut(4);
+    let mut sa = src.chunks_exact(4);
+    for (d, s) in (&mut da).zip(&mut sa) {
+        d[0] = d[0].max(s[0]);
+        d[1] = d[1].max(s[1]);
+        d[2] = d[2].max(s[2]);
+        d[3] = d[3].max(s[3]);
+    }
+    for (d, s) in da.into_remainder().iter_mut().zip(sa.remainder()) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// Whether `a[i] <= b[i]` for every component (the reflexive causal
+/// order; equal clocks satisfy it).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn leq(a: &[u64], b: &[u64]) -> bool {
+    assert_eq!(a.len(), b.len(), "vector clock length mismatch");
+    let mut aa = a.chunks_exact(4);
+    let mut bb = b.chunks_exact(4);
+    for (x, y) in (&mut aa).zip(&mut bb) {
+        // Accumulate the violation mask without early exits: for the
+        // short clocks the hot path carries, a predictable straight
+        // line beats a branchy scan.
+        let bad = (x[0] > y[0]) | (x[1] > y[1]) | (x[2] > y[2]) | (x[3] > y[3]);
+        if bad {
+            return false;
+        }
+    }
+    aa.remainder()
+        .iter()
+        .zip(bb.remainder())
+        .all(|(x, y)| x <= y)
+}
+
+/// Strict happened-before: every component `<=` and at least one `<`
+/// (equivalently, `leq` and not equal).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn happened_before(a: &[u64], b: &[u64]) -> bool {
+    leq(a, b) && a != b
+}
+
+/// The Fidge test specialised to one component: `a` causally precedes
+/// any event whose clock `b` already covers `a`'s `p`-th entry. Used by
+/// `StreamingRun::before`, where only the sender's component decides.
+#[inline]
+pub fn component_leq(a: &[u64], b: &[u64], p: usize) -> bool {
+    a[p] <= b[p]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scalar_merge(dst: &mut [u64], src: &[u64]) {
+        for (a, b) in dst.iter_mut().zip(src) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    fn scalar_leq(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).all(|(x, y)| x <= y)
+    }
+
+    fn scalar_hb(a: &[u64], b: &[u64]) -> bool {
+        scalar_leq(a, b) && a.iter().zip(b).any(|(x, y)| x < y)
+    }
+
+    #[test]
+    fn empty_slices() {
+        let mut d: [u64; 0] = [];
+        merge_in_place(&mut d, &[]);
+        assert!(leq(&[], &[]));
+        assert!(!happened_before(&[], &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn merge_length_mismatch_panics() {
+        merge_in_place(&mut [0, 0], &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn leq_length_mismatch_panics() {
+        let _ = leq(&[0, 0], &[0]);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_matches_scalar_oracle(
+            a in proptest::collection::vec(0u64..100, 0..12),
+            b in proptest::collection::vec(0u64..100, 0..12),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let mut fast = a.to_vec();
+            merge_in_place(&mut fast, b);
+            let mut slow = a.to_vec();
+            scalar_merge(&mut slow, b);
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn leq_and_hb_match_scalar_oracle(
+            a in proptest::collection::vec(0u64..4, 0..12),
+            b in proptest::collection::vec(0u64..4, 0..12),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            prop_assert_eq!(leq(a, b), scalar_leq(a, b));
+            prop_assert_eq!(happened_before(a, b), scalar_hb(a, b));
+        }
+
+        #[test]
+        fn merge_is_upper_bound(
+            a in proptest::collection::vec(0u64..100, 0..12),
+            b in proptest::collection::vec(0u64..100, 0..12),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            let mut m = a.to_vec();
+            merge_in_place(&mut m, b);
+            prop_assert!(leq(a, &m));
+            prop_assert!(leq(b, &m));
+        }
+    }
+}

@@ -104,6 +104,55 @@ pub struct Prepared<'p> {
     order: Vec<usize>,
     /// Per-variable color filters: `(color, must_have)`.
     color_filters: Vec<Vec<(&'p str, bool)>>,
+    /// Word-parallel narrowing plan for the last variable in `order`.
+    last: Option<LastStep>,
+}
+
+/// Candidate narrowing for the variable assigned last. With every other
+/// variable bound, each conjunct touching the last variable pins one of
+/// its events inside a known closure row: `last.e ▷ b` means the event
+/// lies in `ancestors(b)`, `a ▷ last.e` means it lies in
+/// `descendants(a)`. Intersecting those rows as whole `u64` words
+/// replaces the innermost per-candidate [`OrderView::before`] loop with
+/// a handful of word operations — the mask is a sound over-approximation
+/// (conjuncts binding the last variable twice are skipped), so every
+/// survivor is still re-checked by [`consistent`].
+#[derive(Clone)]
+struct LastStep {
+    /// The variable assigned last (`order.last()`).
+    var: usize,
+    /// One entry per conjunct with exactly one side on the last
+    /// variable: `(bit offset of the last variable's event kind,
+    /// the bound side's term, whether the last variable is the lhs)`.
+    narrowing: Vec<(usize, EventTerm, bool)>,
+}
+
+/// Even bits — the send-event positions of [`UserEvent::node`] indexing,
+/// where message `m`'s send sits at bit `2m`.
+const SEND_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// `dst &= src >> shift` across word boundaries (`shift < 64`). Aligns a
+/// closure row keyed by event node onto send-bit (`2m`) positions.
+fn and_shifted(dst: &mut [u64], src: &[u64], shift: usize) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        let lo = src.get(i).copied().unwrap_or(0) >> shift;
+        let hi = if shift == 0 {
+            0
+        } else {
+            src.get(i + 1).copied().unwrap_or(0) << (64 - shift)
+        };
+        *d &= lo | hi;
+    }
+}
+
+/// Reusable word buffers for [`search_user`] — one pair per evaluation
+/// call, so the per-leaf narrowing never touches the allocator.
+struct WordScratch {
+    /// Send-bit-aligned mask of the last variable's color-passing
+    /// candidates (bit `2m` set iff `m` is a candidate).
+    cand: Vec<u64>,
+    /// Per-leaf working mask.
+    combined: Vec<u64>,
 }
 
 impl<'p> Prepared<'p> {
@@ -125,10 +174,24 @@ impl<'p> Prepared<'p> {
                 _ => {}
             }
         }
+        let last = order.last().map(|&lv| {
+            let mut narrowing = Vec::new();
+            for c in pred.conjuncts() {
+                let on_lhs = c.lhs.var.0 == lv;
+                let on_rhs = c.rhs.var.0 == lv;
+                if on_lhs && !on_rhs {
+                    narrowing.push((c.lhs.kind.index(), c.rhs, true));
+                } else if on_rhs && !on_lhs {
+                    narrowing.push((c.rhs.kind.index(), c.lhs, false));
+                }
+            }
+            LastStep { var: lv, narrowing }
+        });
         Prepared {
             pred,
             order,
             color_filters,
+            last,
         }
     }
 
@@ -164,14 +227,14 @@ impl<'p> Prepared<'p> {
     pub fn find_instantiation(&self, run: &UserRun) -> Option<Vec<MessageId>> {
         let candidates = self.candidates_for(run);
         let mut assignment = vec![None; self.pred.var_count()];
+        let mut scratch = self.word_scratch(run, &candidates);
         let mut result = None;
-        search(
-            self.pred,
+        self.search_user(
             run,
-            &self.order,
             &candidates,
             &mut assignment,
             0,
+            &mut scratch,
             &mut |a| {
                 result = Some(a.to_vec());
                 true
@@ -187,20 +250,124 @@ impl<'p> Prepared<'p> {
         }
         let candidates = self.candidates_for(run);
         let mut assignment = vec![None; self.pred.var_count()];
+        let mut scratch = self.word_scratch(run, &candidates);
         let mut count = 0usize;
-        search(
-            self.pred,
+        self.search_user(
             run,
-            &self.order,
             &candidates,
             &mut assignment,
             0,
+            &mut scratch,
             &mut |_| {
                 count += 1;
                 count >= cap
             },
         );
         count
+    }
+
+    /// Builds the word buffers for one evaluation: the candidate mask of
+    /// the last variable (send-bit aligned) plus a same-width working
+    /// buffer, sized to the closure's `2·|M|` node space.
+    fn word_scratch(&self, run: &UserRun, candidates: &[Vec<MessageId>]) -> WordScratch {
+        let words = (2 * run.len()).div_ceil(64);
+        let mut cand = vec![0u64; words];
+        if let Some(last) = &self.last {
+            for &m in &candidates[last.var] {
+                cand[(2 * m.0) / 64] |= 1 << ((2 * m.0) % 64);
+            }
+        }
+        WordScratch {
+            combined: vec![0; words],
+            cand,
+        }
+    }
+
+    /// [`search`] specialized to a materialized [`UserRun`]: identical
+    /// recursion until the last variable, where closure rows narrow the
+    /// candidate set word-parallel before [`consistent`] re-checks the
+    /// survivors (see [`LastStep`]).
+    fn search_user(
+        &self,
+        run: &UserRun,
+        candidates: &[Vec<MessageId>],
+        assignment: &mut Vec<Option<MessageId>>,
+        depth: usize,
+        scratch: &mut WordScratch,
+        found: &mut dyn FnMut(&[MessageId]) -> bool,
+    ) -> bool {
+        if depth + 1 == self.order.len() {
+            let last = self.last.as_ref().expect("non-empty order has a plan");
+            return self.last_leaf(run, assignment, last, scratch, found);
+        }
+        if depth == self.order.len() {
+            // Arity 0 — degenerate, kept for parity with `search`.
+            let full: Vec<MessageId> = assignment.iter().map(|a| a.expect("complete")).collect();
+            return found(&full);
+        }
+        let var = self.order[depth];
+        for &msg in &candidates[var] {
+            if assignment.contains(&Some(msg)) {
+                continue;
+            }
+            assignment[var] = Some(msg);
+            if consistent(self.pred, run, assignment, Var(var))
+                && self.search_user(run, candidates, assignment, depth + 1, scratch, found)
+            {
+                return true;
+            }
+            assignment[var] = None;
+        }
+        false
+    }
+
+    /// The last-variable step: intersect the closure rows pinned by the
+    /// bound variables, align each onto send-bit positions, and walk
+    /// only the surviving candidates (in increasing message order, so
+    /// witnesses match the generic search exactly).
+    fn last_leaf(
+        &self,
+        run: &UserRun,
+        assignment: &mut [Option<MessageId>],
+        last: &LastStep,
+        scratch: &mut WordScratch,
+        found: &mut dyn FnMut(&[MessageId]) -> bool,
+    ) -> bool {
+        let combined = &mut scratch.combined;
+        combined.copy_from_slice(&scratch.cand);
+        for &(shift, other, last_is_lhs) in &last.narrowing {
+            let Some(ev) = term_event(other, assignment) else {
+                continue;
+            };
+            let row = if last_is_lhs {
+                run.closure().ancestors(ev.node())
+            } else {
+                run.closure().descendants(ev.node())
+            };
+            and_shifted(combined, row.words(), shift);
+        }
+        // Injectivity: drop messages already bound by earlier variables.
+        for m in assignment.iter().flatten() {
+            let bit = 2 * m.0;
+            combined[bit / 64] &= !(1u64 << (bit % 64));
+        }
+        for (i, &word) in combined.iter().enumerate() {
+            let mut word = word & SEND_BITS;
+            while word != 0 {
+                let msg = MessageId((i * 64 + word.trailing_zeros() as usize) / 2);
+                word &= word - 1;
+                assignment[last.var] = Some(msg);
+                if consistent(self.pred, run, assignment, Var(last.var)) {
+                    let full: Vec<MessageId> =
+                        assignment.iter().map(|a| a.expect("complete")).collect();
+                    if found(&full) {
+                        return true;
+                    }
+                }
+                assignment[last.var] = None;
+            }
+        }
+        false
     }
 }
 
@@ -881,6 +1048,78 @@ mod tests {
                     }
                 }
                 assert!(mon.live_state() <= pred.var_count() * m);
+            }
+        }
+    }
+
+    /// The generic [`search`] driven directly over the run as an
+    /// [`OrderView`] — the reference the word-mask last step must match.
+    fn generic_reference(
+        prep: &Prepared<'_>,
+        run: &UserRun,
+        cap: usize,
+    ) -> (Option<Vec<MessageId>>, usize) {
+        let candidates = prep.candidates_for(run);
+        let mut assignment = vec![None; prep.pred.var_count()];
+        let mut first = None;
+        let mut count = 0usize;
+        search(
+            prep.pred,
+            run,
+            &prep.order,
+            &candidates,
+            &mut assignment,
+            0,
+            &mut |a| {
+                if first.is_none() {
+                    first = Some(a.to_vec());
+                }
+                count += 1;
+                count >= cap
+            },
+        );
+        (first, count)
+    }
+
+    #[test]
+    fn word_mask_leaf_matches_generic_search() {
+        use msgorder_runs::generator::{random_user_run, GenParams};
+        let preds = [
+            ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.r").unwrap(),
+            ForbiddenPredicate::parse(
+                "forbid x, y: x.s < y.s & y.r < x.r \
+                 where proc(x.s) = proc(y.s), proc(x.r) = proc(y.r)",
+            )
+            .unwrap(),
+            ForbiddenPredicate::parse("forbid x1, x2, x3: x1.s < x2.s & x2.s < x3.s & x3.r < x1.r")
+                .unwrap(),
+            ForbiddenPredicate::parse("forbid x: x.s < x.r").unwrap(),
+            ForbiddenPredicate::parse("forbid x, y: x.s < y.r & y.s < x.r").unwrap(),
+            ForbiddenPredicate::parse("forbid x, y: x.s < y.s & y.r < x.r where color(y) = red")
+                .unwrap(),
+        ];
+        for seed in 0..40u64 {
+            let mut run = random_user_run(GenParams::new(3, 8, seed));
+            if seed % 2 == 0 && !run.is_empty() {
+                // Exercise the color-filtered candidate mask too.
+                let mut metas = run.messages().to_vec();
+                let pick = (seed as usize / 2) % metas.len();
+                metas[pick].color = Some("red".into());
+                run = UserRun::new(metas, run.relation_pairs()).unwrap();
+            }
+            for pred in &preds {
+                let prep = Prepared::new(pred);
+                let (want_first, want_count) = generic_reference(&prep, &run, usize::MAX);
+                assert_eq!(
+                    prep.find_instantiation(&run),
+                    want_first,
+                    "witness diverges on seed {seed} / {pred}"
+                );
+                assert_eq!(
+                    prep.count_instantiations(&run, usize::MAX),
+                    want_count,
+                    "count diverges on seed {seed} / {pred}"
+                );
             }
         }
     }

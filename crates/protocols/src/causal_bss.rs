@@ -64,13 +64,11 @@ impl CausalBss {
             }
         }
         self.sent += 1;
-        let mut stamp = VectorClock::from_entries(self.delivered.to_vec());
-        debug_assert_eq!(stamp.len(), n);
+        let mut entries = self.delivered.clone();
+        debug_assert_eq!(entries.len(), n);
         // my component counts my own broadcasts (delivered-to-self).
-        let entries: Vec<u64> = (0..n)
-            .map(|k| if k == self.me { self.sent } else { stamp[k] })
-            .collect();
-        stamp = VectorClock::from_entries(entries);
+        entries[self.me] = self.sent;
+        let stamp = VectorClock::from_entries(entries);
         self.fanout = Some((now, stamp.clone()));
         stamp
     }

@@ -12,9 +12,8 @@
 
 use msgorder_poset::VectorClock;
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol};
+use msgorder_simnet::{Ctx, Protocol, SortedSlab};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Hash, Serialize, Deserialize)]
 struct Tag {
@@ -22,7 +21,7 @@ struct Tag {
     stamp: VectorClock,
     /// Constraints: destination process → timestamp that must already be
     /// dominated by the destination's clock before delivery.
-    constraints: BTreeMap<usize, VectorClock>,
+    constraints: SortedSlab<usize, VectorClock>,
 }
 
 /// The SES causal-ordering protocol (one instance per process).
@@ -30,7 +29,7 @@ struct Tag {
 pub struct CausalSes {
     me: usize,
     clock: VectorClock,
-    constraints: BTreeMap<usize, VectorClock>,
+    constraints: SortedSlab<usize, VectorClock>,
     pending: Vec<(Tag, MessageId)>,
 }
 
@@ -40,7 +39,7 @@ impl CausalSes {
         CausalSes {
             me,
             clock: VectorClock::new(n),
-            constraints: BTreeMap::new(),
+            constraints: SortedSlab::new(),
             pending: Vec::new(),
         }
     }
@@ -56,10 +55,14 @@ impl CausalSes {
         }
     }
 
-    fn merge_constraint(into: &mut BTreeMap<usize, VectorClock>, dst: usize, t: &VectorClock) {
-        into.entry(dst)
-            .and_modify(|existing| existing.merge(t))
-            .or_insert_with(|| t.clone());
+    fn merge_constraint(into: &mut SortedSlab<usize, VectorClock>, dst: usize, t: &VectorClock) {
+        match into.get_mut(&dst) {
+            // In place: protocol-local clocks all share one width.
+            Some(existing) => existing.merge(t),
+            None => {
+                into.insert(dst, t.clone());
+            }
+        }
     }
 
     fn drain(&mut self, ctx: &mut Ctx<'_>) {

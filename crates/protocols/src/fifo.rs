@@ -2,24 +2,24 @@
 
 use crate::reliable::ReliableLink;
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol};
-use std::collections::BTreeMap;
+use msgorder_simnet::{Ctx, Protocol, SortedSlab};
 
 /// Per-channel sequence numbering: the receiver delivers each channel's
 /// messages in send order, buffering any that arrive early. Implements
 /// the FIFO specification of §6 — a tagged protocol, as the classifier
 /// predicts (the FIFO predicate's cycle has one β vertex).
 ///
-/// State lives in `BTreeMap`s so the protocol is `Hash` (required by the
-/// deduplicating explorer) with a canonical, order-independent digest.
+/// State lives in [`SortedSlab`]s so the protocol is `Hash` (required
+/// by the deduplicating explorer) with a canonical, order-independent
+/// digest computed over contiguous words.
 #[derive(Debug, Default, Clone, Hash)]
 pub struct FifoProtocol {
     /// Next sequence number to assign, per destination.
-    next_out: BTreeMap<usize, u64>,
+    next_out: SortedSlab<usize, u64>,
     /// Next sequence expected, per source.
-    next_in: BTreeMap<usize, u64>,
+    next_in: SortedSlab<usize, u64>,
     /// Early arrivals, per source, keyed by sequence number.
-    pending: BTreeMap<usize, BTreeMap<u64, MessageId>>,
+    pending: SortedSlab<usize, SortedSlab<u64, MessageId>>,
     /// Ack/retransmission layer for lossy networks, if enabled.
     link: Option<ReliableLink>,
 }
@@ -40,8 +40,8 @@ impl FifoProtocol {
     }
 
     fn drain(&mut self, ctx: &mut Ctx<'_>, src: usize) {
-        let expected = self.next_in.entry(src).or_insert(0);
-        let queue = self.pending.entry(src).or_default();
+        let expected = self.next_in.get_or_insert_with(src, || 0);
+        let queue = self.pending.get_or_insert_with(src, SortedSlab::new);
         while let Some(msg) = queue.remove(expected) {
             ctx.deliver(msg);
             *expected += 1;
@@ -52,7 +52,7 @@ impl FifoProtocol {
 impl Protocol for FifoProtocol {
     fn on_send_request(&mut self, ctx: &mut Ctx<'_>, msg: MessageId) {
         let dst = ctx.meta(msg).dst.0;
-        let seq = self.next_out.entry(dst).or_insert(0);
+        let seq = self.next_out.get_or_insert_with(dst, || 0);
         let tag = seq.to_le_bytes().to_vec();
         *seq += 1;
         match &mut self.link {
@@ -66,7 +66,9 @@ impl Protocol for FifoProtocol {
             link.ack_user(ctx, from, msg);
         }
         let seq = u64::from_le_bytes(tag.try_into().expect("fifo tag is 8 bytes"));
-        self.pending.entry(from.0).or_default().insert(seq, msg);
+        self.pending
+            .get_or_insert_with(from.0, SortedSlab::new)
+            .insert(seq, msg);
         self.drain(ctx, from.0);
     }
 

@@ -25,8 +25,8 @@
 //! [`RetryConfig::max_attempts`] so lost acks never livelock a run.
 
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::Ctx;
-use std::collections::{BTreeMap, BTreeSet};
+use msgorder_simnet::{Ctx, SortedSlab};
+use std::collections::BTreeSet;
 
 const MAGIC: u8 = 0xAB;
 const OP_ACK_USER: u8 = 0x01;
@@ -92,10 +92,10 @@ pub enum ControlEvent {
 pub struct ReliableLink {
     config: RetryConfig,
     /// Outstanding user frames: message id → (tag, attempts so far).
-    user_out: BTreeMap<usize, (Vec<u8>, u32)>,
+    user_out: SortedSlab<usize, (Vec<u8>, u32)>,
     /// Outstanding reliable control frames: ctl id → (to, wire frame,
     /// attempts so far).
-    ctl_out: BTreeMap<u64, (usize, Vec<u8>, u32)>,
+    ctl_out: SortedSlab<u64, (usize, Vec<u8>, u32)>,
     next_ctl_id: u64,
     /// Reliable control frames already delivered, per sender (dedup).
     seen_ctl: BTreeSet<(usize, u64)>,

@@ -97,6 +97,14 @@ impl UserRun {
         self.closure.reaches(a.node(), b.node())
     }
 
+    /// The transitive closure of `▷` over event nodes (indexed by
+    /// [`UserEvent::node`]). Batch evaluators use its row/column bitsets
+    /// for word-parallel candidate narrowing instead of per-pair
+    /// [`before`](Self::before) queries.
+    pub fn closure(&self) -> &TransitiveClosure {
+        &self.closure
+    }
+
     /// Whether two events are concurrent (distinct and incomparable).
     pub fn concurrent(&self, a: UserEvent, b: UserEvent) -> bool {
         a != b && !self.before(a, b) && !self.before(b, a)

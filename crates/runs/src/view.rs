@@ -9,7 +9,7 @@
 //! against a [`StreamingRun`](crate::StreamingRun) (vector clocks on the
 //! live prefix) without materializing the full poset.
 
-use crate::ids::{MessageId, UserEvent};
+use crate::ids::{MessageId, ProcessId, UserEvent};
 use crate::message::MessageMeta;
 
 /// Read-only causality queries over the user's view of a run.
@@ -32,6 +32,23 @@ pub trait OrderView {
 
     /// Number of declared messages (bound for message ids).
     fn message_count(&self) -> usize;
+
+    /// The sending process of `m`. Implementations holding endpoints in
+    /// struct-of-arrays form override this to skip the [`MessageMeta`]
+    /// indirection on the evaluator's hot path.
+    fn src(&self, m: MessageId) -> ProcessId {
+        self.meta(m).src
+    }
+
+    /// The receiving process of `m` (see [`src`](OrderView::src)).
+    fn dst(&self, m: MessageId) -> ProcessId {
+        self.meta(m).dst
+    }
+
+    /// Whether `m` carries `color`.
+    fn has_color(&self, m: MessageId, color: &str) -> bool {
+        self.meta(m).has_color(color)
+    }
 }
 
 impl OrderView for crate::UserRun {
@@ -59,5 +76,17 @@ impl<V: OrderView + ?Sized> OrderView for &V {
 
     fn message_count(&self) -> usize {
         (**self).message_count()
+    }
+
+    fn src(&self, m: MessageId) -> ProcessId {
+        (**self).src(m)
+    }
+
+    fn dst(&self, m: MessageId) -> ProcessId {
+        (**self).dst(m)
+    }
+
+    fn has_color(&self, m: MessageId, color: &str) -> bool {
+        (**self).has_color(m, color)
     }
 }

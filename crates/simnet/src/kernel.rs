@@ -661,8 +661,11 @@ impl Ord for Scheduled {
 pub(crate) struct World {
     pub(crate) processes: usize,
     pub(crate) latency: LatencyModel,
-    pub(crate) faults: FaultModel,
-    pub(crate) metas: Vec<msgorder_runs::MessageMeta>,
+    /// Immutable after construction; shared by reference so the
+    /// explorer's per-transition world clone is a pointer bump.
+    pub(crate) faults: std::sync::Arc<FaultModel>,
+    /// Immutable after construction (see `faults`).
+    pub(crate) metas: std::sync::Arc<Vec<msgorder_runs::MessageMeta>>,
     pub(crate) builder: StreamingRun,
     pub(crate) queue: BinaryHeap<Reverse<Scheduled>>,
     pub(crate) rng: StdRng,
@@ -692,6 +695,9 @@ pub(crate) struct World {
     /// Journal entries appended since the observer last drained, in
     /// execution order.
     pub(crate) fresh: Vec<KernelEvent>,
+    /// Recycled journal buffer: after a drain, `fresh`'s storage parks
+    /// here so the steady-state record path never reallocates.
+    pub(crate) spare: Vec<KernelEvent>,
     /// Where network decisions come from (sampled or replayed).
     pub(crate) decisions: DecisionSource,
 }
@@ -765,8 +771,8 @@ impl World {
         World {
             processes: config.processes,
             latency: config.latency,
-            faults: config.faults,
-            metas,
+            faults: std::sync::Arc::new(config.faults),
+            metas: std::sync::Arc::new(metas),
             builder,
             queue,
             rng: StdRng::seed_from_u64(config.seed),
@@ -782,6 +788,7 @@ impl World {
             record: false,
             record_wire: false,
             fresh: Vec::new(),
+            spare: Vec::new(),
             decisions: DecisionSource::Sample,
         }
     }
@@ -843,17 +850,23 @@ impl World {
         if self.fresh.is_empty() {
             return true;
         }
-        let fresh = std::mem::take(&mut self.fresh);
+        // Swap in the recycled buffer so draining does not surrender
+        // `fresh`'s storage: the next batch appends into `spare`'s old
+        // capacity and the drained buffer parks back — the record path
+        // stops allocating once the two buffers reach steady state.
+        let mut fresh = std::mem::replace(&mut self.fresh, std::mem::take(&mut self.spare));
         let run_count = fresh
             .iter()
             .filter(|e| matches!(e, KernelEvent::Run { .. }))
             .count();
         let mut index = self.builder.event_count() - run_count;
-        for entry in fresh {
+        let mut halted = false;
+        for entry in fresh.drain(..) {
             match entry {
                 KernelEvent::Run { ev, time } => {
                     if !obs.on_event(&self.builder, ev, index, time) {
-                        return false;
+                        halted = true;
+                        break;
                     }
                     index += 1;
                 }
@@ -861,7 +874,9 @@ impl World {
                 KernelEvent::Fault(f) => obs.on_fault(&f),
             }
         }
-        true
+        fresh.clear();
+        self.spare = fresh;
+        !halted
     }
 
     /// Turns step-limit exhaustion into the structured

@@ -59,6 +59,7 @@ mod kernel;
 mod latency;
 mod liveness;
 mod realtime;
+mod slab_map;
 mod stats;
 mod workload;
 
@@ -79,5 +80,6 @@ pub use liveness::{Blame, LivenessVerdict, StuckCause, StuckMessage, StuckStage}
 pub use realtime::{
     DriftStats, HostDriver, HostError, InProcessHost, RealtimeKernel, RealtimeOutcome,
 };
+pub use slab_map::SortedSlab;
 pub use stats::Stats;
 pub use workload::{SendSpec, Workload};

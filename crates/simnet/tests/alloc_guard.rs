@@ -1,0 +1,113 @@
+//! Zero-allocation guard for the steady-state simulate path.
+//!
+//! `World::build` declares every workload message in the arena up
+//! front, so once the scheduler heap and the double-buffered journal
+//! reach their high-water capacity, dispatching a message — pop the
+//! pool, run the protocol, append send/deliver events, journal them —
+//! must touch the allocator zero times. The guard snapshots the global
+//! allocation counter at every observed run event and requires the
+//! entire second half of the event stream to be allocation-free.
+
+use msgorder_runs::{StreamingRun, SystemEvent};
+use msgorder_simnet::{
+    LatencyModel, Protocol, RunObserver, SimConfig, Simulation, SortedSlab, Workload,
+};
+
+#[global_allocator]
+static ALLOC: msgorder_testkit::CountingAlloc = msgorder_testkit::CountingAlloc;
+
+/// Tagless protocol: send and deliver immediately (X_async semantics),
+/// the baseline for the kernel's own per-message cost.
+struct Immediate;
+
+impl Protocol for Immediate {
+    fn on_send_request(
+        &mut self,
+        ctx: &mut msgorder_simnet::Ctx<'_>,
+        msg: msgorder_runs::MessageId,
+    ) {
+        ctx.send_user(msg, Vec::new());
+    }
+    fn on_user_frame(
+        &mut self,
+        ctx: &mut msgorder_simnet::Ctx<'_>,
+        _from: msgorder_runs::ProcessId,
+        msg: msgorder_runs::MessageId,
+        _tag: Vec<u8>,
+    ) {
+        ctx.deliver(msg);
+    }
+}
+
+/// Records the allocation counter at each run event into a buffer sized
+/// ahead of the run, so observing itself never allocates.
+struct AllocProbe {
+    at: Vec<u64>,
+}
+
+impl RunObserver for AllocProbe {
+    fn on_event(&mut self, _view: &StreamingRun, _ev: SystemEvent, _index: usize, _t: u64) -> bool {
+        assert!(self.at.len() < self.at.capacity(), "probe undersized");
+        self.at.push(msgorder_testkit::allocations());
+        true
+    }
+}
+
+fn steady_state_allocs<P: Protocol>(msgs: usize, factory: impl Fn(usize) -> P) -> u64 {
+    let n = 3;
+    let w = Workload::uniform_random(n, msgs, 7);
+    let mut probe = AllocProbe {
+        at: Vec::with_capacity(4 * msgs + 1),
+    };
+    let sim = Simulation::new(
+        SimConfig::new(n, LatencyModel::Uniform { lo: 1, hi: 40 }, 7),
+        w,
+        factory,
+    );
+    let r = sim.run_streaming(&mut probe).expect("no protocol bug");
+    assert!(r.completed && r.run.is_quiescent(), "run must finish");
+    assert_eq!(probe.at.len(), 4 * msgs, "all events observed");
+    probe.at[probe.at.len() - 1] - probe.at[probe.at.len() / 2]
+}
+
+#[test]
+fn async_dispatch_is_allocation_free_at_steady_state() {
+    let allocs = steady_state_allocs(24, |_| Immediate);
+    assert_eq!(
+        allocs, 0,
+        "second half of an async run must not allocate per delivered message"
+    );
+}
+
+#[test]
+fn sorted_slab_protocol_state_reaches_steady_state() {
+    // A stateful protocol: per-peer counters in a SortedSlab. After the
+    // slab has seen every peer, updates are in-place — the steady-state
+    // window stays allocation-free even with per-message bookkeeping.
+    struct Counting {
+        seen: SortedSlab<usize, u64>,
+    }
+    impl Protocol for Counting {
+        fn on_send_request(
+            &mut self,
+            ctx: &mut msgorder_simnet::Ctx<'_>,
+            msg: msgorder_runs::MessageId,
+        ) {
+            ctx.send_user(msg, Vec::new());
+        }
+        fn on_user_frame(
+            &mut self,
+            ctx: &mut msgorder_simnet::Ctx<'_>,
+            from: msgorder_runs::ProcessId,
+            msg: msgorder_runs::MessageId,
+            _tag: Vec<u8>,
+        ) {
+            *self.seen.get_or_insert_with(from.0, || 0) += 1;
+            ctx.deliver(msg);
+        }
+    }
+    let allocs = steady_state_allocs(24, |_| Counting {
+        seen: SortedSlab::new(),
+    });
+    assert_eq!(allocs, 0, "slab-backed state must settle to zero allocs");
+}

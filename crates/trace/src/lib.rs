@@ -230,19 +230,30 @@ impl Trace {
     /// [`TraceError::Internal`] if a line fails to serialize — a bug in
     /// this crate's schema types, never a reason to abort the process.
     pub fn to_jsonl(&self) -> Result<String, TraceError> {
+        // Each line is built by reference as the externally tagged
+        // object the derived [`Line`] encoding produces (byte-identical
+        // on the wire), so dumping never clones the journal: events
+        // serialize straight out of the recorder's flat buffer.
         let mut out = String::new();
-        let push = |out: &mut String, line: &Line| -> Result<(), TraceError> {
-            out.push_str(&serde_json::to_string(line).map_err(|e| {
-                TraceError::Internal(format!("trace line failed to serialize: {e:?}"))
-            })?);
-            out.push('\n');
-            Ok(())
+        let push = |out: &mut String, tag: &str, payload: &dyn serde::Serialize| {
+            let mut line = serde_json::Map::new();
+            line.insert(tag, payload.to_json_value());
+            match serde_json::to_string(&serde_json::Value::Object(line)) {
+                Ok(s) => {
+                    out.push_str(&s);
+                    out.push('\n');
+                    Ok(())
+                }
+                Err(e) => Err(TraceError::Internal(format!(
+                    "trace line failed to serialize: {e:?}"
+                ))),
+            }
         };
-        push(&mut out, &Line::Header(self.header.clone()))?;
+        push(&mut out, "Header", &self.header)?;
         for ev in &self.events {
-            push(&mut out, &Line::Event(ev.clone()))?;
+            push(&mut out, "Event", ev)?;
         }
-        push(&mut out, &Line::Footer(self.footer.clone()))?;
+        push(&mut out, "Footer", &self.footer)?;
         Ok(out)
     }
 
