@@ -78,7 +78,8 @@ pub use kernel::{
 pub use latency::{LatencyModel, LatencyOverflow};
 pub use liveness::{Blame, LivenessVerdict, StuckCause, StuckMessage, StuckStage};
 pub use realtime::{
-    DriftStats, HostDriver, HostError, InProcessHost, RealtimeKernel, RealtimeOutcome,
+    DriftStats, HostDriver, HostError, InProcessHost, MonotonicClock, RealtimeKernel,
+    RealtimeOutcome, WallClock,
 };
 pub use slab_map::SortedSlab;
 pub use stats::Stats;

@@ -90,12 +90,54 @@ pub trait HostDriver {
     ) -> Result<Vec<HostAction>, HostError>;
 }
 
+/// The realtime kernel's wall-clock source: nanoseconds since an
+/// arbitrary epoch fixed no later than the kernel's construction.
+///
+/// The default is [`MonotonicClock`]; tests inject scripted clocks to
+/// exercise drift accounting, including clocks that step backwards
+/// (NTP slew, VM pause) — which real deployments do see and which the
+/// kernel must *surface*, not clamp away.
+pub trait WallClock: Send {
+    /// The current reading, in nanoseconds. Readings are compared
+    /// against earlier ones; a smaller value is counted as a backwards
+    /// clock step, never silently discarded.
+    fn now_nanos(&mut self) -> u64;
+}
+
+/// The default [`WallClock`]: `Instant::elapsed` since construction,
+/// monotone by the standard library's contract.
+#[derive(Debug)]
+pub struct MonotonicClock(Instant);
+
+impl MonotonicClock {
+    /// Starts the clock now.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock(Instant::now())
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl WallClock for MonotonicClock {
+    fn now_nanos(&mut self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 /// Wall-clock drift accounting for one realtime run.
 ///
-/// Lag is measured in virtual ticks: how far past its scheduled wall
+/// *Lag* is measured in virtual ticks: how far past its scheduled wall
 /// deadline an event actually dispatched (0 when the pacer woke on
-/// time). Free-running mode (`tick == 0`) reports zero lag by
-/// definition.
+/// time). *Drift* is the signed version of the same quantity: negative
+/// drift means the wall clock read **earlier** than the virtual
+/// schedule — which on a monotone clock only happens transiently, but
+/// on a stepping clock (NTP, VM pause) is a real signal. Backwards
+/// raw readings are counted separately in `clock_went_backwards`.
+/// Free-running mode (`tick == 0`) reports zero lag by definition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DriftStats {
     /// Events dispatched.
@@ -106,16 +148,29 @@ pub struct DriftStats {
     pub max_lag: u64,
     /// Sum of all lags, in ticks.
     pub total_lag: u64,
+    /// Most negative drift observed, in ticks (0 if drift never went
+    /// negative). Negative drift was silently clamped to zero before
+    /// signed tracking existed — a backwards wall clock looked like a
+    /// perfectly punctual run.
+    pub min_drift: i64,
+    /// Most positive drift observed, in ticks (0 if never late).
+    pub max_drift: i64,
+    /// Raw clock readings that were smaller than the reading before
+    /// them — each one is a wall clock stepping backwards mid-run.
+    pub clock_went_backwards: u64,
 }
 
 impl DriftStats {
-    fn observe(&mut self, lag: u64) {
+    fn observe(&mut self, drift: i64) {
         self.dispatches += 1;
-        if lag > 0 {
+        if drift > 0 {
             self.late += 1;
+            let lag = drift as u64;
             self.max_lag = self.max_lag.max(lag);
             self.total_lag += lag;
         }
+        self.min_drift = self.min_drift.min(drift);
+        self.max_drift = self.max_drift.max(drift);
     }
 
     /// Mean lag per dispatch, in ticks.
@@ -152,6 +207,13 @@ pub struct RealtimeKernel {
     world: World,
     step_limit: usize,
     tick: Duration,
+    clock: Box<dyn WallClock>,
+    /// Epoch reading taken when the run starts; elapsed time is every
+    /// later reading minus this, *signed* — a backwards-stepping clock
+    /// produces negative elapsed time rather than a silent clamp.
+    epoch: u64,
+    last_reading: u64,
+    backwards_steps: u64,
 }
 
 impl RealtimeKernel {
@@ -164,6 +226,10 @@ impl RealtimeKernel {
             world: World::build(config, workload),
             step_limit: 1_000_000,
             tick: Duration::ZERO,
+            clock: Box::new(MonotonicClock::new()),
+            epoch: 0,
+            last_reading: 0,
+            backwards_steps: 0,
         }
     }
 
@@ -181,30 +247,48 @@ impl RealtimeKernel {
         self
     }
 
-    /// Wall time since `start`, in whole virtual ticks. Free-running
-    /// mode pins the wall clock to the virtual clock.
-    fn wall_ticks(&self, start: Instant, now: u64) -> u64 {
-        if self.tick.is_zero() {
-            return now;
+    /// Replaces the wall-clock source (tests inject scripted clocks;
+    /// deployments keep the default [`MonotonicClock`]).
+    pub fn with_clock(mut self, clock: impl WallClock + 'static) -> Self {
+        self.clock = Box::new(clock);
+        self
+    }
+
+    /// Reads the clock, counting backwards steps against the previous
+    /// raw reading, and returns signed nanoseconds since the epoch.
+    fn elapsed_nanos(&mut self) -> i128 {
+        let reading = self.clock.now_nanos();
+        if reading < self.last_reading {
+            self.backwards_steps += 1;
         }
-        let ticks = start.elapsed().as_nanos() / self.tick.as_nanos();
-        u64::try_from(ticks).unwrap_or(u64::MAX)
+        self.last_reading = reading;
+        i128::from(reading) - i128::from(self.epoch)
+    }
+
+    /// Wall time since the epoch, in whole virtual ticks (signed —
+    /// negative when the clock stepped back past the epoch).
+    /// Free-running mode pins the wall clock to the virtual clock.
+    fn wall_ticks(&mut self, now: u64) -> i64 {
+        if self.tick.is_zero() {
+            return i64::try_from(now).unwrap_or(i64::MAX);
+        }
+        let ticks = self.elapsed_nanos() / self.tick.as_nanos() as i128;
+        i64::try_from(ticks).unwrap_or(if ticks > 0 { i64::MAX } else { i64::MIN })
     }
 
     /// Sleeps until `time`'s wall deadline (no-op when free-running or
     /// already past it).
-    fn pace_until(&self, start: Instant, time: u64) {
+    fn pace_until(&mut self, time: u64) {
         if self.tick.is_zero() {
             return;
         }
         let Some(deadline) = self.tick.as_nanos().checked_mul(u128::from(time)) else {
             return; // virtual time too large to pace — run as fast as possible
         };
-        let elapsed = start.elapsed().as_nanos();
-        if let Ok(remaining) = u64::try_from(deadline.saturating_sub(elapsed)) {
-            if remaining > 0 {
-                std::thread::sleep(Duration::from_nanos(remaining));
-            }
+        let elapsed = self.elapsed_nanos();
+        let remaining = i128::try_from(deadline).unwrap_or(i128::MAX) - elapsed;
+        if let (Ok(remaining), true) = (u64::try_from(remaining), remaining > 0) {
+            std::thread::sleep(Duration::from_nanos(remaining));
         }
     }
 
@@ -217,7 +301,6 @@ impl RealtimeKernel {
         host: &mut dyn HostDriver,
         node: usize,
         ev: HostEvent,
-        start: Instant,
         drift: &mut DriftStats,
     ) {
         let now = self.world.now;
@@ -229,13 +312,16 @@ impl RealtimeKernel {
                 return;
             }
         };
-        let wall = self.wall_ticks(start, now);
-        drift.observe(wall.saturating_sub(now));
+        let wall = self.wall_ticks(now);
+        drift.observe(wall.saturating_sub_unsigned(now));
+        drift.clock_went_backwards = self.backwards_steps;
         let transmits = actions.iter().filter(|a| a.is_transmit()).count();
         if transmits > 0 {
-            let delay = wall.saturating_add(1).saturating_sub(now).max(1);
+            // Arrival stays in the future even when the wall clock reads
+            // behind (or has stepped backwards past) the virtual clock.
+            let delay = (wall.saturating_add(1).saturating_sub_unsigned(now)).max(1);
             let decision = TransmitDecision {
-                delay,
+                delay: u64::try_from(delay).unwrap_or(1).max(1),
                 dropped: None,
                 dup_delay: None,
             };
@@ -257,9 +343,10 @@ impl RealtimeKernel {
         // All network decisions are injected just-in-time from wall
         // measurements; the sampling RNGs are never consulted.
         self.world.decisions = DecisionSource::Replay(VecDeque::new());
-        let start = Instant::now();
+        self.epoch = self.clock.now_nanos();
+        self.last_reading = self.epoch;
         for node in 0..self.world.processes {
-            self.round_trip(host, node, HostEvent::Init, start, &mut drift);
+            self.round_trip(host, node, HostEvent::Init, &mut drift);
             if self.world.error.is_some() {
                 break;
             }
@@ -269,7 +356,7 @@ impl RealtimeKernel {
         } else if !self.world.notify_observer(obs) {
             (false, true)
         } else {
-            self.drive(host, obs, start, &mut drift)
+            self.drive(host, obs, &mut drift)
         };
         self.world.stats.end_time = self.world.now;
         self.world
@@ -304,7 +391,6 @@ impl RealtimeKernel {
         &mut self,
         host: &mut dyn HostDriver,
         obs: &mut dyn RunObserver,
-        start: Instant,
         drift: &mut DriftStats,
     ) -> (bool, bool) {
         let mut steps = 0usize;
@@ -315,7 +401,7 @@ impl RealtimeKernel {
                 completed = false;
                 break;
             }
-            self.pace_until(start, ev.time);
+            self.pace_until(ev.time);
             debug_assert!(ev.time >= self.world.now, "time must not run backwards");
             self.world.now = ev.time;
             let Some(ev) = self.world.absorb_crashed(ev) else {
@@ -324,7 +410,7 @@ impl RealtimeKernel {
             self.world.stats.dispatched_events += 1;
             let node = ev.node;
             if let Some(hev) = self.world.admit(node, ev.kind) {
-                self.round_trip(host, node, hev, start, drift);
+                self.round_trip(host, node, hev, drift);
             }
             if !self.world.notify_observer(obs) {
                 return (false, true);
@@ -456,6 +542,63 @@ mod tests {
             start.elapsed() >= min,
             "paced run finished before its last deadline"
         );
+    }
+
+    /// A wall clock that steps backwards by a fixed amount on every
+    /// reading after the first — the NTP-slew/VM-pause shape the drift
+    /// accounting must surface instead of clamping to zero.
+    struct BackwardsClock {
+        reading: u64,
+        step: u64,
+        reads: u64,
+    }
+
+    impl WallClock for BackwardsClock {
+        fn now_nanos(&mut self) -> u64 {
+            self.reads += 1;
+            if self.reads > 1 {
+                self.reading = self.reading.saturating_sub(self.step);
+            }
+            self.reading
+        }
+    }
+
+    #[test]
+    fn backwards_clock_is_surfaced_not_clamped() {
+        let w = Workload::uniform_random(2, 4, 3);
+        let mut host = InProcessHost::new(2, &w, |_| Box::new(Immediate));
+        let out = RealtimeKernel::new(config(2), &w)
+            .with_tick(Duration::from_nanos(1))
+            .with_clock(BackwardsClock {
+                reading: 1_000_000,
+                step: 50,
+                reads: 0,
+            })
+            .run(&mut host, &mut Sink);
+        let r = out.outcome.expect("no protocol bug");
+        assert!(r.completed && !r.halted);
+        assert!(
+            out.drift.clock_went_backwards > 0,
+            "every post-epoch reading steps back: {:?}",
+            out.drift
+        );
+        assert!(
+            out.drift.min_drift < 0,
+            "negative drift must be recorded, not clamped: {:?}",
+            out.drift
+        );
+        assert_eq!(out.drift.late, 0, "a clock running early is never late");
+        assert_eq!(out.drift.total_lag, 0, "lag accounting stays positive-only");
+    }
+
+    #[test]
+    fn monotonic_free_run_reports_no_backwards_steps() {
+        let w = Workload::uniform_random(3, 10, 9);
+        let mut host = InProcessHost::new(3, &w, |_| Box::new(Immediate));
+        let out = RealtimeKernel::new(config(3), &w).run(&mut host, &mut Sink);
+        assert!(out.outcome.is_ok());
+        assert_eq!(out.drift.clock_went_backwards, 0);
+        assert_eq!(out.drift.min_drift, 0);
     }
 
     #[test]

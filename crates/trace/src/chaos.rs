@@ -21,11 +21,12 @@ use msgorder_protocols::{verify_exhaustive, ProtocolKind};
 use msgorder_simnet::{DedupMode, ExploreOptions, FaultModel, LatencyModel, Workload};
 
 /// SplitMix64 — the trace crate carries no RNG dependency, and the
-/// sweep only needs a fast, well-mixed deterministic stream.
-struct SplitMix64(u64);
+/// sweep (and the soak harness's rotating fault schedules) only need a
+/// fast, well-mixed deterministic stream.
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -34,18 +35,48 @@ impl SplitMix64 {
     }
 
     /// Uniform in `[lo, hi]` (inclusive).
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+    pub(crate) fn range(&mut self, lo: u64, hi: u64) -> u64 {
         lo + self.next() % (hi - lo + 1)
     }
 
     /// True with probability `p`.
-    fn chance(&mut self, p: f64) -> bool {
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
         (self.next() >> 11) as f64 / ((1u64 << 53) as f64) < p
     }
 
     fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
         &xs[(self.next() % xs.len() as u64) as usize]
     }
+}
+
+/// Extends `faults` with a randomly drawn partition (probability
+/// `p_partition`) and crash schedule (probability `p_crash`) — the
+/// timed-schedule half of fault sampling, shared between the chaos
+/// sweep and `msgorder soak`'s per-episode rotation. Requires
+/// `processes >= 2`.
+pub(crate) fn sample_schedule_faults(
+    rng: &mut SplitMix64,
+    processes: usize,
+    mut faults: FaultModel,
+    p_partition: f64,
+    p_crash: f64,
+) -> FaultModel {
+    if rng.chance(p_partition) {
+        let a = rng.range(0, processes as u64 - 1) as usize;
+        let b = (a + 1 + rng.range(0, processes as u64 - 2) as usize) % processes;
+        let from = rng.range(0, 500);
+        faults = faults.with_partition(a, b, from, from + rng.range(100, 4000));
+    }
+    if rng.chance(p_crash) {
+        let at = rng.range(1, 800);
+        let restart = if rng.chance(0.5) {
+            Some(at + rng.range(100, 3000))
+        } else {
+            None // permanent crash
+        };
+        faults = faults.with_crash(rng.range(0, processes as u64 - 1) as usize, at, restart);
+    }
+    faults
 }
 
 /// Parameters of a chaos sweep.
@@ -186,21 +217,7 @@ fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Result<Setup, Tra
             .with_duplication(rng.range(5, 20) as f64 / 100.0)
             .map_err(|e| TraceError::Internal(format!("sampled dup rate rejected: {e}")))?;
     }
-    if rng.chance(0.4) {
-        let a = rng.range(0, processes as u64 - 1) as usize;
-        let b = (a + 1 + rng.range(0, processes as u64 - 2) as usize) % processes;
-        let from = rng.range(0, 500);
-        faults = faults.with_partition(a, b, from, from + rng.range(100, 4000));
-    }
-    if rng.chance(0.4) {
-        let at = rng.range(1, 800);
-        let restart = if rng.chance(0.5) {
-            Some(at + rng.range(100, 3000))
-        } else {
-            None // permanent crash
-        };
-        faults = faults.with_crash(rng.range(0, processes as u64 - 1) as usize, at, restart);
-    }
+    faults = sample_schedule_faults(rng, processes, faults, 0.4, 0.4);
     let spec = match rng.range(0, 2) {
         0 => None,
         1 => Some("fifo".to_owned()),

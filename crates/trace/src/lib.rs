@@ -43,7 +43,12 @@
 
 pub mod chaos;
 pub mod metrics;
+pub mod registry;
 pub mod shrink;
+pub mod soak;
+
+pub use metrics::{Histogram, LiveMetrics, Metrics, MetricsObserver};
+pub use registry::{FileExporter, MetricsRegistry, SharedRegistry};
 
 use msgorder_predicate::{catalog, eval, ForbiddenPredicate};
 use msgorder_protocols::ProtocolKind;

@@ -8,12 +8,14 @@
 //! simulated ticks; only `wall_nanos` (and thus deliveries/sec) uses
 //! the host clock.
 
+use crate::registry::{names, MetricsRegistry, SharedRegistry};
 use msgorder_predicate::eval::MonitorTimings;
 use msgorder_runs::{EventKind, StreamingRun, SystemEvent};
 use msgorder_simnet::{
-    DropReason, FaultRecord, KernelEvent, PayloadKind, RunObserver, Stats, WireRecord,
+    DropReason, FaultModel, FaultRecord, KernelEvent, PayloadKind, RunObserver, Stats, WireRecord,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A log₂-bucketed histogram of `u64` samples: bucket `i` holds samples
 /// in `[2^i, 2^(i+1))` (bucket 0 also takes 0).
@@ -95,6 +97,19 @@ impl Histogram {
         self.max
     }
 
+    /// Folds `other` into this histogram: buckets and sums add,
+    /// extrema widen. The result is exactly the histogram of the two
+    /// sample streams interleaved.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Renders the non-empty buckets as `[lo, hi): count` lines.
     pub fn render(&self, indent: &str) -> String {
         let mut out = String::new();
@@ -162,6 +177,11 @@ pub struct Metrics {
     pub duplicates: u64,
     /// Frames lost to (or deferred by) crash windows.
     pub crash_effects: u64,
+    /// Messages whose latency tracking was evicted on a terminal
+    /// outcome (dropped with no retransmission layer, destination
+    /// crashed for good, or still undelivered when the run ended) —
+    /// the count that keeps the in-flight map bounded on soak runs.
+    pub messages_abandoned: u64,
     /// The online monitor's delta-search timings (host nanoseconds),
     /// when a monitor ran alongside.
     pub monitor_search_nanos: Option<Histogram>,
@@ -216,6 +236,12 @@ impl Metrics {
             "faults              {} partition drops, {} losses, {} duplicates, {} crash effects\n",
             self.partition_drops, self.loss_drops, self.duplicates, self.crash_effects
         ));
+        if self.messages_abandoned > 0 {
+            out.push_str(&format!(
+                "abandoned           {} messages never delivered\n",
+                self.messages_abandoned
+            ));
+        }
         out.push_str(&format!(
             "delivery latency    mean {:.1}, p50 ≤{}, p99 ≤{}, max {} ticks\n",
             self.delivery_latency.mean(),
@@ -243,16 +269,152 @@ impl Metrics {
         }
         out
     }
+
+    /// Snapshots this finished report into a [`MetricsRegistry`] under
+    /// the standard `msgorder_*` names (counters add onto whatever the
+    /// registry already holds, histograms merge).
+    pub fn export_into(&self, reg: &mut MetricsRegistry) {
+        reg.add_counter(
+            names::DELIVERIES,
+            &[],
+            names::HELP_DELIVERIES,
+            self.deliveries,
+        );
+        reg.add_counter(
+            names::USER_FRAMES,
+            &[],
+            names::HELP_USER_FRAMES,
+            self.user_frames,
+        );
+        reg.add_counter(
+            names::CONTROL_FRAMES,
+            &[],
+            names::HELP_CONTROL_FRAMES,
+            self.control_frames,
+        );
+        reg.add_counter(
+            names::USER_BYTES,
+            &[],
+            names::HELP_USER_BYTES,
+            self.user_bytes,
+        );
+        reg.add_counter(
+            names::CONTROL_BYTES,
+            &[],
+            names::HELP_CONTROL_BYTES,
+            self.control_bytes,
+        );
+        reg.add_counter(
+            names::RETRANSMISSIONS,
+            &[],
+            names::HELP_RETRANSMISSIONS,
+            self.retransmissions,
+        );
+        reg.add_counter(
+            names::DROPS,
+            &[("reason", "partition")],
+            names::HELP_DROPS,
+            self.partition_drops,
+        );
+        reg.add_counter(
+            names::DROPS,
+            &[("reason", "loss")],
+            names::HELP_DROPS,
+            self.loss_drops,
+        );
+        reg.add_counter(
+            names::DUPLICATES,
+            &[],
+            names::HELP_DUPLICATES,
+            self.duplicates,
+        );
+        reg.add_counter(
+            names::CRASH_EFFECTS,
+            &[],
+            names::HELP_CRASH_EFFECTS,
+            self.crash_effects,
+        );
+        reg.add_counter(
+            names::ABANDONED,
+            &[],
+            names::HELP_ABANDONED,
+            self.messages_abandoned,
+        );
+        reg.merge_histogram(
+            names::DELIVERY_LATENCY,
+            &[],
+            names::HELP_DELIVERY_LATENCY,
+            &self.delivery_latency,
+        );
+        reg.merge_histogram(
+            names::INHIBITION,
+            &[],
+            names::HELP_INHIBITION,
+            &self.inhibition,
+        );
+        if let Some(mon) = &self.monitor_search_nanos {
+            reg.merge_histogram(names::MONITOR_SEARCH, &[], names::HELP_MONITOR_SEARCH, mon);
+        }
+    }
 }
+
+/// Per-message latency anchors, held only while the message is in
+/// flight. Entries leave the map on delivery or on a provably terminal
+/// outcome — the fix for the unbounded-growth leak soak runs hit.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pending {
+    invoke: Option<u64>,
+    receive: Option<u64>,
+}
+
+/// A multiply-rotate hasher for the small-integer message-id keys: the
+/// default SipHash costs more than everything else on the observer's
+/// per-event path, and these keys need no DoS resistance.
+#[derive(Debug, Default)]
+struct MsgIdHasher(u64);
+
+impl std::hash::Hasher for MsgIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (self.0 ^ n as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(26);
+    }
+}
+
+type PendingMap = HashMap<usize, Pending, std::hash::BuildHasherDefault<MsgIdHasher>>;
 
 /// A [`RunObserver`] that folds the kernel event stream into a
 /// [`Metrics`] report. Opts into wire records to count frames, bytes,
 /// and fault effects.
+///
+/// Memory stays `O(in-flight messages)`: latency anchors are evicted
+/// when a message delivers, and — with
+/// [`with_terminal_eviction`](MetricsObserver::with_terminal_eviction)
+/// — as soon as its last chance of delivery is gone (frame dropped
+/// with no retransmission layer, or destination permanently crashed).
+/// Whatever is still pending at [`finish`](MetricsObserver::finish)
+/// is counted as abandoned.
 #[derive(Debug)]
 pub struct MetricsObserver {
     started: std::time::Instant,
-    invoke_time: Vec<Option<u64>>,
-    receive_time: Vec<Option<u64>>,
+    pending: PendingMap,
+    /// Evict on any drop: set when no retransmission layer exists, so
+    /// a dropped user frame is the end of that message's story.
+    evict_on_drop: bool,
+    /// Known fault schedules, for spotting frames bound for a
+    /// permanently crashed destination.
+    faults: Option<FaultModel>,
+    messages_abandoned: u64,
     deliveries: u64,
     delivery_latency: Histogram,
     inhibition: Histogram,
@@ -272,8 +434,10 @@ impl MetricsObserver {
     pub fn new() -> MetricsObserver {
         MetricsObserver {
             started: std::time::Instant::now(),
-            invoke_time: Vec::new(),
-            receive_time: Vec::new(),
+            pending: PendingMap::default(),
+            evict_on_drop: false,
+            faults: None,
+            messages_abandoned: 0,
             deliveries: 0,
             delivery_latency: Histogram::new(),
             inhibition: Histogram::new(),
@@ -289,16 +453,40 @@ impl MetricsObserver {
         }
     }
 
-    fn slot(v: &mut Vec<Option<u64>>, msg: usize) -> &mut Option<u64> {
-        if v.len() <= msg {
-            v.resize(msg + 1, None);
+    /// Enables mid-run eviction of messages that can no longer be
+    /// delivered. `reliable` says whether a retransmission layer runs
+    /// under the protocol (if so, a dropped frame is *not* terminal);
+    /// `faults` is the run's fault model, used to recognise frames
+    /// bound for a permanently crashed destination.
+    pub fn with_terminal_eviction(mut self, reliable: bool, faults: &FaultModel) -> Self {
+        self.evict_on_drop = !reliable;
+        self.faults = Some(faults.clone());
+        self
+    }
+
+    /// Messages currently tracked for latency — the bound the
+    /// soak-memory test asserts on.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Messages evicted on a terminal outcome so far.
+    pub fn abandoned(&self) -> u64 {
+        self.messages_abandoned
+    }
+
+    fn abandon(&mut self, msg: usize) {
+        if self.pending.remove(&msg).is_some() {
+            self.messages_abandoned += 1;
         }
-        &mut v[msg]
     }
 
     /// Folds the observation into a [`Metrics`] report, stopping the
-    /// wall clock and attaching the kernel's final `stats`.
-    pub fn finish(self, stats: &Stats) -> Metrics {
+    /// wall clock and attaching the kernel's final `stats`. Messages
+    /// still awaiting delivery count as abandoned — the run is over.
+    pub fn finish(mut self, stats: &Stats) -> Metrics {
+        self.messages_abandoned += self.pending.len() as u64;
+        self.pending.clear();
         Metrics {
             wall_nanos: self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
             deliveries: self.deliveries,
@@ -313,9 +501,117 @@ impl MetricsObserver {
             loss_drops: self.loss_drops,
             duplicates: self.duplicates,
             crash_effects: self.crash_effects,
+            messages_abandoned: self.messages_abandoned,
             monitor_search_nanos: None,
             stats: stats.clone(),
         }
+    }
+
+    /// Flushes the counters and histograms accumulated since the last
+    /// drain into `reg` and resets them, keeping only the in-flight
+    /// latency anchors. Repeated drains therefore sum to exactly one
+    /// big drain — the property the live observer and the soak
+    /// harness lean on for bounded-memory metrics.
+    pub fn drain_into(&mut self, reg: &mut MetricsRegistry) {
+        // Zero deltas are skipped: [`declare_run_families`] registered
+        // every family up front, so absence of an add never hides a
+        // series — it only spares the registry lookups on the hot path.
+        let mut counter = |name, labels: &[(&str, &str)], help, value: &mut u64| {
+            if *value > 0 {
+                reg.add_counter(name, labels, help, *value);
+                *value = 0;
+            }
+        };
+        counter(
+            names::DELIVERIES,
+            &[],
+            names::HELP_DELIVERIES,
+            &mut self.deliveries,
+        );
+        counter(
+            names::USER_FRAMES,
+            &[],
+            names::HELP_USER_FRAMES,
+            &mut self.user_frames,
+        );
+        counter(
+            names::CONTROL_FRAMES,
+            &[],
+            names::HELP_CONTROL_FRAMES,
+            &mut self.control_frames,
+        );
+        counter(
+            names::USER_BYTES,
+            &[],
+            names::HELP_USER_BYTES,
+            &mut self.user_bytes,
+        );
+        counter(
+            names::CONTROL_BYTES,
+            &[],
+            names::HELP_CONTROL_BYTES,
+            &mut self.control_bytes,
+        );
+        counter(
+            names::RETRANSMISSIONS,
+            &[],
+            names::HELP_RETRANSMISSIONS,
+            &mut self.retransmissions,
+        );
+        counter(
+            names::DROPS,
+            &[("reason", "partition")],
+            names::HELP_DROPS,
+            &mut self.partition_drops,
+        );
+        counter(
+            names::DROPS,
+            &[("reason", "loss")],
+            names::HELP_DROPS,
+            &mut self.loss_drops,
+        );
+        counter(
+            names::DUPLICATES,
+            &[],
+            names::HELP_DUPLICATES,
+            &mut self.duplicates,
+        );
+        counter(
+            names::CRASH_EFFECTS,
+            &[],
+            names::HELP_CRASH_EFFECTS,
+            &mut self.crash_effects,
+        );
+        counter(
+            names::ABANDONED,
+            &[],
+            names::HELP_ABANDONED,
+            &mut self.messages_abandoned,
+        );
+        if self.delivery_latency.count > 0 {
+            reg.merge_histogram(
+                names::DELIVERY_LATENCY,
+                &[],
+                names::HELP_DELIVERY_LATENCY,
+                &self.delivery_latency,
+            );
+            self.delivery_latency = Histogram::new();
+        }
+        if self.inhibition.count > 0 {
+            reg.merge_histogram(
+                names::INHIBITION,
+                &[],
+                names::HELP_INHIBITION,
+                &self.inhibition,
+            );
+            self.inhibition = Histogram::new();
+        }
+        reg.set_gauge(
+            names::IN_FLIGHT,
+            &[],
+            names::HELP_IN_FLIGHT,
+            self.pending.len() as f64,
+        );
     }
 
     /// Like [`finish`](MetricsObserver::finish), attaching the online
@@ -342,23 +638,46 @@ impl MetricsObserver {
     fn observe_run(&mut self, ev: SystemEvent, time: u64) {
         let msg = ev.msg.0;
         match ev.kind {
-            EventKind::Invoke => *Self::slot(&mut self.invoke_time, msg) = Some(time),
+            EventKind::Invoke => {
+                self.pending.entry(msg).or_default().invoke = Some(time);
+            }
             EventKind::Send => {}
             EventKind::Receive => {
-                let slot = Self::slot(&mut self.receive_time, msg);
+                let slot = &mut self.pending.entry(msg).or_default().receive;
                 if slot.is_none() {
                     *slot = Some(time);
                 }
             }
             EventKind::Deliver => {
                 self.deliveries += 1;
-                if let Some(Some(t0)) = self.invoke_time.get(msg) {
-                    self.delivery_latency.record(time.saturating_sub(*t0));
-                }
-                if let Some(Some(t0)) = self.receive_time.get(msg) {
-                    self.inhibition.record(time.saturating_sub(*t0));
+                if let Some(p) = self.pending.remove(&msg) {
+                    if let Some(t0) = p.invoke {
+                        self.delivery_latency.record(time.saturating_sub(t0));
+                    }
+                    if let Some(t0) = p.receive {
+                        self.inhibition.record(time.saturating_sub(t0));
+                    }
                 }
             }
+        }
+    }
+
+    /// Marks user frames whose loss is provably the end of the message:
+    /// dropped with no retransmission layer and no surviving duplicate,
+    /// or bound for a destination that has crashed for good.
+    fn observe_terminal_wire(&mut self, wire: &WireRecord) {
+        let PayloadKind::User { msg, .. } = wire.payload else {
+            return;
+        };
+        let terminal_drop =
+            self.evict_on_drop && wire.dropped.is_some() && wire.dup_delay.is_none();
+        let arrival = wire.time.saturating_add(wire.delay);
+        let dead_destination = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| matches!(f.down_until(wire.to, arrival), Some(None)));
+        if terminal_drop || dead_destination {
+            self.abandon(msg.0);
         }
     }
 }
@@ -409,10 +728,111 @@ impl RunObserver for MetricsObserver {
                 }
             }
         }
+        self.observe_terminal_wire(wire);
     }
 
     fn on_fault(&mut self, _fault: &FaultRecord) {
         self.crash_effects += 1;
+    }
+
+    fn wants_wire(&self) -> bool {
+        true
+    }
+}
+
+/// The live feed: a [`RunObserver`] that accumulates into a local
+/// [`MetricsObserver`] and periodically drains the deltas into a
+/// [`SharedRegistry`], so a Prometheus scrape (or `--metrics-out`
+/// snapshot) sees fresh numbers *while* the kernel runs.
+///
+/// The registry lock is touched once per `flush_every` events (default
+/// 1024), which keeps the live path within the EXP-TR1 <10% observer
+/// overhead bar — BENCH_9 measures exactly this adapter.
+#[derive(Debug)]
+pub struct LiveMetrics {
+    obs: MetricsObserver,
+    registry: SharedRegistry,
+    flush_every: usize,
+    since_flush: usize,
+}
+
+impl LiveMetrics {
+    /// Wraps `registry` with the default flush cadence. Into a fresh
+    /// registry, every run-level family is declared immediately, so
+    /// scrapers see the full schema before the first flush; a registry
+    /// that already carries series (a soak's shared one) skips the
+    /// re-declaration.
+    pub fn new(registry: SharedRegistry) -> LiveMetrics {
+        registry.with(|reg| {
+            if reg.is_empty() {
+                crate::registry::declare_run_families(reg);
+            }
+        });
+        LiveMetrics {
+            obs: MetricsObserver::new(),
+            registry,
+            flush_every: 1024,
+            since_flush: 0,
+        }
+    }
+
+    /// Sets how many kernel events may pass between registry flushes
+    /// (clamped to at least 1).
+    pub fn with_flush_every(mut self, every: usize) -> LiveMetrics {
+        self.flush_every = every.max(1);
+        self
+    }
+
+    /// Enables terminal eviction on the inner observer — see
+    /// [`MetricsObserver::with_terminal_eviction`].
+    pub fn with_terminal_eviction(mut self, reliable: bool, faults: &FaultModel) -> Self {
+        self.obs = self.obs.with_terminal_eviction(reliable, faults);
+        self
+    }
+
+    /// Messages currently tracked for latency.
+    pub fn in_flight(&self) -> usize {
+        self.obs.in_flight()
+    }
+
+    fn bump(&mut self) {
+        self.since_flush += 1;
+        if self.since_flush >= self.flush_every {
+            self.flush();
+        }
+    }
+
+    /// Drains accumulated deltas into the shared registry now.
+    pub fn flush(&mut self) {
+        self.since_flush = 0;
+        let obs = &mut self.obs;
+        self.registry.with(|reg| obs.drain_into(reg));
+    }
+
+    /// Final drain: whatever is still in flight is abandoned (the run
+    /// is over), then the last deltas land in the registry.
+    pub fn finish(mut self) {
+        self.obs.messages_abandoned += self.obs.pending.len() as u64;
+        self.obs.pending.clear();
+        self.flush();
+    }
+}
+
+impl RunObserver for LiveMetrics {
+    fn on_event(&mut self, view: &StreamingRun, ev: SystemEvent, index: usize, time: u64) -> bool {
+        let keep = self.obs.on_event(view, ev, index, time);
+        self.bump();
+        keep
+    }
+
+    fn on_wire(&mut self, wire: &WireRecord) {
+        self.obs.on_wire(wire);
+        self.bump();
+    }
+
+    fn on_fault(&mut self, fault: &FaultRecord) {
+        self.obs.on_fault(fault);
+        self.bump();
     }
 
     fn wants_wire(&self) -> bool {

@@ -1,0 +1,287 @@
+//! Observability invariants (PR 9): the Prometheus text encoding
+//! round-trips exactly, delta draining is merge-associative across
+//! observers, and the latency tracker's memory stays bounded under
+//! loss — the property behind the soak harness's multi-hour honesty.
+
+use msgorder_runs::{EventKind, MessageId, SystemEvent};
+use msgorder_simnet::{DropReason, FaultModel, KernelEvent, PayloadKind, WireRecord};
+use msgorder_trace::registry::{declare_run_families, names, parse_samples};
+use msgorder_trace::{Histogram, MetricsObserver, MetricsRegistry};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// splitmix64 — cheap, well-mixed, and dependency-free.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn get(parsed: &BTreeMap<String, f64>, key: &str) -> Option<f64> {
+    parsed.get(key).copied()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// encode → parse → de-cumulate reproduces every histogram bucket,
+    /// the count, and the sum. Samples are capped below 2^40 so sums
+    /// stay integer-exact through the f64 of `parse_samples`.
+    #[test]
+    fn prometheus_text_round_trips_histograms(seed in 0u64..10_000, samples in 1usize..300) {
+        let mut h = Histogram::new();
+        let mut s = seed;
+        for _ in 0..samples {
+            s = mix(s);
+            // Spread magnitudes across many buckets, max < 2^40.
+            h.record((s >> 24) >> (s % 37));
+        }
+
+        let mut reg = MetricsRegistry::new();
+        reg.merge_histogram(
+            names::DELIVERY_LATENCY,
+            &[],
+            names::HELP_DELIVERY_LATENCY,
+            &h,
+        );
+        let text = reg.encode();
+        let parsed = parse_samples(&text);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}", parsed);
+        let parsed = parsed.unwrap();
+
+        let name = names::DELIVERY_LATENCY;
+        prop_assert_eq!(get(&parsed, &format!("{name}_count")), Some(h.count as f64));
+        prop_assert_eq!(get(&parsed, &format!("{name}_sum")), Some(h.sum as f64));
+        prop_assert_eq!(
+            get(&parsed, &format!("{name}_bucket{{le=\"+Inf\"}}")),
+            Some(h.count as f64)
+        );
+
+        // De-cumulate the `le` series back into per-bucket counts.
+        let mut prev = 0.0;
+        for (i, &b) in h.buckets.iter().enumerate() {
+            let le = (1u128 << (i + 1)) - 1;
+            match get(&parsed, &format!("{name}_bucket{{le=\"{le}\"}}")) {
+                Some(cum) => {
+                    prop_assert_eq!(cum - prev, b as f64, "bucket {} disagrees", i);
+                    prev = cum;
+                }
+                // Buckets past the highest occupied one are elided —
+                // they must be empty.
+                None => prop_assert_eq!(b, 0, "bucket {} dropped despite samples", i),
+            }
+        }
+        prop_assert_eq!(prev, h.count as f64);
+    }
+
+    /// Two observers over interleaved halves of a stream, drained into
+    /// one registry, report exactly what one observer over the merged
+    /// stream reports — the associativity the soak harness leans on
+    /// when episodes drain concurrently-accumulated deltas.
+    #[test]
+    fn split_observers_merge_to_the_whole(seed in 0u64..5_000, msgs in 2usize..60) {
+        let stream = synthetic_stream(seed, msgs);
+        let faults = FaultModel::none();
+
+        // One observer over everything.
+        let mut whole = MetricsObserver::new().with_terminal_eviction(false, &faults);
+        whole.consume(&stream);
+        let mut reg_whole = MetricsRegistry::new();
+        declare_run_families(&mut reg_whole);
+        whole.drain_into(&mut reg_whole);
+
+        // Two observers, each seeing the complete story of half the
+        // messages (split by id parity, order preserved), draining —
+        // including once mid-stream — into one shared registry.
+        let by_parity = |want: usize| -> Vec<KernelEvent> {
+            stream
+                .iter()
+                // Message-less events (control frames) go to half 0.
+                .filter(|ev| message_of(ev).map_or(want == 0, |m| m % 2 == want))
+                .cloned()
+                .collect()
+        };
+        let (a, b) = (by_parity(0), by_parity(1));
+        let mut reg_split = MetricsRegistry::new();
+        declare_run_families(&mut reg_split);
+        let mut obs_a = MetricsObserver::new().with_terminal_eviction(false, &faults);
+        let mut obs_b = MetricsObserver::new().with_terminal_eviction(false, &faults);
+        obs_a.consume(&a[..a.len() / 2]);
+        obs_a.drain_into(&mut reg_split); // mid-stream drain: deltas must still sum
+        obs_a.consume(&a[a.len() / 2..]);
+        obs_b.consume(&b);
+        obs_a.drain_into(&mut reg_split);
+        obs_b.drain_into(&mut reg_split);
+
+        // Every message's story is terminal (delivered or abandoned),
+        // so the in-flight gauges agree at 0 and the comparison is
+        // exact across counters, gauges, and histogram series.
+        prop_assert_eq!(whole.in_flight(), 0);
+        prop_assert_eq!(obs_a.in_flight() + obs_b.in_flight(), 0);
+        let whole_samples = parse_samples(&reg_whole.encode());
+        let split_samples = parse_samples(&reg_split.encode());
+        prop_assert_eq!(whole_samples, split_samples);
+    }
+}
+
+/// The message id an event concerns, if any.
+fn message_of(ev: &KernelEvent) -> Option<usize> {
+    match ev {
+        KernelEvent::Run { ev, .. } => Some(ev.msg.0),
+        KernelEvent::Wire(w) => match w.payload {
+            PayloadKind::User { msg, .. } => Some(msg.0),
+            PayloadKind::Control { .. } => None,
+        },
+        KernelEvent::Fault(_) => None,
+    }
+}
+
+/// A deterministic stream where every message reaches a terminal
+/// state: invoked, framed (sometimes lost, sometimes duplicated,
+/// sometimes retransmitted), and — unless lost — received and
+/// delivered. Message lifetimes overlap so the pending map is
+/// genuinely exercised.
+fn synthetic_stream(seed: u64, msgs: usize) -> Vec<KernelEvent> {
+    let mut out = Vec::new();
+    let run = |m: usize, kind: EventKind, time: u64| KernelEvent::Run {
+        ev: SystemEvent::new(MessageId(m), kind),
+        time,
+    };
+    for m in 0..msgs {
+        out.push(run(m, EventKind::Invoke, 3 * m as u64));
+    }
+    for m in 0..msgs {
+        let r = mix(seed ^ m as u64);
+        let lost = r.is_multiple_of(10);
+        out.push(KernelEvent::Wire(WireRecord {
+            from: m % 4,
+            to: (m + 1) % 4,
+            time: 3 * m as u64 + 1,
+            payload: PayloadKind::User {
+                msg: MessageId(m),
+                bytes: (r % 32) as usize,
+                retransmit: r.is_multiple_of(7),
+            },
+            delay: 1 + r % 50,
+            dropped: lost.then_some(if r.is_multiple_of(2) {
+                DropReason::Loss
+            } else {
+                DropReason::Partition
+            }),
+            // Duplicates only on surviving frames: a lost frame with a
+            // surviving copy would stay pending, and this stream keeps
+            // every message terminal.
+            dup_delay: (!lost && r.is_multiple_of(5)).then_some(2),
+        }));
+        if m.is_multiple_of(6) {
+            out.push(KernelEvent::Wire(WireRecord {
+                from: m % 4,
+                to: (m + 2) % 4,
+                time: 3 * m as u64 + 1,
+                payload: PayloadKind::Control {
+                    bytes: 4,
+                    retransmit: false,
+                },
+                delay: 2,
+                dropped: None,
+                dup_delay: None,
+            }));
+        }
+        if !lost {
+            let t = 3 * m as u64 + 2 + r % 50;
+            out.push(run(m, EventKind::Receive, t));
+            out.push(run(m, EventKind::Deliver, t + r % 9));
+        }
+    }
+    out
+}
+
+/// Satellite (a)'s proof: one million messages with 5% loss flow
+/// through the observer while at most `WINDOW` are ever in flight, and
+/// the pending map tracks the *in-flight* population — not run length.
+/// Before the eviction fix, every lost message leaked a pending entry
+/// and this test's peak would grow with the message count.
+#[test]
+fn latency_tracker_memory_stays_bounded_over_a_million_messages() {
+    const TOTAL: usize = 1_000_000;
+    const WINDOW: usize = 512;
+    let lost = |m: usize| mix(0x50AC ^ m as u64).is_multiple_of(20);
+
+    let faults = FaultModel::none();
+    let mut obs = MetricsObserver::new().with_terminal_eviction(false, &faults);
+    let mut reg = MetricsRegistry::new();
+    declare_run_families(&mut reg);
+
+    let (mut dropped, mut delivered, mut peak) = (0u64, 0u64, 0usize);
+    for i in 0..TOTAL + WINDOW {
+        // Open message `i`: invoke it and put its frame on the wire.
+        if i < TOTAL {
+            let t = 4 * i as u64;
+            obs.consume(&[
+                KernelEvent::Run {
+                    ev: SystemEvent::new(MessageId(i), EventKind::Invoke),
+                    time: t,
+                },
+                KernelEvent::Wire(WireRecord {
+                    from: i % 4,
+                    to: (i + 1) % 4,
+                    time: t,
+                    payload: PayloadKind::User {
+                        msg: MessageId(i),
+                        bytes: 8,
+                        retransmit: false,
+                    },
+                    delay: 3,
+                    dropped: lost(i).then_some(DropReason::Loss),
+                    dup_delay: None,
+                }),
+            ]);
+            if lost(i) {
+                dropped += 1;
+            }
+        }
+        // Close message `i - WINDOW`, keeping `WINDOW` messages open.
+        if i >= WINDOW {
+            let m = i - WINDOW;
+            if !lost(m) {
+                let t = 4 * m as u64 + 3;
+                obs.consume(&[
+                    KernelEvent::Run {
+                        ev: SystemEvent::new(MessageId(m), EventKind::Receive),
+                        time: t,
+                    },
+                    KernelEvent::Run {
+                        ev: SystemEvent::new(MessageId(m), EventKind::Deliver),
+                        time: t + 1,
+                    },
+                ]);
+                delivered += 1;
+            }
+        }
+        peak = peak.max(obs.in_flight());
+        if i.is_multiple_of(65_536) {
+            obs.drain_into(&mut reg); // periodic drains must not lose deltas
+        }
+    }
+    obs.drain_into(&mut reg);
+
+    assert!(
+        peak <= WINDOW,
+        "pending map grew past the in-flight window: peak {peak} > {WINDOW}"
+    );
+    assert_eq!(
+        obs.in_flight(),
+        0,
+        "messages leaked past their terminal events"
+    );
+    assert_eq!(delivered + dropped, TOTAL as u64);
+    assert_eq!(reg.counter(names::DELIVERIES, &[]), delivered);
+    assert_eq!(reg.counter(names::ABANDONED, &[]), dropped);
+    assert_eq!(
+        reg.counter(names::DROPS, &[("reason", "loss")]),
+        dropped,
+        "every abandonment should trace back to a recorded loss"
+    );
+    assert_eq!(reg.gauge(names::IN_FLIGHT, &[]), Some(0.0));
+}

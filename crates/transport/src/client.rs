@@ -112,9 +112,14 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport, TransportError> 
                 env: HostEnv::new(opts.node, setup.processes, &setup.workload),
             });
         }
+        let Some(inst) = instance.as_mut() else {
+            return Err(TransportError::Handshake(
+                "protocol instance missing after Welcome".to_string(),
+            ));
+        };
         match serve_events(
             &mut framed,
-            instance.as_mut().expect("instantiated above"),
+            inst,
             &mut cache,
             &mut next_seq,
             &mut report.processed,

@@ -64,15 +64,12 @@ impl std::error::Error for FrameError {}
 /// [`MAX_FRAME`].
 pub fn encode(channel: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
     let len = payload.len() + 1;
-    if len > MAX_FRAME {
-        return Err(FrameError::Oversized { len });
-    }
+    let prefix = match u32::try_from(len) {
+        Ok(prefix) if len <= MAX_FRAME => prefix,
+        _ => return Err(FrameError::Oversized { len }),
+    };
     let mut out = Vec::with_capacity(4 + len);
-    out.extend_from_slice(
-        &u32::try_from(len)
-            .expect("len <= MAX_FRAME fits u32")
-            .to_le_bytes(),
-    );
+    out.extend_from_slice(&prefix.to_le_bytes());
     out.push(channel);
     out.extend_from_slice(payload);
     Ok(out)
@@ -115,7 +112,7 @@ impl Decoder {
         if avail.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
         if len == 0 {
             return Err(FrameError::Empty);
         }

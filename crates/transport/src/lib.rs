@@ -23,7 +23,11 @@
 //!   the recorded trace;
 //! - [`client`] — the peer process: dial, learn the
 //!   [`Setup`](msgorder_trace::Setup), instantiate a registry protocol,
-//!   answer events until `Bye`.
+//!   answer events until `Bye`;
+//! - [`metrics_http`] — a minimal blocking HTTP endpoint serving a
+//!   [`SharedRegistry`](msgorder_trace::SharedRegistry) in the
+//!   Prometheus text format, for `msgorder serve --metrics-addr` and
+//!   the soak harness.
 //!
 //! Because the realtime kernel fixes every frame's arrival time at
 //! transmit time and records through the standard trace pipeline, a
@@ -39,6 +43,7 @@
 pub mod client;
 pub mod endpoint;
 pub mod frame;
+pub mod metrics_http;
 pub mod server;
 pub mod supervisor;
 pub mod wire;
@@ -46,5 +51,8 @@ pub mod wire;
 pub use client::{run_client, ClientOptions, ClientReport};
 pub use endpoint::{Conn, Endpoint, Listener};
 pub use frame::{Decoder, Frame, FrameError, MAX_FRAME};
-pub use server::{serve, serve_on, ServeOptions, ServeOutcome, SocketHost, TransportError};
+pub use metrics_http::{scrape, MetricsExporter};
+pub use server::{
+    serve, serve_on, serve_on_observed, ServeOptions, ServeOutcome, SocketHost, TransportError,
+};
 pub use supervisor::{connect_with_retry, Backoff};

@@ -254,7 +254,9 @@ impl HostDriver for SocketHost {
                     }
                 }
             }
-            let link = self.links[node].as_mut().expect("link established above");
+            let Some(link) = self.links[node].as_mut() else {
+                return Err(HostError::new(node, "connection lost during reconnect"));
+            };
             match SocketHost::round_trip(link, &msg) {
                 Ok(actions) => {
                     self.seqs[node] = seq + 1;
@@ -266,9 +268,10 @@ impl HostDriver for SocketHost {
                 }
             }
         }
+        let detail = last_io.map_or_else(|| "no i/o error recorded".to_string(), |e| e.to_string());
         Err(HostError::new(
             node,
-            format!("round-trip failed twice: {}", last_io.expect("loop ran")),
+            format!("round-trip failed twice: {detail}"),
         ))
     }
 }
@@ -295,13 +298,32 @@ pub fn serve_on(
     opts: &ServeOptions,
     spec: Option<&msgorder_predicate::ForbiddenPredicate>,
 ) -> Result<ServeOutcome, TransportError> {
+    serve_on_observed(listener, opts, spec, None)
+}
+
+/// [`serve_on`], additionally fanning the live kernel event stream out
+/// to `extra` (a metrics feed, an online monitor, …). The recorder
+/// always sees the full run; if the extra observer halts the run, the
+/// trace captures the halted prefix.
+pub fn serve_on_observed(
+    listener: Listener,
+    opts: &ServeOptions,
+    spec: Option<&msgorder_predicate::ForbiddenPredicate>,
+    extra: Option<&mut dyn msgorder_simnet::RunObserver>,
+) -> Result<ServeOutcome, TransportError> {
     let mut host = SocketHost::new(listener, opts)?;
     host.await_peers()?;
     let kernel = RealtimeKernel::new(opts.setup.config(), &opts.setup.workload)
         .with_step_limit(opts.setup.step_limit)
         .with_tick(opts.tick);
     let mut recorder = Recorder::with_capacity(opts.setup.workload.len() * 8);
-    let out = kernel.run(&mut host, &mut recorder);
+    let out = match extra {
+        Some(x) => {
+            let mut fan = msgorder_trace::Fanout(vec![&mut recorder, x]);
+            kernel.run(&mut host, &mut fan)
+        }
+        None => kernel.run(&mut host, &mut recorder),
+    };
     host.farewell();
     let trace = assemble_trace(&opts.setup, recorder.events, &out.outcome, spec)?;
     Ok(ServeOutcome {

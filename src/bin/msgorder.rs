@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -133,10 +134,37 @@ USAGE:
       --tick-us  N    wall-clock µs per virtual tick (default 0 = free-run)
       --record PATH   write the live run as a replayable JSONL trace
       --spawn         fork the N client processes locally (loopback demo)
+      --metrics-addr HOST:PORT   serve live Prometheus metrics over HTTP while
+                      the session runs (port 0 picks a free port)
+      --metrics-out PATH         write a metrics snapshot file every second
   msgorder client --connect tcp:HOST:PORT|unix:PATH --node N
                                            host one protocol instance for a
                                            `msgorder serve` session (protocol and
                                            workload arrive in the handshake)
+  msgorder soak [options]                  long-run harness: episode after episode
+                                           of simulated traffic under rotating
+                                           fault schedules, with bounded-memory
+                                           metrics streaming and online liveness
+                                           sampling
+      --duration  D   wall-clock budget, e.g. 45s, 5m, 2h (default 60s)
+      --protocol  X   registry protocol (default causal-rst)
+      --spec      S   monitor a spec online each episode (catalog name or DSL)
+      --processes N   (default 4)
+      --messages  N   user messages per episode (default 256)
+      --seed      N   master seed; episode i of seed s is deterministic (default 12648430)
+      --drop      P   base per-frame drop probability every episode
+      --dup       P   base per-frame duplication probability every episode
+      --reliable      layer ack/retransmission under the protocol
+      --no-rotate     keep the base fault model only (no sampled partitions/crashes)
+      --step-limit N  kernel step budget per episode (default 1000000)
+      --max-episodes N  stop after N episodes even if time remains
+      --metrics-addr HOST:PORT   serve live Prometheus metrics over HTTP; the
+                      endpoint is self-scraped at the end and the run fails if
+                      it does not answer with parseable metrics
+      --metrics-out PATH         write a metrics snapshot file every second
+      --report PATH   write the machine-readable end-of-run report as JSON
+      --max-rss-growth-mb N      fail if resident memory grew more than N MiB
+                      from the post-warmup baseline (leak detector)
 
 PREDICATE DSL:
   forbid x, y: x.s < y.s & y.r < x.r where proc(x.s) = proc(y.s), color(y) = red"
@@ -1055,8 +1083,44 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--metrics-addr` value: a full `tcp:`/`unix:` endpoint or
+/// a bare `HOST:PORT` (which implies TCP).
+fn metrics_endpoint(addr: &str) -> Result<msgorder::transport::Endpoint, String> {
+    use msgorder::transport::Endpoint;
+    if addr.starts_with("tcp:") || addr.starts_with("unix:") {
+        Endpoint::parse(addr)
+    } else {
+        Endpoint::parse(&format!("tcp:{addr}"))
+    }
+}
+
+/// Parses a human duration: `45s`, `5m`, `2h`, `500ms`, or bare
+/// seconds.
+fn parse_duration(s: &str) -> Result<std::time::Duration, String> {
+    use std::time::Duration;
+    let (digits, unit_ms) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60 * 1000)
+    } else if let Some(d) = s.strip_suffix('h') {
+        (d, 60 * 60 * 1000)
+    } else {
+        (s, 1000)
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("duration {s:?} is not like 45s, 5m, 2h, or 500ms"))?;
+    n.checked_mul(unit_ms)
+        .map(Duration::from_millis)
+        .ok_or_else(|| format!("duration {s:?} overflows"))
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use msgorder::transport::{serve_on, Endpoint, ServeOptions};
+    use msgorder::trace::registry::observe_drift;
+    use msgorder::trace::{FileExporter, LiveMetrics, SharedRegistry};
+    use msgorder::transport::{serve_on_observed, Endpoint, MetricsExporter, ServeOptions};
     use std::time::Duration;
 
     let mut transport = "tcp:127.0.0.1:4600".to_owned();
@@ -1070,6 +1134,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut tick_us = 0u64;
     let mut record_path: Option<String> = None;
     let mut spawn = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -1091,6 +1157,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--tick-us" => tick_us = val()?.parse().map_err(|e| format!("--tick-us: {e}"))?,
             "--record" => record_path = Some(val()?),
             "--spawn" => spawn = true,
+            "--metrics-addr" => metrics_addr = Some(val()?),
+            "--metrics-out" => metrics_out = Some(val()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -1137,6 +1205,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         opts.setup.seed,
         if reliable { ", reliable link" } else { "" },
     );
+    // Optional live metrics: one shared registry feeds the HTTP
+    // endpoint and/or the periodic snapshot file while the run streams.
+    let registry = SharedRegistry::new();
+    let exporter = match &metrics_addr {
+        Some(addr) => {
+            let ep = metrics_endpoint(addr)?;
+            let l = ep.listen().map_err(|e| format!("{ep}: {e}"))?;
+            let exporter =
+                MetricsExporter::start(l, registry.clone()).map_err(|e| e.to_string())?;
+            println!("metrics       : http on {}", exporter.endpoint());
+            Some(exporter)
+        }
+        None => None,
+    };
+    let file_exporter = metrics_out
+        .as_ref()
+        .map(|path| FileExporter::start(path.into(), registry.clone(), Duration::from_secs(1)));
+    let mut live = (exporter.is_some() || file_exporter.is_some()).then(|| {
+        LiveMetrics::new(registry.clone())
+            .with_terminal_eviction(opts.setup.reliable, &opts.setup.faults)
+    });
     let mut children = Vec::new();
     if spawn {
         let exe = std::env::current_exe().map_err(|e| e.to_string())?;
@@ -1154,9 +1243,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             opts.setup.processes
         );
     }
-    let outcome = serve_on(listener, &opts, spec_pred.as_ref()).map_err(|e| e.to_string())?;
+    let extra: Option<&mut dyn RunObserver> = live.as_mut().map(|l| l as &mut dyn RunObserver);
+    let outcome =
+        serve_on_observed(listener, &opts, spec_pred.as_ref(), extra).map_err(|e| e.to_string())?;
+    if let Some(live) = live {
+        live.finish();
+        registry.with(|reg| observe_drift(reg, &outcome.drift));
+    }
     for mut child in children {
         let _ = child.wait();
+    }
+    if let Some(exporter) = exporter {
+        exporter.shutdown();
+    }
+    if let Some(fx) = file_exporter {
+        fx.stop();
+        if let Some(path) = &metrics_out {
+            println!("metrics file  : {path}");
+        }
     }
     let d = &outcome.drift;
     println!(
@@ -1196,6 +1300,180 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             Err("live run hit a protocol bug (trace records the counterexample)".into())
         }
     }
+}
+
+fn cmd_soak(args: &[String]) -> Result<(), String> {
+    use msgorder::trace::registry::parse_samples;
+    use msgorder::trace::soak::{run_soak, SoakConfig};
+    use msgorder::trace::{FileExporter, SharedRegistry};
+    use msgorder::transport::{scrape, MetricsExporter};
+    use std::time::Duration;
+
+    let mut config = SoakConfig::new(Duration::from_secs(60));
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut max_rss_growth_mb: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--duration" => config.duration = parse_duration(&val()?)?,
+            "--protocol" => config.protocol = val()?,
+            "--spec" => config.spec = Some(val()?),
+            "--processes" => {
+                config.processes = val()?.parse().map_err(|e| format!("--processes: {e}"))?
+            }
+            "--messages" => {
+                config.messages_per_episode =
+                    val()?.parse().map_err(|e| format!("--messages: {e}"))?
+            }
+            "--seed" => config.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--drop" => config.drop = val()?.parse().map_err(|e| format!("--drop: {e}"))?,
+            "--dup" => config.duplication = val()?.parse().map_err(|e| format!("--dup: {e}"))?,
+            "--reliable" => config.reliable = true,
+            "--no-rotate" => config.rotate_faults = false,
+            "--step-limit" => {
+                config.step_limit = val()?.parse().map_err(|e| format!("--step-limit: {e}"))?
+            }
+            "--max-episodes" => {
+                config.max_episodes =
+                    Some(val()?.parse().map_err(|e| format!("--max-episodes: {e}"))?)
+            }
+            "--metrics-addr" => metrics_addr = Some(val()?),
+            "--metrics-out" => metrics_out = Some(val()?),
+            "--report" => report_path = Some(val()?),
+            "--max-rss-growth-mb" => {
+                max_rss_growth_mb = Some(
+                    val()?
+                        .parse()
+                        .map_err(|e| format!("--max-rss-growth-mb: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let registry = SharedRegistry::new();
+    let exporter = match &metrics_addr {
+        Some(addr) => {
+            let ep = metrics_endpoint(addr)?;
+            let l = ep.listen().map_err(|e| format!("{ep}: {e}"))?;
+            let exporter =
+                MetricsExporter::start(l, registry.clone()).map_err(|e| e.to_string())?;
+            println!("metrics       : http on {}", exporter.endpoint());
+            Some(exporter)
+        }
+        None => None,
+    };
+    let file_exporter = metrics_out
+        .as_ref()
+        .map(|path| FileExporter::start(path.into(), registry.clone(), Duration::from_secs(1)));
+    println!(
+        "soak          : {} x{}, {} messages/episode, seed {}, drop {}, dup {}{}{}",
+        config.protocol,
+        config.processes,
+        config.messages_per_episode,
+        config.seed,
+        config.drop,
+        config.duplication,
+        if config.rotate_faults {
+            ", rotating fault schedules"
+        } else {
+            ""
+        },
+        if config.reliable {
+            ", reliable link"
+        } else {
+            ""
+        },
+    );
+
+    let report = run_soak(&config, &registry).map_err(|e| e.to_string())?;
+
+    // Prove the endpoint answers with parseable metrics before tearing
+    // it down: a soak whose observability was dead is not a pass.
+    let mut endpoint_ok = None;
+    if let Some(exporter) = exporter {
+        let check = scrape(exporter.endpoint())
+            .map_err(|e| e.to_string())
+            .and_then(|body| parse_samples(&body));
+        endpoint_ok = Some(check.is_ok());
+        exporter.shutdown();
+        if let Err(e) = check {
+            return Err(format!("metrics endpoint self-scrape failed: {e}"));
+        }
+    }
+    if let Some(fx) = file_exporter {
+        fx.stop();
+        if let Some(path) = &metrics_out {
+            println!("metrics file  : {path}");
+        }
+    }
+
+    println!(
+        "episodes      : {} ({} step-limited, {} non-live, {} spec violation(s), {} protocol bug(s))",
+        report.episodes,
+        report.step_limited,
+        report.nonlive_episodes,
+        report.spec_violations,
+        report.protocol_bugs,
+    );
+    println!(
+        "messages      : {} injected, {} delivered, {} abandoned, {} stuck in sampled verdicts",
+        report.messages, report.deliveries, report.abandoned, report.stuck_messages,
+    );
+    println!(
+        "throughput    : {:.0} deliveries/s over {:.1}s",
+        report.deliveries_per_sec, report.wall_seconds,
+    );
+    if let (Some(start), Some(end)) = (report.rss_after_warmup_kb, report.rss_end_kb) {
+        println!(
+            "memory        : {} KiB after warmup, {} KiB at end (+{} KiB)",
+            start,
+            end,
+            report.rss_growth_kb().unwrap_or(0),
+        );
+    }
+
+    let mut json = serde_json::to_value(&report).map_err(|e| e.to_string())?;
+    if let serde::Value::Object(map) = &mut json {
+        if let Some(ok) = endpoint_ok {
+            map.insert("endpoint_ok".to_owned(), serde::Value::Bool(ok));
+        }
+    }
+    match &report_path {
+        Some(path) => {
+            let bytes = serde_json::to_vec_pretty(&json).map_err(|e| e.to_string())?;
+            std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))?;
+            println!("report        : {path}");
+        }
+        None => {
+            println!(
+                "{}",
+                serde_json::to_string(&json).map_err(|e| e.to_string())?
+            );
+        }
+    }
+
+    if let (Some(limit_mb), Some(growth_kb)) = (max_rss_growth_mb, report.rss_growth_kb()) {
+        if growth_kb > limit_mb * 1024 {
+            return Err(format!(
+                "resident memory grew {growth_kb} KiB, over the {limit_mb} MiB budget"
+            ));
+        }
+    }
+    if report.protocol_bugs > 0 {
+        return Err(format!(
+            "{} episode(s) hit a protocol bug",
+            report.protocol_bugs
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_client(args: &[String]) -> Result<(), String> {
