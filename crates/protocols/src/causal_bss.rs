@@ -18,7 +18,7 @@
 
 use msgorder_poset::VectorClock;
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol};
+use msgorder_simnet::{Ctx, Protocol, RejectReason};
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -113,12 +113,19 @@ impl Protocol for CausalBss {
     }
 
     fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
-        let tag: Tag = serde_json::from_slice(&tag).expect("tag deserializes");
-        assert_eq!(
-            tag.stamp.len(),
-            ctx.process_count(),
-            "BSS requires all-broadcast workloads"
-        );
+        // Undecodable bytes, a stamp of the wrong width (BSS requires
+        // all-broadcast workloads, so every stamp spans all processes),
+        // or a zero own-component (a real sender always counts the
+        // broadcast in flight) would panic the delivery check — reject
+        // them structurally instead.
+        let Ok(tag) = serde_json::from_slice::<Tag>(&tag) else {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        };
+        if tag.stamp.len() != ctx.process_count() || tag.stamp[from.0] == 0 {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        }
         self.pending.push((from.0, tag.stamp, msg));
         self.drain(ctx);
     }

@@ -10,7 +10,7 @@
 
 use crate::reliable::ReliableLink;
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol};
+use msgorder_simnet::{Ctx, Protocol, RejectReason};
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -103,7 +103,17 @@ impl Protocol for CausalRst {
         if let Some(link) = &mut self.link {
             link.ack_user(ctx, from, msg);
         }
-        let tag: Tag = serde_json::from_slice(&tag).expect("matrix deserializes");
+        // Undecodable bytes or a matrix that is not n × n (the delivery
+        // check indexes `m[k][me]` for every k) are adversarial —
+        // reject them structurally instead of panicking.
+        let Ok(tag) = serde_json::from_slice::<Tag>(&tag) else {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        };
+        if tag.sent.len() != self.n || tag.sent.iter().any(|row| row.len() != self.n) {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        }
         self.pending.push((from.0, tag.sent, msg));
         self.drain(ctx);
     }

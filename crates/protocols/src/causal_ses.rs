@@ -12,7 +12,7 @@
 
 use msgorder_poset::VectorClock;
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol, SortedSlab};
+use msgorder_simnet::{Ctx, Protocol, RejectReason, SortedSlab};
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Hash, Serialize, Deserialize)]
@@ -99,8 +99,19 @@ impl Protocol for CausalSes {
         Self::merge_constraint(&mut self.constraints, dst, &self.clock);
     }
 
-    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: MessageId, tag: Vec<u8>) {
-        let tag: Tag = serde_json::from_slice(&tag).expect("tag deserializes");
+    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
+        // Undecodable bytes or clocks of the wrong width (clock merges
+        // require matching widths) are adversarial — reject them
+        // structurally instead of panicking.
+        let Ok(tag) = serde_json::from_slice::<Tag>(&tag) else {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        };
+        let n = self.clock.len();
+        if tag.stamp.len() != n || tag.constraints.iter().any(|(_, t)| t.len() != n) {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        }
         self.pending.push((tag, msg));
         self.drain(ctx);
     }

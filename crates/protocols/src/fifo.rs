@@ -2,7 +2,7 @@
 
 use crate::reliable::ReliableLink;
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol, SortedSlab};
+use msgorder_simnet::{Ctx, Protocol, RejectReason, SortedSlab};
 
 /// Per-channel sequence numbering: the receiver delivers each channel's
 /// messages in send order, buffering any that arrive early. Implements
@@ -65,7 +65,13 @@ impl Protocol for FifoProtocol {
         if let Some(link) = &mut self.link {
             link.ack_user(ctx, from, msg);
         }
-        let seq = u64::from_le_bytes(tag.try_into().expect("fifo tag is 8 bytes"));
+        // A benign channel always carries exactly the 8 bytes we sent;
+        // anything else is adversarial truncation or garbage.
+        let Ok(tag) = <[u8; 8]>::try_from(tag) else {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        };
+        let seq = u64::from_le_bytes(tag);
         self.pending
             .get_or_insert_with(from.0, SortedSlab::new)
             .insert(seq, msg);

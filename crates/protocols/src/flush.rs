@@ -19,7 +19,7 @@
 //! `"bf"` to check the §6 forward-flush and backward-flush predicates.
 
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol};
+use msgorder_simnet::{Ctx, Protocol, RejectReason};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
@@ -131,7 +131,13 @@ impl Protocol for FlushChannels {
     }
 
     fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
-        let tag: Tag = serde_json::from_slice(&tag).expect("tag deserializes");
+        // Undecodable bytes are adversarial — reject them structurally
+        // instead of panicking. (Every field of a decoded tag is safe:
+        // the delivery check only compares sequence numbers.)
+        let Ok(tag) = serde_json::from_slice::<Tag>(&tag) else {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        };
         self.incoming
             .entry(from.0)
             .or_default()

@@ -26,6 +26,7 @@ pub mod asynch;
 pub mod causal_bss;
 pub mod causal_rst;
 pub mod causal_ses;
+pub mod epoch;
 pub mod fifo;
 pub mod flush;
 pub mod registry;

@@ -25,8 +25,8 @@
 //! [`RetryConfig::max_attempts`] so lost acks never livelock a run.
 
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, SortedSlab};
-use std::collections::BTreeSet;
+use msgorder_simnet::{Ctx, RejectReason, SortedSlab};
+use std::collections::{BTreeMap, BTreeSet};
 
 const MAGIC: u8 = 0xAB;
 const OP_ACK_USER: u8 = 0x01;
@@ -38,6 +38,15 @@ const OP_DATA: u8 = 0x03;
 /// the id space to the protocol.
 const RETX_USER_BIT: u64 = 1 << 63;
 const RETX_CTL_BIT: u64 = 1 << 62;
+
+/// Replay-suppression window: a reliable control frame whose id lags the
+/// highest id seen from its sender by more than this is a stale replay —
+/// refused without an ack (acking would legitimize the adversary's
+/// copy). Sized far beyond any honest retransmission horizon: ids are
+/// issued sequentially, so a benign duplicate can only lag by the number
+/// of frames its sender kept in flight, which `max_attempts` bounds at a
+/// handful.
+const REPLAY_WINDOW: u64 = 1024;
 
 /// Retransmission tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,6 +108,9 @@ pub struct ReliableLink {
     next_ctl_id: u64,
     /// Reliable control frames already delivered, per sender (dedup).
     seen_ctl: BTreeSet<(usize, u64)>,
+    /// Highest reliable control id seen per sender (anchors the
+    /// replay-suppression window and the `seen_ctl` pruning floor).
+    ctl_high: BTreeMap<usize, u64>,
 }
 
 impl ReliableLink {
@@ -193,8 +205,26 @@ impl ReliableLink {
                 ControlEvent::Consumed
             }
             OP_DATA => {
-                // Ack every copy: the sender keeps retransmitting until
-                // one ack survives the channel.
+                let high = self.ctl_high.entry(from.0).or_insert(0);
+                if id.saturating_add(REPLAY_WINDOW) < *high {
+                    // Far below the replay-suppression window: a stale
+                    // copy the adversary held back. Refuse it without an
+                    // ack — acking would tell the (honest) sender a frame
+                    // it gave up on long ago finally landed.
+                    ctx.reject_frame(from, RejectReason::Replayed);
+                    return ControlEvent::Consumed;
+                }
+                if id > *high {
+                    *high = id;
+                    // Entries that fell out of the window can never be
+                    // consulted again (frames that stale are refused
+                    // above), so the dedup set stays bounded on long
+                    // runs.
+                    self.seen_ctl
+                        .retain(|(f, i)| *f != from.0 || i.saturating_add(REPLAY_WINDOW) >= id);
+                }
+                // Ack every admitted copy: the sender keeps
+                // retransmitting until one ack survives the channel.
                 let mut ack = vec![MAGIC, OP_ACK_CTL];
                 ack.extend_from_slice(&id.to_le_bytes());
                 ctx.send_control(from, ack);

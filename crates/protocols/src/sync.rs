@@ -28,9 +28,10 @@
 //! same destination could reorder in transit and be delivered inverted,
 //! closing a crown.)
 
+use crate::epoch::{self, EpochError, EpochGuard};
 use crate::reliable::{ControlEvent, ReliableLink};
 use msgorder_runs::{MessageId, ProcessId};
-use msgorder_simnet::{Ctx, Protocol};
+use msgorder_simnet::{Ctx, Protocol, RejectReason};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -69,6 +70,10 @@ pub struct SyncProtocol {
     /// lock-server handshake is stateful, so a single lost Grant or
     /// Release deadlocks the system — the link retransmits them.
     link: Option<ReliableLink>,
+    /// Epoch validation: control frames minted before a peer's crash
+    /// must not act after its restart (a replayed pre-crash `Grant`
+    /// would open a lock window the coordinator no longer remembers).
+    guard: EpochGuard,
 }
 
 impl Default for SyncProtocol {
@@ -87,6 +92,7 @@ impl SyncProtocol {
             state: SenderState::Idle,
             waiting: VecDeque::new(),
             link: None,
+            guard: EpochGuard::new(),
         }
     }
 
@@ -108,7 +114,10 @@ impl SyncProtocol {
     const COORD: usize = 0;
 
     fn send_ctl(&mut self, ctx: &mut Ctx<'_>, to: usize, m: &Msg) {
-        let bytes = serde_json::to_vec(m).expect("control message serializes");
+        // Unit-variant serialization is infallible; the epoch wrapper is
+        // a byte no-op until this process has restarted at least once.
+        let json = serde_json::to_vec(m).expect("control message serializes");
+        let bytes = epoch::wrap(ctx.epoch(), json);
         match &mut self.link {
             Some(link) => link.send_control(ctx, ProcessId(to), bytes),
             None => ctx.send_control(ProcessId(to), bytes),
@@ -209,7 +218,27 @@ impl Protocol for SyncProtocol {
             },
             None => bytes,
         };
-        let m: Msg = serde_json::from_slice(&payload).expect("control frame deserializes");
+        // Adversarial input reaches here: refuse stale-epoch stragglers
+        // and undecodable (corrupted/forged) payloads structurally — a
+        // panic would turn one flipped bit into a dead process.
+        let payload = match self.guard.admit(from, &payload) {
+            Ok(p) => p,
+            Err(EpochError::Stale { .. }) => {
+                ctx.reject_frame(from, RejectReason::StaleEpoch);
+                return;
+            }
+            Err(EpochError::Malformed) => {
+                ctx.reject_frame(from, RejectReason::Malformed);
+                return;
+            }
+        };
+        let m: Msg = match serde_json::from_slice(payload) {
+            Ok(m) => m,
+            Err(_) => {
+                ctx.reject_frame(from, RejectReason::Malformed);
+                return;
+            }
+        };
         match m {
             Msg::Request => {
                 // A sender has at most one request in flight (it stays

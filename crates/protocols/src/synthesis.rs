@@ -32,7 +32,7 @@
 use msgorder_classifier::classify::{classify, Classification};
 use msgorder_predicate::{eval, ForbiddenPredicate};
 use msgorder_runs::{MessageId, MessageMeta, ProcessId, UserEvent, UserEventKind, UserRun};
-use msgorder_simnet::{Ctx, Protocol};
+use msgorder_simnet::{Ctx, Protocol, RejectReason};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -55,6 +55,22 @@ struct Knowledge {
 }
 
 impl Knowledge {
+    /// Structural validity of a tag decoded from the wire: every event
+    /// and order pair must reference a message with known metadata, and
+    /// every metadata entry must name real processes. `would_violate`
+    /// builds its hypothetical run by indexing these maps, so admitting
+    /// a dangling reference would panic instead of rejecting the frame.
+    fn well_formed(&self, n: usize) -> bool {
+        self.metas
+            .values()
+            .all(|(src, dst, _)| *src < n && *dst < n)
+            && self.events.iter().all(|(m, _)| self.metas.contains_key(m))
+            && self
+                .pairs
+                .iter()
+                .all(|((a, _), (b, _))| self.metas.contains_key(a) && self.metas.contains_key(b))
+    }
+
     fn merge(&mut self, other: &Knowledge) {
         for (k, v) in &other.metas {
             self.metas.entry(*k).or_insert_with(|| v.clone());
@@ -244,8 +260,17 @@ impl Protocol for SynthesizedTagged {
         ctx.send_user(msg, tag);
     }
 
-    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: MessageId, tag: Vec<u8>) {
-        let tag: Knowledge = serde_json::from_slice(&tag).expect("knowledge deserializes");
+    fn on_user_frame(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: MessageId, tag: Vec<u8>) {
+        // Undecodable or structurally dangling knowledge is adversarial
+        // — reject it instead of panicking in the delivery check.
+        let Ok(tag) = serde_json::from_slice::<Knowledge>(&tag) else {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        };
+        if !tag.well_formed(ctx.process_count()) {
+            ctx.reject_frame(from, RejectReason::Malformed);
+            return;
+        }
         self.pending.push((msg, tag));
         self.drain(ctx);
     }

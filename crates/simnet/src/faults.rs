@@ -18,7 +18,8 @@ use serde::{Deserialize, Serialize};
 pub enum FaultConfigError {
     /// A probability was NaN or outside `[0, 1]`.
     InvalidProbability {
-        /// Which knob: `"drop"` or `"duplication"`.
+        /// Which knob: `"drop"`, `"duplication"`, `"corruption"`,
+        /// `"forgery"`, `"stale-replay"`, or `"reordering"`.
         knob: &'static str,
         /// The rejected value.
         value: f64,
@@ -90,12 +91,62 @@ pub struct CrashSchedule {
     pub restart: Option<u64>,
 }
 
+/// Adversarial (byzantine-flavored) wire faults layered on top of the
+/// benign loss/duplication model: the channel does not merely lose or
+/// delay frames, it actively mutates, forges, and replays them.
+///
+/// All knobs are per-frame probabilities in `[0, 1]`; a quiet model
+/// (all zero, the default) draws nothing from the fault RNG stream, so
+/// runs stay bit-identical to the pre-adversarial kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialModel {
+    /// Per-frame payload-corruption probability: a seeded single-bit
+    /// flip in the frame's tag/control payload (lengths are preserved).
+    pub corrupt: f64,
+    /// Per-control-frame forgery probability: an extra, mutated copy of
+    /// the frame is synthesized and delivered alongside the original.
+    pub forge: f64,
+    /// Per-frame stale-replay probability: a byte-exact copy of the
+    /// frame is re-delivered far in the future — across crash/restart
+    /// epochs when the schedule has them.
+    pub replay_stale: f64,
+    /// Per-frame reordering-burst probability: the frame's latency is
+    /// inflated by an extra independently sampled burst, forcing deep
+    /// reordering against its channel peers.
+    pub reorder: f64,
+}
+
+impl AdversarialModel {
+    /// `true` if no adversarial knob can ever fire.
+    pub fn is_quiet(&self) -> bool {
+        self.corrupt == 0.0 && self.forge == 0.0 && self.replay_stale == 0.0 && self.reorder == 0.0
+    }
+
+    /// Validates every knob as a probability.
+    ///
+    /// # Errors
+    /// The first offending knob, by name.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        for (knob, value) in [
+            ("corruption", self.corrupt),
+            ("forgery", self.forge),
+            ("stale-replay", self.replay_stale),
+            ("reordering", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultConfigError::InvalidProbability { knob, value });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// What the network does to frames beyond delaying them.
 ///
 /// The default model is *quiet*: no loss, no duplication, no partitions,
 /// no crashes — the kernel behaves exactly as it would without any fault
 /// layer.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultModel {
     /// Per-frame drop probability in `[0, 1]`, applied to every user and
     /// control frame independently.
@@ -108,6 +159,42 @@ pub struct FaultModel {
     pub partitions: Vec<Partition>,
     /// Process crash/restart schedules.
     pub crashes: Vec<CrashSchedule>,
+    /// Adversarial wire faults (corruption, forgery, stale replay,
+    /// reordering bursts).
+    pub adversarial: AdversarialModel,
+}
+
+// Hand-written (de)serialization: the `adversarial` field is emitted
+// only when noisy, so every trace recorded before the adversarial layer
+// existed — and every quiet-model trace after it, including the pinned
+// golden artifacts — keeps byte-identical JSON.
+impl Serialize for FaultModel {
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("drop", self.drop.to_json_value());
+        m.insert("duplicate", self.duplicate.to_json_value());
+        m.insert("partitions", self.partitions.to_json_value());
+        m.insert("crashes", self.crashes.to_json_value());
+        if !self.adversarial.is_quiet() {
+            m.insert("adversarial", self.adversarial.to_json_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for FaultModel {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(FaultModel {
+            drop: Deserialize::from_json_value(&v["drop"])?,
+            duplicate: Deserialize::from_json_value(&v["duplicate"])?,
+            partitions: Deserialize::from_json_value(&v["partitions"])?,
+            crashes: Deserialize::from_json_value(&v["crashes"])?,
+            adversarial: match v.get_object_key("adversarial") {
+                Some(a) => Deserialize::from_json_value(a)?,
+                None => AdversarialModel::default(),
+            },
+        })
+    }
 }
 
 impl FaultModel {
@@ -149,6 +236,70 @@ impl FaultModel {
         Ok(self)
     }
 
+    /// Sets the per-frame payload-corruption probability.
+    ///
+    /// # Errors
+    /// Rejects NaN and anything outside `[0, 1]` with a structured
+    /// [`FaultConfigError`].
+    pub fn with_corruption(mut self, p: f64) -> Result<Self, FaultConfigError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultConfigError::InvalidProbability {
+                knob: "corruption",
+                value: p,
+            });
+        }
+        self.adversarial.corrupt = p;
+        Ok(self)
+    }
+
+    /// Sets the per-control-frame forgery probability.
+    ///
+    /// # Errors
+    /// Rejects NaN and anything outside `[0, 1]` with a structured
+    /// [`FaultConfigError`].
+    pub fn with_forgery(mut self, p: f64) -> Result<Self, FaultConfigError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultConfigError::InvalidProbability {
+                knob: "forgery",
+                value: p,
+            });
+        }
+        self.adversarial.forge = p;
+        Ok(self)
+    }
+
+    /// Sets the per-frame stale-replay probability.
+    ///
+    /// # Errors
+    /// Rejects NaN and anything outside `[0, 1]` with a structured
+    /// [`FaultConfigError`].
+    pub fn with_stale_replay(mut self, p: f64) -> Result<Self, FaultConfigError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultConfigError::InvalidProbability {
+                knob: "stale-replay",
+                value: p,
+            });
+        }
+        self.adversarial.replay_stale = p;
+        Ok(self)
+    }
+
+    /// Sets the per-frame reordering-burst probability.
+    ///
+    /// # Errors
+    /// Rejects NaN and anything outside `[0, 1]` with a structured
+    /// [`FaultConfigError`].
+    pub fn with_reordering(mut self, p: f64) -> Result<Self, FaultConfigError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(FaultConfigError::InvalidProbability {
+                knob: "reordering",
+                value: p,
+            });
+        }
+        self.adversarial.reorder = p;
+        Ok(self)
+    }
+
     /// Adds a symmetric partition between `a` and `b` over `[from, until)`.
     pub fn with_partition(mut self, a: usize, b: usize, from: u64, until: u64) -> Self {
         self.partitions.push(Partition { a, b, from, until });
@@ -168,12 +319,20 @@ impl FaultModel {
 
     /// Checks the schedules against a concrete process count: partition
     /// endpoints and crash targets must exist, partition windows must be
-    /// non-empty, crashes must restart strictly after they happen.
-    /// Probabilities are validated at construction and need no recheck.
+    /// non-empty, crashes must restart strictly after they happen. The
+    /// builder-validated probabilities (benign *and* adversarial) are
+    /// rechecked too, since the fields are public and a deserialized
+    /// model never went through the builders.
     ///
     /// # Errors
-    /// The first offending [`Partition`] or [`CrashSchedule`].
+    /// The first offending knob, [`Partition`], or [`CrashSchedule`].
     pub fn validate_for(&self, processes: usize) -> Result<(), FaultConfigError> {
+        for (knob, value) in [("drop", self.drop), ("duplication", self.duplicate)] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultConfigError::InvalidProbability { knob, value });
+            }
+        }
+        self.adversarial.validate()?;
         for p in &self.partitions {
             if p.a >= processes || p.b >= processes || p.a == p.b || p.until <= p.from {
                 return Err(FaultConfigError::InvalidPartition(*p));
@@ -195,6 +354,7 @@ impl FaultModel {
             && self.duplicate == 0.0
             && self.partitions.is_empty()
             && self.crashes.is_empty()
+            && self.adversarial.is_quiet()
     }
 
     /// Is the `from -> to` link severed by a partition at time `t`?
@@ -310,6 +470,99 @@ mod tests {
             .with_crash(0, 10, Some(11))
             .validate_for(3)
             .is_ok());
+    }
+
+    #[test]
+    fn adversarial_builders_mark_model_noisy() {
+        assert!(!FaultModel::none().with_corruption(0.1).unwrap().is_quiet());
+        assert!(!FaultModel::none().with_forgery(0.1).unwrap().is_quiet());
+        assert!(!FaultModel::none()
+            .with_stale_replay(0.1)
+            .unwrap()
+            .is_quiet());
+        assert!(!FaultModel::none().with_reordering(0.1).unwrap().is_quiet());
+        // All-zero adversarial knobs keep the whole model quiet.
+        assert!(FaultModel::none()
+            .with_corruption(0.0)
+            .unwrap()
+            .with_forgery(0.0)
+            .unwrap()
+            .with_stale_replay(0.0)
+            .unwrap()
+            .with_reordering(0.0)
+            .unwrap()
+            .is_quiet());
+    }
+
+    #[test]
+    fn adversarial_probabilities_rejected_with_knob_names() {
+        for (knob, build) in [
+            (
+                "corruption",
+                (|p| FaultModel::none().with_corruption(p)) as fn(f64) -> _,
+            ),
+            ("forgery", |p| FaultModel::none().with_forgery(p)),
+            ("stale-replay", |p| FaultModel::none().with_stale_replay(p)),
+            ("reordering", |p| FaultModel::none().with_reordering(p)),
+        ] {
+            for bad in [-0.1, 1.5, f64::NAN] {
+                let e = build(bad).unwrap_err();
+                assert!(
+                    matches!(e, FaultConfigError::InvalidProbability { knob: k, .. } if k == knob),
+                    "{knob}: {e:?}"
+                );
+            }
+            assert!(build(0.0).is_ok());
+            assert!(build(1.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_for_rechecks_probabilities() {
+        // Fields are public: an out-of-range knob set directly (or via a
+        // crafted trace) must be caught at validation time.
+        let mut f = FaultModel::none();
+        f.adversarial.forge = 2.0;
+        let e = f.validate_for(3).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                FaultConfigError::InvalidProbability {
+                    knob: "forgery",
+                    ..
+                }
+            ),
+            "{e:?}"
+        );
+        let mut f = FaultModel::none();
+        f.drop = -1.0;
+        assert!(f.validate_for(3).is_err());
+    }
+
+    #[test]
+    fn quiet_model_serializes_without_adversarial_key() {
+        let quiet = FaultModel::none().with_drop(0.15).unwrap();
+        let json = serde_json::to_string(&quiet).unwrap();
+        assert!(!json.contains("adversarial"), "{json}");
+        // Legacy JSON (no adversarial key) deserializes to a quiet
+        // adversarial sub-model.
+        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, quiet);
+        assert!(back.adversarial.is_quiet());
+    }
+
+    #[test]
+    fn noisy_adversarial_round_trips() {
+        let noisy = FaultModel::none()
+            .with_corruption(0.25)
+            .unwrap()
+            .with_stale_replay(0.1)
+            .unwrap()
+            .with_crash(1, 100, Some(500));
+        let json = serde_json::to_string(&noisy).unwrap();
+        assert!(json.contains("adversarial"), "{json}");
+        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, noisy);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! owns ordering state and answers each event with a batch of actions
 //! that the host applies (and journals) at one logical instant.
 
-use crate::kernel::{Ctx, Protocol};
+use crate::kernel::{Ctx, Protocol, RejectReason};
 use crate::workload::Workload;
 use msgorder_runs::{MessageId, MessageMeta, ProcessId};
 use serde::{Deserialize, Serialize};
@@ -110,6 +110,14 @@ pub enum HostAction {
         /// [`HostEvent::Timer`].
         id: u64,
     },
+    /// Record that an incoming frame was refused (corrupted, forged,
+    /// stale, or replayed) rather than acted on.
+    RejectFrame {
+        /// The claimed sender of the rejected frame.
+        from: ProcessId,
+        /// Why the frame was refused.
+        reason: RejectReason,
+    },
 }
 
 impl HostAction {
@@ -138,6 +146,9 @@ pub struct HostEnv {
     pub(crate) node: usize,
     pub(crate) processes: usize,
     pub(crate) now: u64,
+    /// This process's crash/restart epoch (0 until its first restart);
+    /// the host's supervisor is authoritative.
+    pub(crate) epoch: u64,
     pub(crate) metas: Vec<MessageMeta>,
     pub(crate) actions: Vec<HostAction>,
 }
@@ -162,6 +173,7 @@ impl HostEnv {
             node,
             processes,
             now: 0,
+            epoch: 0,
             metas,
             actions: Vec::new(),
         }
@@ -181,6 +193,18 @@ impl HostEnv {
     /// authoritative; protocols only read it via [`Ctx::now`]).
     pub fn set_now(&mut self, now: u64) {
         self.now = now;
+    }
+
+    /// This process's crash/restart epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Sets the crash/restart epoch (the host's supervisor bumps this
+    /// when it restarts the process; protocols read it via
+    /// [`Ctx::epoch`]).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Drains the actions the protocol emitted since the last call, in

@@ -11,7 +11,7 @@ use msgorder_runs::{
     EventKind as RunEventKind, MessageId, ProcessId, StreamingRun, SystemEvent, SystemRun,
 };
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -196,6 +196,36 @@ impl<'a> Ctx<'a> {
             CtxInner::Host(env) => env.push(HostAction::SetTimer { delay, id }),
         }
     }
+
+    /// Records that this process refused an incoming frame claimed to be
+    /// from `from` — the structured alternative to panicking on (or
+    /// silently swallowing) corrupted, forged, stale, or replayed input.
+    /// Feeds the rejection counters, the trace journal, and the liveness
+    /// blame analysis.
+    pub fn reject_frame(&mut self, from: ProcessId, reason: RejectReason) {
+        match &mut self.inner {
+            CtxInner::Sim(world) => world.do_reject(self.node, from, reason),
+            CtxInner::Host(env) => env.push(HostAction::RejectFrame { from, reason }),
+        }
+    }
+
+    /// This process's crash/restart epoch: the number of restarts it has
+    /// completed so far (0 until the first restart). Control frames
+    /// tagged with an older epoch are pre-restart stragglers a hardened
+    /// protocol should refuse.
+    pub fn epoch(&self) -> u64 {
+        match &self.inner {
+            CtxInner::Sim(world) => world
+                .faults
+                .crashes
+                .iter()
+                .filter(|c| {
+                    c.process == self.node && matches!(c.restart, Some(r) if r <= world.now)
+                })
+                .count() as u64,
+            CtxInner::Host(env) => env.epoch,
+        }
+    }
 }
 
 impl World {
@@ -310,6 +340,21 @@ impl World {
         );
     }
 
+    /// [`Ctx::reject_frame`], simulator backend.
+    fn do_reject(&mut self, node: usize, from: ProcessId, reason: RejectReason) {
+        if self.error.is_some() {
+            return;
+        }
+        self.stats.rejected_frames += 1;
+        self.rejected_at[node] += 1;
+        self.journal_fault(FaultRecord::Rejected {
+            node,
+            from: from.0,
+            time: self.now,
+            reason,
+        });
+    }
+
     /// [`Ctx::set_timer`], simulator backend.
     fn do_set_timer(&mut self, node: usize, delay: u64, id: u64) {
         let at = self.now.saturating_add(delay.max(1));
@@ -329,6 +374,7 @@ impl World {
                 HostAction::SendControl { to, bytes } => self.do_send_control(node, to, bytes),
                 HostAction::ResendControl { to, bytes } => self.do_resend_control(node, to, bytes),
                 HostAction::SetTimer { delay, id } => self.do_set_timer(node, delay, id),
+                HostAction::RejectFrame { from, reason } => self.do_reject(node, from, reason),
             }
         }
     }
@@ -427,9 +473,48 @@ impl PayloadKind {
     }
 }
 
+/// The adversary's forged copy of a control frame: a mutated clone
+/// delivered alongside the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForgedFrame {
+    /// Seed of the mutation (selects which bit of the payload flips).
+    pub seed: u64,
+    /// Independently sampled latency of the forged copy.
+    pub delay: u64,
+}
+
+/// Why a protocol layer refused an incoming frame instead of acting on
+/// it — the structured alternative to panicking on adversarial input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The payload failed to decode (corrupted or forged bytes).
+    Malformed,
+    /// The frame carried an epoch tag older than one already seen from
+    /// its sender (a pre-restart frame replayed into a later epoch).
+    StaleEpoch,
+    /// The frame fell outside the replay-suppression window (an already
+    /// processed frame re-delivered long after the fact).
+    Replayed,
+    /// The frame decoded but made no sense in the protocol's current
+    /// state (e.g. a Grant nobody asked for).
+    Unexpected,
+}
+
+impl RejectReason {
+    /// Stable label used as the metrics `reason` tag.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::Malformed => "malformed",
+            RejectReason::StaleEpoch => "stale-epoch",
+            RejectReason::Replayed => "replayed",
+            RejectReason::Unexpected => "unexpected",
+        }
+    }
+}
+
 /// One `transmit` call, with everything the kernel's RNGs decided about
 /// it: the journal entry that makes the network layer replayable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireRecord {
     /// Sending process.
     pub from: usize,
@@ -447,6 +532,16 @@ pub struct WireRecord {
     pub dropped: Option<DropReason>,
     /// Latency of the duplicated copy, if network duplication fired.
     pub dup_delay: Option<u64>,
+    /// Seed of the payload bit-flip, if adversarial corruption fired.
+    pub corrupt: Option<u64>,
+    /// The forged copy's mutation seed and latency, if control-frame
+    /// forgery fired.
+    pub forge: Option<ForgedFrame>,
+    /// Latency of the stale replayed copy, if adversarial replay fired.
+    pub replay_delay: Option<u64>,
+    /// Extra latency piled onto the original frame by a reordering
+    /// burst (`0` when reordering did not fire).
+    pub reorder_extra: u64,
 }
 
 impl WireRecord {
@@ -456,7 +551,63 @@ impl WireRecord {
             delay: self.delay,
             dropped: self.dropped,
             dup_delay: self.dup_delay,
+            corrupt: self.corrupt,
+            forge: self.forge,
+            replay_delay: self.replay_delay,
+            reorder_extra: self.reorder_extra,
         }
+    }
+}
+
+// Hand-written (de)serialization: the four adversarial fields are
+// emitted only when non-default, so quiet-model traces — including the
+// byte-pinned golden artifacts — serialize exactly as they did before
+// the adversarial layer existed, and legacy traces (no such keys) read
+// back as unperturbed records.
+impl Serialize for WireRecord {
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("from", self.from.to_json_value());
+        m.insert("to", self.to.to_json_value());
+        m.insert("time", self.time.to_json_value());
+        m.insert("payload", self.payload.to_json_value());
+        m.insert("delay", self.delay.to_json_value());
+        m.insert("dropped", self.dropped.to_json_value());
+        m.insert("dup_delay", self.dup_delay.to_json_value());
+        if self.corrupt.is_some() {
+            m.insert("corrupt", self.corrupt.to_json_value());
+        }
+        if self.forge.is_some() {
+            m.insert("forge", self.forge.to_json_value());
+        }
+        if self.replay_delay.is_some() {
+            m.insert("replay_delay", self.replay_delay.to_json_value());
+        }
+        if self.reorder_extra != 0 {
+            m.insert("reorder_extra", self.reorder_extra.to_json_value());
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for WireRecord {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(WireRecord {
+            from: Deserialize::from_json_value(&v["from"])?,
+            to: Deserialize::from_json_value(&v["to"])?,
+            time: Deserialize::from_json_value(&v["time"])?,
+            payload: Deserialize::from_json_value(&v["payload"])?,
+            delay: Deserialize::from_json_value(&v["delay"])?,
+            dropped: Deserialize::from_json_value(&v["dropped"])?,
+            dup_delay: Deserialize::from_json_value(&v["dup_delay"])?,
+            corrupt: Deserialize::from_json_value(&v["corrupt"])?,
+            forge: Deserialize::from_json_value(&v["forge"])?,
+            replay_delay: Deserialize::from_json_value(&v["replay_delay"])?,
+            reorder_extra: match v.get_object_key("reorder_extra") {
+                Some(x) => Deserialize::from_json_value(x)?,
+                None => 0,
+            },
+        })
     }
 }
 
@@ -487,6 +638,18 @@ pub enum FaultRecord {
         node: usize,
         /// When the work was originally due.
         time: u64,
+    },
+    /// A protocol layer refused an incoming frame (corrupted, forged,
+    /// stale, or out-of-window) instead of acting on it.
+    Rejected {
+        /// The rejecting process.
+        node: usize,
+        /// The claimed sender of the rejected frame.
+        from: usize,
+        /// Rejection time.
+        time: u64,
+        /// Why the frame was refused.
+        reason: RejectReason,
     },
 }
 
@@ -521,6 +684,14 @@ pub struct TransmitDecision {
     pub dropped: Option<DropReason>,
     /// Latency of the duplicated copy, if duplication fired.
     pub dup_delay: Option<u64>,
+    /// Seed of the payload bit-flip, if corruption fired.
+    pub corrupt: Option<u64>,
+    /// Mutation seed and latency of the forged copy, if forgery fired.
+    pub forge: Option<ForgedFrame>,
+    /// Latency of the stale replayed copy, if adversarial replay fired.
+    pub replay_delay: Option<u64>,
+    /// Extra latency added to the original frame by a reordering burst.
+    pub reorder_extra: u64,
 }
 
 /// Where the kernel gets its network decisions from.
@@ -551,6 +722,18 @@ pub(crate) enum EventKind {
     Timer {
         id: u64,
     },
+}
+
+/// Flips one payload bit selected by `seed` (length-preserving).
+/// Returns `false` — and leaves the payload alone — when there is
+/// nothing to flip.
+pub(crate) fn flip_bit(bytes: &mut [u8], seed: u64) -> bool {
+    if bytes.is_empty() {
+        return false;
+    }
+    let bit = (seed % (bytes.len() as u64 * 8)) as usize;
+    bytes[bit / 8] ^= 1 << (bit % 8);
+    true
 }
 
 impl World {
@@ -681,6 +864,13 @@ pub(crate) struct World {
     /// Per-message wire accounting (copies out, copies eaten, why) for
     /// the liveness blame analysis.
     pub(crate) frame_fate: Vec<FrameFate>,
+    /// Forged control frames delivered *to* each process, for the
+    /// liveness blame analysis (a process fed forged control state may
+    /// wedge in ways no benign cause explains).
+    pub(crate) forged_to: Vec<u32>,
+    /// Frames rejected *by* each process (via [`Ctx::reject_frame`]),
+    /// for the liveness blame analysis.
+    pub(crate) rejected_at: Vec<u32>,
     /// The first protocol bug detected, if any; once set, the world is
     /// poisoned and all further protocol actions are no-ops.
     pub(crate) error: Option<SimError>,
@@ -784,6 +974,8 @@ impl World {
             receive_time: vec![None; n_msgs],
             sent: vec![false; n_msgs],
             frame_fate: vec![FrameFate::default(); n_msgs],
+            forged_to: vec![0; config.processes],
+            rejected_at: vec![0; config.processes],
             error: None,
             record: false,
             record_wire: false,
@@ -962,10 +1154,77 @@ impl World {
                 } else {
                     None
                 };
+                // Adversarial draws, in a fixed order (corrupt, forge,
+                // replay, reorder), all from the fault stream and each
+                // gated on its knob being non-zero: a quiet adversarial
+                // model consumes nothing and the run stays bit-identical
+                // to the pre-adversarial kernel. Dropped frames never
+                // roll — the adversary mutates frames, it does not
+                // resurrect ones the network already ate.
+                let adv = self.faults.adversarial;
+                let corrupt = if dropped.is_none()
+                    && adv.corrupt > 0.0
+                    && self.fault_rng.gen_bool(adv.corrupt)
+                {
+                    Some(self.fault_rng.next_u64())
+                } else {
+                    None
+                };
+                let forge = if dropped.is_none()
+                    && matches!(kind, EventKind::ControlArrival { .. })
+                    && adv.forge > 0.0
+                    && self.fault_rng.gen_bool(adv.forge)
+                {
+                    let seed = self.fault_rng.next_u64();
+                    match self.latency.sample(&mut self.fault_rng) {
+                        Ok(d) => Some(ForgedFrame { seed, delay: d }),
+                        Err(o) => {
+                            self.fail(from, None, SimErrorKind::LatencyOverflow(o));
+                            return;
+                        }
+                    }
+                } else {
+                    None
+                };
+                let replay_delay = if dropped.is_none()
+                    && adv.replay_stale > 0.0
+                    && self.fault_rng.gen_bool(adv.replay_stale)
+                {
+                    // Stale by construction: far beyond any ordinary
+                    // latency, deep into later (possibly post-restart)
+                    // epochs.
+                    match self.latency.sample(&mut self.fault_rng) {
+                        Ok(d) => Some(d.saturating_mul(50).max(1)),
+                        Err(o) => {
+                            self.fail(from, None, SimErrorKind::LatencyOverflow(o));
+                            return;
+                        }
+                    }
+                } else {
+                    None
+                };
+                let reorder_extra = if dropped.is_none()
+                    && adv.reorder > 0.0
+                    && self.fault_rng.gen_bool(adv.reorder)
+                {
+                    match self.latency.sample(&mut self.fault_rng) {
+                        Ok(d) => d.saturating_mul(3),
+                        Err(o) => {
+                            self.fail(from, None, SimErrorKind::LatencyOverflow(o));
+                            return;
+                        }
+                    }
+                } else {
+                    0
+                };
                 TransmitDecision {
                     delay,
                     dropped,
                     dup_delay,
+                    corrupt,
+                    forge,
+                    replay_delay,
+                    reorder_extra,
                 }
             }
             DecisionSource::Replay(log) => match log.pop_front() {
@@ -985,6 +1244,10 @@ impl World {
                 delay: decision.delay,
                 dropped: decision.dropped,
                 dup_delay: decision.dup_delay,
+                corrupt: decision.corrupt,
+                forge: decision.forge,
+                replay_delay: decision.replay_delay,
+                reorder_extra: decision.reorder_extra,
             }));
         }
         if let EventKind::UserArrival { msg, .. } = &kind {
@@ -993,26 +1256,66 @@ impl World {
             if let Some(reason) = decision.dropped {
                 fate.dropped += 1;
                 fate.last_drop = Some(reason);
-            } else if decision.dup_delay.is_some() {
-                // The duplicated copy is one more frame on the wire.
-                fate.attempts += 1;
+            } else {
+                // Duplicated and replayed copies are more frames on the
+                // wire.
+                if decision.dup_delay.is_some() {
+                    fate.attempts += 1;
+                }
+                if decision.replay_delay.is_some() {
+                    fate.attempts += 1;
+                }
             }
         }
         if decision.dropped.is_some() {
             self.stats.dropped_frames += 1;
             return;
         }
-        let Some(at) = self.now.checked_add(decision.delay) else {
+        let extended = decision.delay.checked_add(decision.reorder_extra);
+        let Some(at) = extended.and_then(|d| self.now.checked_add(d)) else {
             self.fail(
                 from,
                 None,
                 SimErrorKind::TimeOverflow {
-                    delay: decision.delay,
+                    delay: decision.delay.saturating_add(decision.reorder_extra),
                 },
             );
             return;
         };
+        if decision.reorder_extra != 0 {
+            self.stats.reordered_frames += 1;
+        }
+        // Copies (duplicate, stale replay, forgery source) clone the
+        // *clean* frame: corruption mutates only the original, so a
+        // corrupted frame and its pristine twin can race to the
+        // destination — the nastiest version of the fault.
         let dup = decision.dup_delay.map(|d| (d, kind.clone()));
+        let replay = decision.replay_delay.map(|d| (d, kind.clone()));
+        let forged = decision.forge.and_then(|f| match &kind {
+            EventKind::ControlArrival { from: src, bytes } => {
+                let mut mutated = bytes.clone();
+                flip_bit(&mut mutated, f.seed);
+                Some((
+                    f.delay,
+                    EventKind::ControlArrival {
+                        from: *src,
+                        bytes: mutated,
+                    },
+                ))
+            }
+            _ => None,
+        });
+        let mut kind = kind;
+        if let Some(seed) = decision.corrupt {
+            let flipped = match &mut kind {
+                EventKind::UserArrival { tag, .. } => flip_bit(tag, seed),
+                EventKind::ControlArrival { bytes, .. } => flip_bit(bytes, seed),
+                _ => false,
+            };
+            if flipped {
+                self.stats.corrupted_frames += 1;
+            }
+        }
         self.schedule(at, to, kind);
         if let Some((dup_delay, copy)) = dup {
             let Some(dup_at) = self.now.checked_add(dup_delay) else {
@@ -1021,6 +1324,33 @@ impl World {
             };
             self.stats.duplicated_frames += 1;
             self.schedule(dup_at, to, copy);
+        }
+        if let Some((forge_delay, copy)) = forged {
+            let Some(forge_at) = self.now.checked_add(forge_delay) else {
+                self.fail(
+                    from,
+                    None,
+                    SimErrorKind::TimeOverflow { delay: forge_delay },
+                );
+                return;
+            };
+            self.stats.forged_frames += 1;
+            self.forged_to[to] += 1;
+            self.schedule(forge_at, to, copy);
+        }
+        if let Some((replay_delay, copy)) = replay {
+            let Some(replay_at) = self.now.checked_add(replay_delay) else {
+                self.fail(
+                    from,
+                    None,
+                    SimErrorKind::TimeOverflow {
+                        delay: replay_delay,
+                    },
+                );
+                return;
+            };
+            self.stats.replayed_frames += 1;
+            self.schedule(replay_at, to, copy);
         }
     }
 }

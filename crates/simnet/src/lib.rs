@@ -68,12 +68,12 @@ pub use explore::{
     explore, explore_dedup, explore_monitored, explore_monitored_with, explore_parallel,
     explore_parallel_with, explore_with, DedupMode, Exploration, ExploreOptions, PrefixMonitor,
 };
-pub use faults::{CrashSchedule, FaultConfigError, FaultModel, Partition};
+pub use faults::{AdversarialModel, CrashSchedule, FaultConfigError, FaultModel, Partition};
 pub use frame::Frame;
 pub use host::{HostAction, HostEnv, HostEvent, ProtocolHost};
 pub use kernel::{
-    Ctx, DropReason, FaultRecord, KernelEvent, PayloadKind, Protocol, RunObserver, SimConfig,
-    SimResult, Simulation, StreamResult, TransmitDecision, WireRecord,
+    Ctx, DropReason, FaultRecord, ForgedFrame, KernelEvent, PayloadKind, Protocol, RejectReason,
+    RunObserver, SimConfig, SimResult, Simulation, StreamResult, TransmitDecision, WireRecord,
 };
 pub use latency::{LatencyModel, LatencyOverflow};
 pub use liveness::{Blame, LivenessVerdict, StuckCause, StuckMessage, StuckStage};

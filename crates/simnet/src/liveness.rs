@@ -115,6 +115,21 @@ pub enum StuckCause {
     /// The frame (or the event's dispatch) was still pending in the
     /// event queue when the step limit tripped.
     InFlight,
+    /// The responsible process refused incoming frames (corrupted,
+    /// forged, stale, or replayed) and then never executed the
+    /// controllable event: the protocol survived the adversary's input
+    /// but lost the state those frames carried.
+    RejectedFrames {
+        /// How many frames the process rejected.
+        rejections: u32,
+    },
+    /// The responsible process was fed forged control frames and then
+    /// wedged: its protocol state was likely poisoned by input no peer
+    /// ever sent.
+    ForgedControl {
+        /// How many forged control frames were delivered to it.
+        forged: u32,
+    },
     /// Everything the network owed was delivered, the process is up, and
     /// the protocol still never executed the controllable event:
     /// inhibition became deadlock.
@@ -136,6 +151,8 @@ impl StuckCause {
             StuckCause::ArrivalAtCrashedProcess { .. } => "arrival-at-crashed".to_owned(),
             StuckCause::CrashedWithoutRestart { .. } => "crashed-without-restart".to_owned(),
             StuckCause::InFlight => "in-flight".to_owned(),
+            StuckCause::RejectedFrames { .. } => "rejected-frames".to_owned(),
+            StuckCause::ForgedControl { .. } => "forged-control".to_owned(),
             StuckCause::ProtocolInhibited => "protocol-inhibited".to_owned(),
         }
     }
@@ -171,6 +188,16 @@ impl std::fmt::Display for StuckCause {
                 write!(f, "P{} crashed and never restarted", node.0)
             }
             StuckCause::InFlight => write!(f, "still pending in the event queue"),
+            StuckCause::RejectedFrames { rejections } => write!(
+                f,
+                "stuck after rejecting {rejections} adversarial frame(s) \
+                 (state the frames carried never arrived intact)"
+            ),
+            StuckCause::ForgedControl { forged } => write!(
+                f,
+                "wedged after receiving {forged} forged control frame(s) \
+                 (protocol state likely poisoned by forgery)"
+            ),
             StuckCause::ProtocolInhibited => {
                 write!(
                     f,
@@ -296,6 +323,23 @@ pub(crate) fn analyze(world: &crate::kernel::World, step_limited: bool) -> Optio
     // A process is gone iff it is down at the end of the run with no
     // restart ever coming (`down_until` yields the permanent marker).
     let gone = |p: usize| matches!(faults.down_until(p, end), Some(None));
+    // Where the benign analysis would conclude "the protocol inhibited
+    // the event forever", an adversarial history at the blamed process
+    // is the more proximate cause: it either refused frames (and lost
+    // the state they carried) or was fed forged control input.
+    let inhibited = |p: ProcessId| {
+        if world.rejected_at[p.0] > 0 {
+            StuckCause::RejectedFrames {
+                rejections: world.rejected_at[p.0],
+            }
+        } else if world.forged_to[p.0] > 0 {
+            StuckCause::ForgedControl {
+                forged: world.forged_to[p.0],
+            }
+        } else {
+            StuckCause::ProtocolInhibited
+        }
+    };
     let mut stuck = Vec::new();
     for meta in world.builder.messages() {
         let m = meta.id;
@@ -316,14 +360,14 @@ pub(crate) fn analyze(world: &crate::kernel::World, step_limited: bool) -> Optio
             } else if step_limited {
                 StuckCause::InFlight
             } else {
-                StuckCause::ProtocolInhibited
+                inhibited(src)
             };
             (StuckStage::Request, Blame::Process(src), cause)
         } else if !sent {
             let cause = if gone(src.0) {
                 StuckCause::CrashedWithoutRestart { node: src }
             } else {
-                StuckCause::ProtocolInhibited
+                inhibited(src)
             };
             (StuckStage::Send, Blame::Process(src), cause)
         } else if !received {
@@ -380,7 +424,7 @@ pub(crate) fn analyze(world: &crate::kernel::World, step_limited: bool) -> Optio
             let cause = if gone(dst.0) {
                 StuckCause::CrashedWithoutRestart { node: dst }
             } else {
-                StuckCause::ProtocolInhibited
+                inhibited(dst)
             };
             (StuckStage::Deliver, Blame::Process(dst), cause)
         };

@@ -324,6 +324,10 @@ impl RealtimeKernel {
                 delay: u64::try_from(delay).unwrap_or(1).max(1),
                 dropped: None,
                 dup_delay: None,
+                corrupt: None,
+                forge: None,
+                replay_delay: None,
+                reorder_extra: 0,
             };
             if let DecisionSource::Replay(log) = &mut self.world.decisions {
                 log.extend(std::iter::repeat_n(decision, transmits));

@@ -8,9 +8,15 @@
 //! probabilities, an optional partition, an optional crash — records
 //! one run, and triages the outcome into a
 //! [`crate::shrink::VerdictClass`]. Findings are
-//! deduplicated by `(protocol, verdict class)` so the report is a table
-//! of *distinct* failure modes, each carried by its minimal (shrunk)
-//! reproducer rather than the raw noisy trace that first exposed it.
+//! deduplicated by `(protocol, fault family, verdict class)` so the
+//! report is a table of *distinct* failure modes, each carried by its
+//! minimal (shrunk) reproducer rather than the raw noisy trace that
+//! first exposed it. The fault family separates schedule-level faults
+//! (loss, duplication, partitions, crashes) from adversarial wire
+//! faults (corruption, forgery, stale replay, reordering) — the same
+//! verdict class under the two regimes is two different failure modes,
+//! and before the family joined the key an `--adversarial` sweep would
+//! silently swallow whichever regime lost the race.
 //!
 //! The sweep is fully deterministic: no wall clock, no global RNG —
 //! same [`ChaosConfig`], same findings.
@@ -79,6 +85,41 @@ pub(crate) fn sample_schedule_faults(
     faults
 }
 
+/// Extends `faults` with randomly drawn adversarial wire knobs —
+/// corruption, forgery, stale replay, reordering — each present with
+/// its own probability and drawn from a modest range, so a typical
+/// adversarial scenario mixes two of the four. Shared between the chaos
+/// sweep and `msgorder soak --adversarial`.
+pub(crate) fn sample_adversarial_faults(
+    rng: &mut SplitMix64,
+    mut faults: FaultModel,
+) -> Result<FaultModel, TraceError> {
+    let err = |what: &str, e| TraceError::Internal(format!("sampled {what} rate rejected: {e}"));
+    if rng.chance(0.5) {
+        let p = rng.range(5, 25) as f64 / 100.0;
+        faults = faults
+            .with_corruption(p)
+            .map_err(|e| err("corruption", e))?;
+    }
+    if rng.chance(0.5) {
+        let p = rng.range(5, 25) as f64 / 100.0;
+        faults = faults.with_forgery(p).map_err(|e| err("forgery", e))?;
+    }
+    if rng.chance(0.4) {
+        let p = rng.range(5, 20) as f64 / 100.0;
+        faults = faults
+            .with_stale_replay(p)
+            .map_err(|e| err("stale-replay", e))?;
+    }
+    if rng.chance(0.4) {
+        let p = rng.range(10, 40) as f64 / 100.0;
+        faults = faults
+            .with_reordering(p)
+            .map_err(|e| err("reordering", e))?;
+    }
+    Ok(faults)
+}
+
 /// Parameters of a chaos sweep.
 #[derive(Debug, Clone)]
 pub struct ChaosConfig {
@@ -100,6 +141,10 @@ pub struct ChaosConfig {
     /// the ordering violation is inherent to the protocol or an
     /// artifact of the injected faults.
     pub confirm: bool,
+    /// Whether trials may additionally sample adversarial wire faults
+    /// (payload corruption, control forgery, stale replay, reordering
+    /// bursts) on top of the schedule-level fault model.
+    pub adversarial: bool,
 }
 
 impl ChaosConfig {
@@ -113,6 +158,7 @@ impl ChaosConfig {
             step_limit: 200_000,
             shrink: true,
             confirm: false,
+            adversarial: false,
         }
     }
 }
@@ -122,6 +168,11 @@ impl ChaosConfig {
 pub struct ChaosFinding {
     /// Protocol the scenario ran.
     pub protocol: String,
+    /// Fault family the scenario drew from: `"adversarial"` when the
+    /// sampled model injects wire faults, `"schedule"` otherwise. Part
+    /// of the deduplication key — the same verdict class under the two
+    /// regimes is two distinct failure modes.
+    pub family: &'static str,
     /// Index of the trial that first exposed this mode.
     pub trial: usize,
     /// The preserved verdict class.
@@ -165,8 +216,8 @@ impl ChaosReport {
             return out;
         }
         out.push_str(&format!(
-            "{:<12} {:>5}  {:<40} {:>7} {:>9} {:>8}\n",
-            "protocol", "trial", "class", "events", "shrunk-by", "inherent"
+            "{:<12} {:<11} {:>5}  {:<40} {:>7} {:>9} {:>8}\n",
+            "protocol", "family", "trial", "class", "events", "shrunk-by", "inherent"
         ));
         for f in &self.findings {
             let (events, by) = match &f.shrink {
@@ -182,8 +233,9 @@ impl ChaosReport {
                 None => "-",
             };
             out.push_str(&format!(
-                "{:<12} {:>5}  {:<40} {:>7} {:>9} {:>8}\n",
+                "{:<12} {:<11} {:>5}  {:<40} {:>7} {:>9} {:>8}\n",
                 f.protocol,
+                f.family,
                 f.trial,
                 f.class.to_string(),
                 events,
@@ -201,7 +253,11 @@ impl ChaosReport {
 /// [`TraceError::Internal`] if a sampled fault probability is rejected
 /// by [`FaultModel`] — impossible for the ranges drawn here, but
 /// surfaced as an error so a sweep never panics.
-fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Result<Setup, TraceError> {
+fn sample_setup(
+    rng: &mut SplitMix64,
+    protocols: &[String],
+    adversarial: bool,
+) -> Result<Setup, TraceError> {
     let protocol = rng.pick(protocols).clone();
     let processes = rng.range(2, 4) as usize;
     let messages = rng.range(4, 16) as usize;
@@ -218,6 +274,9 @@ fn sample_setup(rng: &mut SplitMix64, protocols: &[String]) -> Result<Setup, Tra
             .map_err(|e| TraceError::Internal(format!("sampled dup rate rejected: {e}")))?;
     }
     faults = sample_schedule_faults(rng, processes, faults, 0.4, 0.4);
+    if adversarial {
+        faults = sample_adversarial_faults(rng, faults)?;
+    }
     let spec = match rng.range(0, 2) {
         0 => None,
         1 => Some("fifo".to_owned()),
@@ -280,7 +339,7 @@ pub fn confirm_ordering_inherent(setup: &Setup) -> Option<bool> {
 
 /// Runs a chaos sweep. Deterministic in `config`; every violation is
 /// triaged by verdict class, shrunk (when enabled), and deduplicated by
-/// `(protocol, class)`.
+/// `(protocol, family, class)`.
 ///
 /// # Errors
 /// Only on internal inconsistencies (a sampled setup failing to record);
@@ -299,8 +358,13 @@ pub fn sweep(config: &ChaosConfig) -> Result<ChaosReport, TraceError> {
     let mut findings: Vec<ChaosFinding> = Vec::new();
     for trial in 0..config.trials {
         let mut rng = SplitMix64(master.next());
-        let mut setup = sample_setup(&mut rng, &protocols)?;
+        let mut setup = sample_setup(&mut rng, &protocols, config.adversarial)?;
         setup.step_limit = config.step_limit;
+        let family = if setup.faults.adversarial.is_quiet() {
+            "schedule"
+        } else {
+            "adversarial"
+        };
         let recorded = record(&setup)?;
         let violated = recorded
             .trace
@@ -314,7 +378,7 @@ pub fn sweep(config: &ChaosConfig) -> Result<ChaosReport, TraceError> {
         violations += 1;
         if findings
             .iter()
-            .any(|f| f.protocol == setup.protocol && f.class == class)
+            .any(|f| f.protocol == setup.protocol && f.family == family && f.class == class)
         {
             continue;
         }
@@ -337,6 +401,7 @@ pub fn sweep(config: &ChaosConfig) -> Result<ChaosReport, TraceError> {
         };
         findings.push(ChaosFinding {
             protocol: setup.protocol.clone(),
+            family,
             trial,
             class,
             trace,

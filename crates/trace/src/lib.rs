@@ -412,6 +412,26 @@ fn mix_event(h: &mut u64, ev: &KernelEvent) {
                     mix(h, d);
                 }
             }
+            // Adversarial decisions mix *only* when present, so every
+            // pre-adversarial trace — and every run under a quiet model
+            // — keeps its historical fingerprint bit-for-bit.
+            if let Some(seed) = w.corrupt {
+                mix(h, 3);
+                mix(h, seed);
+            }
+            if let Some(forge) = w.forge {
+                mix(h, 4);
+                mix(h, forge.seed);
+                mix(h, forge.delay);
+            }
+            if let Some(d) = w.replay_delay {
+                mix(h, 5);
+                mix(h, d);
+            }
+            if w.reorder_extra != 0 {
+                mix(h, 6);
+                mix(h, w.reorder_extra);
+            }
         }
         KernelEvent::Fault(f) => {
             mix(h, 2);
@@ -431,6 +451,26 @@ fn mix_event(h: &mut u64, ev: &KernelEvent) {
                     mix(h, 2);
                     mix(h, *node as u64);
                     mix(h, *time);
+                }
+                FaultRecord::Rejected {
+                    node,
+                    from,
+                    time,
+                    reason,
+                } => {
+                    mix(h, 3);
+                    mix(h, *node as u64);
+                    mix(h, *from as u64);
+                    mix(h, *time);
+                    mix(
+                        h,
+                        match reason {
+                            msgorder_simnet::RejectReason::Malformed => 0,
+                            msgorder_simnet::RejectReason::StaleEpoch => 1,
+                            msgorder_simnet::RejectReason::Replayed => 2,
+                            msgorder_simnet::RejectReason::Unexpected => 3,
+                        },
+                    );
                 }
             }
         }

@@ -427,6 +427,10 @@ pub struct MetricsObserver {
     loss_drops: u64,
     duplicates: u64,
     crash_effects: u64,
+    /// Frames rejected by protocol validation, indexed by
+    /// [`RejectReason`] discriminant order (malformed, stale-epoch,
+    /// replayed, unexpected).
+    rejected: [u64; 4],
 }
 
 impl MetricsObserver {
@@ -450,6 +454,7 @@ impl MetricsObserver {
             loss_drops: 0,
             duplicates: 0,
             crash_effects: 0,
+            rejected: [0; 4],
         }
     }
 
@@ -570,6 +575,17 @@ impl MetricsObserver {
             names::HELP_DROPS,
             &mut self.loss_drops,
         );
+        const REJECT_LABELS: [&str; 4] = ["malformed", "stale-epoch", "replayed", "unexpected"];
+        for (i, label) in REJECT_LABELS.iter().enumerate() {
+            let mut v = self.rejected[i];
+            counter(
+                names::REJECTED,
+                &[("reason", *label)],
+                names::HELP_REJECTED,
+                &mut v,
+            );
+            self.rejected[i] = v;
+        }
         counter(
             names::DUPLICATES,
             &[],
@@ -731,8 +747,13 @@ impl RunObserver for MetricsObserver {
         self.observe_terminal_wire(wire);
     }
 
-    fn on_fault(&mut self, _fault: &FaultRecord) {
-        self.crash_effects += 1;
+    fn on_fault(&mut self, fault: &FaultRecord) {
+        match fault {
+            FaultRecord::Rejected { reason, .. } => {
+                self.rejected[*reason as usize] += 1;
+            }
+            _ => self.crash_effects += 1,
+        }
     }
 
     fn wants_wire(&self) -> bool {

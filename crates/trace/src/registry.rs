@@ -56,6 +56,12 @@ pub mod names {
     pub const DROPS: &str = "msgorder_drops_total";
     /// Help for [`DROPS`].
     pub const HELP_DROPS: &str = "Frames eaten by the network, by reason.";
+    /// Frames rejected by a protocol or transport guard, labeled by
+    /// `reason` (`malformed` / `stale-epoch` / `replayed` /
+    /// `unexpected` in simulation, `crc` on the real wire).
+    pub const REJECTED: &str = "msgorder_frames_rejected_total";
+    /// Help for [`REJECTED`].
+    pub const HELP_REJECTED: &str = "Frames rejected by validation, by reason.";
     /// Duplicated frame copies.
     pub const DUPLICATES: &str = "msgorder_duplicate_frames_total";
     /// Help for [`DUPLICATES`].
@@ -479,6 +485,14 @@ pub fn declare_run_families(reg: &mut MetricsRegistry) {
         0,
     );
     reg.add_counter(names::DROPS, &[("reason", "loss")], names::HELP_DROPS, 0);
+    for reason in ["malformed", "stale-epoch", "replayed", "unexpected", "crc"] {
+        reg.add_counter(
+            names::REJECTED,
+            &[("reason", reason)],
+            names::HELP_REJECTED,
+            0,
+        );
+    }
     reg.add_counter(names::DUPLICATES, &[], names::HELP_DUPLICATES, 0);
     reg.add_counter(names::CRASH_EFFECTS, &[], names::HELP_CRASH_EFFECTS, 0);
     reg.add_counter(names::ABANDONED, &[], names::HELP_ABANDONED, 0);

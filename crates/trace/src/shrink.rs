@@ -473,36 +473,40 @@ impl Shrinker<'_> {
     }
 
     /// Pass 4: prune individual decisions — cancel duplications, then
-    /// drop verdicts.
+    /// adversarial injections (corruptions, forgeries, stale replays,
+    /// reorder pushes), then drops. Each neutralized decision makes the
+    /// counterexample read one fault simpler.
     fn shrink_decisions(&mut self) -> bool {
+        // Each entry neutralizes one kind of per-decision fault; applied
+        // in order so the cheapest explanation (fewest injected faults)
+        // survives.
+        type Pass = (
+            fn(&msgorder_simnet::TransmitDecision) -> bool,
+            fn(&mut msgorder_simnet::TransmitDecision),
+        );
+        const PASSES: [Pass; 6] = [
+            (|d| d.dup_delay.is_some(), |d| d.dup_delay = None),
+            (|d| d.corrupt.is_some(), |d| d.corrupt = None),
+            (|d| d.forge.is_some(), |d| d.forge = None),
+            (|d| d.replay_delay.is_some(), |d| d.replay_delay = None),
+            (|d| d.reorder_extra != 0, |d| d.reorder_extra = 0),
+            (|d| d.dropped.is_some(), |d| d.dropped = None),
+        ];
         let mut improved = false;
-        for i in 0..self.current.decisions.len() {
-            if i >= self.current.decisions.len() {
-                break;
-            }
-            if self.current.decisions[i].dup_delay.is_some() {
-                let mut decisions = self.current.decisions.clone();
-                decisions[i].dup_delay = None;
-                if self.offer(Candidate {
-                    setup: self.current.setup.clone(),
-                    decisions,
-                }) {
-                    improved = true;
+        for (applies, neutralize) in PASSES {
+            for i in 0..self.current.decisions.len() {
+                if i >= self.current.decisions.len() {
+                    break;
                 }
-            }
-        }
-        for i in 0..self.current.decisions.len() {
-            if i >= self.current.decisions.len() {
-                break;
-            }
-            if self.current.decisions[i].dropped.is_some() {
-                let mut decisions = self.current.decisions.clone();
-                decisions[i].dropped = None;
-                if self.offer(Candidate {
-                    setup: self.current.setup.clone(),
-                    decisions,
-                }) {
-                    improved = true;
+                if applies(&self.current.decisions[i]) {
+                    let mut decisions = self.current.decisions.clone();
+                    neutralize(&mut decisions[i]);
+                    if self.offer(Candidate {
+                        setup: self.current.setup.clone(),
+                        decisions,
+                    }) {
+                        improved = true;
+                    }
                 }
             }
         }

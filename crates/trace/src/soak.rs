@@ -18,7 +18,7 @@
 //! of seed `s` always runs the same scenario; only how many episodes
 //! fit in the duration varies between hosts.
 
-use crate::chaos::{sample_schedule_faults, SplitMix64};
+use crate::chaos::{sample_adversarial_faults, sample_schedule_faults, SplitMix64};
 use crate::registry::{names, SharedRegistry};
 use crate::{LiveMetrics, Setup, TraceError};
 use msgorder_protocols::OnlineMonitor;
@@ -49,6 +49,9 @@ pub struct SoakConfig {
     /// Rotate fault schedules: sample a fresh partition and/or crash
     /// window per episode (on top of the base drop/duplication rates).
     pub rotate_faults: bool,
+    /// Additionally sample adversarial wire faults (corruption,
+    /// forgery, stale replay, reordering) per episode.
+    pub adversarial: bool,
     /// Spec to monitor online (catalog name), if any.
     pub spec: Option<String>,
     /// Kernel step limit per episode.
@@ -75,6 +78,7 @@ impl SoakConfig {
             drop: 0.0,
             duplication: 0.0,
             rotate_faults: true,
+            adversarial: false,
             spec: None,
             step_limit: 1_000_000,
             latency: LatencyModel::Uniform { lo: 1, hi: 100 },
@@ -202,11 +206,14 @@ pub fn run_soak(config: &SoakConfig, registry: &SharedRegistry) -> Result<SoakRe
             break;
         }
         let episode_seed = rng.next();
-        let faults = if config.rotate_faults {
+        let mut faults = if config.rotate_faults {
             sample_schedule_faults(&mut rng, config.processes, base_faults.clone(), 0.4, 0.4)
         } else {
             base_faults.clone()
         };
+        if config.adversarial {
+            faults = sample_adversarial_faults(&mut rng, faults)?;
+        }
         let workload =
             Workload::uniform_random(config.processes, config.messages_per_episode, episode_seed);
         let n = config.processes;

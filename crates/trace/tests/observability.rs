@@ -173,6 +173,10 @@ fn synthetic_stream(seed: u64, msgs: usize) -> Vec<KernelEvent> {
             // surviving copy would stay pending, and this stream keeps
             // every message terminal.
             dup_delay: (!lost && r.is_multiple_of(5)).then_some(2),
+            corrupt: None,
+            forge: None,
+            replay_delay: None,
+            reorder_extra: 0,
         }));
         if m.is_multiple_of(6) {
             out.push(KernelEvent::Wire(WireRecord {
@@ -186,6 +190,10 @@ fn synthetic_stream(seed: u64, msgs: usize) -> Vec<KernelEvent> {
                 delay: 2,
                 dropped: None,
                 dup_delay: None,
+                corrupt: None,
+                forge: None,
+                replay_delay: None,
+                reorder_extra: 0,
             }));
         }
         if !lost {
@@ -235,6 +243,10 @@ fn latency_tracker_memory_stays_bounded_over_a_million_messages() {
                     delay: 3,
                     dropped: lost(i).then_some(DropReason::Loss),
                     dup_delay: None,
+                    corrupt: None,
+                    forge: None,
+                    replay_delay: None,
+                    reorder_extra: 0,
                 }),
             ]);
             if lost(i) {

@@ -14,7 +14,9 @@
 use crate::endpoint::Endpoint;
 use crate::server::TransportError;
 use crate::supervisor::{connect_with_retry, Backoff};
-use crate::wire::{ActionMsg, ControlMsg, EventMsg, FramedConn, CH_CONTROL, CH_EVENT};
+use crate::wire::{
+    ActionMsg, ControlMsg, EventMsg, FramedConn, CH_CONTROL, CH_EVENT, WIRE_VERSION,
+};
 use msgorder_protocols::ProtocolKind;
 use msgorder_simnet::{HostEnv, Protocol, ProtocolHost};
 use std::io;
@@ -31,17 +33,24 @@ pub struct ClientOptions {
     pub backoff: Backoff,
     /// Per-read socket timeout.
     pub io_timeout: Duration,
+    /// When set, this client's outgoing frames inject deterministic
+    /// CRC-corrupt copies (seeded per node), so the *server* exercises
+    /// and counts its reject-and-resync path. Only takes effect when
+    /// the handshake negotiates wire version ≥ 2.
+    pub wire_chaos: Option<u64>,
 }
 
 impl ClientOptions {
     /// Defaults: standard backoff, 60 s read patience (the server may
-    /// legitimately be waiting on other peers between our events).
+    /// legitimately be waiting on other peers between our events), no
+    /// wire chaos.
     pub fn new(endpoint: Endpoint, node: usize) -> ClientOptions {
         ClientOptions {
             endpoint,
             node,
             backoff: Backoff::default(),
             io_timeout: Duration::from_secs(60),
+            wire_chaos: None,
         }
     }
 }
@@ -53,6 +62,9 @@ pub struct ClientReport {
     pub processed: u64,
     /// Connections established (1 = no reconnects were needed).
     pub connects: u32,
+    /// Incoming frames discarded for CRC mismatch, across every
+    /// connection of the session.
+    pub crc_rejected: u64,
 }
 
 /// The client's protocol instance plus its host environment.
@@ -74,6 +86,7 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport, TransportError> 
     let mut report = ClientReport {
         processed: 0,
         connects: 0,
+        crc_rejected: 0,
     };
     loop {
         let conn = connect_with_retry(&opts.endpoint, &opts.backoff)?;
@@ -85,14 +98,21 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport, TransportError> 
             &ControlMsg::Hello {
                 node: opts.node,
                 resume: next_seq,
+                version: WIRE_VERSION,
             },
         )?;
         let welcome: ControlMsg = framed.recv_on(CH_CONTROL)?;
-        let ControlMsg::Welcome { setup } = welcome else {
+        let ControlMsg::Welcome { setup, version } = welcome else {
             return Err(TransportError::Handshake(format!(
                 "expected Welcome, got {welcome:?}"
             )));
         };
+        if version >= 2 {
+            framed.enable_crc();
+            if let Some(seed) = opts.wire_chaos {
+                framed.enable_chaos(seed ^ opts.node as u64);
+            }
+        }
         if instance.is_none() {
             let spec = setup.spec_predicate()?;
             let kind = ProtocolKind::by_name(&setup.protocol, spec.as_ref()).ok_or_else(|| {
@@ -117,13 +137,20 @@ pub fn run_client(opts: &ClientOptions) -> Result<ClientReport, TransportError> 
                 "protocol instance missing after Welcome".to_string(),
             ));
         };
-        match serve_events(
+        // A redial is the wire-level analogue of a crash/restart
+        // window: bump the environment's epoch so control frames sent
+        // after the reconnect carry a generation tag and pre-drop
+        // stragglers are rejectable as stale (see `protocols::epoch`).
+        inst.env.set_epoch(u64::from(report.connects - 1));
+        let served = serve_events(
             &mut framed,
             inst,
             &mut cache,
             &mut next_seq,
             &mut report.processed,
-        ) {
+        );
+        report.crc_rejected += framed.crc_rejected();
+        match served {
             Ok(()) => return Ok(report),
             Err(e) if recoverable(&e) => continue, // redial via the supervisor
             Err(e) => return Err(TransportError::Io(e)),

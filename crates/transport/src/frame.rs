@@ -16,11 +16,61 @@
 //! split positions (as TCP delivers them) and yields complete frames as
 //! they materialize, rejecting oversized or malformed length prefixes
 //! *before* buffering their payload.
+//!
+//! # Wire version 2: checksummed frames
+//!
+//! Version 2 of the handshake (see [`crate::wire`]) appends a CRC-32
+//! (IEEE) of `channel ‖ payload` to every frame:
+//!
+//! ```text
+//! [len: u32 LE][channel: u8][payload][crc: u32 LE]
+//! ```
+//!
+//! with `len` counting channel byte + payload + checksum. Corruption
+//! *inside* a frame leaves the length prefix intact, so — unlike a
+//! framing violation — a checksum mismatch is recoverable: the decoder
+//! skips the damaged frame, counts it, and resynchronizes at the next
+//! length prefix instead of killing the connection. CRC-32 detects
+//! every single-bit flip (and any burst ≤ 32 bits) by construction.
 
 /// Upper bound on `len` (channel byte + payload). A peer announcing a
 /// larger frame is faulty or hostile; the decoder rejects the length
 /// prefix without allocating.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes of the trailing CRC-32 in a version-2 frame.
+pub const CRC_LEN: usize = 4;
+
+/// The CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup
+/// table, built at compile time so the crate stays dependency-free.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// One decoded frame: a channel id and its payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,12 +125,35 @@ pub fn encode(channel: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
     Ok(out)
 }
 
+/// Encodes one version-2 (checksummed) frame: the CRC-32 of
+/// `channel ‖ payload` is appended and counted in the length prefix.
+///
+/// # Errors
+/// [`FrameError::Oversized`] if channel byte + payload + checksum
+/// exceeds [`MAX_FRAME`].
+pub fn encode_crc(channel: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let len = payload.len() + 1 + CRC_LEN;
+    let prefix = match u32::try_from(len) {
+        Ok(prefix) if len <= MAX_FRAME => prefix,
+        _ => return Err(FrameError::Oversized { len }),
+    };
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&prefix.to_le_bytes());
+    out.push(channel);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
 /// An incremental frame decoder: push bytes in as they arrive, pull
 /// complete frames out.
 #[derive(Debug, Default)]
 pub struct Decoder {
     buf: Vec<u8>,
     start: usize,
+    crc: bool,
+    rejected: u64,
 }
 
 impl Decoder {
@@ -102,30 +175,74 @@ impl Decoder {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Switches the decoder to wire-version-2 mode: every frame must
+    /// carry a trailing CRC-32 over `channel ‖ payload`. Frames whose
+    /// checksum does not verify are skipped and counted, not fatal.
+    pub fn enable_crc(&mut self) {
+        self.crc = true;
+    }
+
+    /// Whether the decoder is verifying per-frame checksums.
+    pub fn crc_enabled(&self) -> bool {
+        self.crc
+    }
+
+    /// Frames discarded for checksum mismatch since construction.
+    pub fn crc_rejected(&self) -> u64 {
+        self.rejected
+    }
+
     /// Yields the next complete frame, `None` if more bytes are needed.
+    ///
+    /// In CRC mode a frame whose checksum fails verification is
+    /// silently skipped (and counted via [`Decoder::crc_rejected`]);
+    /// decoding resynchronizes at the next length prefix.
     ///
     /// # Errors
     /// A [`FrameError`] on a malformed length prefix; the stream is
     /// unrecoverable afterwards and the connection should be dropped.
     pub fn try_next(&mut self) -> Result<Option<Frame>, FrameError> {
-        let avail = &self.buf[self.start..];
-        if avail.len() < 4 {
-            return Ok(None);
+        loop {
+            let avail = &self.buf[self.start..];
+            if avail.len() < 4 {
+                return Ok(None);
+            }
+            let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+            if len == 0 {
+                return Err(FrameError::Empty);
+            }
+            if len > MAX_FRAME {
+                return Err(FrameError::Oversized { len });
+            }
+            if avail.len() < 4 + len {
+                return Ok(None);
+            }
+            if self.crc {
+                // A v2 frame needs room for the channel byte and the
+                // checksum; anything shorter is corrupt by definition.
+                if len <= CRC_LEN {
+                    self.rejected += 1;
+                    self.start += 4 + len;
+                    continue;
+                }
+                let body = &avail[4..4 + len - CRC_LEN];
+                let tail = &avail[4 + len - CRC_LEN..4 + len];
+                let want = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+                if crc32(body) != want {
+                    self.rejected += 1;
+                    self.start += 4 + len;
+                    continue;
+                }
+                let channel = body[0];
+                let payload = body[1..].to_vec();
+                self.start += 4 + len;
+                return Ok(Some(Frame { channel, payload }));
+            }
+            let channel = avail[4];
+            let payload = avail[5..4 + len].to_vec();
+            self.start += 4 + len;
+            return Ok(Some(Frame { channel, payload }));
         }
-        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
-        if len == 0 {
-            return Err(FrameError::Empty);
-        }
-        if len > MAX_FRAME {
-            return Err(FrameError::Oversized { len });
-        }
-        if avail.len() < 4 + len {
-            return Ok(None);
-        }
-        let channel = avail[4];
-        let payload = avail[5..4 + len].to_vec();
-        self.start += 4 + len;
-        Ok(Some(Frame { channel, payload }))
     }
 
     /// Bytes buffered but not yet consumed as frames.
@@ -182,5 +299,83 @@ mod tests {
         let mut dec = Decoder::new();
         dec.push(&0u32.to_le_bytes());
         assert_eq!(dec.try_next(), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn crc_round_trips_one_frame() {
+        let bytes = encode_crc(2, b"payload").expect("fits");
+        assert_eq!(bytes.len(), 4 + 1 + 7 + CRC_LEN);
+        let mut dec = Decoder::new();
+        dec.enable_crc();
+        dec.push(&bytes);
+        let f = dec.try_next().expect("well-formed").expect("complete");
+        assert_eq!(
+            f,
+            Frame {
+                channel: 2,
+                payload: b"payload".to_vec()
+            }
+        );
+        assert_eq!(dec.crc_rejected(), 0);
+    }
+
+    #[test]
+    fn crc_rejects_every_single_bit_flip() {
+        let clean = encode_crc(1, b"ordering").expect("fits");
+        // Flip each bit of the frame body (channel + payload + crc);
+        // the length prefix is excluded because damaging it is a
+        // framing-level fault, not a payload-corruption fault.
+        for byte in 4..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[byte] ^= 1 << bit;
+                let mut dec = Decoder::new();
+                dec.enable_crc();
+                dec.push(&dirty);
+                assert_eq!(
+                    dec.try_next(),
+                    Ok(None),
+                    "flip at byte {byte} bit {bit} must be rejected"
+                );
+                assert_eq!(dec.crc_rejected(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_resyncs_to_the_next_frame() {
+        let mut dirty = encode_crc(0, b"first").expect("fits");
+        let last = dirty.len() - 1;
+        dirty[last] ^= 0x80;
+        let clean = encode_crc(0, b"second").expect("fits");
+        let mut dec = Decoder::new();
+        dec.enable_crc();
+        dec.push(&dirty);
+        dec.push(&clean);
+        let f = dec.try_next().expect("recoverable").expect("complete");
+        assert_eq!(f.payload, b"second".to_vec());
+        assert_eq!(dec.crc_rejected(), 1);
+        assert_eq!(dec.try_next(), Ok(None));
+    }
+
+    #[test]
+    fn crc_frame_too_short_for_checksum_is_skipped() {
+        // A v1-style 5-byte frame (len = 1) read by a v2 decoder: no
+        // room for the checksum, so it is counted and skipped.
+        let v1 = encode(7, b"").expect("fits");
+        let clean = encode_crc(7, b"ok").expect("fits");
+        let mut dec = Decoder::new();
+        dec.enable_crc();
+        dec.push(&v1);
+        dec.push(&clean);
+        let f = dec.try_next().expect("recoverable").expect("complete");
+        assert_eq!(f.payload, b"ok".to_vec());
+        assert_eq!(dec.crc_rejected(), 1);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -50,9 +50,10 @@ pub mod wire;
 
 pub use client::{run_client, ClientOptions, ClientReport};
 pub use endpoint::{Conn, Endpoint, Listener};
-pub use frame::{Decoder, Frame, FrameError, MAX_FRAME};
+pub use frame::{crc32, Decoder, Frame, FrameError, CRC_LEN, MAX_FRAME};
 pub use metrics_http::{scrape, MetricsExporter};
 pub use server::{
     serve, serve_on, serve_on_observed, ServeOptions, ServeOutcome, SocketHost, TransportError,
 };
 pub use supervisor::{connect_with_retry, Backoff};
+pub use wire::{FramedConn, WIRE_VERSION};

@@ -21,7 +21,9 @@
 //! [`ProtocolHost`]: msgorder_simnet::ProtocolHost
 
 use crate::endpoint::{Endpoint, Listener};
-use crate::wire::{ActionMsg, ControlMsg, EventMsg, FramedConn, CH_ACTION, CH_CONTROL};
+use crate::wire::{
+    ActionMsg, ControlMsg, EventMsg, FramedConn, CH_ACTION, CH_CONTROL, WIRE_VERSION,
+};
 use msgorder_simnet::{
     DriftStats, HostAction, HostDriver, HostError, HostEvent, RealtimeKernel, SimError,
     StreamResult,
@@ -81,11 +83,16 @@ pub struct ServeOptions {
     pub handshake_timeout: Duration,
     /// Per-connection read timeout for one round-trip.
     pub io_timeout: Duration,
+    /// When set, the server's outgoing links inject deterministic
+    /// CRC-corrupt frame copies (seeded per node from this value) so a
+    /// loopback run exercises the reject-and-resync path over real
+    /// sockets. Requires the peers to negotiate wire version ≥ 2.
+    pub wire_chaos: Option<u64>,
 }
 
 impl ServeOptions {
     /// Defaults: free-running tick, 30 s handshake patience, 30 s
-    /// round-trip timeout.
+    /// round-trip timeout, no wire chaos.
     pub fn new(endpoint: Endpoint, setup: Setup) -> ServeOptions {
         ServeOptions {
             endpoint,
@@ -93,6 +100,7 @@ impl ServeOptions {
             tick: Duration::ZERO,
             handshake_timeout: Duration::from_secs(30),
             io_timeout: Duration::from_secs(30),
+            wire_chaos: None,
         }
     }
 }
@@ -107,6 +115,11 @@ pub struct ServeOutcome {
     pub outcome: Result<StreamResult, SimError>,
     /// Wall-clock pacing accounting.
     pub drift: DriftStats,
+    /// Incoming frames the server discarded for CRC mismatch (summed
+    /// over all links, including ones replaced by a reconnect).
+    pub crc_rejected: u64,
+    /// Corrupt frame copies injected by [`ServeOptions::wire_chaos`].
+    pub chaos_injected: u64,
 }
 
 /// A [`HostDriver`] whose protocol instances live in other OS
@@ -118,6 +131,11 @@ pub struct SocketHost {
     seqs: Vec<u64>,
     handshake_timeout: Duration,
     io_timeout: Duration,
+    wire_chaos: Option<u64>,
+    // Counters carried over from links torn down by a reconnect, so
+    // the session totals survive connection churn.
+    retired_crc_rejected: u64,
+    retired_chaos_injected: u64,
 }
 
 impl SocketHost {
@@ -134,7 +152,33 @@ impl SocketHost {
             seqs: vec![0; n],
             handshake_timeout: opts.handshake_timeout,
             io_timeout: opts.io_timeout,
+            wire_chaos: opts.wire_chaos,
+            retired_crc_rejected: 0,
+            retired_chaos_injected: 0,
         })
+    }
+
+    /// Total incoming frames discarded for CRC mismatch, across every
+    /// link this host has held.
+    pub fn crc_rejected(&self) -> u64 {
+        self.retired_crc_rejected
+            + self
+                .links
+                .iter()
+                .flatten()
+                .map(FramedConn::crc_rejected)
+                .sum::<u64>()
+    }
+
+    /// Total corrupt frame copies injected by wire chaos.
+    pub fn chaos_injected(&self) -> u64 {
+        self.retired_chaos_injected
+            + self
+                .links
+                .iter()
+                .flatten()
+                .map(FramedConn::chaos_injected)
+                .sum::<u64>()
     }
 
     /// Accepts and handshakes connections until every process has one.
@@ -176,11 +220,21 @@ impl SocketHost {
         conn.set_read_timeout(Some(self.io_timeout))?;
         let mut framed = FramedConn::new(conn);
         let hello: ControlMsg = framed.recv_on(CH_CONTROL)?;
-        let ControlMsg::Hello { node, resume } = hello else {
+        let ControlMsg::Hello {
+            node,
+            resume,
+            version,
+        } = hello
+        else {
             return Err(TransportError::Handshake(format!(
                 "expected Hello, got {hello:?}"
             )));
         };
+        if version == 0 {
+            return Err(TransportError::Handshake(format!(
+                "process {node} announced wire version 0"
+            )));
+        }
         if node >= self.links.len() {
             return Err(TransportError::Handshake(format!(
                 "process id {node} out of range (expected < {})",
@@ -196,12 +250,22 @@ impl SocketHost {
                 self.seqs[node]
             )));
         }
+        // The handshake runs in version-1 framing; only frames after
+        // the Welcome use the negotiated version.
+        let negotiated = version.min(WIRE_VERSION);
         framed.send(
             CH_CONTROL,
             &ControlMsg::Welcome {
                 setup: self.setup.clone(),
+                version: negotiated,
             },
         )?;
+        if negotiated >= 2 {
+            framed.enable_crc();
+            if let Some(seed) = self.wire_chaos {
+                framed.enable_chaos(seed ^ node as u64);
+            }
+        }
         self.links[node] = Some(framed);
         Ok(())
     }
@@ -263,7 +327,10 @@ impl HostDriver for SocketHost {
                     return Ok(actions);
                 }
                 Err(e) => {
-                    self.links[node] = None;
+                    if let Some(dead) = self.links[node].take() {
+                        self.retired_crc_rejected += dead.crc_rejected();
+                        self.retired_chaos_injected += dead.chaos_injected();
+                    }
                     last_io = Some(e);
                 }
             }
@@ -330,5 +397,7 @@ pub fn serve_on_observed(
         trace,
         outcome: out.outcome,
         drift: out.drift,
+        crc_rejected: host.crc_rejected(),
+        chaos_injected: host.chaos_injected(),
     })
 }

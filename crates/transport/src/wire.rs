@@ -29,7 +29,24 @@ pub const CH_EVENT: u8 = 1;
 /// Channel id for [`ActionMsg`] frames (protocol → kernel).
 pub const CH_ACTION: u8 = 2;
 
+/// The highest wire version this build speaks. Version history:
+///
+/// - `1` — plain length-prefixed frames;
+/// - `2` — every post-handshake frame carries a trailing CRC-32 over
+///   `channel ‖ payload` (see [`crate::frame`]); corrupt frames are
+///   skipped and counted instead of killing the connection.
+///
+/// Both handshake messages state the speaker's version and the
+/// connection runs at the minimum of the two; the handshake itself is
+/// always exchanged in version-1 framing so that negotiation works
+/// before either side knows the outcome.
+pub const WIRE_VERSION: u16 = 2;
+
 /// Handshake and lifecycle messages on [`CH_CONTROL`].
+// `Welcome` dwarfs the other variants because it carries the full run
+// `Setup`, but handshake messages are exchanged once per connection and
+// never stored in bulk, so boxing would complicate serde for no win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ControlMsg {
     /// Client → server, first message on every (re)connection: which
@@ -40,12 +57,17 @@ pub enum ControlMsg {
         node: usize,
         /// Sequence number of the next unprocessed event.
         resume: u64,
+        /// The highest wire version the client speaks.
+        version: u16,
     },
     /// Server → client, answering a `Hello`: the run's full setup, from
     /// which the client instantiates its protocol and environment.
     Welcome {
         /// The run setup (also the header of the recorded trace).
         setup: Setup,
+        /// The negotiated wire version (min of both sides); frames
+        /// after this message use it.
+        version: u16,
     },
     /// Server → client: the run is over, disconnect.
     Bye,
@@ -77,6 +99,29 @@ pub struct ActionMsg {
 pub struct FramedConn {
     conn: Conn,
     decoder: Decoder,
+    crc: bool,
+    chaos: Option<WireChaos>,
+}
+
+/// Deterministic corruption injector for loopback chaos runs: before
+/// selected frames, an extra copy with one bit flipped inside the CRC-
+/// covered region is written, exercising the receiver's reject-and-
+/// resync path without disturbing the genuine traffic.
+#[derive(Debug)]
+struct WireChaos {
+    state: u64,
+    injected: u64,
+}
+
+impl WireChaos {
+    fn next(&mut self) -> u64 {
+        // SplitMix64, same generator the chaos sweep uses.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
 }
 
 fn bad_data(e: impl std::fmt::Display) -> io::Error {
@@ -89,12 +134,43 @@ impl FramedConn {
         FramedConn {
             conn,
             decoder: Decoder::new(),
+            crc: false,
+            chaos: None,
         }
     }
 
     /// The underlying connection (for socket options).
     pub fn conn(&self) -> &Conn {
         &self.conn
+    }
+
+    /// Switches both directions to wire-version-2 framing: outgoing
+    /// frames gain a CRC-32, incoming frames are verified (mismatches
+    /// skipped and counted). Call after the handshake negotiates
+    /// version ≥ 2.
+    pub fn enable_crc(&mut self) {
+        self.crc = true;
+        self.decoder.enable_crc();
+    }
+
+    /// Incoming frames discarded for checksum mismatch.
+    pub fn crc_rejected(&self) -> u64 {
+        self.decoder.crc_rejected()
+    }
+
+    /// Arms deterministic wire chaos (requires CRC framing): the first
+    /// outgoing frame, and roughly a quarter of later ones, is preceded
+    /// by a copy with one bit flipped in its CRC-covered region.
+    pub fn enable_chaos(&mut self, seed: u64) {
+        self.chaos = Some(WireChaos {
+            state: seed,
+            injected: 0,
+        });
+    }
+
+    /// Corrupt frame copies injected so far by wire chaos.
+    pub fn chaos_injected(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.injected)
     }
 
     /// Serializes `msg` as JSON and writes it as one frame on
@@ -105,7 +181,26 @@ impl FramedConn {
     /// underlying write error.
     pub fn send<T: Serialize>(&mut self, channel: u8, msg: &T) -> io::Result<()> {
         let payload = serde_json::to_vec(msg).map_err(bad_data)?;
-        let bytes = frame::encode(channel, &payload).map_err(bad_data)?;
+        let bytes = if self.crc {
+            frame::encode_crc(channel, &payload).map_err(bad_data)?
+        } else {
+            frame::encode(channel, &payload).map_err(bad_data)?
+        };
+        if self.crc {
+            if let Some(chaos) = self.chaos.as_mut() {
+                let roll = chaos.next();
+                if chaos.injected == 0 || roll & 3 == 0 {
+                    // Flip one bit past the length prefix so the copy
+                    // stays a well-framed, checksum-invalid frame.
+                    let body = bytes.len() - 4;
+                    let bit = chaos.next() as usize % (body * 8);
+                    let mut dirty = bytes.clone();
+                    dirty[4 + bit / 8] ^= 1 << (bit % 8);
+                    chaos.injected += 1;
+                    self.conn.write_all(&dirty)?;
+                }
+            }
+        }
         self.conn.write_all(&bytes)?;
         self.conn.flush()
     }

@@ -83,6 +83,48 @@ proptest! {
         dec.push(&[channel]);
         prop_assert!(dec.try_next().is_err());
     }
+
+    /// A CRC-mode decoder fed arbitrary garbage, in arbitrary split
+    /// positions, never panics: every well-framed-but-corrupt chunk is
+    /// skipped and counted, and framing violations surface as errors.
+    #[test]
+    fn crc_decoder_never_panics_on_arbitrary_bytes(
+        junk in proptest::collection::vec(0u8..=255, 0..600),
+        chunk in 1usize..40,
+    ) {
+        let mut dec = Decoder::new();
+        dec.enable_crc();
+        'outer: for piece in junk.chunks(chunk) {
+            dec.push(piece);
+            loop {
+                match dec.try_next() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => break 'outer, // framing violation: stream dead
+                }
+            }
+        }
+    }
+
+    /// Flipping any single bit in the body of a checksummed frame makes
+    /// the decoder reject it — CRC-32 detects all 1-bit errors.
+    #[test]
+    fn any_single_bit_flip_in_a_crc_frame_is_rejected(
+        channel in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..100),
+        flip in 0usize..1_000_000,
+    ) {
+        let clean = msgorder_transport::frame::encode_crc(channel, &payload).expect("fits");
+        let body_bits = (clean.len() - 4) * 8;
+        let bit = flip % body_bits;
+        let mut dirty = clean;
+        dirty[4 + bit / 8] ^= 1 << (bit % 8);
+        let mut dec = Decoder::new();
+        dec.enable_crc();
+        dec.push(&dirty);
+        prop_assert_eq!(dec.try_next(), Ok(None), "corrupt frame must not surface");
+        prop_assert_eq!(dec.crc_rejected(), 1);
+    }
 }
 
 static SOCK_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -207,6 +249,60 @@ fn every_registry_protocol_replays_from_the_realtime_kernel() {
     }
 }
 
+/// The adversarial acceptance criterion, over a real loopback socket:
+/// with wire chaos armed on both sides of a version-2 session, every
+/// injected CRC-corrupt frame is rejected and counted at the receiving
+/// end, the connection resyncs instead of dying, the run completes,
+/// and the recorded trace still replays bit-exact with the same
+/// verdict — corruption on the wire is invisible to the kernel.
+#[test]
+fn wire_chaos_frames_are_rejected_counted_and_replay_survives() {
+    let setup = live_setup("causal-rst", false, 60, Some("causal"));
+    let mut opts = ServeOptions::new(Endpoint::Unix(sock_path()), setup);
+    opts.wire_chaos = Some(0xC0FFEE);
+    let spec = opts.setup.spec_predicate().expect("valid spec");
+    let listener = opts.endpoint.listen().expect("binds");
+    let dial = listener.local_endpoint().expect("has an address");
+    let clients: Vec<_> = (0..opts.setup.processes)
+        .map(|node| {
+            let mut copts = ClientOptions::new(dial.clone(), node);
+            copts.wire_chaos = Some(0xBAD5_EED5);
+            std::thread::spawn(move || run_client(&copts))
+        })
+        .collect();
+    let outcome = serve_on(listener, &opts, spec.as_ref()).expect("live session runs");
+    let mut client_rejected = 0u64;
+    for (node, c) in clients.into_iter().enumerate() {
+        let report = c.join().expect("client thread").expect("client succeeds");
+        assert!(report.processed > 0, "node {node} processed events");
+        assert_eq!(report.connects, 1, "corruption must not kill the link");
+        client_rejected += report.crc_rejected;
+    }
+    assert!(outcome.chaos_injected > 0, "server-side chaos really fired");
+    assert!(
+        client_rejected >= outcome.chaos_injected,
+        "every server-injected corrupt frame was rejected client-side \
+         ({client_rejected} < {})",
+        outcome.chaos_injected
+    );
+    assert!(
+        outcome.crc_rejected > 0,
+        "client-injected corrupt frames were rejected server-side"
+    );
+    let r = outcome.outcome.expect("no protocol bug");
+    assert!(r.completed && !r.halted, "chaos'd run ran to quiescence");
+    let report = replay(&outcome.trace).expect("replays");
+    let re = report.reexecution.as_ref().expect("registry protocol");
+    assert!(re.identical, "event streams match bit-exact");
+    assert_eq!(re.fingerprint, outcome.trace.footer.fingerprint);
+    assert_eq!(report.verdict_ok, Some(true), "verdict reproduced");
+    assert_eq!(
+        outcome.trace.footer.verdict.as_ref().map(|v| v.violated),
+        Some(false),
+        "causal-rst still satisfies the causal spec under wire chaos"
+    );
+}
+
 /// A client whose connection dies mid-run redials through the
 /// supervisor, resumes at the in-flight event, and the session still
 /// produces a bit-exact replayable trace: the wire protocol's sequence
@@ -269,12 +365,17 @@ fn flaky_client(endpoint: &Endpoint, node: usize) -> u32 {
                 &ControlMsg::Hello {
                     node,
                     resume: next_seq,
+                    // This hand-rolled client never enables CRC framing,
+                    // so it must pin the connection at wire version 1.
+                    version: 1,
                 },
             )
             .expect("hello");
-        let ControlMsg::Welcome { setup } = framed.recv_on(CH_CONTROL).expect("welcome") else {
+        let ControlMsg::Welcome { setup, version } = framed.recv_on(CH_CONTROL).expect("welcome")
+        else {
             panic!("expected Welcome");
         };
+        assert_eq!(version, 1, "server must honor a v1-only peer");
         if state.is_none() {
             let kind = msgorder_protocols::ProtocolKind::by_name(&setup.protocol, None)
                 .expect("known protocol");

@@ -77,6 +77,10 @@ USAGE:
       --timeline      print the run as an ASCII time diagram
       --drop      P   drop each frame with probability P (0..=1)
       --dup       P   duplicate each frame with probability P (0..=1)
+      --corrupt   P   flip one payload bit per frame with probability P (0..=1)
+      --forge     P   inject a forged control frame with probability P (0..=1)
+      --replay-stale P  re-deliver a stale copy of each frame with probability P
+      --reorder   P   hold a frame behind a reordering burst with probability P
       --partition A:B:FROM:UNTIL   sever the A<->B link for FROM <= t < UNTIL (repeatable)
       --crash     P:AT[:RESTART]   crash process P at tick AT, optionally restarting (repeatable)
       --reliable      layer ack/retransmission under the protocol (fifo, causal-rst, sync)
@@ -117,6 +121,8 @@ USAGE:
       --no-shrink     report raw traces without minimizing
       --confirm       cross-check each spec violation against a fault-free
                       exhaustive exploration (inherent vs fault-induced)
+      --adversarial   also sample corruption/forgery/stale-replay/reordering
+                      per trial (findings are deduplicated per fault family)
       --out DIR       write each finding's reproducer trace into DIR
   msgorder serve [options]                 run a live session over real sockets:
                                            this process is the wall-clock kernel,
@@ -137,7 +143,9 @@ USAGE:
       --metrics-addr HOST:PORT   serve live Prometheus metrics over HTTP while
                       the session runs (port 0 picks a free port)
       --metrics-out PATH         write a metrics snapshot file every second
-  msgorder client --connect tcp:HOST:PORT|unix:PATH --node N
+      --wire-chaos SEED          inject CRC-corrupt frame copies on every link
+                      (rejected, counted, resynced — requires wire version 2)
+  msgorder client --connect tcp:HOST:PORT|unix:PATH --node N [--wire-chaos SEED]
                                            host one protocol instance for a
                                            `msgorder serve` session (protocol and
                                            workload arrive in the handshake)
@@ -155,6 +163,7 @@ USAGE:
       --drop      P   base per-frame drop probability every episode
       --dup       P   base per-frame duplication probability every episode
       --reliable      layer ack/retransmission under the protocol
+      --adversarial   sample corruption/forgery/stale-replay/reordering per episode
       --no-rotate     keep the base fault model only (no sampled partitions/crashes)
       --step-limit N  kernel step budget per episode (default 1000000)
       --max-episodes N  stop after N episodes even if time remains
@@ -337,6 +346,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut timeline = false;
     let mut drop = 0.0f64;
     let mut dup = 0.0f64;
+    let mut corrupt = 0.0f64;
+    let mut forge = 0.0f64;
+    let mut replay_stale = 0.0f64;
+    let mut reorder = 0.0f64;
     let mut partitions: Vec<Partition> = Vec::new();
     let mut crashes: Vec<CrashSchedule> = Vec::new();
     let mut reliable = false;
@@ -359,6 +372,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--timeline" => timeline = true,
             "--drop" => drop = parse_probability("--drop", &val()?)?,
             "--dup" => dup = parse_probability("--dup", &val()?)?,
+            "--corrupt" => corrupt = parse_probability("--corrupt", &val()?)?,
+            "--forge" => forge = parse_probability("--forge", &val()?)?,
+            "--replay-stale" => replay_stale = parse_probability("--replay-stale", &val()?)?,
+            "--reorder" => reorder = parse_probability("--reorder", &val()?)?,
             "--partition" => partitions.push(parse_partition(&val()?)?),
             "--crash" => crashes.push(parse_crash(&val()?)?),
             "--reliable" => reliable = true,
@@ -403,6 +420,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut faults = FaultModel::none()
         .with_drop(drop)
         .and_then(|f| f.with_duplication(dup))
+        .and_then(|f| f.with_corruption(corrupt))
+        .and_then(|f| f.with_forgery(forge))
+        .and_then(|f| f.with_stale_replay(replay_stale))
+        .and_then(|f| f.with_reordering(reorder))
         .map_err(|e| e.to_string())?;
     faults.partitions = partitions;
     faults.crashes = crashes;
@@ -514,6 +535,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         println!("retransmitted : {}", r.stats.retransmitted_frames);
         println!("dup suppressed: {}", r.stats.suppressed_duplicates);
     }
+    if !r.stats.adversarial_quiet() {
+        println!("corrupted     : {}", r.stats.corrupted_frames);
+        println!("forged        : {}", r.stats.forged_frames);
+        println!("replayed      : {}", r.stats.replayed_frames);
+        println!("reordered     : {}", r.stats.reordered_frames);
+        println!("rejected      : {}", r.stats.rejected_frames);
+    }
     println!("in X_co       : {}", limit_sets::in_x_co(&user));
     println!("in X_sync     : {}", limit_sets::in_x_sync(&user));
     if let Some(p) = &spec_pred {
@@ -612,6 +640,13 @@ fn simulate_traced(
         footer.stats.control_per_user()
     );
     println!("delivered     : {}", footer.stats.delivered);
+    if !footer.stats.adversarial_quiet() {
+        println!("corrupted     : {}", footer.stats.corrupted_frames);
+        println!("forged        : {}", footer.stats.forged_frames);
+        println!("replayed      : {}", footer.stats.replayed_frames);
+        println!("reordered     : {}", footer.stats.reordered_frames);
+        println!("rejected      : {}", footer.stats.rejected_frames);
+    }
     match (&footer.verdict, monitor.as_ref()) {
         (Some(v), _) if v.violated => {
             println!("spec          : VIOLATED by {:?}", v.witness);
@@ -1037,6 +1072,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut step_limit: Option<usize> = None;
     let mut no_shrink = false;
     let mut confirm = false;
+    let mut adversarial = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -1054,6 +1090,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             }
             "--no-shrink" => no_shrink = true,
             "--confirm" => confirm = true,
+            "--adversarial" => adversarial = true,
             "--out" => out = Some(val()?),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -1070,6 +1107,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     }
     config.shrink = !no_shrink;
     config.confirm = confirm;
+    config.adversarial = adversarial;
     let report = msgorder::trace::chaos::sweep(&config).map_err(|e| e.to_string())?;
     print!("{}", report.table());
     if let Some(dir) = out {
@@ -1118,7 +1156,7 @@ fn parse_duration(s: &str) -> Result<std::time::Duration, String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use msgorder::trace::registry::observe_drift;
+    use msgorder::trace::registry::{names, observe_drift};
     use msgorder::trace::{FileExporter, LiveMetrics, SharedRegistry};
     use msgorder::transport::{serve_on_observed, Endpoint, MetricsExporter, ServeOptions};
     use std::time::Duration;
@@ -1136,6 +1174,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut spawn = false;
     let mut metrics_addr: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut wire_chaos: Option<u64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -1159,6 +1198,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--spawn" => spawn = true,
             "--metrics-addr" => metrics_addr = Some(val()?),
             "--metrics-out" => metrics_out = Some(val()?),
+            "--wire-chaos" => {
+                wire_chaos = Some(val()?.parse().map_err(|e| {
+                    format!("--wire-chaos: {e} (expected a u64 seed, e.g. --wire-chaos 7)")
+                })?)
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -1191,6 +1235,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let mut opts = ServeOptions::new(endpoint, setup);
     opts.tick = Duration::from_micros(tick_us);
+    opts.wire_chaos = wire_chaos;
     let listener = opts
         .endpoint
         .listen()
@@ -1205,6 +1250,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         opts.setup.seed,
         if reliable { ", reliable link" } else { "" },
     );
+    if let Some(seed) = wire_chaos {
+        println!("wire chaos    : CRC-corrupt frame copies injected (seed {seed})");
+    }
     // Optional live metrics: one shared registry feeds the HTTP
     // endpoint and/or the periodic snapshot file while the run streams.
     let registry = SharedRegistry::new();
@@ -1230,9 +1278,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if spawn {
         let exe = std::env::current_exe().map_err(|e| e.to_string())?;
         for node in 0..opts.setup.processes {
-            let child = std::process::Command::new(&exe)
-                .args(["client", "--connect", &dial.to_string(), "--node"])
-                .arg(node.to_string())
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(["client", "--connect", &dial.to_string(), "--node"])
+                .arg(node.to_string());
+            if let Some(seed) = wire_chaos {
+                cmd.arg("--wire-chaos").arg(seed.to_string());
+            }
+            let child = cmd
                 .spawn()
                 .map_err(|e| format!("spawning client {node}: {e}"))?;
             children.push(child);
@@ -1246,6 +1298,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let extra: Option<&mut dyn RunObserver> = live.as_mut().map(|l| l as &mut dyn RunObserver);
     let outcome =
         serve_on_observed(listener, &opts, spec_pred.as_ref(), extra).map_err(|e| e.to_string())?;
+    // Frames the server discarded for CRC mismatch join the same
+    // rejection family the simulator's validators feed, under their
+    // own reason label.
+    registry.with(|reg| {
+        reg.add_counter(
+            names::REJECTED,
+            &[("reason", "crc")],
+            names::HELP_REJECTED,
+            outcome.crc_rejected,
+        );
+    });
     if let Some(live) = live {
         live.finish();
         registry.with(|reg| observe_drift(reg, &outcome.drift));
@@ -1261,6 +1324,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         if let Some(path) = &metrics_out {
             println!("metrics file  : {path}");
         }
+    }
+    if wire_chaos.is_some() || outcome.crc_rejected > 0 {
+        println!(
+            "wire rejected : {} crc-invalid frame(s) at the server ({} corrupt copies injected)",
+            outcome.crc_rejected, outcome.chaos_injected
+        );
     }
     let d = &outcome.drift;
     println!(
@@ -1336,6 +1405,7 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
             "--drop" => config.drop = val()?.parse().map_err(|e| format!("--drop: {e}"))?,
             "--dup" => config.duplication = val()?.parse().map_err(|e| format!("--dup: {e}"))?,
             "--reliable" => config.reliable = true,
+            "--adversarial" => config.adversarial = true,
             "--no-rotate" => config.rotate_faults = false,
             "--step-limit" => {
                 config.step_limit = val()?.parse().map_err(|e| format!("--step-limit: {e}"))?
@@ -1392,6 +1462,9 @@ fn cmd_soak(args: &[String]) -> Result<(), String> {
             ""
         },
     );
+    if config.adversarial {
+        println!("adversarial   : corruption/forgery/stale-replay/reordering sampled per episode");
+    }
 
     let report = run_soak(&config, &registry).map_err(|e| e.to_string())?;
 
@@ -1481,6 +1554,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
 
     let mut connect: Option<String> = None;
     let mut node: Option<usize> = None;
+    let mut wire_chaos: Option<u64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -1491,16 +1565,29 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--connect" => connect = Some(val()?),
             "--node" => node = Some(val()?.parse().map_err(|e| format!("--node: {e}"))?),
+            "--wire-chaos" => {
+                wire_chaos = Some(val()?.parse().map_err(|e| {
+                    format!("--wire-chaos: {e} (expected a u64 seed, e.g. --wire-chaos 7)")
+                })?)
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let connect = connect.ok_or("--connect is required (tcp:HOST:PORT or unix:PATH)")?;
     let node = node.ok_or("--node is required")?;
     let endpoint = Endpoint::parse(&connect)?;
-    let report = run_client(&ClientOptions::new(endpoint, node)).map_err(|e| e.to_string())?;
+    let mut copts = ClientOptions::new(endpoint, node);
+    copts.wire_chaos = wire_chaos;
+    let report = run_client(&copts).map_err(|e| e.to_string())?;
     println!(
-        "client done   : node {node}, {} event(s) processed over {} connection(s)",
-        report.processed, report.connects
+        "client done   : node {node}, {} event(s) processed over {} connection(s){}",
+        report.processed,
+        report.connects,
+        if report.crc_rejected > 0 {
+            format!(", {} crc-invalid frame(s) rejected", report.crc_rejected)
+        } else {
+            String::new()
+        }
     );
     Ok(())
 }
